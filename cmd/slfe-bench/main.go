@@ -1,0 +1,74 @@
+// Command slfe-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	slfe-bench -exp table5 -scale 1000 -nodes 8
+//	slfe-bench -exp all
+//
+// Each experiment prints an aligned text table; see EXPERIMENTS.md for the
+// paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"slfe/internal/bench"
+	"slfe/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all | "+names()+")")
+	scale := flag.Int("scale", 1000, "dataset down-scale factor (100 = DESIGN.md default size)")
+	nodes := flag.Int("nodes", 8, "simulated cluster size")
+	threads := flag.Int("threads", 1, "threads per node")
+	prIters := flag.Int("pr-iters", 30, "PageRank/TunkRank iterations")
+	out := flag.String("out", "", "directory for raw TSV series exports (empty: disabled)")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:   *scale,
+		Nodes:   *nodes,
+		Threads: *threads,
+		PRIters: *prIters,
+		Out:     os.Stdout,
+	}
+	var exporter *trace.Exporter
+	if *out != "" {
+		exporter = &trace.Exporter{Dir: *out}
+		cfg.Trace = exporter
+	}
+	defer func() {
+		if exporter != nil {
+			fmt.Fprintf(os.Stderr, "slfe-bench: wrote %d TSV series to %s\n", len(exporter.Files()), *out)
+		}
+	}()
+	if *exp == "all" {
+		if err := bench.All(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "slfe-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fn, ok := bench.Experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "slfe-bench: unknown experiment %q (want all | %s)\n", *exp, names())
+		os.Exit(2)
+	}
+	if err := fn(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "slfe-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func names() string {
+	var ns []string
+	for n := range bench.Experiments {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return strings.Join(ns, " | ")
+}

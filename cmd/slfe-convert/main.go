@@ -1,0 +1,36 @@
+// Command slfe-convert converts graphs between the text edge-list format
+// and the packed binary format (input format is sniffed automatically;
+// output format follows the extension, .slfg = binary).
+//
+// Usage:
+//
+//	slfe-convert -i graph.txt -o graph.slfg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slfe/internal/loader"
+)
+
+func main() {
+	in := flag.String("i", "", "input path (required)")
+	out := flag.String("o", "", "output path (required; .slfg = binary)")
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "slfe-convert: -i and -o are required")
+		os.Exit(2)
+	}
+	g, err := loader.LoadFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slfe-convert:", err)
+		os.Exit(1)
+	}
+	if err := loader.SaveFile(*out, g); err != nil {
+		fmt.Fprintln(os.Stderr, "slfe-convert:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "converted %v -> %s\n", g, *out)
+}

@@ -1,0 +1,73 @@
+// Command slfe-gen generates synthetic graphs.
+//
+// Usage:
+//
+//	slfe-gen -kind rmat -n 100000 -m 1000000 -maxw 64 -o graph.slfg
+//	slfe-gen -kind dataset -name FS -scale 1000 -o fs.slfg
+//	slfe-gen -kind grid -rows 100 -cols 100 -o grid.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/loader"
+)
+
+func main() {
+	kind := flag.String("kind", "rmat", "generator: rmat | uniform | grid | path | star | clustered | dataset")
+	n := flag.Int("n", 1000, "vertices")
+	m := flag.Int64("m", 10000, "edges")
+	maxw := flag.Int("maxw", 1, "maximum edge weight (weights are uniform in [1,maxw])")
+	seed := flag.Int64("seed", 1, "random seed")
+	rows := flag.Int("rows", 10, "grid rows")
+	cols := flag.Int("cols", 10, "grid cols")
+	clusters := flag.Int("clusters", 4, "clustered: cluster count")
+	bridges := flag.Int("bridges", 8, "clustered: inter-cluster bridges")
+	name := flag.String("name", "PK", "dataset: short code from Table 4 (PK OK LJ WK DI ST FS RMAT)")
+	scale := flag.Int("scale", 100, "dataset: down-scale factor")
+	out := flag.String("o", "", "output path (.slfg = binary, otherwise text); default stdout text")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "rmat":
+		g = gen.RMAT(*n, *m, gen.DefaultRMAT, *maxw, *seed)
+	case "uniform":
+		g = gen.Uniform(*n, *m, *maxw, *seed)
+	case "grid":
+		g = gen.Grid(*rows, *cols, *maxw, *seed)
+	case "path":
+		g = gen.Path(*n)
+	case "star":
+		g = gen.Star(*n)
+	case "clustered":
+		g = gen.Clustered(*n, *clusters, *bridges, *seed)
+	case "dataset":
+		d, err := gen.ByName(*name)
+		if err != nil {
+			fatal(err)
+		}
+		g = d.Proxy(*scale)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	fmt.Fprintf(os.Stderr, "generated %v\n", g)
+	if *out == "" {
+		if err := loader.WriteEdgeList(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := loader.SaveFile(*out, g); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slfe-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,176 @@
+// Command slfe-rrg manages redundancy-reduction guidance files (§3.2).
+// Guidance is reusable across applications on the same graph (the paper's
+// §4.4 amortisation argument, citing Facebook's 8.7 jobs per graph), so
+// generating it once and loading it per job saves the preprocessing cost.
+//
+// Usage:
+//
+//	slfe-rrg gen -dataset FS -scale 1000 -o fs.rrg        # generate + save
+//	slfe-rrg gen -graph g.slfg -roots 0,17,42 -o g.rrg    # custom roots
+//	slfe-rrg info -i fs.rrg                               # inspect a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/loader"
+	"slfe/internal/rrg"
+	"slfe/internal/ws"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		genCmd(os.Args[2:])
+	case "info":
+		infoCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: slfe-rrg gen|info [flags]  (run with -h for flags)")
+	os.Exit(2)
+}
+
+func genCmd(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	path := fs.String("graph", "", "graph file (text or .slfg)")
+	dataset := fs.String("dataset", "", "Table 4 dataset code instead of -graph")
+	scale := fs.Int("scale", 1000, "dataset down-scale factor")
+	rootsFlag := fs.String("roots", "", "comma-separated root vertices (default: automatic)")
+	out := fs.String("o", "", "output guidance file (required)")
+	threads := fs.Int("threads", 0, "preprocessing threads (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("gen: -o is required"))
+	}
+
+	g, err := loadGraph(*path, *dataset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %v\n", g)
+
+	roots, err := parseRoots(*rootsFlag, g)
+	if err != nil {
+		fatal(err)
+	}
+	gd := rrg.Generate(g, roots, ws.New(*threads, true))
+	fmt.Printf("guidance: rounds=%d maxLastIter=%d generated in %v\n",
+		gd.Rounds, gd.MaxLastIter, gd.GenTime)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := gd.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes); reuse it with cluster.Options.Guidance\n", *out, n)
+}
+
+func infoCmd(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "guidance file (required)")
+	buckets := fs.Int("buckets", 10, "histogram buckets")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("info: -i is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	gd, err := rrg.ReadGuidance(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	n := len(gd.LastIter)
+	reached := 0
+	var sum int64
+	for v := 0; v < n; v++ {
+		if gd.Reached(graph.VertexID(v)) {
+			reached++
+			sum += int64(gd.LastIter[v])
+		}
+	}
+	fmt.Printf("vertices:    %d\n", n)
+	fmt.Printf("reached:     %d (%.1f%%)\n", reached, 100*float64(reached)/float64(n))
+	fmt.Printf("rounds:      %d\n", gd.Rounds)
+	fmt.Printf("maxLastIter: %d\n", gd.MaxLastIter)
+	if reached > 0 {
+		fmt.Printf("avgLastIter: %.2f\n", float64(sum)/float64(reached))
+	}
+	if gd.MaxLastIter > 0 && *buckets > 0 {
+		hist := make([]int, *buckets)
+		width := (int(gd.MaxLastIter) + *buckets) / *buckets
+		for v := 0; v < n; v++ {
+			if gd.Reached(graph.VertexID(v)) {
+				hist[int(gd.LastIter[v])/width]++
+			}
+		}
+		fmt.Println("lastIter histogram:")
+		for b, count := range hist {
+			fmt.Printf("  [%3d..%3d): %d\n", b*width, (b+1)*width, count)
+		}
+	}
+}
+
+func parseRoots(s string, g *graph.Graph) ([]graph.VertexID, error) {
+	if s == "" {
+		return rrg.DefaultRoots(g), nil
+	}
+	var roots []graph.VertexID
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.ParseUint(part, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad root %q: %w", part, err)
+		}
+		if id >= uint64(g.NumVertices()) {
+			return nil, fmt.Errorf("root %d out of range (|V|=%d)", id, g.NumVertices())
+		}
+		roots = append(roots, graph.VertexID(id))
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("no roots parsed from %q", s)
+	}
+	return roots, nil
+}
+
+func loadGraph(path, dataset string, scale int) (*graph.Graph, error) {
+	if path != "" {
+		return loader.LoadFile(path)
+	}
+	if dataset != "" {
+		d, err := gen.ByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Proxy(scale), nil
+	}
+	return nil, fmt.Errorf("one of -graph or -dataset is required")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slfe-rrg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,286 @@
+// Command slfe-run executes one graph application on one graph with the
+// SLFE engine (or a baseline) on a simulated cluster.
+//
+// Usage:
+//
+//	slfe-run -app sssp -graph graph.slfg -nodes 8 -rr
+//	slfe-run -app pr -dataset FS -scale 1000 -iters 30 -system powergraph
+//
+// It prints the runtime, per-iteration statistics and a sample of results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"slfe/internal/apps"
+	"slfe/internal/baseline/async"
+	"slfe/internal/baseline/gas"
+	"slfe/internal/baseline/ligra"
+	"slfe/internal/baseline/ooc"
+	"slfe/internal/cluster"
+	"slfe/internal/compress"
+	"slfe/internal/core"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/loader"
+	"slfe/internal/metrics"
+)
+
+func main() {
+	app := flag.String("app", "sssp", "application: sssp | bfs | cc | wp | pr | tr | spmv | numpaths | heat | bp | triangles | kcore | clique | mst | diameter")
+	path := flag.String("graph", "", "graph file (text or .slfg)")
+	dataset := flag.String("dataset", "", "Table 4 dataset code instead of -graph (PK OK LJ WK DI ST FS RMAT)")
+	scale := flag.Int("scale", 1000, "dataset down-scale factor")
+	system := flag.String("system", "slfe", "engine: slfe | powergraph | powerlyra | graphchi | ligra | async")
+	nodes := flag.Int("nodes", 1, "cluster size (slfe/powergraph/powerlyra)")
+	threads := flag.Int("threads", 0, "threads per node (0 = GOMAXPROCS)")
+	rr := flag.Bool("rr", true, "enable redundancy reduction (slfe)")
+	stealing := flag.Bool("stealing", true, "enable work stealing (slfe)")
+	codecName := flag.String("codec", "raw", "delta-sync wire codec: raw | varint-xor (slfe)")
+	rebalance := flag.Bool("rebalance", false, "enable dynamic inter-node rebalancing (slfe)")
+	root := flag.Uint("root", 0, "root vertex for sssp/bfs/wp/numpaths")
+	iters := flag.Int("iters", 30, "iterations for arithmetic apps")
+	verbose := flag.Bool("v", false, "print per-iteration statistics")
+	flag.Parse()
+
+	g, err := loadGraph(*path, *dataset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %v\n", g)
+
+	codec, err := compress.ByName(*codecName)
+	if err != nil {
+		fatal(err)
+	}
+	opt := cluster.Options{Nodes: *nodes, Threads: *threads, Stealing: *stealing, RR: *rr, Codec: codec, Rebalance: *rebalance}
+	if runAnalytics(strings.ToLower(*app), g, graph.VertexID(*root), opt) {
+		return
+	}
+
+	prog, g, err := buildProgram(*app, g, graph.VertexID(*root), *iters)
+	if err != nil {
+		fatal(err)
+	}
+
+	var values []core.Value
+	var run *metrics.Run
+	switch strings.ToLower(*system) {
+	case "slfe":
+		res, err := cluster.Execute(g, prog, opt)
+		if err != nil {
+			fatal(err)
+		}
+		values = res.Result.Values
+		run = metrics.Merge(res.PerWorker)
+		fmt.Printf("system: SLFE (rr=%v) nodes=%d elapsed=%v preprocess=%v comm=%d msgs / %d bytes\n",
+			*rr, *nodes, res.Elapsed, res.PreprocessTime, res.Comm.MessagesSent, res.Comm.BytesSent)
+	case "powergraph", "powerlyra":
+		mode := gas.PowerGraph
+		if strings.ToLower(*system) == "powerlyra" {
+			mode = gas.PowerLyra
+		}
+		res, _, stats, err := gas.Execute(g, prog, *nodes, mode, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		values = res.Values
+		run = res.Metrics
+		fmt.Printf("system: %v nodes=%d elapsed=%v comm=%d msgs / %d bytes\n",
+			mode, *nodes, res.Metrics.Total, stats.MessagesSent, stats.BytesSent)
+	case "graphchi":
+		dir, err := os.MkdirTemp("", "slfe-run-ooc-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		eng, err := ooc.Build(g, dir, 8)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := eng.Run(prog)
+		if err != nil {
+			fatal(err)
+		}
+		values = res.Values
+		run = res.Metrics
+		fmt.Printf("system: GraphChi-proxy elapsed=%v diskIO=%d bytes\n", res.Metrics.Total, res.BytesRead)
+	case "ligra":
+		res, err := ligra.Execute(g, prog, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		values = res.Values
+		run = res.Metrics
+		fmt.Printf("system: Ligra-proxy elapsed=%v\n", res.Metrics.Total)
+	case "async":
+		res, _, err := async.Execute(g, prog, *nodes)
+		if err != nil {
+			fatal(err)
+		}
+		values = res.Values
+		run = res.Metrics
+		fmt.Printf("system: async nodes=%d rounds=%d elapsed=%v comm=%d msgs / %d bytes\n",
+			*nodes, res.Rounds, res.Metrics.Total, res.Comm.MessagesSent, res.Comm.BytesSent)
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+
+	fmt.Printf("iterations=%d computations=%d updates=%d suppressed=%d\n",
+		len(run.Iters), run.Computations(), run.Updates(), run.Suppressed())
+	if *verbose {
+		for _, s := range run.Iters {
+			fmt.Printf("  iter=%-3d mode=%-4s active=%-8d comps=%-10d updates=%-8d suppressed=%d\n",
+				s.Iter, s.Mode, s.ActiveVerts, s.Computations, s.Updates, s.Suppressed)
+		}
+	}
+	printSample(*app, g, values)
+}
+
+func loadGraph(path, dataset string, scale int) (*graph.Graph, error) {
+	if path != "" {
+		return loader.LoadFile(path)
+	}
+	if dataset != "" {
+		d, err := gen.ByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Proxy(scale), nil
+	}
+	return nil, fmt.Errorf("one of -graph or -dataset is required")
+}
+
+// buildProgram returns the program and (for CC) the symmetrised graph.
+func buildProgram(app string, g *graph.Graph, root graph.VertexID, iters int) (*core.Program, *graph.Graph, error) {
+	switch strings.ToLower(app) {
+	case "sssp":
+		return apps.SSSP(root), g, nil
+	case "bfs":
+		return apps.BFS(root), g, nil
+	case "cc":
+		sym := apps.Symmetrize(g)
+		return apps.CC(sym), sym, nil
+	case "wp":
+		return apps.WP(root), g, nil
+	case "pr":
+		return apps.PageRank(iters), g, nil
+	case "tr":
+		return apps.TunkRank(iters), g, nil
+	case "spmv":
+		return apps.SpMV(iters), g, nil
+	case "numpaths":
+		return apps.NumPaths(root, iters), g, nil
+	case "heat":
+		return apps.HeatSimulation([]graph.VertexID{root}, iters), g, nil
+	case "bp":
+		// Demo priors: the root holds positive evidence.
+		prior := func(_ *graph.Graph, v graph.VertexID) core.Value {
+			if v == root {
+				return 2
+			}
+			return 0
+		}
+		return apps.BeliefPropagation(prior, apps.BeliefCoupling, iters), g, nil
+	}
+	return nil, nil, fmt.Errorf("unknown app %q", app)
+}
+
+// runAnalytics handles the applications that are whole-graph analyses
+// rather than vertex-property programs. It reports whether app was handled.
+func runAnalytics(app string, g *graph.Graph, root graph.VertexID, opt cluster.Options) bool {
+	switch app {
+	case "triangles":
+		st, err := apps.TriangleCount(g, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("triangles: %d (comm %d msgs / %d bytes)\n", st.Triangles, st.Comm.MessagesSent, st.Comm.BytesSent)
+	case "kcore":
+		cores, err := apps.KCore(g, opt)
+		if err != nil {
+			fatal(err)
+		}
+		hist := map[uint32]int{}
+		maxCore := uint32(0)
+		for _, c := range cores {
+			hist[c]++
+			if c > maxCore {
+				maxCore = c
+			}
+		}
+		fmt.Printf("max coreness: %d\n", maxCore)
+		for k := uint32(0); k <= maxCore; k++ {
+			if hist[k] > 0 {
+				fmt.Printf("  core %d: %d vertices\n", k, hist[k])
+			}
+		}
+	case "clique":
+		cl, err := apps.MaxCliqueApprox(g, 32, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("clique: size %d (k-core bound %d) members %v\n", len(cl.Members), cl.CoreBound, cl.Members)
+	case "mst":
+		f, err := apps.MST(g, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("minimum spanning forest: %d edges, weight %.3f, %d Borůvka rounds\n", len(f.Edges), f.Weight, f.Rounds)
+	case "diameter":
+		samples := []graph.VertexID{root}
+		for i := 1; i < 8 && i < g.NumVertices(); i++ {
+			samples = append(samples, graph.VertexID(i*(g.NumVertices()/8)))
+		}
+		d, err := apps.ApproxDiameter(g, samples, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("approximate diameter (lower bound from %d BFS samples): %d\n", len(samples), d)
+	default:
+		return false
+	}
+	return true
+}
+
+func printSample(app string, g *graph.Graph, values []core.Value) {
+	if len(values) == 0 {
+		return
+	}
+	switch strings.ToLower(app) {
+	case "pr", "tr":
+		scores := values
+		if strings.ToLower(app) == "pr" {
+			scores = apps.PageRankScores(g, values)
+		} else {
+			scores = apps.TunkRankScores(g, values)
+		}
+		type kv struct {
+			v graph.VertexID
+			s core.Value
+		}
+		top := make([]kv, 0, len(scores))
+		for v, s := range scores {
+			top = append(top, kv{graph.VertexID(v), s})
+		}
+		sort.Slice(top, func(i, j int) bool { return top[i].s > top[j].s })
+		fmt.Println("top 5 vertices:")
+		for i := 0; i < 5 && i < len(top); i++ {
+			fmt.Printf("  #%d vertex %d score %.6f\n", i+1, top[i].v, top[i].s)
+		}
+	default:
+		fmt.Println("first 10 values:")
+		for v := 0; v < 10 && v < len(values); v++ {
+			fmt.Printf("  vertex %d: %g\n", v, values[v])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slfe-run:", err)
+	os.Exit(1)
+}

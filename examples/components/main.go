@@ -1,0 +1,104 @@
+// Components: connected components on a clustered graph, executed over a
+// genuinely distributed transport — every worker runs the SLFE engine
+// against a real TCP mesh on localhost, exactly as a multi-machine
+// deployment would (each rank could be its own process/host).
+//
+//	go run ./examples/components
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"slfe/internal/apps"
+	"slfe/internal/comm"
+	"slfe/internal/core"
+	"slfe/internal/gen"
+	"slfe/internal/partition"
+	"slfe/internal/rrg"
+)
+
+const nodes = 4
+
+func main() {
+	// Three communities with no bridges: the engine must find all three.
+	g := apps.Symmetrize(gen.Clustered(30_000, 3, 0, 11))
+	fmt.Printf("graph: %v\n", g)
+
+	part, err := partition.NewChunked(g, nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guidance := rrg.Generate(g, rrg.DefaultRoots(g), nil)
+	prog := apps.CC(g)
+
+	// Reserve one loopback address per rank.
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+
+	results := make([]*core.Result, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for rank := 0; rank < nodes; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			// Each worker dials the full TCP mesh: real framing, real
+			// sockets, real bytes.
+			tr, err := comm.DialTCP(rank, nodes, addrs, 10*time.Second)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer tr.Close()
+			eng, err := core.New(core.Config{
+				Graph:    g,
+				Comm:     comm.NewComm(tr),
+				Part:     part,
+				RR:       true,
+				Guidance: guidance,
+				Stealing: true,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			res, err := eng.Run(prog)
+			results[rank] = res
+			errs[rank] = err
+			st := tr.Stats()
+			fmt.Printf("rank %d: done, sent %d messages / %d bytes over TCP\n",
+				rank, st.MessagesSent, st.BytesSent)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			log.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+
+	// Count components from rank 0's (synchronised) labels.
+	labels := map[float64]int{}
+	for _, l := range results[0].Values {
+		labels[l]++
+	}
+	fmt.Printf("found %d weakly connected components in %v over %d TCP workers\n",
+		len(labels), time.Since(start), nodes)
+	for label, size := range labels {
+		if size > 100 {
+			fmt.Printf("  component rooted at vertex %.0f: %d members\n", label, size)
+		}
+	}
+}

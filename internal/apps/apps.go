@@ -1,0 +1,287 @@
+// Package apps implements the graph applications evaluated by the paper
+// (§4.1: SSSP, ConnectedComponents, WidestPath from the min/max class;
+// PageRank, TunkRank from the arithmetic class) plus the remaining Table 1
+// applications that the engine supports (BFS, NumPaths, SpMV,
+// HeatSimulation, ApproximateDiameter), and sequential reference
+// implementations used to verify every one of them.
+package apps
+
+import (
+	"math"
+
+	"slfe/internal/cluster"
+	"slfe/internal/core"
+	"slfe/internal/graph"
+)
+
+// Inf is the "unreached" distance.
+var Inf = math.Inf(1)
+
+// SSSP is single-source shortest path (Algorithm 4 of the paper): min()
+// aggregation over dist[src]+w.
+func SSSP(root graph.VertexID) *core.Program {
+	return &core.Program{
+		Name: "SSSP",
+		Agg:  core.MinMax,
+		InitValue: func(_ *graph.Graph, v graph.VertexID) core.Value {
+			if v == root {
+				return 0
+			}
+			return Inf
+		},
+		Roots:  []graph.VertexID{root},
+		Relax:  func(src core.Value, w float32) core.Value { return src + float64(w) },
+		Better: func(a, b core.Value) bool { return a < b },
+	}
+}
+
+// BFS is breadth-first level assignment: SSSP with unit edge weights.
+func BFS(root graph.VertexID) *core.Program {
+	p := SSSP(root)
+	p.Name = "BFS"
+	p.Relax = func(src core.Value, _ float32) core.Value { return src + 1 }
+	return p
+}
+
+// CC is connected components by min-label propagation. It must run on a
+// symmetrised graph (use Symmetrize) so labels flow against edge
+// directions, yielding weakly connected components.
+func CC(g *graph.Graph) *core.Program {
+	n := g.NumVertices()
+	roots := make([]graph.VertexID, n)
+	for v := range roots {
+		roots[v] = graph.VertexID(v)
+	}
+	return &core.Program{
+		Name: "CC",
+		Agg:  core.MinMax,
+		InitValue: func(_ *graph.Graph, v graph.VertexID) core.Value {
+			return float64(v)
+		},
+		Roots:  roots,
+		Relax:  func(src core.Value, _ float32) core.Value { return src },
+		Better: func(a, b core.Value) bool { return a < b },
+	}
+}
+
+// WP is widest path (maximum bottleneck capacity) from root: max()
+// aggregation over min(width[src], w).
+func WP(root graph.VertexID) *core.Program {
+	return &core.Program{
+		Name: "WP",
+		Agg:  core.MinMax,
+		InitValue: func(_ *graph.Graph, v graph.VertexID) core.Value {
+			if v == root {
+				return Inf
+			}
+			return 0
+		},
+		Roots: []graph.VertexID{root},
+		Relax: func(src core.Value, w float32) core.Value {
+			return math.Min(src, float64(w))
+		},
+		Better: func(a, b core.Value) bool { return a > b },
+	}
+}
+
+// PageRank follows Algorithm 5: rank = 0.15 + 0.85*sum(contributions); the
+// stored property is the *contribution* rank/outdeg (rank itself for
+// dangling vertices). Use PageRankScores to recover ranks.
+func PageRank(iters int) *core.Program {
+	return &core.Program{
+		Name: "PR",
+		Agg:  core.Arith,
+		InitValue: func(g *graph.Graph, v graph.VertexID) core.Value {
+			if d := g.OutDegree(v); d > 0 {
+				return 1.0 / float64(d)
+			}
+			return 1.0
+		},
+		GatherInit: 0,
+		Gather: func(acc core.Value, src core.Value, _ float32) core.Value {
+			return acc + src
+		},
+		Apply: func(g *graph.Graph, v graph.VertexID, acc, _ core.Value) core.Value {
+			rank := 0.15 + 0.85*acc
+			if d := g.OutDegree(v); d > 0 {
+				return rank / float64(d)
+			}
+			return rank
+		},
+		MaxIters:  iters,
+		StableEps: 1e-7,
+	}
+}
+
+// PageRankScores converts stored contributions back to ranks.
+func PageRankScores(g *graph.Graph, contribs []core.Value) []core.Value {
+	ranks := make([]core.Value, len(contribs))
+	for v := range contribs {
+		if d := g.OutDegree(graph.VertexID(v)); d > 0 {
+			ranks[v] = contribs[v] * float64(d)
+		} else {
+			ranks[v] = contribs[v]
+		}
+	}
+	return ranks
+}
+
+// TunkRankP is the retweet probability of TunkRank.
+const TunkRankP = 0.5
+
+// TunkRank estimates Twitter-style influence: I(v) = sum over followers u
+// of (1 + p*I(u))/following(u). Followers are modelled as in-neighbours.
+// The stored property is the contribution (1+p*I(v))/outdeg(v); use
+// TunkRankScores to recover influence.
+func TunkRank(iters int) *core.Program {
+	return &core.Program{
+		Name: "TR",
+		Agg:  core.Arith,
+		InitValue: func(g *graph.Graph, v graph.VertexID) core.Value {
+			if d := g.OutDegree(v); d > 0 {
+				return 1.0 / float64(d)
+			}
+			return 1.0
+		},
+		GatherInit: 0,
+		Gather: func(acc core.Value, src core.Value, _ float32) core.Value {
+			return acc + src
+		},
+		Apply: func(g *graph.Graph, v graph.VertexID, acc, _ core.Value) core.Value {
+			contrib := 1 + TunkRankP*acc
+			if d := g.OutDegree(v); d > 0 {
+				return contrib / float64(d)
+			}
+			return contrib
+		},
+		MaxIters:  iters,
+		StableEps: 1e-7,
+	}
+}
+
+// TunkRankScores recovers influence values from stored contributions: the
+// influence of v is the gather over its in-edges.
+func TunkRankScores(g *graph.Graph, contribs []core.Value) []core.Value {
+	infl := make([]core.Value, len(contribs))
+	for v := range infl {
+		var acc core.Value
+		for _, u := range g.InNeighbors(graph.VertexID(v)) {
+			acc += contribs[u]
+		}
+		infl[v] = acc
+	}
+	return infl
+}
+
+// NumPaths counts distinct paths from root (meaningful on DAGs; bounded by
+// iters elsewhere).
+func NumPaths(root graph.VertexID, iters int) *core.Program {
+	return &core.Program{
+		Name: "NumPaths",
+		Agg:  core.Arith,
+		InitValue: func(_ *graph.Graph, v graph.VertexID) core.Value {
+			if v == root {
+				return 1
+			}
+			return 0
+		},
+		GatherInit: 0,
+		Gather: func(acc core.Value, src core.Value, _ float32) core.Value {
+			return acc + src
+		},
+		Apply: func(_ *graph.Graph, v graph.VertexID, acc, _ core.Value) core.Value {
+			if v == root {
+				return 1
+			}
+			return acc
+		},
+		MaxIters: iters,
+	}
+}
+
+// SpMV iterates y = A^T x (weighted gather over in-edges) for iters rounds;
+// with iters=1 it is one sparse matrix-vector product.
+func SpMV(iters int) *core.Program {
+	return &core.Program{
+		Name: "SpMV",
+		Agg:  core.Arith,
+		InitValue: func(_ *graph.Graph, _ graph.VertexID) core.Value {
+			return 1
+		},
+		GatherInit: 0,
+		Gather: func(acc core.Value, src core.Value, w float32) core.Value {
+			return acc + src*float64(w)
+		},
+		Apply: func(_ *graph.Graph, _ graph.VertexID, acc, _ core.Value) core.Value {
+			return acc
+		},
+		MaxIters: iters,
+	}
+}
+
+// HeatAlpha is the diffusion coefficient of HeatSimulation.
+const HeatAlpha = 0.2
+
+// HeatSimulation diffuses heat: h'(v) = (1-alpha)*h(v) + alpha*mean of
+// in-neighbour heat. Sources (hot vertices) are set via init temperatures.
+func HeatSimulation(hot []graph.VertexID, iters int) *core.Program {
+	hotSet := make(map[graph.VertexID]bool, len(hot))
+	for _, v := range hot {
+		hotSet[v] = true
+	}
+	return &core.Program{
+		Name: "HeatSim",
+		Agg:  core.Arith,
+		InitValue: func(_ *graph.Graph, v graph.VertexID) core.Value {
+			if hotSet[v] {
+				return 100
+			}
+			return 0
+		},
+		GatherInit: 0,
+		Gather: func(acc core.Value, src core.Value, _ float32) core.Value {
+			return acc + src
+		},
+		Apply: func(g *graph.Graph, v graph.VertexID, acc, prev core.Value) core.Value {
+			if hotSet[v] {
+				return prev // heat sources stay clamped
+			}
+			d := g.InDegree(v)
+			if d == 0 {
+				return prev
+			}
+			return (1-HeatAlpha)*prev + HeatAlpha*acc/float64(d)
+		},
+		MaxIters: iters,
+	}
+}
+
+// Symmetrize returns a graph with every edge mirrored (needed by CC to find
+// weakly connected components on directed inputs).
+func Symmetrize(g *graph.Graph) *graph.Graph {
+	edges := g.Edges(nil)
+	mirrored := make([]graph.Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		mirrored = append(mirrored, e, graph.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+	}
+	return graph.MustBuild(g.NumVertices(), mirrored)
+}
+
+// ApproxDiameter estimates the diameter by running BFS from sample roots
+// and taking the deepest level observed (a standard lower-bound estimator).
+// It exercises the engine's min/max path end to end.
+func ApproxDiameter(g *graph.Graph, samples []graph.VertexID, opt cluster.Options) (int, error) {
+	best := 0
+	for _, root := range samples {
+		res, err := cluster.Execute(g, BFS(root), opt)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range res.Result.Values {
+			if !math.IsInf(d, 1) && int(d) > best {
+				best = int(d)
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,250 @@
+package apps
+
+import (
+	"container/heap"
+	"math"
+
+	"slfe/internal/core"
+	"slfe/internal/graph"
+)
+
+// This file holds sequential, obviously-correct reference implementations
+// used by the test suite to verify engine results.
+
+// distHeap is a binary heap for Dijkstra-style algorithms.
+type distItem struct {
+	v    graph.VertexID
+	dist float64
+}
+
+type distHeap struct {
+	items []distItem
+	max   bool // max-heap for widest path
+}
+
+func (h *distHeap) Len() int { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool {
+	if h.max {
+		return h.items[i].dist > h.items[j].dist
+	}
+	return h.items[i].dist < h.items[j].dist
+}
+func (h *distHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x any)    { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// RefSSSP computes shortest distances from root with Dijkstra.
+func RefSSSP(g *graph.Graph, root graph.VertexID) []core.Value {
+	n := g.NumVertices()
+	dist := make([]core.Value, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	if int(root) >= n {
+		return dist
+	}
+	dist[root] = 0
+	h := &distHeap{}
+	heap.Push(h, distItem{root, 0})
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.dist > dist[it.v] {
+			continue
+		}
+		ns, ws := g.OutNeighbors(it.v), g.OutWeights(it.v)
+		for i, u := range ns {
+			if nd := it.dist + float64(ws[i]); nd < dist[u] {
+				dist[u] = nd
+				heap.Push(h, distItem{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// RefBFS computes hop counts from root.
+func RefBFS(g *graph.Graph, root graph.VertexID) []core.Value {
+	n := g.NumVertices()
+	dist := make([]core.Value, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	if int(root) >= n {
+		return dist
+	}
+	dist[root] = 0
+	queue := []graph.VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.OutNeighbors(v) {
+			if math.IsInf(dist[u], 1) {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// RefWP computes widest-path capacities from root (Dijkstra with max-min).
+func RefWP(g *graph.Graph, root graph.VertexID) []core.Value {
+	n := g.NumVertices()
+	width := make([]core.Value, n)
+	if int(root) >= n {
+		return width
+	}
+	width[root] = Inf
+	h := &distHeap{max: true}
+	heap.Push(h, distItem{root, Inf})
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.dist < width[it.v] {
+			continue
+		}
+		ns, ws := g.OutNeighbors(it.v), g.OutWeights(it.v)
+		for i, u := range ns {
+			if nw := math.Min(it.dist, float64(ws[i])); nw > width[u] {
+				width[u] = nw
+				heap.Push(h, distItem{u, nw})
+			}
+		}
+	}
+	return width
+}
+
+// RefCC labels weakly connected components with union-find; the label of a
+// component is its minimum vertex id, matching the CC program.
+func RefCC(g *graph.Graph) []core.Value {
+	n := g.NumVertices()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.OutNeighbors(graph.VertexID(v)) {
+			union(v, int(u))
+		}
+	}
+	labels := make([]core.Value, n)
+	// Min-id labelling: a second pass guarantees the root is the minimum.
+	minOf := make([]int, n)
+	for i := range minOf {
+		minOf[i] = math.MaxInt
+	}
+	for v := 0; v < n; v++ {
+		r := find(v)
+		if v < minOf[r] {
+			minOf[r] = v
+		}
+	}
+	for v := 0; v < n; v++ {
+		labels[v] = float64(minOf[find(v)])
+	}
+	return labels
+}
+
+// RefPageRank runs the same recurrence as the PageRank program
+// sequentially and returns ranks (not contributions).
+func RefPageRank(g *graph.Graph, iters int) []core.Value {
+	n := g.NumVertices()
+	contrib := make([]core.Value, n)
+	for v := 0; v < n; v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d > 0 {
+			contrib[v] = 1.0 / float64(d)
+		} else {
+			contrib[v] = 1.0
+		}
+	}
+	next := make([]core.Value, n)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			var acc core.Value
+			for _, u := range g.InNeighbors(graph.VertexID(v)) {
+				acc += contrib[u]
+			}
+			rank := 0.15 + 0.85*acc
+			if d := g.OutDegree(graph.VertexID(v)); d > 0 {
+				next[v] = rank / float64(d)
+			} else {
+				next[v] = rank
+			}
+		}
+		contrib, next = next, contrib
+	}
+	return PageRankScores(g, contrib)
+}
+
+// RefSpMV computes iters rounds of y = A^T x starting from all ones.
+func RefSpMV(g *graph.Graph, iters int) []core.Value {
+	n := g.NumVertices()
+	x := make([]core.Value, n)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]core.Value, n)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			var acc core.Value
+			ins, ws := g.InNeighbors(graph.VertexID(v)), g.InWeights(graph.VertexID(v))
+			for i, u := range ins {
+				acc += x[u] * float64(ws[i])
+			}
+			y[v] = acc
+		}
+		x, y = y, x
+	}
+	return x
+}
+
+// RefNumPaths iterates the path-count recurrence synchronously, the direct
+// transcription of the NumPaths program semantics (root fixed at 1, other
+// vertices sum their in-neighbours' counts each round).
+func RefNumPaths(g *graph.Graph, root graph.VertexID, iters int) []core.Value {
+	n := g.NumVertices()
+	cur := make([]core.Value, n)
+	if int(root) < n {
+		cur[root] = 1
+	}
+	next := make([]core.Value, n)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			id := graph.VertexID(v)
+			if id == root {
+				next[v] = 1
+				continue
+			}
+			var acc core.Value
+			for _, u := range g.InNeighbors(id) {
+				acc += cur[u]
+			}
+			next[v] = acc
+		}
+		cur, next = next, cur
+	}
+	return cur
+}

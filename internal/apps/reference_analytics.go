@@ -1,0 +1,183 @@
+package apps
+
+import (
+	"math"
+	"sort"
+
+	"slfe/internal/core"
+	"slfe/internal/graph"
+)
+
+// RefTriangleCount counts triangles on the simple undirected view by
+// enumerating ordered wedges, the textbook O(sum deg^2) node-iterator.
+func RefTriangleCount(g *graph.Graph) int64 {
+	off, adj := simpleUndirected(g)
+	n := g.NumVertices()
+	var count int64
+	for v := 0; v < n; v++ {
+		nv := adj[off[v]:off[v+1]]
+		for i, u := range nv {
+			if u <= graph.VertexID(v) {
+				continue
+			}
+			for _, w := range nv[i+1:] {
+				if w <= u {
+					continue
+				}
+				// v < u < w: count the triangle once.
+				s := adj[off[u]:off[u+1]]
+				k := sort.Search(len(s), func(i int) bool { return s[i] >= w })
+				if k < len(s) && s[k] == w {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// RefKCore computes core numbers with the classic O(m) bucket-peeling
+// algorithm of Batagelj–Zaveršnik.
+func RefKCore(g *graph.Graph) []uint32 {
+	off, adj := simpleUndirected(g)
+	n := g.NumVertices()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int(off[v+1] - off[v])
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]+1]++
+	}
+	for d := 1; d < len(bin); d++ {
+		bin[d] += bin[d-1]
+	}
+	pos := make([]int, n)
+	vert := make([]graph.VertexID, n)
+	fill := make([]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		p := bin[deg[v]] + fill[deg[v]]
+		fill[deg[v]]++
+		pos[v] = p
+		vert[p] = graph.VertexID(v)
+	}
+	cores := make([]uint32, n)
+	start := make([]int, maxDeg+1)
+	copy(start, bin[:maxDeg+1])
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		cores[v] = uint32(deg[v])
+		for _, u := range adj[off[v]:off[v+1]] {
+			if deg[u] > deg[v] {
+				// Move u one bucket down: swap with the first vertex of
+				// its current bucket, then shrink the bucket.
+				du := deg[u]
+				pu := pos[u]
+				pw := start[du]
+				w := vert[pw]
+				if u != w {
+					vert[pu], vert[pw] = w, u
+					pos[u], pos[w] = pw, pu
+				}
+				start[du]++
+				deg[u]--
+			}
+		}
+	}
+	return cores
+}
+
+// RefMSTWeight computes the minimum spanning forest weight with Kruskal's
+// algorithm over the undirected view (each directed edge is one undirected
+// candidate; parallel edges and self-loops are harmless).
+func RefMSTWeight(g *graph.Graph) float64 {
+	edges := g.Edges(nil)
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := normEdge(edges[i].Src, edges[i].Dst, edges[i].Weight), normEdge(edges[j].Src, edges[j].Dst, edges[j].Weight)
+		return edgeLess(a, b)
+	})
+	uf := newUnionFind(g.NumVertices())
+	var total float64
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		if uf.union(e.Src, e.Dst) {
+			total += float64(e.Weight)
+		}
+	}
+	return total
+}
+
+// RefBeliefPropagation iterates the mean-field update synchronously, the
+// direct transcription of the BeliefPropagation program semantics.
+func RefBeliefPropagation(g *graph.Graph, prior func(g *graph.Graph, v graph.VertexID) core.Value, coupling float64, iters int) []core.Value {
+	if prior == nil {
+		prior = func(_ *graph.Graph, _ graph.VertexID) core.Value { return 0 }
+	}
+	if coupling == 0 {
+		coupling = BeliefCoupling
+	}
+	n := g.NumVertices()
+	cur := make([]core.Value, n)
+	for v := 0; v < n; v++ {
+		cur[v] = prior(g, graph.VertexID(v))
+	}
+	next := make([]core.Value, n)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			id := graph.VertexID(v)
+			var acc core.Value
+			ins := g.InNeighbors(id)
+			ws := g.InWeights(id)
+			for i, u := range ins {
+				acc += float64(ws[i]) * math.Tanh(cur[u])
+			}
+			next[v] = prior(g, id) + coupling*acc
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// IsClique reports whether members induce a complete subgraph in the
+// simple undirected view of g.
+func IsClique(g *graph.Graph, members []graph.VertexID) bool {
+	off, adj := simpleUndirected(g)
+	has := func(a, b graph.VertexID) bool {
+		s := adj[off[a]:off[a+1]]
+		i := sort.Search(len(s), func(i int) bool { return s[i] >= b })
+		return i < len(s) && s[i] == b
+	}
+	for i, a := range members {
+		for _, b := range members[i+1:] {
+			if a == b || !has(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ForestWeight sums the weight of fs and verifies it is acyclic and
+// spanning-consistent: it returns the weight, the number of components the
+// forest leaves, and false if any edge pair re-connects one component.
+func ForestWeight(n int, edges []graph.Edge) (weight float64, components int, acyclic bool) {
+	uf := newUnionFind(n)
+	for _, e := range edges {
+		if !uf.union(e.Src, e.Dst) {
+			return 0, 0, false
+		}
+		weight += float64(e.Weight)
+	}
+	seen := make(map[graph.VertexID]bool)
+	for v := 0; v < n; v++ {
+		seen[uf.find(graph.VertexID(v))] = true
+	}
+	return weight, len(seen), true
+}

@@ -1,0 +1,40 @@
+package apps
+
+import "slfe/internal/core"
+
+// Entry describes one Table 1 application.
+type Entry struct {
+	Name        string
+	Agg         core.AggKind
+	Implemented bool
+	// Evaluated marks the five applications of the paper's §4 experiments.
+	Evaluated bool
+}
+
+// Registry reproduces Table 1: every graph analytical application the paper
+// lists, its aggregation class, and whether this repository implements it.
+var Registry = []Entry{
+	{Name: "PageRank", Agg: core.Arith, Implemented: true, Evaluated: true},
+	{Name: "NumPaths", Agg: core.Arith, Implemented: true},
+	{Name: "SpMV", Agg: core.Arith, Implemented: true},
+	{Name: "TriangleCounting", Agg: core.Arith, Implemented: true},
+	{Name: "BeliefPropagation", Agg: core.Arith, Implemented: true},
+	{Name: "HeatSimulation", Agg: core.Arith, Implemented: true},
+	{Name: "TunkRank", Agg: core.Arith, Implemented: true, Evaluated: true},
+	{Name: "SingleSourceSP", Agg: core.MinMax, Implemented: true, Evaluated: true},
+	{Name: "MinimalSpanningTree", Agg: core.MinMax, Implemented: true},
+	{Name: "ConnectedComponents", Agg: core.MinMax, Implemented: true, Evaluated: true},
+	{Name: "WidestPath", Agg: core.MinMax, Implemented: true, Evaluated: true},
+	{Name: "ApproximateDiameter", Agg: core.MinMax, Implemented: true},
+	{Name: "Clique", Agg: core.MinMax, Implemented: true},
+}
+
+// Lookup returns the registry entry for name.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range Registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

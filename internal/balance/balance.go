@@ -1,0 +1,164 @@
+// Package balance implements dynamic inter-node work rebalancing, the
+// future-work item of the paper's §5: redundancy reduction removes uneven
+// amounts of work from each node, so the static chunked ingress can drift
+// out of balance at runtime ("it is challenging to address the potential
+// inter-node load imbalance"; the paper cites Mizan-style migration as the
+// intended direction).
+//
+// The scheme here keeps SLFE's contiguous-range ownership — only the range
+// boundaries move. After a measurement window every worker contributes its
+// compute time; each replica then derives the SAME new boundaries from the
+// shared measurements (piecewise-constant cost density, equal-cost
+// re-split), so no coordinator and no vertex-state shipping is needed: the
+// engine's per-iteration delta sync already keeps all property arrays
+// globally consistent, which makes ownership a pure accounting change.
+package balance
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ranges is a contiguous-range vertex ownership map: worker i owns
+// [bounds[i], bounds[i+1]).
+type Ranges struct {
+	bounds []uint32
+}
+
+// NewRanges builds a Ranges from explicit boundaries. bounds must start at
+// 0, be non-decreasing, and end at the vertex count.
+func NewRanges(bounds []uint32) (*Ranges, error) {
+	if len(bounds) < 2 {
+		return nil, errors.New("balance: need at least two boundaries")
+	}
+	if bounds[0] != 0 {
+		return nil, errors.New("balance: boundaries must start at 0")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return nil, fmt.Errorf("balance: boundary %d decreases", i)
+		}
+	}
+	r := &Ranges{bounds: make([]uint32, len(bounds))}
+	copy(r.bounds, bounds)
+	return r, nil
+}
+
+// Workers returns the number of ranges.
+func (r *Ranges) Workers() int { return len(r.bounds) - 1 }
+
+// Range returns worker i's owned half-open range.
+func (r *Ranges) Range(i int) (lo, hi uint32) { return r.bounds[i], r.bounds[i+1] }
+
+// Owner returns the worker owning vertex v (binary search over the
+// boundaries; empty ranges are skipped by the search direction).
+func (r *Ranges) Owner(v uint32) int {
+	lo, hi := 0, len(r.bounds)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.bounds[mid+1] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Bounds returns a copy of the boundary array.
+func (r *Ranges) Bounds() []uint32 {
+	out := make([]uint32, len(r.bounds))
+	copy(out, r.bounds)
+	return out
+}
+
+func (r *Ranges) String() string {
+	return fmt.Sprintf("ranges%v", r.bounds)
+}
+
+// Spread is the imbalance statistic the paper reports in Figure 10b: the
+// relative gap between the slowest and fastest worker,
+// (max-min)/max. Zero times yield zero spread.
+func Spread(times []float64) float64 {
+	if len(times) == 0 {
+		return 0
+	}
+	min, max := times[0], times[0]
+	for _, t := range times[1:] {
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	return (max - min) / max
+}
+
+// Plan derives new boundaries from measured per-worker times over the
+// current ranges. The cost of worker i's range is modelled as uniformly
+// dense (times[i] spread over its vertices); the global piecewise-linear
+// cumulative cost is then re-split into equal-cost ranges. Workers with
+// empty ranges or zero time contribute zero density. damping in (0,1]
+// scales how far each boundary moves toward its equal-cost target (1 =
+// jump there; smaller values resist oscillation when the measurement is
+// noisy). Returns the input unchanged if the total time is zero.
+func Plan(r *Ranges, times []float64, damping float64) (*Ranges, error) {
+	k := r.Workers()
+	if len(times) != k {
+		return nil, fmt.Errorf("balance: %d times for %d workers", len(times), k)
+	}
+	if damping <= 0 || damping > 1 {
+		return nil, fmt.Errorf("balance: damping %v outside (0,1]", damping)
+	}
+	var total float64
+	for i, t := range times {
+		if t < 0 {
+			return nil, fmt.Errorf("balance: negative time for worker %d", i)
+		}
+		total += t
+	}
+	if total == 0 {
+		return NewRanges(r.bounds)
+	}
+
+	// Cumulative cost at the old boundaries.
+	cum := make([]float64, k+1)
+	for i := 0; i < k; i++ {
+		cum[i+1] = cum[i] + times[i]
+	}
+	target := total / float64(k)
+
+	newBounds := make([]uint32, k+1)
+	newBounds[0] = 0
+	newBounds[k] = r.bounds[k]
+	for j := 1; j < k; j++ {
+		want := target * float64(j)
+		// Find the old range containing cumulative cost `want`.
+		i := 0
+		for i < k-1 && cum[i+1] < want {
+			i++
+		}
+		lo, hi := r.bounds[i], r.bounds[i+1]
+		var ideal float64
+		if times[i] == 0 || hi == lo {
+			ideal = float64(hi)
+		} else {
+			ideal = float64(lo) + (want-cum[i])/times[i]*float64(hi-lo)
+		}
+		moved := float64(r.bounds[j]) + damping*(ideal-float64(r.bounds[j]))
+		b := uint32(moved + 0.5)
+		// Keep boundaries monotone and in range.
+		if b < newBounds[j-1] {
+			b = newBounds[j-1]
+		}
+		if b > newBounds[k] {
+			b = newBounds[k]
+		}
+		newBounds[j] = b
+	}
+	return NewRanges(newBounds)
+}

@@ -1,0 +1,247 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustRanges(t *testing.T, bounds []uint32) *Ranges {
+	t.Helper()
+	r, err := NewRanges(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRangesValidation(t *testing.T) {
+	cases := [][]uint32{
+		nil,
+		{0},
+		{1, 5},    // must start at 0
+		{0, 5, 3}, // decreasing
+	}
+	for _, bounds := range cases {
+		if _, err := NewRanges(bounds); err == nil {
+			t.Errorf("bounds %v accepted", bounds)
+		}
+	}
+	if _, err := NewRanges([]uint32{0, 0, 5}); err != nil {
+		t.Errorf("empty first range rejected: %v", err)
+	}
+}
+
+func TestOwnerMatchesRanges(t *testing.T) {
+	r := mustRanges(t, []uint32{0, 10, 10, 25, 40})
+	for v := uint32(0); v < 40; v++ {
+		owner := r.Owner(v)
+		lo, hi := r.Range(owner)
+		if v < lo || v >= hi {
+			t.Fatalf("vertex %d assigned to worker %d owning [%d,%d)", v, owner, lo, hi)
+		}
+	}
+}
+
+func TestOwnerProperty(t *testing.T) {
+	f := func(rawBounds []uint32, v uint32) bool {
+		bounds := []uint32{0}
+		cur := uint32(0)
+		for _, b := range rawBounds {
+			cur += b % 1000
+			bounds = append(bounds, cur)
+		}
+		if len(bounds) < 2 || cur == 0 {
+			return true
+		}
+		r, err := NewRanges(bounds)
+		if err != nil {
+			return false
+		}
+		v %= cur
+		owner := r.Owner(v)
+		lo, hi := r.Range(owner)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	cases := []struct {
+		times []float64
+		want  float64
+	}{
+		{nil, 0},
+		{[]float64{1, 1, 1}, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{1, 2}, 0.5},
+		{[]float64{4, 1, 2}, 0.75},
+	}
+	for _, c := range cases {
+		if got := Spread(c.times); got != c.want {
+			t.Errorf("Spread(%v) = %v, want %v", c.times, got, c.want)
+		}
+	}
+}
+
+func TestPlanEqualTimesKeepsBoundaries(t *testing.T) {
+	r := mustRanges(t, []uint32{0, 100, 200, 300, 400})
+	out, err := Plan(r, []float64{1, 1, 1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range out.Bounds() {
+		if b != r.bounds[i] {
+			t.Fatalf("boundary %d moved to %d", i, b)
+		}
+	}
+}
+
+func TestPlanShiftsTowardSlowWorker(t *testing.T) {
+	// Worker 0 is 3x slower: its range must shrink.
+	r := mustRanges(t, []uint32{0, 100, 200})
+	out, err := Plan(r, []float64{3, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := out.Bounds()
+	if b[1] >= 100 {
+		t.Fatalf("boundary did not move toward the slow worker: %v", b)
+	}
+	// Equal-cost split of densities (3/100, 1/100): boundary where
+	// cum = 2.0 -> 2.0/3*100 = 66.67 -> 67.
+	if b[1] != 67 {
+		t.Fatalf("boundary %d, want 67", b[1])
+	}
+}
+
+func TestPlanDampingHalvesTheMove(t *testing.T) {
+	r := mustRanges(t, []uint32{0, 100, 200})
+	full, err := Plan(r, []float64{3, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Plan(r, []float64{3, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullMove := 100 - int(full.Bounds()[1])
+	halfMove := 100 - int(half.Bounds()[1])
+	if halfMove < fullMove/2-1 || halfMove > fullMove/2+1 {
+		t.Fatalf("damped move %d, full move %d", halfMove, fullMove)
+	}
+}
+
+func TestPlanZeroTotalKeepsBoundaries(t *testing.T) {
+	r := mustRanges(t, []uint32{0, 50, 100})
+	out, err := Plan(r, []float64{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Bounds()[1] != 50 {
+		t.Fatalf("boundaries moved on zero total: %v", out.Bounds())
+	}
+}
+
+func TestPlanRejectsBadInput(t *testing.T) {
+	r := mustRanges(t, []uint32{0, 50, 100})
+	if _, err := Plan(r, []float64{1}, 1); err == nil {
+		t.Error("wrong times length accepted")
+	}
+	if _, err := Plan(r, []float64{1, -2}, 1); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := Plan(r, []float64{1, 1}, 0); err == nil {
+		t.Error("zero damping accepted")
+	}
+	if _, err := Plan(r, []float64{1, 1}, 1.5); err == nil {
+		t.Error("damping > 1 accepted")
+	}
+}
+
+// Property: Plan always yields valid monotone boundaries covering [0, n),
+// and with damping 1 on uniform per-vertex cost the new spread predicted
+// from the density model never exceeds the old spread.
+func TestPlanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		n := uint32(100 + rng.Intn(10000))
+		bounds := make([]uint32, k+1)
+		bounds[k] = n
+		cuts := make([]uint32, k-1)
+		for i := range cuts {
+			cuts[i] = uint32(rng.Intn(int(n)))
+		}
+		// Insertion sort the cuts.
+		for i := 1; i < len(cuts); i++ {
+			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			}
+		}
+		copy(bounds[1:], cuts)
+		r, err := NewRanges(bounds)
+		if err != nil {
+			return false
+		}
+		times := make([]float64, k)
+		for i := range times {
+			times[i] = rng.Float64() * 10
+		}
+		out, err := Plan(r, times, 1)
+		if err != nil {
+			return false
+		}
+		nb := out.Bounds()
+		if nb[0] != 0 || nb[k] != n {
+			return false
+		}
+		for i := 1; i <= k; i++ {
+			if nb[i] < nb[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Iterating Plan on a fixed per-vertex cost field converges to a balanced
+// split: simulate workers whose time is the integral of a static density.
+func TestPlanConvergesOnStaticDensity(t *testing.T) {
+	n := uint32(10000)
+	density := func(v uint32) float64 {
+		if v < 2000 {
+			return 10 // hot head (e.g. hub vertices after RR)
+		}
+		return 1
+	}
+	r := mustRanges(t, []uint32{0, 2500, 5000, 7500, n})
+	measure := func(r *Ranges) []float64 {
+		times := make([]float64, r.Workers())
+		for i := range times {
+			lo, hi := r.Range(i)
+			for v := lo; v < hi; v++ {
+				times[i] += density(v)
+			}
+		}
+		return times
+	}
+	var spread float64
+	for round := 0; round < 12; round++ {
+		times := measure(r)
+		spread = Spread(times)
+		next, err := Plan(r, times, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = next
+	}
+	if spread > 0.05 {
+		t.Fatalf("spread %v after 12 rounds; expected < 5%%", spread)
+	}
+}

@@ -1,0 +1,124 @@
+package async
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slfe/internal/apps"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+)
+
+func almostEqual(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9
+}
+
+func TestAsyncSSSPMatchesDijkstra(t *testing.T) {
+	g := gen.RMAT(2048, 16384, gen.DefaultRMAT, 32, 5)
+	want := apps.RefSSSP(g, 0)
+	for _, nodes := range []int{1, 3, 8} {
+		res, _, err := Execute(g, apps.SSSP(0), nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if !almostEqual(res.Values[v], want[v]) {
+				t.Fatalf("nodes=%d vertex %d: got %v, want %v", nodes, v, res.Values[v], want[v])
+			}
+		}
+	}
+}
+
+func TestAsyncCCMatchesUnionFind(t *testing.T) {
+	g := apps.Symmetrize(gen.Clustered(600, 6, 10, 3))
+	want := apps.RefCC(g)
+	res, _, err := Execute(g, apps.CC(g), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("vertex %d: got %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestAsyncWPMatchesReference(t *testing.T) {
+	g := gen.Grid(20, 20, 64, 9)
+	want := apps.RefWP(g, 0)
+	res, _, err := Execute(g, apps.WP(0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if !almostEqual(res.Values[v], want[v]) {
+			t.Fatalf("vertex %d: got %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestAsyncRejectsArith(t *testing.T) {
+	g := gen.Path(8)
+	if _, _, err := Execute(g, apps.PageRank(5), 2); err == nil {
+		t.Fatal("arith program accepted")
+	}
+}
+
+func TestAsyncFewerRoundsThanBSPIterations(t *testing.T) {
+	// Asynchrony propagates across many hops per round: on a long path the
+	// whole graph resolves in O(1) exchange rounds instead of O(n)
+	// supersteps.
+	g := gen.Path(500)
+	res, _, err := Execute(g, apps.SSSP(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 3 {
+		t.Fatalf("async took %d rounds on a path; expected O(1)", res.Rounds)
+	}
+	if res.Values[499] != 499 {
+		t.Fatalf("end of path: %v", res.Values[499])
+	}
+}
+
+func TestAsyncProperty(t *testing.T) {
+	f := func(seed int64, nodesRaw uint8) bool {
+		nodes := int(nodesRaw)%4 + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(200)
+		g := gen.Uniform(n, int64(rng.Intn(6*n)), 16, seed)
+		want := apps.RefSSSP(g, 0)
+		res, _, err := Execute(g, apps.SSSP(0), nodes)
+		if err != nil {
+			return false
+		}
+		for v := range want {
+			if !almostEqual(res.Values[v], want[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncEmptyGraph(t *testing.T) {
+	g := graph.MustBuild(0, nil)
+	p := apps.SSSP(0)
+	p.Roots = nil
+	p.Roots = []graph.VertexID{0} // out of range: ignored
+	res, _, err := Execute(g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 0 {
+		t.Fatalf("values: %v", res.Values)
+	}
+}

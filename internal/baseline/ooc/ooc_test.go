@@ -1,0 +1,128 @@
+package ooc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slfe/internal/apps"
+	"slfe/internal/gen"
+)
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	g := gen.RMAT(512, 4096, gen.DefaultRMAT, 16, 3)
+	want := apps.RefSSSP(g, 0)
+	e, err := Build(g, t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(apps.SSSP(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("vertex %d: got %v want %v", v, res.Values[v], want[v])
+		}
+	}
+	if res.BytesRead == 0 {
+		t.Error("no disk I/O recorded — not out-of-core")
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := gen.RMAT(256, 2048, gen.DefaultRMAT, 1, 4)
+	const iters = 15
+	want := apps.RefPageRank(g, iters)
+	e, err := Build(g, t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(apps.PageRank(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := apps.PageRankScores(g, res.Values)
+	for v := range want {
+		if d := got[v] - want[v]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("vertex %d: got %v want %v", v, got[v], want[v])
+		}
+	}
+	// Every iteration streams the whole graph: I/O grows linearly.
+	if res.BytesRead < int64(iters)*g.NumEdges()*shardRecordSize {
+		t.Errorf("BytesRead = %d, want >= %d", res.BytesRead, int64(iters)*g.NumEdges()*shardRecordSize)
+	}
+}
+
+func TestShardFilesOnDisk(t *testing.T) {
+	g := gen.Path(100)
+	dir := t.TempDir()
+	if _, err := Build(g, dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 5 {
+		t.Fatalf("found %d shard files, want 5", len(files))
+	}
+	var total int64
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	if total != g.NumEdges()*shardRecordSize {
+		t.Fatalf("shards hold %d bytes, want %d", total, g.NumEdges()*shardRecordSize)
+	}
+}
+
+func TestMissingShardFails(t *testing.T) {
+	g := gen.Path(10)
+	dir := t.TempDir()
+	e, err := Build(g, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(e.shardPath(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(apps.BFS(0)); err == nil {
+		t.Fatal("Run succeeded with a missing shard")
+	}
+}
+
+func TestCorruptShardFails(t *testing.T) {
+	g := gen.Path(10)
+	dir := t.TempDir()
+	e, err := Build(g, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a record pointing out of range.
+	buf := make([]byte, shardRecordSize)
+	buf[0] = 0xFF
+	buf[1] = 0xFF
+	buf[2] = 0xFF
+	buf[3] = 0xFF
+	if err := os.WriteFile(e.shardPath(0), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(apps.BFS(0)); err == nil {
+		t.Fatal("Run accepted a corrupt shard")
+	}
+}
+
+func TestDefaultShardCount(t *testing.T) {
+	g := gen.Path(20)
+	e, err := Build(g, t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.shards != 8 {
+		t.Fatalf("default shards = %d, want 8", e.shards)
+	}
+}

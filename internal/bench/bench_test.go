@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"slfe/internal/trace"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{Scale: 20000, Nodes: 2, Threads: 1, PRIters: 5, Out: buf}
+}
+
+func TestExperimentsSmoke(t *testing.T) {
+	for name, fn := range Experiments {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := tinyConfig(&buf)
+			if err := fn(cfg); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", name)
+			}
+		})
+	}
+}
+
+func TestTable5ContainsGeomean(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table5(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GEOMEAN") {
+		t.Fatalf("Table5 output missing geomean:\n%s", out)
+	}
+	for _, g := range GraphNames {
+		if !strings.Contains(out, g) {
+			t.Fatalf("Table5 missing graph %s", g)
+		}
+	}
+}
+
+func TestGraphCaching(t *testing.T) {
+	c := Config{Scale: 20000}
+	c.defaults()
+	a, err := c.Graph("PK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Graph("PK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("graph not cached")
+	}
+	s, err := c.Graph("PK:sym")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEdges() != 2*a.NumEdges() {
+		t.Fatalf("sym edges = %d, want %d", s.NumEdges(), 2*a.NumEdges())
+	}
+	if _, err := c.Graph("nope"); err == nil {
+		t.Fatal("unknown graph accepted")
+	}
+}
+
+func TestProgramLookup(t *testing.T) {
+	c := Config{}
+	c.defaults()
+	g, _ := c.Graph("PK")
+	for _, app := range append(AppNames, "BFS") {
+		p, err := c.Program(app, g)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+	}
+	if _, err := c.Program("nope", g); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := geomean(nil); got != 1 {
+		t.Fatalf("geomean(nil) = %v", got)
+	}
+	if got := geomean([]float64{2, 8}); got != 4 {
+		t.Fatalf("geomean(2,8) = %v, want 4", got)
+	}
+}
+
+func TestPerIterSeconds(t *testing.T) {
+	if got := perIterSeconds("PR", 1e9, 10); got != 0.1 {
+		t.Fatalf("PR per-iter = %v", got)
+	}
+	if got := perIterSeconds("SSSP", 1e9, 10); got != 1.0 {
+		t.Fatalf("SSSP total = %v", got)
+	}
+}
+
+func TestTraceExportWritesSeries(t *testing.T) {
+	var buf bytes.Buffer
+	c := tinyConfig(&buf)
+	dir := t.TempDir()
+	c.Trace = &trace.Exporter{Dir: dir}
+	if err := Figure9(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure2(c); err != nil {
+		t.Fatal(err)
+	}
+	files := c.Trace.Files()
+	// Figure 9 exports 2 traces per (3 apps x 2 graphs) plus Figure 2's one.
+	if len(files) != 13 {
+		t.Fatalf("exported %d files, want 13: %v", len(files), files)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bytes.Split(data, []byte("\n"))) < 2 {
+			t.Fatalf("%s has no data rows", f)
+		}
+	}
+}

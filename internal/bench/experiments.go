@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"text/tabwriter"
+
+	"slfe/internal/apps"
+	"slfe/internal/baseline/gas"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/metrics"
+)
+
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+// Table1 prints the application registry (Table 1 of the paper).
+func Table1(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 1: graph analytical applications by aggregation function")
+	fmt.Fprintln(tw, "application\taggregation\timplemented\tevaluated")
+	for _, e := range apps.Registry {
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%v\n", e.Name, e.Agg, e.Implemented, e.Evaluated)
+	}
+	return tw.Flush()
+}
+
+// Table2 reproduces Table 2: SSSP value updates per (reached) vertex on the
+// PowerLyra proxy and the Gemini proxy (SLFE with RR off). The paper
+// reports 6.75-12.4 (PowerLyra) and 4.51-9.91 (Gemini); per-edge Bellman-
+// Ford update counting is defined in EXPERIMENTS.md.
+func Table2(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 2: SSSP updates per vertex")
+	fmt.Fprintln(tw, "graph\tPowerLyra-proxy\tGemini-proxy(SLFE w/o RR)\tSLFE w/ RR")
+	order := []string{"OK", "LJ", "WK", "DI", "PK", "ST", "FS"} // paper's column order
+	for _, name := range order {
+		g, err := c.Graph(name)
+		if err != nil {
+			return err
+		}
+		reached := reachableCount(g, []graph.VertexID{0})
+		if reached == 0 {
+			reached = 1
+		}
+		p, err := c.Program("SSSP", g)
+		if err != nil {
+			return err
+		}
+		lyra, _, _, err := gas.Execute(g, p, c.Nodes, gas.PowerLyra, c.Threads)
+		if err != nil {
+			return err
+		}
+		base, err := c.RunSLFE("SSSP", name, c.Nodes, false)
+		if err != nil {
+			return err
+		}
+		rr, err := c.RunSLFE("SSSP", name, c.Nodes, true)
+		if err != nil {
+			return err
+		}
+		baseUpd := metrics.Merge(base.PerWorker).Updates()
+		rrUpd := metrics.Merge(rr.PerWorker).Updates()
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\n", name,
+			float64(lyra.Metrics.Updates())/float64(reached),
+			float64(baseUpd)/float64(reached),
+			float64(rrUpd)/float64(reached))
+	}
+	return tw.Flush()
+}
+
+// Table4 reproduces Table 4: the dataset inventory. For each of the
+// paper's graphs it reports the published full-scale size next to the
+// proxy actually materialised at the configured -scale, with the proxy's
+// measured average degree (the generator matches degree by construction).
+func Table4(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 4: datasets (paper full scale vs proxy at -scale)")
+	fmt.Fprintln(tw, "graph\ttype\t|V| paper\t|E| paper\tavg-deg paper\t|V| proxy\t|E| proxy\tavg-deg proxy")
+	all := append(append([]gen.Dataset{}, gen.Table4...), gen.RMATDataset)
+	for _, d := range all {
+		g, err := c.Graph(d.Name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.1f\t%d\t%d\t%.1f\n",
+			d.Name, d.Kind, d.VertsFull, d.EdgesFull, d.AvgDeg,
+			g.NumVertices(), g.NumEdges(), g.AvgDegree())
+	}
+	return tw.Flush()
+}
+
+// Figure2 reproduces Figure 2: the percentage of early-converged (EC)
+// vertices in PageRank per graph (paper average: 83%).
+func Figure2(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 2: % of early-converged vertices in PageRank")
+	fmt.Fprintln(tw, "graph\tEC%@90%\titers")
+	var sum float64
+	var exportRows [][]string
+	order := []string{"OK", "LJ", "WK", "DI", "PK", "ST", "FS"}
+	for _, name := range order {
+		res, err := c.RunSLFE("PR", name, c.Nodes, true)
+		if err != nil {
+			return err
+		}
+		g, err := c.Graph(name)
+		if err != nil {
+			return err
+		}
+		// The paper's definition: vertices stabilised "when the program
+		// reaches 90% of the execution time".
+		iters := res.Result.Metrics.Iters
+		var ec int64
+		if len(iters) > 0 {
+			at := int(0.9 * float64(len(iters)))
+			if at >= len(iters) {
+				at = len(iters) - 1
+			}
+			ec = iters[at].ECGlobal
+		}
+		pct := 100 * float64(ec) / float64(g.NumVertices())
+		sum += pct
+		exportRows = append(exportRows, []string{name, fmt.Sprintf("%.2f", pct), fmt.Sprintf("%d", res.Result.Iterations)})
+		fmt.Fprintf(tw, "%s\t%.1f\t%d\n", name, pct, res.Result.Iterations)
+	}
+	if err := c.Trace.Table("fig2-ec-vertices", []string{"graph", "ec_pct", "iters"}, exportRows); err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "Avg\t%.1f\t\n", sum/float64(len(order)))
+	return tw.Flush()
+}
+
+// Figure4 reproduces Figure 4: SSSP and CC execution-time breakdown between
+// pull and push mode, on 1 node and on the full cluster, for PK, LJ, FS.
+// The paper measures >92% pull on one node and >73% pull on eight.
+func Figure4(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 4: pull/push runtime breakdown (fraction of compute time)")
+	fmt.Fprintln(tw, "app\tgraph\tnodes\tpull%\tpush%")
+	for _, app := range []string{"SSSP", "CC"} {
+		for _, name := range []string{"PK", "LJ", "FS"} {
+			for _, nodes := range []int{1, c.Nodes} {
+				res, err := c.RunSLFE(app, name, nodes, false)
+				if err != nil {
+					return err
+				}
+				m := metrics.Merge(res.PerWorker)
+				total := m.PullTime + m.PushTime
+				if total == 0 {
+					total = 1
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\n", app, name, nodes,
+					100*float64(m.PullTime)/float64(total),
+					100*float64(m.PushTime)/float64(total))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Table5 reproduces Table 5: runtimes of the PowerGraph proxy, the
+// PowerLyra proxy and SLFE for five applications on seven graphs, with
+// per-row speedups and the overall geometric mean (paper: 25.39x).
+func Table5(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Table 5: %d-node runtime in seconds (PR/TR per iteration)\n", c.Nodes)
+	fmt.Fprintln(tw, "app\tsystem\t"+joinTabs(GraphNames))
+	var speedups []float64
+	for _, app := range AppNames {
+		rows := map[string][]float64{"PowerG": nil, "PowerL": nil, "SLFE": nil}
+		for _, name := range GraphNames {
+			g, err := c.graphFor(app, name)
+			if err != nil {
+				return err
+			}
+			p, err := c.Program(app, g)
+			if err != nil {
+				return err
+			}
+			pg, _, _, err := gas.Execute(g, p, c.Nodes, gas.PowerGraph, c.Threads)
+			if err != nil {
+				return err
+			}
+			rows["PowerG"] = append(rows["PowerG"], perIterSeconds(app, pg.Metrics.Total, pg.Iterations))
+			pl, _, _, err := gas.Execute(g, p, c.Nodes, gas.PowerLyra, c.Threads)
+			if err != nil {
+				return err
+			}
+			rows["PowerL"] = append(rows["PowerL"], perIterSeconds(app, pl.Metrics.Total, pl.Iterations))
+			sl, err := c.RunSLFE(app, name, c.Nodes, true)
+			if err != nil {
+				return err
+			}
+			rows["SLFE"] = append(rows["SLFE"], perIterSeconds(app, sl.Elapsed, sl.Result.Iterations))
+		}
+		for _, sys := range []string{"PowerG", "PowerL", "SLFE"} {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", app, sys, formatRow(rows[sys]))
+		}
+		// Speedup row: best baseline over SLFE, per graph.
+		var row []float64
+		for i := range GraphNames {
+			best := math.Min(rows["PowerG"][i], rows["PowerL"][i])
+			sp := best / math.Max(rows["SLFE"][i], 1e-9)
+			row = append(row, sp)
+			speedups = append(speedups, sp)
+		}
+		fmt.Fprintf(tw, "%s\tSpeedup(x)\t%s\n", app, formatRow(row))
+	}
+	fmt.Fprintf(tw, "GEOMEAN speedup\t\t%.2fx\n", geomean(speedups))
+	return tw.Flush()
+}
+
+// Figure5 reproduces Figure 5: SLFE's runtime improvement over the Gemini
+// proxy (SLFE with RR disabled) per application and graph. The paper
+// reports 34-47% on its cluster; EXPERIMENTS.md discusses how the margin
+// compresses at proxy scale.
+func Figure5(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 5: runtime improvement of SLFE over Gemini proxy (%)")
+	fmt.Fprintln(tw, "app\t"+joinTabs(append(append([]string{}, "OK", "LJ", "WK", "DI", "PK", "ST", "FS"), "average")))
+	order := []string{"OK", "LJ", "WK", "DI", "PK", "ST", "FS"}
+	for _, app := range AppNames {
+		var row []float64
+		var sum float64
+		for _, name := range order {
+			base, err := c.RunSLFE(app, name, c.Nodes, false)
+			if err != nil {
+				return err
+			}
+			rr, err := c.RunSLFE(app, name, c.Nodes, true)
+			if err != nil {
+				return err
+			}
+			b := perIterSeconds(app, base.Elapsed, base.Result.Iterations)
+			r := perIterSeconds(app, rr.Elapsed, rr.Result.Iterations)
+			imp := 100 * (b - r) / math.Max(b, 1e-9)
+			row = append(row, imp)
+			sum += imp
+		}
+		row = append(row, sum/float64(len(order)))
+		fmt.Fprintf(tw, "%s\t%s\n", app, formatRow(row))
+	}
+	return tw.Flush()
+}
+
+func joinTabs(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "\t"
+		}
+		out += n
+	}
+	return out
+}
+
+func formatRow(xs []float64) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += "\t"
+		}
+		switch {
+		case x >= 100:
+			out += fmt.Sprintf("%.0f", x)
+		case x >= 1:
+			out += fmt.Sprintf("%.2f", x)
+		default:
+			out += fmt.Sprintf("%.4f", x)
+		}
+	}
+	return out
+}
+
+// Experiments maps -exp flags to experiment functions.
+var Experiments = map[string]func(Config) error{
+	"table1":               Table1,
+	"table4":               Table4,
+	"table2":               Table2,
+	"fig2":                 Figure2,
+	"fig4":                 Figure4,
+	"table5":               Table5,
+	"fig5":                 Figure5,
+	"fig6":                 Figure6,
+	"fig7":                 Figure7,
+	"fig8":                 Figure8,
+	"fig9":                 Figure9,
+	"fig10":                Figure10,
+	"ablation-dense":       AblationDense,
+	"ablation-partition":   AblationPartition,
+	"ablation-guidance":    AblationGuidanceReuse,
+	"ablation-codec":       AblationCodec,
+	"ablation-rebalance":   AblationRebalance,
+	"ablation-reorder":     AblationReorder,
+	"ablation-async":       AblationAsync,
+	"ablation-incremental": AblationIncremental,
+	"analytics":            Analytics,
+}
+
+// All runs every experiment in a stable order.
+func All(c Config) error {
+	order := []string{"table1", "table4", "table2", "fig2", "fig4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"ablation-dense", "ablation-partition", "ablation-guidance", "ablation-codec", "ablation-rebalance", "ablation-reorder", "ablation-async", "ablation-incremental", "analytics"}
+	for _, name := range order {
+		if err := Experiments[name](c); err != nil {
+			return fmt.Errorf("bench: %s: %w", name, err)
+		}
+		fmt.Fprintln(c.Out)
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+// Package ckpt provides BSP superstep checkpointing for the SLFE engine.
+// Supersteps are barrier-aligned, so a consistent global snapshot is just
+// every worker's state at the same iteration: each rank writes one shard
+// per checkpoint (atomic rename), and a checkpoint is complete when all
+// ranks' shards for the same iteration exist. On restart the engine
+// resumes from the latest complete checkpoint instead of iteration 0 —
+// the standard Pregel-style fault-tolerance scheme.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind distinguishes the two engine loops; a checkpoint from one loop must
+// not resume the other.
+type Kind uint8
+
+// Loop kinds.
+const (
+	MinMax Kind = 1
+	Arith  Kind = 2
+)
+
+// State is one worker's checkpoint shard.
+type State struct {
+	// Program is the program name, verified on resume.
+	Program string
+	// Kind is the loop that produced the shard.
+	Kind Kind
+	// Iter is the superstep the snapshot was taken after.
+	Iter uint32
+	// Values is the (globally synchronised) property array.
+	Values []float64
+	// StableCnt / StableVal are the arith loop's Algorithm 5 state.
+	StableCnt []uint32
+	StableVal []float64
+	// Sets holds the min/max loop's bitsets as sorted set-index lists
+	// (keys: "frontier", "caughtup", "debt").
+	Sets map[string][]uint32
+}
+
+const magic = "SLCK"
+
+// WriteTo serialises the shard with a trailing CRC32.
+func (s *State) WriteTo(w io.Writer) (int64, error) {
+	var buf []byte
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint16(buf, 1) // version
+	buf = appendString(buf, s.Program)
+	buf = append(buf, byte(s.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, s.Iter)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.Values)))
+	for _, v := range s.Values {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.StableCnt)))
+	for _, c := range s.StableCnt {
+		buf = binary.LittleEndian.AppendUint32(buf, c)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.StableVal)))
+	for _, v := range s.StableVal {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	keys := make([]string, 0, len(s.Sets))
+	for k := range s.Sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = appendString(buf, k)
+		ids := s.Sets[k]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ids)))
+		for _, id := range ids {
+			buf = binary.LittleEndian.AppendUint32(buf, id)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ErrCorrupt reports a shard failing structural or checksum validation.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint shard")
+
+// ReadState deserialises a shard written by WriteTo.
+func ReadState(r io.Reader) (*State, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < len(magic)+2+4 {
+		return nil, fmt.Errorf("%w: short file", ErrCorrupt)
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	d := &decoder{buf: body}
+	if string(d.bytes(4)) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := d.u16(); v != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	s := &State{}
+	s.Program = d.string()
+	s.Kind = Kind(d.bytes(1)[0])
+	s.Iter = d.u32()
+	s.Values = d.f64s()
+	s.StableCnt = d.u32s()
+	s.StableVal = d.f64s()
+	nsets := d.u32()
+	if nsets > 16 {
+		return nil, fmt.Errorf("%w: %d sets", ErrCorrupt, nsets)
+	}
+	if nsets > 0 {
+		s.Sets = make(map[string][]uint32, nsets)
+		for i := uint32(0); i < nsets; i++ {
+			k := d.string()
+			s.Sets[k] = d.ids()
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return s, nil
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil || len(d.buf) < n {
+		d.err = errors.New("truncated")
+		return make([]byte, n)
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) u16() uint16 { return binary.LittleEndian.Uint16(d.bytes(2)) }
+func (d *decoder) u32() uint32 { return binary.LittleEndian.Uint32(d.bytes(4)) }
+func (d *decoder) u64() uint64 { return binary.LittleEndian.Uint64(d.bytes(8)) }
+
+func (d *decoder) string() string {
+	n := d.u32()
+	if n > 1<<16 {
+		d.err = errors.New("string too long")
+		return ""
+	}
+	return string(d.bytes(int(n)))
+}
+
+func (d *decoder) lenCapped() int {
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.buf)) {
+		// Each element takes at least one byte of the remaining buffer.
+		d.err = errors.New("length exceeds payload")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) f64s() []float64 {
+	n := d.lenCapped()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(d.u64())
+	}
+	return out
+}
+
+func (d *decoder) u32s() []uint32 {
+	n := d.lenCapped()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.u32()
+	}
+	return out
+}
+
+func (d *decoder) ids() []uint32 { return d.u32s() }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// Manager owns a checkpoint directory.
+type Manager struct {
+	// Dir is the checkpoint directory (created on first save).
+	Dir string
+	// Every is the checkpoint interval in supersteps (default 8).
+	Every int
+	// Resume makes the engine restart from the latest complete checkpoint.
+	Resume bool
+}
+
+// Interval returns the effective checkpoint interval.
+func (m *Manager) Interval() int {
+	if m.Every <= 0 {
+		return 8
+	}
+	return m.Every
+}
+
+// ShouldSave reports whether a checkpoint is due after superstep iter.
+func (m *Manager) ShouldSave(iter int) bool {
+	every := m.Interval()
+	return (iter+1)%every == 0
+}
+
+func (m *Manager) shardPath(iter uint32, rank int) string {
+	return filepath.Join(m.Dir, fmt.Sprintf("ckpt-%08d-rank%03d.slck", iter, rank))
+}
+
+// Save writes rank's shard atomically (temp file + rename).
+func (m *Manager) Save(rank int, s *State) error {
+	if err := os.MkdirAll(m.Dir, 0o755); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	tmp, err := os.CreateTemp(m.Dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := s.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), m.shardPath(s.Iter, rank)); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// LatestComplete returns the highest iteration for which all size ranks
+// have shards, or -1 if none exists.
+func (m *Manager) LatestComplete(size int) (int, error) {
+	entries, err := os.ReadDir(m.Dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return -1, nil
+	}
+	if err != nil {
+		return -1, fmt.Errorf("ckpt: %w", err)
+	}
+	counts := map[int]int{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".slck") {
+			continue
+		}
+		parts := strings.SplitN(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".slck"), "-rank", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		iter, err1 := strconv.Atoi(parts[0])
+		_, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		counts[iter]++
+	}
+	best := -1
+	for iter, c := range counts {
+		if c >= size && iter > best {
+			best = iter
+		}
+	}
+	return best, nil
+}
+
+// Load reads rank's shard for the given iteration.
+func (m *Manager) Load(iter int, rank int) (*State, error) {
+	f, err := os.Open(m.shardPath(uint32(iter), rank))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	return ReadState(f)
+}

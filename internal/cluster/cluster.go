@@ -1,0 +1,196 @@
+// Package cluster orchestrates SPMD execution of the SLFE engine across a
+// group of workers ("nodes" in the paper's 8-node cluster). Workers run as
+// goroutines over an in-process transport by default — the engine itself is
+// transport-agnostic, so the same code runs over TCP (see the components
+// example) — and every cross-worker byte flows through internal/comm.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slfe/internal/ckpt"
+	"slfe/internal/comm"
+	"slfe/internal/compress"
+	"slfe/internal/core"
+	"slfe/internal/graph"
+	"slfe/internal/metrics"
+	"slfe/internal/partition"
+	"slfe/internal/rrg"
+	"slfe/internal/ws"
+)
+
+// Options configures a cluster execution.
+type Options struct {
+	// Nodes is the simulated cluster size (default 1).
+	Nodes int
+	// Threads per node (<=0: GOMAXPROCS).
+	Threads int
+	// Stealing enables the intra-node work-stealing scheduler.
+	Stealing bool
+	// RR enables redundancy reduction.
+	RR bool
+	// GuidanceRoots seeds preprocessing (nil: rrg.DefaultRoots ∪ program
+	// roots).
+	GuidanceRoots []graph.VertexID
+	// Guidance reuses a previously generated guidance (skips preprocessing).
+	Guidance *rrg.Guidance
+	// TrackLastChange records per-vertex last-update iterations.
+	TrackLastChange bool
+	// DenseDivisor overrides the push/pull switch threshold.
+	DenseDivisor int64
+	// Codec selects the delta-sync wire codec (nil: compress.Raw).
+	Codec compress.Codec
+	// Rebalance enables dynamic inter-node boundary adjustment; see
+	// core.Config.Rebalance.
+	Rebalance bool
+	// RebalanceEvery is the rebalance window in iterations (default 4).
+	RebalanceEvery int
+	// RebalanceDamping in (0,1] scales boundary moves (default 0.5).
+	RebalanceDamping float64
+	// Ckpt enables superstep checkpointing; see core.Config.Ckpt.
+	Ckpt *ckpt.Manager
+}
+
+// RunResult is the outcome of a cluster execution.
+type RunResult struct {
+	// Result is worker 0's result; values are synchronised, so it is the
+	// cluster result.
+	Result *core.Result
+	// PerWorker holds each worker's metrics.
+	PerWorker []*metrics.Run
+	// Guidance is the RRG used (nil when RR is off).
+	Guidance *rrg.Guidance
+	// PreprocessTime is the RRG generation cost (zero if reused or RR off).
+	PreprocessTime time.Duration
+	// Comm aggregates message/byte counts over all workers.
+	Comm comm.Stats
+	// Elapsed is the wall-clock execution time (excluding preprocessing).
+	Elapsed time.Duration
+}
+
+// Execute partitions g, optionally generates RR guidance, and runs the
+// program on an in-process cluster.
+func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
+	if opt.Nodes <= 0 {
+		opt.Nodes = 1
+	}
+	part, err := partition.NewChunked(g, opt.Nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RunResult{}
+	var guidance *rrg.Guidance
+	if opt.RR {
+		if opt.Guidance != nil {
+			guidance = opt.Guidance
+		} else {
+			roots := opt.GuidanceRoots
+			if roots == nil {
+				// Min/max programs propagate from their own roots, so the
+				// guidance must describe exactly that propagation; arith
+				// programs have no roots and use the reusable default set.
+				if len(p.Roots) > 0 {
+					roots = p.Roots
+				} else {
+					roots = rrg.DefaultRoots(g)
+				}
+			}
+			guidance = rrg.Generate(g, roots, ws.New(opt.Threads, opt.Stealing))
+			out.PreprocessTime = guidance.GenTime
+		}
+		out.Guidance = guidance
+	}
+
+	transports, err := comm.NewLocalGroup(opt.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.Result, opt.Nodes)
+	errs := make([]error, opt.Nodes)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for rank := 0; rank < opt.Nodes; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer transports[rank].Close()
+			eng, err := core.New(core.Config{
+				Graph:            g,
+				Comm:             comm.NewComm(transports[rank]),
+				Part:             part,
+				RR:               opt.RR,
+				Guidance:         guidance,
+				Threads:          opt.Threads,
+				Stealing:         opt.Stealing,
+				DenseDivisor:     opt.DenseDivisor,
+				TrackLastChange:  opt.TrackLastChange,
+				Codec:            opt.Codec,
+				Rebalance:        opt.Rebalance,
+				RebalanceEvery:   opt.RebalanceEvery,
+				RebalanceDamping: opt.RebalanceDamping,
+				Ckpt:             opt.Ckpt,
+			})
+			if err != nil {
+				errs[rank] = err
+				comm.Abort(transports[rank])
+				return
+			}
+			results[rank], errs[rank] = eng.Run(p)
+			if errs[rank] != nil {
+				// Unblock peers waiting on this rank's collectives.
+				comm.Abort(transports[rank])
+			}
+		}(rank)
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", rank, err)
+		}
+	}
+	out.Result = results[0]
+	out.PerWorker = make([]*metrics.Run, opt.Nodes)
+	for rank, r := range results {
+		out.PerWorker[rank] = r.Metrics
+	}
+	for _, t := range transports {
+		s := t.Stats()
+		out.Comm.MessagesSent += s.MessagesSent
+		out.Comm.BytesSent += s.BytesSent
+	}
+	return out, nil
+}
+
+// SPMD runs fn on every rank of a fresh in-process group and returns the
+// first error.
+func SPMD(size int, fn func(rank int, cm *comm.Comm) error) error {
+	transports, err := comm.NewLocalGroup(size)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for rank := 0; rank < size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer transports[rank].Close()
+			errs[rank] = fn(rank, comm.NewComm(transports[rank]))
+			if errs[rank] != nil {
+				// Unblock peers waiting on this rank's collectives.
+				comm.Abort(transports[rank])
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ReduceOp is a commutative, associative reduction operator.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMin
+	OpMax
+)
+
+// Comm layers collective operations over a Transport. All ranks must invoke
+// the same collectives in the same order (standard SPMD discipline). A Comm
+// is not safe for concurrent use by multiple goroutines.
+type Comm struct {
+	T Transport
+
+	// Sequence counters distinguish successive rounds of the peer-to-peer
+	// collectives: a fast rank may start round k+1 while a slow rank is
+	// still draining round k, so every blob is tagged and out-of-order
+	// arrivals are buffered.
+	gatherSeq   uint64
+	allToAllSeq uint64
+	pending     map[pendKey][]byte
+}
+
+type pendKey struct {
+	typ  uint16
+	seq  uint64
+	from int
+}
+
+// NewComm wraps a transport.
+func NewComm(t Transport) *Comm { return &Comm{T: t, pending: make(map[pendKey][]byte)} }
+
+// sendSeq sends payload tagged with an 8-byte sequence header.
+func (c *Comm) sendSeq(to int, typ uint16, seq uint64, payload []byte) error {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint64(buf, seq)
+	copy(buf[8:], payload)
+	return c.T.Send(to, typ, buf)
+}
+
+// recvSeq returns the next message of the given type and sequence from any
+// rank, buffering messages that belong to later sequences.
+func (c *Comm) recvSeq(typ uint16, seq uint64) (from int, payload []byte, err error) {
+	for {
+		// Serve buffered messages first.
+		for k, p := range c.pending {
+			if k.typ == typ && k.seq == seq {
+				delete(c.pending, k)
+				return k.from, p, nil
+			}
+		}
+		m, err := c.T.Recv(typ)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(m.Payload) < 8 {
+			return 0, nil, fmt.Errorf("comm: short sequenced payload from rank %d", m.From)
+		}
+		got := binary.LittleEndian.Uint64(m.Payload)
+		if got == seq {
+			return m.From, m.Payload[8:], nil
+		}
+		c.pending[pendKey{typ: typ, seq: got, from: m.From}] = m.Payload[8:]
+	}
+}
+
+// Rank returns this rank.
+func (c *Comm) Rank() int { return c.T.Rank() }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return c.T.Size() }
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	if c.Size() == 1 {
+		return nil
+	}
+	if c.Rank() == 0 {
+		for i := 0; i < c.Size()-1; i++ {
+			if _, err := c.T.Recv(typeBarrier); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.Size(); r++ {
+			if err := c.T.Send(r, typeBarrierRelease, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.T.Send(0, typeBarrier, nil); err != nil {
+		return err
+	}
+	_, err := c.T.Recv(typeBarrierRelease)
+	return err
+}
+
+// AllReduceI64 reduces x across all ranks with op and returns the result on
+// every rank.
+func (c *Comm) AllReduceI64(x int64, op ReduceOp) (int64, error) {
+	if c.Size() == 1 {
+		return x, nil
+	}
+	var buf [8]byte
+	if c.Rank() == 0 {
+		acc := x
+		for i := 0; i < c.Size()-1; i++ {
+			m, err := c.T.Recv(typeReduce)
+			if err != nil {
+				return 0, err
+			}
+			v := int64(binary.LittleEndian.Uint64(m.Payload))
+			acc = reduceI64(acc, v, op)
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(acc))
+		for r := 1; r < c.Size(); r++ {
+			if err := c.T.Send(r, typeReduceResult, buf[:]); err != nil {
+				return 0, err
+			}
+		}
+		return acc, nil
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(x))
+	if err := c.T.Send(0, typeReduce, buf[:]); err != nil {
+		return 0, err
+	}
+	m, err := c.T.Recv(typeReduceResult)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(m.Payload)), nil
+}
+
+// AllReduceF64 reduces x across all ranks with op and returns the result on
+// every rank.
+func (c *Comm) AllReduceF64(x float64, op ReduceOp) (float64, error) {
+	if c.Size() == 1 {
+		return x, nil
+	}
+	var buf [8]byte
+	if c.Rank() == 0 {
+		acc := x
+		for i := 0; i < c.Size()-1; i++ {
+			m, err := c.T.Recv(typeReduce)
+			if err != nil {
+				return 0, err
+			}
+			v := math.Float64frombits(binary.LittleEndian.Uint64(m.Payload))
+			acc = reduceF64(acc, v, op)
+		}
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(acc))
+		for r := 1; r < c.Size(); r++ {
+			if err := c.T.Send(r, typeReduceResult, buf[:]); err != nil {
+				return 0, err
+			}
+		}
+		return acc, nil
+	}
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+	if err := c.T.Send(0, typeReduce, buf[:]); err != nil {
+		return 0, err
+	}
+	m, err := c.T.Recv(typeReduceResult)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.Payload)), nil
+}
+
+// AllGather sends this rank's blob to every rank and returns all blobs
+// indexed by rank (own blob included, not copied).
+func (c *Comm) AllGather(blob []byte) ([][]byte, error) {
+	seq := c.gatherSeq
+	c.gatherSeq++
+	out := make([][]byte, c.Size())
+	out[c.Rank()] = blob
+	for r := 0; r < c.Size(); r++ {
+		if r == c.Rank() {
+			continue
+		}
+		if err := c.sendSeq(r, typeGather, seq, blob); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.Size()-1; i++ {
+		from, payload, err := c.recvSeq(typeGather, seq)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = payload
+	}
+	return out, nil
+}
+
+// AllToAll sends blobs[r] to rank r and returns the blobs received from each
+// rank (blobs[own rank] is passed through locally).
+func (c *Comm) AllToAll(blobs [][]byte) ([][]byte, error) {
+	if len(blobs) != c.Size() {
+		return nil, fmt.Errorf("comm: AllToAll needs %d blobs, got %d", c.Size(), len(blobs))
+	}
+	seq := c.allToAllSeq
+	c.allToAllSeq++
+	out := make([][]byte, c.Size())
+	out[c.Rank()] = blobs[c.Rank()]
+	for r := 0; r < c.Size(); r++ {
+		if r == c.Rank() {
+			continue
+		}
+		if err := c.sendSeq(r, typeAllToAll, seq, blobs[r]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.Size()-1; i++ {
+		from, payload, err := c.recvSeq(typeAllToAll, seq)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = payload
+	}
+	return out, nil
+}
+
+func reduceI64(a, b int64, op ReduceOp) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	panic(fmt.Sprintf("comm: unknown reduce op %d", op))
+}
+
+func reduceF64(a, b float64, op ReduceOp) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	}
+	panic(fmt.Sprintf("comm: unknown reduce op %d", op))
+}

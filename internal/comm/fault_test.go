@@ -1,0 +1,233 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flaky wraps a Transport and fails every Send after the first failAfter.
+type flaky struct {
+	Transport
+	mu        sync.Mutex
+	failAfter int
+	sends     int
+}
+
+var errInjected = errors.New("injected send failure")
+
+func (f *flaky) Send(to int, typ uint16, payload []byte) error {
+	f.mu.Lock()
+	f.sends++
+	fail := f.sends > f.failAfter
+	f.mu.Unlock()
+	if fail {
+		return errInjected
+	}
+	return f.Transport.Send(to, typ, payload)
+}
+
+// TestAbortUnblocksPeers is the liveness property the cluster relies on: if
+// one rank dies mid-collective and aborts, peers blocked in Recv return
+// ErrClosed instead of hanging.
+func TestAbortUnblocksPeers(t *testing.T) {
+	ts, err := NewLocalGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(chan error, 2)
+	for _, rank := range []int{1, 2} {
+		go func(rank int) {
+			_, err := NewComm(ts[rank]).AllReduceI64(1, OpSum)
+			results <- err
+		}(rank)
+	}
+	time.Sleep(20 * time.Millisecond) // let both block inside the collective
+	Abort(ts[0])                      // rank 0 "dies" without participating
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-results:
+			if err == nil {
+				t.Fatal("collective succeeded without rank 0")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("peer still blocked after abort")
+		}
+	}
+}
+
+// TestAbortIsNoOpForUnsupportedTransports documents the helper's contract.
+func TestAbortIsNoOpForUnsupportedTransports(t *testing.T) {
+	ts, _ := NewLocalGroup(1)
+	Abort(&flaky{Transport: ts[0]}) // flaky does not implement Aborter
+	if err := ts[0].Send(0, TypeUser, nil); err != nil {
+		t.Fatalf("transport was torn down through a non-aborter wrapper: %v", err)
+	}
+}
+
+// TestCollectiveSendFailurePropagates injects a transport fault under a
+// collective: the failing rank must get the injected error and — after it
+// aborts, the pattern cluster.Execute and cluster.SPMD implement — every
+// other rank must terminate (with the data it already collected or with
+// ErrClosed), never hang.
+func TestCollectiveSendFailurePropagates(t *testing.T) {
+	for _, failAfter := range []int{0, 1} {
+		ts, err := NewLocalGroup(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrapped := []Transport{&flaky{Transport: ts[0], failAfter: failAfter}, ts[1], ts[2]}
+		errs := make([]error, 3)
+		var wg sync.WaitGroup
+		for rank := 0; rank < 3; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				_, err := NewComm(wrapped[rank]).AllGather([]byte{byte(rank)})
+				errs[rank] = err
+				if err != nil {
+					Abort(ts[rank]) // abort the underlying group
+				}
+			}(rank)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("failAfter=%d: collective deadlocked after injected failure", failAfter)
+		}
+		if !errors.Is(errs[0], errInjected) {
+			t.Fatalf("failAfter=%d: rank 0 error = %v, want injected", failAfter, errs[0])
+		}
+	}
+}
+
+// TestTCPRejectsBogusHandshake connects a raw socket claiming an invalid
+// rank: the mesh setup must fail rather than accept the impostor.
+func TestTCPRejectsBogusHandshake(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := DialTCP(0, 2, addrs, 2*time.Second)
+		done <- err
+	}()
+	// Impersonate rank 1 with a bogus rank id in the handshake.
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", addrs[0])
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], 99)
+	if _, err := conn.Write(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("mesh accepted a bogus peer rank")
+	}
+}
+
+// TestTCPGarbageStreamClosesInbox feeds a valid handshake followed by a
+// corrupt frame (wrong sender id): the reader must shut the inbox down, so
+// pending Recv calls fail instead of delivering garbage.
+func TestTCPGarbageStreamClosesInbox(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	trCh := make(chan Transport, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		tr, err := DialTCP(0, 2, addrs, 2*time.Second)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		trCh <- tr
+	}()
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", addrs[0])
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	var hs [4]byte
+	binary.LittleEndian.PutUint32(hs[:], 1) // legitimate handshake as rank 1
+	if _, err := conn.Write(hs[:]); err != nil {
+		t.Fatal(err)
+	}
+	var tr Transport
+	select {
+	case tr = <-trCh:
+	case err := <-errCh:
+		t.Fatalf("mesh setup: %v", err)
+	case <-time.After(3 * time.Second):
+		t.Fatal("mesh setup timed out")
+	}
+	defer tr.Close()
+
+	// Frame header claiming to be from rank 7 (must be 1): reader bails.
+	frame := make([]byte, 10+3)
+	binary.LittleEndian.PutUint32(frame[0:], 3) // payload len
+	binary.LittleEndian.PutUint16(frame[4:], 1) // type
+	binary.LittleEndian.PutUint32(frame[6:], 7) // bogus sender
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	recvDone := make(chan error, 1)
+	go func() {
+		_, err := tr.Recv(TypeUser)
+		recvDone <- err
+	}()
+	select {
+	case err := <-recvDone:
+		if err == nil {
+			t.Fatal("garbage frame delivered as a message")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after garbage frame")
+	}
+}
+
+// TestAbortTCP verifies the TCP Aborter path end to end.
+func TestAbortTCP(t *testing.T) {
+	ts := dialMesh(t, 2)
+	defer func() {
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}()
+	recvDone := make(chan error, 1)
+	go func() {
+		_, err := ts[1].Recv(TypeUser)
+		recvDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	Abort(ts[0])
+	select {
+	case err := <-recvDone:
+		if err == nil {
+			t.Fatal("Recv returned a message after abort")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer Recv still blocked after TCP abort")
+	}
+}

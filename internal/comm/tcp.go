@@ -1,0 +1,251 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// frame layout: u32 payloadLen | u16 type | u32 from | payload.
+const frameHeaderLen = 4 + 2 + 4
+
+// maxFrameLen bounds a single message; larger payloads must be chunked by
+// the caller (the engine batches per-superstep updates well below this).
+const maxFrameLen = 1 << 30
+
+// tcpTransport is a full-mesh TCP Transport. Rank i listens on addrs[i];
+// every pair of ranks shares one connection (dialled by the lower rank).
+type tcpTransport struct {
+	rank   int
+	size   int
+	peers  []net.Conn // peers[rank] == nil
+	sendMu []sync.Mutex
+	inbox  *typedQueues
+	stats  statCounters
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// DialTCP connects rank into a full mesh of size ranks; addrs lists every
+// rank's listen address (host:port). It blocks until the mesh is complete
+// or the timeout elapses. All ranks must call DialTCP concurrently.
+func DialTCP(rank, size int, addrs []string, timeout time.Duration) (Transport, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("comm: invalid rank %d of %d", rank, size)
+	}
+	if len(addrs) != size {
+		return nil, fmt.Errorf("comm: need %d addresses, got %d", size, len(addrs))
+	}
+	t := &tcpTransport{
+		rank:   rank,
+		size:   size,
+		peers:  make([]net.Conn, size),
+		sendMu: make([]sync.Mutex, size),
+		inbox:  newTypedQueues(),
+	}
+	if size == 1 {
+		return t, nil
+	}
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addrs[rank], err)
+	}
+	defer ln.Close()
+	deadline := time.Now().Add(timeout)
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+
+	// Accept connections from lower-numbered... actually from higher ranks:
+	// rank i dials every rank j < i, so rank j accepts size-1-j connections.
+	expect := size - 1 - rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < expect; i++ {
+			if tl, ok := ln.(*net.TCPListener); ok {
+				tl.SetDeadline(deadline)
+			}
+			conn, err := ln.Accept()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("comm: accept: %w", err)
+				}
+				mu.Unlock()
+				return
+			}
+			// Handshake: peer announces its rank as a u32.
+			var buf [4]byte
+			conn.SetReadDeadline(deadline)
+			if _, err := io.ReadFull(conn, buf[:]); err != nil {
+				conn.Close()
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("comm: handshake read: %w", err)
+				}
+				mu.Unlock()
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			peer := int(binary.LittleEndian.Uint32(buf[:]))
+			if peer <= rank || peer >= size {
+				conn.Close()
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("comm: unexpected peer rank %d", peer)
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			t.peers[peer] = conn
+			mu.Unlock()
+		}
+	}()
+
+	// Dial every lower rank.
+	for peer := 0; peer < rank; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			var conn net.Conn
+			var err error
+			for {
+				d := net.Dialer{Deadline: deadline}
+				conn, err = d.Dial("tcp", addrs[peer])
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("comm: dial rank %d (%s): %w", peer, addrs[peer], err)
+					}
+					mu.Unlock()
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(rank))
+			if _, err := conn.Write(buf[:]); err != nil {
+				conn.Close()
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("comm: handshake write: %w", err)
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			t.peers[peer] = conn
+			mu.Unlock()
+		}(peer)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Close()
+		return nil, firstErr
+	}
+	// Start one reader per peer.
+	for peer, conn := range t.peers {
+		if conn == nil {
+			continue
+		}
+		go t.readLoop(peer, conn)
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) readLoop(peer int, conn net.Conn) {
+	hdr := make([]byte, frameHeaderLen)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			// Connection closed (shutdown) or failed; wake any waiters.
+			t.inbox.close()
+			return
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:])
+		typ := binary.LittleEndian.Uint16(hdr[4:])
+		from := int(binary.LittleEndian.Uint32(hdr[6:]))
+		if plen > maxFrameLen || from != peer {
+			t.inbox.close()
+			return
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			t.inbox.close()
+			return
+		}
+		t.inbox.push(Message{From: from, Type: typ, Payload: payload})
+	}
+}
+
+func (t *tcpTransport) Rank() int { return t.rank }
+func (t *tcpTransport) Size() int { return t.size }
+
+func (t *tcpTransport) Send(to int, typ uint16, payload []byte) error {
+	if to < 0 || to >= t.size {
+		return fmt.Errorf("comm: send to invalid rank %d (size %d)", to, t.size)
+	}
+	if len(payload) > maxFrameLen {
+		return fmt.Errorf("comm: payload %d exceeds frame limit", len(payload))
+	}
+	t.stats.record(len(payload))
+	if to == t.rank {
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		t.inbox.push(Message{From: t.rank, Type: typ, Payload: p})
+		return nil
+	}
+	conn := t.peers[to]
+	if conn == nil {
+		return errors.New("comm: no connection to peer")
+	}
+	hdr := make([]byte, frameHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint16(hdr[4:], typ)
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(t.rank))
+	t.sendMu[to].Lock()
+	defer t.sendMu[to].Unlock()
+	if _, err := conn.Write(hdr); err != nil {
+		return fmt.Errorf("comm: send header: %w", err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return fmt.Errorf("comm: send payload: %w", err)
+	}
+	return nil
+}
+
+func (t *tcpTransport) Recv(typ uint16) (Message, error) {
+	return t.inbox.pop(typ)
+}
+
+func (t *tcpTransport) Close() error {
+	t.closeOnce.Do(func() {
+		t.inbox.close()
+		for _, c := range t.peers {
+			if c != nil {
+				if err := c.Close(); err != nil && t.closeErr == nil {
+					t.closeErr = err
+				}
+			}
+		}
+	})
+	return t.closeErr
+}
+
+// Abort implements Aborter. Closing the connections breaks every peer's
+// read loop, which closes their inboxes in turn — the TCP equivalent of the
+// local hub teardown.
+func (t *tcpTransport) Abort() { t.Close() }
+
+func (t *tcpTransport) Stats() Stats { return t.stats.snapshot() }

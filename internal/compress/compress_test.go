@@ -1,0 +1,213 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func codecs() []Codec { return []Codec{Raw{}, VarintXOR{}} }
+
+type pair struct {
+	id  uint32
+	val float64
+}
+
+func roundTrip(t *testing.T, c Codec, ids []uint32, vals []float64) []pair {
+	t.Helper()
+	buf := c.Encode(ids, vals)
+	var got []pair
+	if err := c.Decode(buf, func(id uint32, val float64) error {
+		got = append(got, pair{id, val})
+		return nil
+	}); err != nil {
+		t.Fatalf("%s: decode: %v", c.Name(), err)
+	}
+	return got
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	ids := []uint32{0, 2, 3, 5, 7}
+	vals := []float64{3.14, -1, math.Inf(1), 1e-300, -0.0}
+	for _, c := range codecs() {
+		got := roundTrip(t, c, ids, vals)
+		if len(got) != len(ids) {
+			t.Fatalf("%s: got %d pairs, want %d", c.Name(), len(got), len(ids))
+		}
+		for i := range ids {
+			if got[i].id != ids[i] {
+				t.Fatalf("%s: entry %d: id %d, want %d", c.Name(), i, got[i].id, ids[i])
+			}
+			if math.Float64bits(got[i].val) != math.Float64bits(vals[i]) {
+				t.Fatalf("%s: entry %d: value %v, want %v", c.Name(), i, got[i].val, vals[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	for _, c := range codecs() {
+		if got := roundTrip(t, c, nil, nil); len(got) != 0 {
+			t.Fatalf("%s: empty batch decoded to %d pairs", c.Name(), len(got))
+		}
+	}
+}
+
+func TestRoundTripNaNPreservesBits(t *testing.T) {
+	// NaN payload bits must survive (the engine never produces NaN but the
+	// codec must not corrupt what it is given).
+	for _, c := range codecs() {
+		got := roundTrip(t, c, []uint32{9}, []float64{math.NaN()})
+		if math.Float64bits(got[0].val) != math.Float64bits(math.NaN()) {
+			t.Fatalf("%s: NaN bits changed", c.Name())
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(rawIDs []uint32, seed int64) bool {
+		// Build an ascending unique id list bounded by a small universe.
+		seen := map[uint32]bool{}
+		for _, id := range rawIDs {
+			seen[id%100000] = true
+		}
+		ids := make([]uint32, 0, len(seen))
+		for id := range seen {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, len(ids))
+		for i := range vals {
+			switch rng.Intn(4) {
+			case 0:
+				vals[i] = math.Inf(1)
+			case 1:
+				vals[i] = float64(rng.Intn(100)) // repeated small values
+			default:
+				vals[i] = rng.NormFloat64() * 1e3
+			}
+		}
+		for _, c := range codecs() {
+			buf := c.Encode(ids, vals)
+			i := 0
+			err := c.Decode(buf, func(id uint32, val float64) error {
+				if id != ids[i] || math.Float64bits(val) != math.Float64bits(vals[i]) {
+					t.Errorf("%s: entry %d mismatch", c.Name(), i)
+				}
+				i++
+				return nil
+			})
+			if err != nil || i != len(ids) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintXORSmallerOnTypicalBatches(t *testing.T) {
+	// Dense ascending ids with heavily repeated values (converging
+	// component labels) must compress well below the raw 12 bytes/entry.
+	n := 4096
+	ids := make([]uint32, n)
+	vals := make([]float64, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+		vals[i] = float64(i % 7)
+	}
+	raw := Raw{}.Encode(ids, vals)
+	xz := VarintXOR{}.Encode(ids, vals)
+	if len(xz) >= len(raw)/2 {
+		t.Fatalf("varint-xor %d bytes vs raw %d bytes; expected >2x reduction", len(xz), len(raw))
+	}
+}
+
+func TestDecodeRejectsCorruptPayloads(t *testing.T) {
+	ids := []uint32{0, 1, 2, 3}
+	vals := []float64{1, 2, 3, 4}
+	for _, c := range codecs() {
+		buf := c.Encode(ids, vals)
+		for cut := 1; cut < len(buf); cut++ {
+			if err := c.Decode(buf[:cut], func(uint32, float64) error { return nil }); err == nil {
+				t.Fatalf("%s: truncation at %d/%d went undetected", c.Name(), cut, len(buf))
+			}
+		}
+		if err := c.Decode(nil, func(uint32, float64) error { return nil }); err == nil {
+			t.Fatalf("%s: nil payload accepted", c.Name())
+		}
+		if err := c.Decode(append(append([]byte{}, buf...), 0xff), func(uint32, float64) error { return nil }); err == nil {
+			t.Fatalf("%s: trailing garbage accepted", c.Name())
+		}
+	}
+}
+
+func TestDecodeStopsOnCallbackError(t *testing.T) {
+	ids := []uint32{0, 1, 2}
+	vals := []float64{1, 2, 3}
+	for _, c := range codecs() {
+		buf := c.Encode(ids, vals)
+		calls := 0
+		err := c.Decode(buf, func(uint32, float64) error {
+			calls++
+			if calls == 2 {
+				return errStop
+			}
+			return nil
+		})
+		if err != errStop || calls != 2 {
+			t.Fatalf("%s: err=%v calls=%d", c.Name(), err, calls)
+		}
+	}
+}
+
+var errStop = errTest("stop")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestVarintXOREncodePanicsOnUnsortedIDs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted ids")
+		}
+	}()
+	VarintXOR{}.Encode([]uint32{5, 3}, []float64{0, 0})
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "raw", "varint-xor"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("zstd"); err == nil {
+		t.Fatal("ByName accepted an unknown codec")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	n := 1 << 14
+	ids := make([]uint32, n)
+	vals := make([]float64, n)
+	for i := range ids {
+		ids[i] = uint32(i * 3)
+		vals[i] = float64(i % 100)
+	}
+	for _, c := range codecs() {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				size = len(c.Encode(ids, vals))
+			}
+			b.ReportMetric(float64(size)/float64(n), "bytes/entry")
+		})
+	}
+}

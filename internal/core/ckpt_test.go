@@ -1,0 +1,178 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"slfe/internal/ckpt"
+	"slfe/internal/comm"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/partition"
+)
+
+// runWithCkpt executes p on nodes workers with the given checkpoint
+// manager; rank failRank's transport dies after failAfter sends (failRank
+// < 0 disables injection). Returns worker results and errors.
+func runWithCkpt(t *testing.T, g *graph.Graph, p *Program, nodes int, m *ckpt.Manager, failRank, failAfter int) ([]*Result, []error) {
+	t.Helper()
+	part, err := partition.NewChunked(g, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transports, err := comm.NewLocalGroup(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*Result, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for rank := 0; rank < nodes; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr := transports[rank]
+			if rank == failRank {
+				tr = &flakyTransport{Transport: tr, remaining: failAfter}
+			}
+			eng, err := New(Config{Graph: g, Comm: comm.NewComm(tr), Part: part, Ckpt: m})
+			if err != nil {
+				errs[rank] = err
+				comm.Abort(transports[rank])
+				return
+			}
+			results[rank], errs[rank] = eng.Run(p)
+			if errs[rank] != nil {
+				comm.Abort(transports[rank])
+			}
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run deadlocked")
+	}
+	return results, errs
+}
+
+func TestCheckpointResumeArith(t *testing.T) {
+	g := gen.RMAT(1024, 8192, gen.DefaultRMAT, 1, 41)
+	p := testArith()
+	want := runCluster(t, g, p, 3, nil)
+
+	dir := t.TempDir()
+	m := &ckpt.Manager{Dir: dir, Every: 3}
+	// Crash partway: rank 1 dies after enough sends for a few supersteps.
+	_, errs := runWithCkpt(t, g, p, 3, m, 1, 40)
+	if errs[1] == nil {
+		t.Skip("injection did not trigger; adjust failAfter")
+	}
+	latest, err := m.LatestComplete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest < 0 {
+		t.Fatal("no complete checkpoint before the crash")
+	}
+
+	// Resume with healthy transports.
+	m.Resume = true
+	results, errs := runWithCkpt(t, g, p, 3, m, -1, 0)
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("resume rank %d: %v", rank, err)
+		}
+	}
+	got := results[0]
+	for v := range want.Values {
+		if got.Values[v] != want.Values[v] {
+			t.Fatalf("vertex %d: resumed %v, want %v", v, got.Values[v], want.Values[v])
+		}
+	}
+	// The resumed run must have skipped the checkpointed prefix.
+	if got.Iterations >= want.Iterations {
+		t.Fatalf("resumed run executed %d iterations, full run %d", got.Iterations, want.Iterations)
+	}
+}
+
+func TestCheckpointResumeMinMax(t *testing.T) {
+	g := gen.RMAT(2048, 16384, gen.DefaultRMAT, 32, 43)
+	p := testProgram()
+	want := runCluster(t, g, p, 3, nil)
+
+	dir := t.TempDir()
+	m := &ckpt.Manager{Dir: dir, Every: 1}
+	_, errs := runWithCkpt(t, g, p, 3, m, 1, 12)
+	if errs[1] == nil {
+		t.Skip("injection did not trigger; adjust failAfter")
+	}
+	latest, err := m.LatestComplete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest < 0 {
+		t.Fatal("no complete checkpoint before the crash")
+	}
+
+	m.Resume = true
+	results, errs := runWithCkpt(t, g, p, 3, m, -1, 0)
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("resume rank %d: %v", rank, err)
+		}
+	}
+	got := results[0]
+	for v := range want.Values {
+		if got.Values[v] != want.Values[v] {
+			t.Fatalf("vertex %d: resumed %v, want %v", v, got.Values[v], want.Values[v])
+		}
+	}
+}
+
+func TestCheckpointResumeIsNoOpWithoutCheckpoints(t *testing.T) {
+	g := gen.Path(64)
+	p := testProgram()
+	m := &ckpt.Manager{Dir: t.TempDir(), Resume: true}
+	results, errs := runWithCkpt(t, g, p, 2, m, -1, 0)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := runCluster(t, g, p, 2, nil)
+	for v := range want.Values {
+		if results[0].Values[v] != want.Values[v] {
+			t.Fatalf("vertex %d differs", v)
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongProgram(t *testing.T) {
+	g := gen.Path(32)
+	m := &ckpt.Manager{Dir: t.TempDir(), Every: 1}
+	if _, errs := runWithCkpt(t, g, testProgram(), 2, m, -1, 0); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	m.Resume = true
+	other := testProgram()
+	other.Name = "something-else"
+	_, errs := runWithCkpt(t, g, other, 2, m, -1, 0)
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("checkpoint for a different program accepted")
+	}
+}
+
+func TestCheckpointIncompatibleWithRebalance(t *testing.T) {
+	g := gen.Path(16)
+	part, _ := partition.NewChunked(g, 1)
+	_, err := New(Config{
+		Graph: g, Comm: singleComm(t), Part: part,
+		Ckpt: &ckpt.Manager{Dir: t.TempDir()}, Rebalance: true,
+	})
+	if err == nil {
+		t.Fatal("ckpt+rebalance accepted")
+	}
+}

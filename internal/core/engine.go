@@ -1,0 +1,893 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"slfe/internal/balance"
+	"slfe/internal/bitset"
+	"slfe/internal/ckpt"
+	"slfe/internal/comm"
+	"slfe/internal/compress"
+	"slfe/internal/graph"
+	"slfe/internal/metrics"
+	"slfe/internal/partition"
+	"slfe/internal/rrg"
+	"slfe/internal/ws"
+)
+
+// Config configures one worker's engine. Every worker of a cluster must use
+// an identical configuration apart from Comm (which carries the rank).
+type Config struct {
+	Graph *graph.Graph
+	Comm  *comm.Comm         // communication group (required)
+	Part  *partition.Chunked // vertex ownership (required)
+
+	// RR enables redundancy reduction; Guidance must then be set.
+	RR       bool
+	Guidance *rrg.Guidance
+
+	// Threads is the intra-worker thread count (<=0: GOMAXPROCS); Stealing
+	// enables the §3.6 work-stealing scheduler.
+	Threads  int
+	Stealing bool
+
+	// DenseDivisor sets the push/pull switch: pull when the frontier's
+	// outgoing edges exceed |E|/DenseDivisor (default 20, Gemini's
+	// heuristic).
+	DenseDivisor int64
+
+	// TrackLastChange records the last iteration each vertex's value
+	// changed (used by the Figure 2 early-convergence analysis).
+	TrackLastChange bool
+
+	// Codec serialises delta-sync and push-proposal messages (nil:
+	// compress.Raw). All workers must agree.
+	Codec compress.Codec
+
+	// Ckpt enables Pregel-style superstep checkpointing: every
+	// Ckpt.Interval() supersteps each worker writes its shard, and with
+	// Ckpt.Resume the run restarts from the latest complete checkpoint.
+	// Incompatible with Rebalance (owned ranges are not part of the
+	// snapshot).
+	Ckpt *ckpt.Manager
+
+	// Rebalance enables dynamic inter-node boundary adjustment (the §5
+	// future-work item, implemented in internal/balance): every
+	// RebalanceEvery iterations workers exchange their window compute
+	// times and deterministically re-split the ownership boundaries.
+	Rebalance bool
+	// RebalanceEvery is the measurement window in iterations (default 4).
+	RebalanceEvery int
+	// RebalanceDamping in (0,1] scales each boundary move (default 0.5).
+	RebalanceDamping float64
+}
+
+// Result is returned by Run on every worker; Values are synchronised, so
+// all workers return identical values.
+type Result struct {
+	Values     []Value
+	Iterations int
+	Metrics    *metrics.Run
+	// LastChange[v] is the last iteration v's value changed (-1 if never);
+	// populated when Config.TrackLastChange is set.
+	LastChange []int32
+	// ECCount is the number of early-converged vertices at termination
+	// (arith programs with RR).
+	ECCount int64
+}
+
+// Engine executes Programs on one worker.
+type Engine struct {
+	cfg   Config
+	g     *graph.Graph
+	comm  *comm.Comm
+	sched *ws.Scheduler
+	lo    graph.VertexID // owned range
+	hi    graph.VertexID
+	reb   *rebalancer // nil unless Config.Rebalance
+}
+
+// rebalancer accumulates the measurement window for dynamic boundary
+// adjustment. Every worker holds an identical replica of ranges: the plan
+// is computed from AllGathered times with the same pure function, so the
+// replicas stay in lockstep without a coordinator.
+type rebalancer struct {
+	ranges  *balance.Ranges
+	window  time.Duration
+	iters   int
+	every   int
+	damping float64
+}
+
+// New validates the configuration and builds a worker engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("core: Config.Graph is required")
+	}
+	if cfg.Comm == nil {
+		return nil, errors.New("core: Config.Comm is required")
+	}
+	if cfg.Part == nil {
+		return nil, errors.New("core: Config.Part is required")
+	}
+	if cfg.Part.Nodes() != cfg.Comm.Size() {
+		return nil, fmt.Errorf("core: partition has %d nodes but comm size is %d", cfg.Part.Nodes(), cfg.Comm.Size())
+	}
+	if cfg.RR && cfg.Guidance == nil {
+		return nil, errors.New("core: RR requires Guidance")
+	}
+	if cfg.RR && len(cfg.Guidance.LastIter) != cfg.Graph.NumVertices() {
+		return nil, errors.New("core: guidance size does not match graph")
+	}
+	if cfg.DenseDivisor <= 0 {
+		cfg.DenseDivisor = 20
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = compress.Raw{}
+	}
+	if cfg.Ckpt != nil && cfg.Rebalance {
+		return nil, errors.New("core: checkpointing with dynamic rebalancing is not supported (owned ranges are not part of the snapshot)")
+	}
+	e := &Engine{
+		cfg:   cfg,
+		g:     cfg.Graph,
+		comm:  cfg.Comm,
+		sched: ws.New(cfg.Threads, cfg.Stealing),
+	}
+	e.lo, e.hi = cfg.Part.Range(cfg.Comm.Rank())
+	if cfg.Rebalance {
+		k := cfg.Part.Nodes()
+		bounds := make([]uint32, k+1)
+		for i := 0; i < k; i++ {
+			lo, _ := cfg.Part.Range(i)
+			bounds[i] = lo
+		}
+		_, bounds[k] = cfg.Part.Range(k - 1)
+		ranges, err := balance.NewRanges(bounds)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition boundaries: %w", err)
+		}
+		every := cfg.RebalanceEvery
+		if every <= 0 {
+			every = 4
+		}
+		damping := cfg.RebalanceDamping
+		if damping <= 0 || damping > 1 {
+			damping = 0.5
+		}
+		e.reb = &rebalancer{ranges: ranges, every: every, damping: damping}
+	}
+	return e, nil
+}
+
+// owner returns the worker currently owning v, honouring dynamic ranges.
+func (e *Engine) owner(v graph.VertexID) int {
+	if e.reb != nil {
+		return e.reb.ranges.Owner(v)
+	}
+	return e.cfg.Part.Owner(v)
+}
+
+// maybeRebalance closes one iteration of the measurement window and, at
+// window boundaries, re-splits the ownership ranges from the AllGathered
+// per-worker compute times. onAcquire is invoked for every vertex the
+// worker newly acquired, before the boundaries take effect, so loop-
+// specific state (e.g. "start late" catch-up debt) can be made safe.
+func (e *Engine) maybeRebalance(st *state, iterTime time.Duration, onAcquire func(v graph.VertexID)) error {
+	if e.reb == nil {
+		return nil
+	}
+	e.reb.window += iterTime
+	e.reb.iters++
+	if e.reb.iters < e.reb.every {
+		return nil
+	}
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], math.Float64bits(e.reb.window.Seconds()))
+	blobs, err := e.comm.AllGather(payload[:])
+	if err != nil {
+		return err
+	}
+	times := make([]float64, len(blobs))
+	for rank, b := range blobs {
+		if len(b) != 8 {
+			return fmt.Errorf("core: rebalance payload from rank %d has %d bytes", rank, len(b))
+		}
+		times[rank] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	next, err := balance.Plan(e.reb.ranges, times, e.reb.damping)
+	if err != nil {
+		return err
+	}
+	oldLo, oldHi := e.lo, e.hi
+	newLo, newHi := next.Range(e.comm.Rank())
+	if newLo != oldLo || newHi != oldHi {
+		st.run.Rebalances++
+		if onAcquire != nil {
+			for v := newLo; v < newHi; v++ {
+				if v < oldLo || v >= oldHi {
+					onAcquire(graph.VertexID(v))
+				}
+			}
+		}
+		e.lo, e.hi = newLo, newHi
+	}
+	e.reb.ranges = next
+	e.reb.window = 0
+	e.reb.iters = 0
+	return nil
+}
+
+// Run executes the program to convergence and returns the synchronised
+// result.
+func (e *Engine) Run(p *Program) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var res *Result
+	var err error
+	if p.Agg == MinMax {
+		res, err = e.runMinMax(p)
+	} else {
+		res, err = e.runArith(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics.Total = time.Since(start)
+	return res, nil
+}
+
+// state is the per-run mutable state shared by both loops.
+type state struct {
+	values     []Value
+	lastChange []int32
+	run        *metrics.Run
+}
+
+func (e *Engine) newState(p *Program) *state {
+	n := e.g.NumVertices()
+	st := &state{
+		values: make([]Value, n),
+		run:    &metrics.Run{},
+	}
+	for v := 0; v < n; v++ {
+		st.values[v] = p.InitValue(e.g, graph.VertexID(v))
+	}
+	if e.cfg.TrackLastChange {
+		st.lastChange = make([]int32, n)
+		for i := range st.lastChange {
+			st.lastChange[i] = -1
+		}
+	}
+	return st
+}
+
+// markChanged records a value change for Figure 2 tracking.
+func (st *state) markChanged(v graph.VertexID, iter int) {
+	if st.lastChange != nil {
+		st.lastChange[v] = int32(iter)
+	}
+}
+
+// syncOwned broadcasts this worker's changed owned vertices and applies
+// every worker's changes to values and the next frontier. Returns the
+// global number of changed vertices.
+func (e *Engine) syncOwned(st *state, changed *bitset.Atomic, frontier *bitset.Atomic, iter int) (int64, error) {
+	var ids []graph.VertexID
+	var vals []Value
+	for v := e.lo; v < e.hi; v++ {
+		if changed.Get(int(v)) {
+			ids = append(ids, v)
+			vals = append(vals, st.values[v])
+		}
+	}
+	blobs, err := e.comm.AllGather(e.cfg.Codec.Encode(ids, vals))
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	n := e.g.NumVertices()
+	for rank, blob := range blobs {
+		err := e.cfg.Codec.Decode(blob, func(id graph.VertexID, val Value) error {
+			if int(id) >= n {
+				return fmt.Errorf("core: delta for out-of-range vertex %d", id)
+			}
+			if rank != e.comm.Rank() {
+				st.values[id] = val
+			}
+			if frontier != nil {
+				frontier.Set(int(id))
+			}
+			st.markChanged(id, iter)
+			total++
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// hasActiveIn reports whether any of the given in-neighbours is active
+// (short-circuiting bitmap probe).
+func hasActiveIn(frontier *bitset.Atomic, ins []graph.VertexID) bool {
+	for _, u := range ins {
+		if frontier.Get(int(u)) {
+			return true
+		}
+	}
+	return false
+}
+
+// frontierOutEdges sums the out-degrees of the frontier (the push/pull
+// switch statistic); the frontier is globally consistent, so every worker
+// computes the same value locally.
+func (e *Engine) frontierOutEdges(frontier *bitset.Atomic) int64 {
+	var sum int64
+	frontier.Range(func(i int) bool {
+		sum += e.g.OutDegree(graph.VertexID(i))
+		return true
+	})
+	return sum
+}
+
+// collectBits lists the set indices of b in ascending order.
+func collectBits(b *bitset.Atomic) []uint32 {
+	var ids []uint32
+	b.Range(func(i int) bool {
+		ids = append(ids, uint32(i))
+		return true
+	})
+	return ids
+}
+
+// restoreBits sets the listed indices in b (which must be large enough).
+func restoreBits(b *bitset.Atomic, ids []uint32) error {
+	for _, id := range ids {
+		if int(id) >= b.Len() {
+			return fmt.Errorf("core: checkpoint bit %d outside graph of %d vertices", id, b.Len())
+		}
+		b.Set(int(id))
+	}
+	return nil
+}
+
+// loadCheckpoint returns the worker's shard from the latest complete
+// checkpoint, or nil if resuming is off or no checkpoint exists.
+func (e *Engine) loadCheckpoint(p *Program, kind ckpt.Kind) (*ckpt.State, error) {
+	m := e.cfg.Ckpt
+	if m == nil || !m.Resume {
+		return nil, nil
+	}
+	iter, err := m.LatestComplete(e.comm.Size())
+	if err != nil {
+		return nil, err
+	}
+	if iter < 0 {
+		return nil, nil
+	}
+	s, err := m.Load(iter, e.comm.Rank())
+	if err != nil {
+		return nil, err
+	}
+	if s.Program != p.Name {
+		return nil, fmt.Errorf("core: checkpoint is for program %q, running %q", s.Program, p.Name)
+	}
+	if s.Kind != kind {
+		return nil, fmt.Errorf("core: checkpoint kind %d does not match loop %d", s.Kind, kind)
+	}
+	if len(s.Values) != e.g.NumVertices() {
+		return nil, fmt.Errorf("core: checkpoint has %d values for a graph of %d vertices", len(s.Values), e.g.NumVertices())
+	}
+	return s, nil
+}
+
+// runMinMax is the frontier-driven loop for comparison aggregations with
+// the "start late" rule of Algorithm 2 (single Ruler).
+func (e *Engine) runMinMax(p *Program) (*Result, error) {
+	n := e.g.NumVertices()
+	st := e.newState(p)
+	frontier := bitset.NewAtomic(n)
+	changed := bitset.NewAtomic(n)
+	// caughtUp marks owned vertices that performed their full catch-up
+	// scan; debt marks owned vertices suppressed at least once and not yet
+	// caught up.
+	var caughtUp, debt *bitset.Atomic
+	if e.cfg.RR {
+		caughtUp = bitset.NewAtomic(n)
+		debt = bitset.NewAtomic(n)
+	}
+	for _, r := range p.Roots {
+		if int(r) < n {
+			frontier.Set(int(r))
+			st.markChanged(r, 0)
+		}
+	}
+	scratch := make([]Value, n)
+
+	iter := 0 // the Ruler of Algorithm 2
+	if snap, err := e.loadCheckpoint(p, ckpt.MinMax); err != nil {
+		return nil, err
+	} else if snap != nil {
+		copy(st.values, snap.Values)
+		frontier.Reset()
+		if err := restoreBits(frontier, snap.Sets["frontier"]); err != nil {
+			return nil, err
+		}
+		if e.cfg.RR {
+			if err := restoreBits(caughtUp, snap.Sets["caughtup"]); err != nil {
+				return nil, err
+			}
+			if err := restoreBits(debt, snap.Sets["debt"]); err != nil {
+				return nil, err
+			}
+		}
+		iter = int(snap.Iter) + 1
+	}
+	threads := e.sched.Threads()
+	for superstep := 0; superstep < 4*n+16; superstep++ {
+		active := int64(frontier.Count())
+
+		// globalDebt counts vertices that were suppressed while an update
+		// was available and have not caught up yet.
+		var globalDebt int64
+		if e.cfg.RR {
+			var localDebt int64
+			for v := e.lo; v < e.hi; v++ {
+				if debt.Get(int(v)) {
+					localDebt++
+				}
+			}
+			var err error
+			globalDebt, err = e.comm.AllReduceI64(localDebt, comm.OpSum)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		if active == 0 && globalDebt == 0 {
+			break // no active work and no debt anywhere: done
+		}
+		if active == 0 {
+			// "Start late" still owes catch-up scans but no updates are in
+			// flight: advance the Ruler straight to the earliest pending
+			// LastIter so the schedule continues without idle rounds.
+			pending := int64(math.MaxInt64)
+			for v := e.lo; v < e.hi; v++ {
+				if debt.Get(int(v)) {
+					if li := int64(e.cfg.Guidance.LastIter[v]); li < pending {
+						pending = li
+					}
+				}
+			}
+			global, err := e.comm.AllReduceI64(pending, comm.OpMin)
+			if err != nil {
+				return nil, err
+			}
+			if int(global) > iter {
+				iter = int(global)
+			}
+		}
+
+		// The push/pull switch (Gemini's heuristic), with one refinement:
+		// while "start late" debt is outstanding the engine stays in pull
+		// mode, where catch-up scans repay the debt progressively as the
+		// Ruler passes each vertex's LastIter. This realises Algorithm 3's
+		// correctness rule (updates suppressed in pull must be re-delivered
+		// before push) without its reactivate-all |E|-relaxation spike —
+		// under per-edge activity accounting the extra pull rounds cost
+		// only bitmap bookkeeping, whereas each reactivation re-relaxes
+		// every edge and, with suppression re-accruing debt, can ping-pong.
+		outEdges := e.frontierOutEdges(frontier)
+		pullMode := active == 0 || globalDebt > 0 ||
+			outEdges > e.g.NumEdges()/e.cfg.DenseDivisor
+
+		stat := metrics.IterStat{Iter: iter, ActiveVerts: active}
+		comps := make([]int64, threads)
+		updates := make([]int64, threads)
+		suppressed := make([]int64, threads)
+		catchups := make([]int64, threads)
+		changed.Reset()
+		computeStart := time.Now()
+
+		if pullMode {
+			stat.Mode = metrics.Pull
+			ruler := uint32(iter)
+			// The parallel phase only reads values and stages improvements
+			// in scratch (BSP-pure, race-free); the serial loop below
+			// commits them.
+			wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
+				for v := clo; v < chi; v++ {
+					vid := graph.VertexID(v)
+					ins, iws := e.g.InNeighbors(vid), e.g.InWeights(vid)
+					if e.cfg.RR && !caughtUp.Get(int(v)) {
+						// Algorithm 2, pullEdge_singleRuler: an O(1) Ruler
+						// test delays the vertex until iteration
+						// RRG[v].lastIter. The saving is the relaxations the
+						// baseline would perform below. Debt — the obligation
+						// to re-collect all inputs later — is only incurred
+						// when an update was actually available (an active
+						// in-neighbour existed) while suppressed; the
+						// activity probe is bitmap bookkeeping, not a §2.2
+						// computation.
+						if ruler < e.cfg.Guidance.LastIter[v] {
+							suppressed[th]++
+							if !debt.Get(int(v)) && hasActiveIn(frontier, ins) {
+								debt.Set(int(v))
+							}
+							continue
+						}
+						caughtUp.Set(int(v))
+						if debt.Get(int(v)) {
+							// First eligible pull after suppression:
+							// pullFunc over every in-edge regardless of
+							// source activity (§3.2: "requires vx to
+							// collect the inputs from all of them"), which
+							// repays the updates suppression skipped.
+							best := st.values[vid]
+							for i, u := range ins {
+								comps[th]++
+								cand := p.Relax(st.values[u], iws[i])
+								if p.Better(cand, best) {
+									best = cand
+								}
+							}
+							catchups[th]++
+							debt.Clear(int(v))
+							if p.Better(best, st.values[vid]) {
+								scratch[v] = best
+								changed.Set(int(v))
+							}
+							continue
+						}
+						// Never suppressed: baseline path below.
+					}
+					// Baseline dense pull, Gemini's signal/slot accounting:
+					// relax exactly the in-edges whose source is active this
+					// round (the per-edge activity test is cheap bitmap
+					// bookkeeping; the relaxations are the heavyweight
+					// computations of §2.2). The total is therefore one
+					// relaxation per (update, out-edge) event regardless of
+					// scheduling, and "start late" reduces it by suppressing
+					// a vertex's events outright — all but the one catch-up
+					// scan above, which alone pays the full in-degree.
+					best := st.values[vid]
+					for i, u := range ins {
+						if !frontier.Get(int(u)) {
+							continue
+						}
+						comps[th]++
+						cand := p.Relax(st.values[u], iws[i])
+						if p.Better(cand, best) {
+							best = cand
+						}
+					}
+					if p.Better(best, st.values[vid]) {
+						scratch[v] = best
+						changed.Set(int(v))
+					}
+				}
+			})
+			st.run.Steals += wsStats.Steals
+			for v := e.lo; v < e.hi; v++ {
+				if changed.Get(int(v)) {
+					st.values[v] = scratch[v]
+					// One committed value change is one "update" (the
+					// Table 2 metric).
+					updates[0]++
+				}
+			}
+		} else {
+			stat.Mode = metrics.Push
+			// Push is only entered with zero outstanding debt (see the mode
+			// switch above), so Algorithm 3's reactivate-all re-delivery is
+			// never needed; the assertion documents the invariant.
+			if e.cfg.RR && globalDebt != 0 {
+				return nil, errors.New("core: internal: push entered with outstanding catch-up debt")
+			}
+			// Source-side push with sender-side combining.
+			props := make([]map[graph.VertexID]Value, threads)
+			for i := range props {
+				props[i] = make(map[graph.VertexID]Value)
+			}
+			wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
+				pm := props[th]
+				for v := clo; v < chi; v++ {
+					if !frontier.Get(int(v)) {
+						continue
+					}
+					vid := graph.VertexID(v)
+					outs, ows := e.g.OutNeighbors(vid), e.g.OutWeights(vid)
+					for i, u := range outs {
+						cand := p.Relax(st.values[vid], ows[i])
+						comps[th]++
+						if prev, ok := pm[u]; !ok || p.Better(cand, prev) {
+							pm[u] = cand
+						}
+					}
+				}
+			})
+			st.run.Steals += wsStats.Steals
+			if err := e.exchangeProposals(p, st, props, changed, &updates[0]); err != nil {
+				return nil, err
+			}
+		}
+		stat.Time = time.Since(computeStart)
+		for th := 0; th < threads; th++ {
+			stat.Computations += comps[th]
+			stat.Updates += updates[th]
+			stat.Suppressed += suppressed[th]
+			stat.CatchUps += catchups[th]
+		}
+
+		syncStart := time.Now()
+		frontier.Reset()
+		if _, err := e.syncOwned(st, changed, frontier, iter); err != nil {
+			return nil, err
+		}
+		st.run.SyncTime += time.Since(syncStart)
+		st.run.Add(stat)
+		// Dynamic rebalancing: vertices acquired from another worker may
+		// carry unknown "start late" suppression history there, so they are
+		// conservatively marked as debt — the catch-up scan re-pulls every
+		// in-edge, repairing any update the previous owner suppressed.
+		err := e.maybeRebalance(st, stat.Time, func(v graph.VertexID) {
+			if e.cfg.RR && !caughtUp.Get(int(v)) {
+				debt.Set(int(v))
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if e.cfg.Ckpt != nil && e.cfg.Ckpt.ShouldSave(iter) {
+			snap := &ckpt.State{
+				Program: p.Name, Kind: ckpt.MinMax, Iter: uint32(iter),
+				Values: st.values,
+				Sets:   map[string][]uint32{"frontier": collectBits(frontier)},
+			}
+			if e.cfg.RR {
+				snap.Sets["caughtup"] = collectBits(caughtUp)
+				snap.Sets["debt"] = collectBits(debt)
+			}
+			if err := e.cfg.Ckpt.Save(e.comm.Rank(), snap); err != nil {
+				return nil, err
+			}
+		}
+		iter++
+	}
+
+	res := &Result{
+		Values:     st.values,
+		Iterations: len(st.run.Iters),
+		Metrics:    st.run,
+		LastChange: st.lastChange,
+	}
+	return res, nil
+}
+
+// exchangeProposals routes push proposals to their owners, merges them, and
+// marks changed owned vertices.
+func (e *Engine) exchangeProposals(p *Program, st *state, props []map[graph.VertexID]Value, changed *bitset.Atomic, updates *int64) error {
+	// Merge thread-local proposal maps, splitting by owner.
+	size := e.comm.Size()
+	perOwner := make([]map[graph.VertexID]Value, size)
+	for i := range perOwner {
+		perOwner[i] = make(map[graph.VertexID]Value)
+	}
+	for _, pm := range props {
+		for dst, val := range pm {
+			owner := e.owner(dst)
+			if prev, ok := perOwner[owner][dst]; !ok || p.Better(val, prev) {
+				perOwner[owner][dst] = val
+			}
+		}
+	}
+	blobs := make([][]byte, size)
+	for r, m := range perOwner {
+		// Sort ids so the codec sees ascending order (VarintXOR needs it)
+		// and the wire format is deterministic.
+		ids := make([]graph.VertexID, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		vals := make([]Value, len(ids))
+		for i, id := range ids {
+			vals[i] = m[id]
+		}
+		blobs[r] = e.cfg.Codec.Encode(ids, vals)
+	}
+	got, err := e.comm.AllToAll(blobs)
+	if err != nil {
+		return err
+	}
+	for _, blob := range got {
+		err := e.cfg.Codec.Decode(blob, func(id graph.VertexID, val Value) error {
+			if id < e.lo || id >= e.hi {
+				return fmt.Errorf("core: proposal for non-owned vertex %d", id)
+			}
+			if p.Better(val, st.values[id]) {
+				st.values[id] = val
+				changed.Set(int(id))
+				*updates++
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runArith is the all-vertex pull loop for arithmetic aggregations with the
+// "finish early" rule of Algorithm 5 (multi Ruler: the per-vertex stability
+// counter).
+func (e *Engine) runArith(p *Program) (*Result, error) {
+	n := e.g.NumVertices()
+	st := e.newState(p)
+	changed := bitset.NewAtomic(n)
+	// RulerS of Algorithm 2 / stableCnt of Algorithm 5.
+	stableCnt := make([]uint32, n)
+	stableVal := make([]Value, n)
+	for v := 0; v < n; v++ {
+		stableVal[v] = st.values[v]
+	}
+	scratch := make([]Value, n)
+	threads := e.sched.Threads()
+	maxIters := p.maxItersOrDefault()
+
+	// A vertex is early-converged once its stability streak strictly
+	// exceeds its lastIter (§2.2: "x > its maximum/latest propagation
+	// level"; Algorithm 5's pseudo-code tests stableCnt < lastIter, but the
+	// strict prose version is required for correctness — an update can
+	// arrive exactly one round after lastIter when contributions cancel
+	// transiently, e.g. opposing evidence in BeliefPropagation). ECSlack
+	// widens the margin further for programs that want extra safety.
+	slack := uint32(1)
+	if p.ECSlack > 1 {
+		slack = uint32(p.ECSlack)
+	}
+	ecFrozen := func(v graph.VertexID) bool {
+		return stableCnt[v] >= e.cfg.Guidance.LastIter[v]+slack
+	}
+
+	startIter := 0
+	if snap, err := e.loadCheckpoint(p, ckpt.Arith); err != nil {
+		return nil, err
+	} else if snap != nil {
+		if len(snap.StableCnt) != n || len(snap.StableVal) != n {
+			return nil, fmt.Errorf("core: checkpoint stability arrays sized %d/%d for %d vertices",
+				len(snap.StableCnt), len(snap.StableVal), n)
+		}
+		copy(st.values, snap.Values)
+		copy(stableCnt, snap.StableCnt)
+		copy(stableVal, snap.StableVal)
+		startIter = int(snap.Iter) + 1
+	}
+
+	var ecCount int64
+	for iter := startIter; iter < maxIters; iter++ {
+		stat := metrics.IterStat{Iter: iter, Mode: metrics.Pull, ActiveVerts: int64(n)}
+		comps := make([]int64, threads)
+		suppressed := make([]int64, threads)
+		var maxLocalDelta float64
+		changed.Reset()
+		computeStart := time.Now()
+
+		wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
+			for v := clo; v < chi; v++ {
+				vid := graph.VertexID(v)
+				// Algorithm 5 line 15: compute only while the stability
+				// streak is within the vertex's LastIter+slack; afterwards
+				// the vertex is early-converged and its cached value is
+				// reused ("finish early"). The +slack also guarantees every
+				// vertex computes at least once before freezing (vertices
+				// with no reachable in-neighbours have LastIter 0).
+				if e.cfg.RR && ecFrozen(vid) {
+					suppressed[th]++
+					continue
+				}
+				acc := p.GatherInit
+				ins, ws := e.g.InNeighbors(vid), e.g.InWeights(vid)
+				for i, u := range ins {
+					acc = p.Gather(acc, st.values[u], ws[i])
+					comps[th]++
+				}
+				scratch[v] = p.Apply(e.g, vid, acc, st.values[vid])
+			}
+		})
+		st.run.Steals += wsStats.Steals
+
+		// vertexUpdate (Algorithm 5 lines 13-18): stability bookkeeping and
+		// committing new values, single-threaded over the owned range.
+		for v := e.lo; v < e.hi; v++ {
+			if e.cfg.RR && ecFrozen(graph.VertexID(v)) {
+				continue
+			}
+			newVal := scratch[v]
+			if p.stable(newVal, stableVal[v]) {
+				stableCnt[v]++
+			} else {
+				stableCnt[v] = 0
+				stableVal[v] = newVal
+			}
+			if d := math.Abs(newVal - st.values[v]); d > 0 {
+				if d > maxLocalDelta {
+					maxLocalDelta = d
+				}
+				st.values[v] = newVal
+				changed.Set(int(v))
+			}
+		}
+		for th := 0; th < threads; th++ {
+			stat.Computations += comps[th]
+			stat.Suppressed += suppressed[th]
+		}
+		stat.Updates = int64(changed.CountRange(int(e.lo), int(e.hi)))
+		stat.Time = time.Since(computeStart)
+
+		syncStart := time.Now()
+		if _, err := e.syncOwned(st, changed, nil, iter); err != nil {
+			return nil, err
+		}
+		st.run.SyncTime += time.Since(syncStart)
+
+		// Global termination checks.
+		maxDelta, err := e.comm.AllReduceF64(maxLocalDelta, comm.OpMax)
+		if err != nil {
+			return nil, err
+		}
+		var localEC int64
+		if e.cfg.RR {
+			for v := e.lo; v < e.hi; v++ {
+				if ecFrozen(graph.VertexID(v)) {
+					localEC++
+				}
+			}
+		}
+		ecCount, err = e.comm.AllReduceI64(localEC, comm.OpSum)
+		if err != nil {
+			return nil, err
+		}
+		stat.ECGlobal = ecCount
+		st.run.Add(stat)
+		// Acquired vertices start with a zeroed local stability streak, so
+		// they simply recompute until they stabilise again — no transfer of
+		// stableCnt is needed for correctness.
+		if err := e.maybeRebalance(st, stat.Time, nil); err != nil {
+			return nil, err
+		}
+		if e.cfg.Ckpt != nil && e.cfg.Ckpt.ShouldSave(iter) {
+			snap := &ckpt.State{
+				Program: p.Name, Kind: ckpt.Arith, Iter: uint32(iter),
+				Values: st.values, StableCnt: stableCnt, StableVal: stableVal,
+			}
+			if err := e.cfg.Ckpt.Save(e.comm.Rank(), snap); err != nil {
+				return nil, err
+			}
+		}
+		if p.Epsilon > 0 && maxDelta <= p.Epsilon {
+			break
+		}
+		if e.cfg.RR && ecCount == int64(n) {
+			break
+		}
+	}
+
+	return &Result{
+		Values:     st.values,
+		Iterations: len(st.run.Iters),
+		Metrics:    st.run,
+		LastChange: st.lastChange,
+		ECCount:    ecCount,
+	}, nil
+}

@@ -1,0 +1,137 @@
+// Package core implements the SLFE execution engine (§3 of the paper): a
+// BSP, vertex-centric, dual-mode (push/pull) distributed runtime whose pull
+// path applies redundancy-reduction guidance — "start late" scheduling for
+// min/max aggregations (Algorithm 2, single Ruler), "finish early"
+// early-convergence detection for arithmetic aggregations (Algorithm 5,
+// per-vertex RulerS) — with the pull-to-push reactivation rule of
+// Algorithm 3 preserving correctness.
+//
+// Applications are expressed as a declarative Program: the engine owns the
+// edgeProc traversal (Table 3's APIs) and calls the program's relaxation /
+// gather / apply hooks, which keeps user code as small as Algorithms 4-5.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"slfe/internal/graph"
+)
+
+// Value is the vertex property type shared by all applications.
+type Value = float64
+
+// AggKind classifies a program by its core aggregation function (Table 1).
+type AggKind int
+
+// Aggregation classes.
+const (
+	// MinMax programs (SSSP, CC, WidestPath, BFS, ...) aggregate with a
+	// comparison; they are frontier-driven and use the "start late" rule.
+	MinMax AggKind = iota
+	// Arith programs (PageRank, TunkRank, NumPaths, ...) aggregate with
+	// sum/product; they always pull (§3.3 footnote) and use "finish early".
+	Arith
+)
+
+func (k AggKind) String() string {
+	if k == Arith {
+		return "arith"
+	}
+	return "min/max"
+}
+
+// Program declares one graph application.
+type Program struct {
+	// Name identifies the program in logs and experiment tables.
+	Name string
+	// Agg selects the aggregation class.
+	Agg AggKind
+
+	// InitValue returns the initial property of v (e.g. 0 for roots, +Inf
+	// elsewhere in SSSP). Must be deterministic: every worker calls it.
+	InitValue func(g *graph.Graph, v graph.VertexID) Value
+
+	// Roots are the initially active vertices (MinMax programs).
+	Roots []graph.VertexID
+
+	// --- MinMax hooks ---
+
+	// Relax proposes a value for the destination of an edge carrying the
+	// source's value (SSSP: src+w; WidestPath: min(src, w); CC: src).
+	Relax func(srcVal Value, w float32) Value
+	// Better reports whether a beats b under the aggregation order
+	// (SSSP/CC: a < b; WidestPath: a > b).
+	Better func(a, b Value) bool
+
+	// --- Arith hooks ---
+
+	// GatherInit is the accumulator's identity value (0 for sum).
+	GatherInit Value
+	// Gather folds one in-edge into the accumulator (PR: acc + srcVal).
+	Gather func(acc Value, srcVal Value, w float32) Value
+	// Apply is the vertexUpdate vOp: combines the accumulator and the
+	// vertex's previous property into its next property
+	// (PR: (0.15+0.85*acc)/outdeg, ignoring prev).
+	Apply func(g *graph.Graph, v graph.VertexID, acc, prev Value) Value
+	// MaxIters bounds arith iterations (0 means the engine default of 100).
+	MaxIters int
+	// Epsilon terminates when the largest property change of an iteration
+	// falls below it (0 keeps iterating until MaxIters or all-EC).
+	Epsilon float64
+	// StableEps is the relative equality tolerance for the stability
+	// counter of Algorithm 5 (0 means exact equality). The paper relies on
+	// float32 hardware precision to make successive ranks compare equal
+	// (§2.2); with float64 properties an explicit tolerance plays that
+	// role.
+	StableEps float64
+	// ECSlack is the number of stable rounds beyond lastIter required
+	// before a vertex is declared early-converged (values <= 1 mean 1,
+	// i.e. the paper's strict "x > lastIter" rule). Programs whose updates
+	// can transiently cancel for several rounds may raise it.
+	ECSlack int
+}
+
+// Validate reports the first structural problem with the program.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return errors.New("core: program needs a name")
+	}
+	if p.InitValue == nil {
+		return fmt.Errorf("core: program %s needs InitValue", p.Name)
+	}
+	switch p.Agg {
+	case MinMax:
+		if p.Relax == nil || p.Better == nil {
+			return fmt.Errorf("core: min/max program %s needs Relax and Better", p.Name)
+		}
+		if len(p.Roots) == 0 {
+			return fmt.Errorf("core: min/max program %s needs roots", p.Name)
+		}
+	case Arith:
+		if p.Gather == nil || p.Apply == nil {
+			return fmt.Errorf("core: arith program %s needs Gather and Apply", p.Name)
+		}
+	default:
+		return fmt.Errorf("core: program %s has unknown aggregation %d", p.Name, p.Agg)
+	}
+	return nil
+}
+
+// maxItersOrDefault returns the iteration bound.
+func (p *Program) maxItersOrDefault() int {
+	if p.MaxIters > 0 {
+		return p.MaxIters
+	}
+	return 100
+}
+
+// stable reports whether two successive values are equal under the
+// relative tolerance StableEps.
+func (p *Program) stable(a, b Value) bool {
+	if p.StableEps == 0 {
+		return a == b
+	}
+	return math.Abs(a-b) <= p.StableEps*math.Max(math.Abs(a), math.Abs(b))
+}

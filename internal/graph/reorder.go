@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relabel returns a copy of g with vertex v renamed to perm[v]. perm must
+// be a permutation of [0, |V|). Relabelling changes nothing semantically
+// but everything physically: CSR locality follows vertex numbering, so
+// orderings that place hot vertices together (degree order) or neighbours
+// together (BFS order) change cache behaviour, chunked-partition balance
+// and mini-chunk stealing patterns.
+func (g *Graph) Relabel(perm []VertexID) (*Graph, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation has %d entries for %d vertices", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if int64(p) >= int64(n) || seen[p] {
+			return nil, fmt.Errorf("graph: perm is not a permutation (duplicate or out-of-range %d)", p)
+		}
+		seen[p] = true
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := 0; v < n; v++ {
+		id := VertexID(v)
+		outs, ws := g.OutNeighbors(id), g.OutWeights(id)
+		for i, u := range outs {
+			edges = append(edges, Edge{Src: perm[v], Dst: perm[u], Weight: ws[i]})
+		}
+	}
+	return Build(n, edges)
+}
+
+// DegreeOrder returns a permutation placing vertices in descending
+// (out+in)-degree order: hubs get the smallest ids, concentrating the hot
+// rows of the CSR at its front.
+func DegreeOrder(g *Graph) []VertexID {
+	n := g.NumVertices()
+	order := make([]VertexID, n)
+	for v := range order {
+		order[v] = VertexID(v)
+	}
+	deg := func(v VertexID) int64 { return g.OutDegree(v) + g.InDegree(v) }
+	sort.SliceStable(order, func(i, j int) bool { return deg(order[i]) > deg(order[j]) })
+	// order[rank] = old id; perm[old id] = rank.
+	perm := make([]VertexID, n)
+	for rank, old := range order {
+		perm[old] = VertexID(rank)
+	}
+	return perm
+}
+
+// BFSOrder returns a permutation numbering vertices in BFS discovery order
+// from root (unreached vertices keep their relative order after all
+// reached ones). Neighbouring vertices get nearby ids, the classic
+// locality-improving relabelling.
+func BFSOrder(g *Graph, root VertexID) []VertexID {
+	n := g.NumVertices()
+	perm := make([]VertexID, n)
+	visited := make([]bool, n)
+	next := VertexID(0)
+	if n == 0 {
+		return perm
+	}
+	if int64(root) >= int64(n) {
+		root = 0
+	}
+	queue := []VertexID{root}
+	visited[root] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		perm[v] = next
+		next++
+		for _, u := range g.OutNeighbors(v) {
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			perm[v] = next
+			next++
+		}
+	}
+	return perm
+}
+
+// InversePerm returns the inverse permutation (mapping new ids back to the
+// originals), used to translate relabelled results back.
+func InversePerm(perm []VertexID) []VertexID {
+	inv := make([]VertexID, len(perm))
+	for old, new := range perm {
+		inv[new] = VertexID(old)
+	}
+	return inv
+}

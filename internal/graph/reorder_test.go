@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ladder() *Graph {
+	return MustBuild(6, []Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 2},
+		{Src: 2, Dst: 3, Weight: 3}, {Src: 3, Dst: 4, Weight: 4},
+		{Src: 4, Dst: 5, Weight: 5}, {Src: 0, Dst: 5, Weight: 6},
+	})
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	g := ladder()
+	perm := []VertexID{0, 1, 2, 3, 4, 5}
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := g.Edges(nil), h.Edges(nil)
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := ladder()
+	perm := []VertexID{5, 4, 3, 2, 1, 0} // reversal
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != g.NumEdges() || h.NumVertices() != g.NumVertices() {
+		t.Fatal("size changed")
+	}
+	// Edge (0 -> 1, w=1) must appear as (5 -> 4, w=1).
+	found := false
+	for i, u := range h.OutNeighbors(5) {
+		if u == 4 && h.OutWeights(5)[i] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("relabelled edge missing")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabelRejectsBadPerms(t *testing.T) {
+	g := ladder()
+	for _, perm := range [][]VertexID{
+		{0, 1},             // wrong length
+		{0, 1, 2, 3, 4, 4}, // duplicate
+		{0, 1, 2, 3, 4, 9}, // out of range
+	} {
+		if _, err := g.Relabel(perm); err == nil {
+			t.Fatalf("perm %v accepted", perm)
+		}
+	}
+}
+
+func TestDegreeOrderPutsHubsFirst(t *testing.T) {
+	// Star: vertex 3 is the hub.
+	g := MustBuild(5, []Edge{
+		{Src: 3, Dst: 0}, {Src: 3, Dst: 1}, {Src: 3, Dst: 2}, {Src: 3, Dst: 4},
+		{Src: 0, Dst: 1},
+	})
+	perm := DegreeOrder(g)
+	if perm[3] != 0 {
+		t.Fatalf("hub got rank %d, want 0", perm[3])
+	}
+}
+
+func TestBFSOrderNumbersByDiscovery(t *testing.T) {
+	g := ladder()
+	perm := BFSOrder(g, 0)
+	if perm[0] != 0 {
+		t.Fatalf("root rank %d", perm[0])
+	}
+	// 0's direct successors (1 and 5) must precede 2, 3, 4.
+	if perm[1] > perm[2] || perm[5] > perm[2] {
+		t.Fatalf("BFS order violated: %v", perm)
+	}
+}
+
+func TestBFSOrderCoversUnreached(t *testing.T) {
+	g := MustBuild(4, []Edge{{Src: 0, Dst: 1}}) // 2 and 3 unreachable
+	perm := BFSOrder(g, 0)
+	seen := map[VertexID]bool{}
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatalf("perm not a permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestInversePerm(t *testing.T) {
+	perm := []VertexID{2, 0, 1}
+	inv := InversePerm(perm)
+	for old, new := range perm {
+		if inv[new] != VertexID(old) {
+			t.Fatalf("inv[%d] = %d, want %d", new, inv[new], old)
+		}
+	}
+}
+
+// Property: any valid random permutation preserves degree multiset and
+// validates; orders produced by DegreeOrder/BFSOrder are permutations.
+func TestRelabelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		edges := make([]Edge, rng.Intn(4*n))
+		for i := range edges {
+			edges[i] = Edge{Src: VertexID(rng.Intn(n)), Dst: VertexID(rng.Intn(n)), Weight: float32(rng.Intn(9))}
+		}
+		g := MustBuild(n, edges)
+		perm := rng.Perm(n)
+		p := make([]VertexID, n)
+		for i, x := range perm {
+			p[i] = VertexID(x)
+		}
+		h, err := g.Relabel(p)
+		if err != nil || h.Validate() != nil {
+			return false
+		}
+		// Degree multiset preserved.
+		degs := func(gr *Graph) map[int64]int {
+			m := map[int64]int{}
+			for v := 0; v < gr.NumVertices(); v++ {
+				m[gr.OutDegree(VertexID(v))]++
+			}
+			return m
+		}
+		da, db := degs(g), degs(h)
+		if len(da) != len(db) {
+			return false
+		}
+		for k, v := range da {
+			if db[k] != v {
+				return false
+			}
+		}
+		// Generated orders are permutations.
+		for _, generated := range [][]VertexID{DegreeOrder(g), BFSOrder(g, 0)} {
+			seen := make([]bool, n)
+			for _, x := range generated {
+				if int(x) >= n || seen[x] {
+					return false
+				}
+				seen[x] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package loader reads and writes graphs ("Loading" stage of the SLFE
+// pipeline). Two formats are supported:
+//
+//   - Text edge lists: one "src dst [weight]" triple per line, '#' or '%'
+//     comment lines, whitespace separated. This is the format SNAP and
+//     KONECT distribute the paper's datasets in.
+//   - A packed binary format (magic "SLFG") holding the vertex count and
+//     raw edge triples; ~10x faster to load and used by the out-of-core
+//     engine's shards.
+package loader
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"slfe/internal/graph"
+)
+
+// Magic identifies the binary graph format.
+const Magic = "SLFG"
+
+// MaxVertices bounds the vertex count ReadBinary will accept. The header's
+// count field drives large allocations before any edge data is validated,
+// so a corrupted or adversarial file could otherwise demand terabytes; the
+// default (134M vertices, ~3 GB of offset arrays) covers every dataset in
+// the paper at reproduction scale. Raise it explicitly to load larger
+// graphs from trusted files.
+var MaxVertices uint64 = 1 << 27
+
+// ErrBadFormat reports a malformed input file.
+var ErrBadFormat = errors.New("loader: malformed input")
+
+// ReadEdgeList parses a text edge list. Vertex IDs may be arbitrary
+// non-negative integers; the vertex count is max(id)+1. A missing weight
+// column defaults to 1.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	maxID := int64(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			// Honour the vertex-count header WriteEdgeList emits, so
+			// trailing isolated vertices survive a text round trip.
+			if rest, ok := strings.CutPrefix(text, vertexHeader); ok {
+				n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("%w: line %d: bad vertex header", ErrBadFormat, line)
+				}
+				if n-1 > maxID {
+					maxID = n - 1
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: line %d: need at least 2 fields", ErrBadFormat, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad source %q: %v", ErrBadFormat, line, fields[0], err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad destination %q: %v", ErrBadFormat, line, fields[1], err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 32)
+			if err != nil || w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("%w: line %d: bad weight %q", ErrBadFormat, line, fields[2])
+			}
+		}
+		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Weight: float32(w)})
+		if int64(src) > maxID {
+			maxID = int64(src)
+		}
+		if int64(dst) > maxID {
+			maxID = int64(dst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loader: %w", err)
+	}
+	return graph.Build(int(maxID+1), edges)
+}
+
+// vertexHeader is the comment prefix carrying the vertex count in text
+// edge lists.
+const vertexHeader = "# slfe-vertices:"
+
+// WriteEdgeList writes the graph as a text edge list with weights, preceded
+// by a vertex-count header comment.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d\n", vertexHeader, g.NumVertices()); err != nil {
+		return err
+	}
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		ns, ws := g.OutNeighbors(v), g.OutWeights(v)
+		for i := range ns {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", v, ns[i], ws[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBinary writes the packed binary format: magic, u32 version, u64 n,
+// u64 m, then m (u32 src, u32 dst, f32 weight) records, little endian.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], 1)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(g.NumEdges()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 12)
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		ns, ws := g.OutNeighbors(v), g.OutWeights(v)
+		for i := range ns {
+			binary.LittleEndian.PutUint32(rec[0:], uint32(v))
+			binary.LittleEndian.PutUint32(rec[4:], uint32(ns[i]))
+			binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(ws[i]))
+			if _, err := bw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads the packed binary format written by WriteBinary.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	m := binary.LittleEndian.Uint64(hdr[12:])
+	if n > math.MaxUint32+1 || n > MaxVertices {
+		return nil, fmt.Errorf("%w: vertex count %d too large", ErrBadFormat, n)
+	}
+	// Cap the pre-allocation: a corrupt edge count must fail on truncated
+	// reads (cheap), not on a huge up-front make.
+	capHint := m
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	edges := make([]graph.Edge, 0, capHint)
+	rec := make([]byte, 12)
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("%w: truncated at edge %d: %v", ErrBadFormat, i, err)
+		}
+		edges = append(edges, graph.Edge{
+			Src:    graph.VertexID(binary.LittleEndian.Uint32(rec[0:])),
+			Dst:    graph.VertexID(binary.LittleEndian.Uint32(rec[4:])),
+			Weight: math.Float32frombits(binary.LittleEndian.Uint32(rec[8:])),
+		})
+	}
+	return graph.Build(int(n), edges)
+}
+
+// LoadFile loads a graph from path, selecting the format by sniffing the
+// magic bytes.
+func LoadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	head := make([]byte, 4)
+	n, err := io.ReadFull(f, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if n == 4 && string(head) == Magic {
+		return ReadBinary(f)
+	}
+	return ReadEdgeList(f)
+}
+
+// SaveFile writes the graph to path; binary if the extension is ".slfg",
+// text otherwise.
+func SaveFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".slfg") {
+		return WriteBinary(f, g)
+	}
+	return WriteEdgeList(f, g)
+}

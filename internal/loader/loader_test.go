@@ -1,0 +1,200 @@
+package loader
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1 2.5
+1 2
+2 0 7
+
+3 3 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %v", g)
+	}
+	if w := g.OutWeights(0)[0]; w != 2.5 {
+		t.Errorf("weight = %v, want 2.5", w)
+	}
+	if w := g.OutWeights(1)[0]; w != 1 {
+		t.Errorf("default weight = %v, want 1", w)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",                      // too few fields
+		"a 1\n",                    // bad src
+		"0 b\n",                    // bad dst
+		"0 1 nope\n",               // bad weight
+		"0 1 -3\n",                 // negative weight
+		"0 1 NaN\n",                // NaN weight
+		"0 1 +Inf\n",               // infinite weight
+		"0 99999999999999999999\n", // overflow
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		} else if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("input %q: error %v is not ErrBadFormat", c, err)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := gen.RMAT(256, 2048, gen.DefaultRMAT, 16, 11)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := gen.RMAT(256, 2048, gen.DefaultRMAT, 16, 12)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestBinaryCorruption(t *testing.T) {
+	g := gen.Uniform(16, 64, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncations at various points must all error, never panic.
+	for _, cut := range []int{0, 2, 4, 10, 19, 25, len(full) - 5} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte{}, full...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte{}, full...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Grid(6, 6, 8, 3)
+
+	txt := filepath.Join(dir, "g.txt")
+	if err := SaveFile(txt, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+
+	bin := filepath.Join(dir, "g.slfg")
+	if err := SaveFile(bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := LoadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g3)
+
+	if _, err := LoadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("LoadFile on missing path succeeded")
+	}
+}
+
+func TestLoadEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "empty.txt")
+	if err := SaveFile(p, graph.MustBuild(0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 {
+		t.Fatalf("empty file loaded %d vertices", g.NumVertices())
+	}
+}
+
+// Property: binary round trips preserve arbitrary random graphs exactly.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		g := gen.Uniform(n, int64(rng.Intn(400)), 32, seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		return err == nil && sameGraph(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := graph.VertexID(0); int(v) < a.NumVertices(); v++ {
+		an, aw := a.OutNeighbors(v), a.OutWeights(v)
+		bn, bw := b.OutNeighbors(v), b.OutWeights(v)
+		if len(an) != len(bn) {
+			return false
+		}
+		for i := range an {
+			if an[i] != bn[i] || aw[i] != bw[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func assertSameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if !sameGraph(a, b) {
+		t.Fatalf("graphs differ: %v vs %v", a, b)
+	}
+}

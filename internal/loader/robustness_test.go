@@ -1,0 +1,111 @@
+package loader
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"slfe/internal/gen"
+)
+
+// Fuzz-style robustness: loaders fed corrupted or adversarial bytes must
+// either return an error or a structurally valid graph — never panic and
+// never hand back a graph that fails Validate.
+
+func TestBinaryRandomMutationsNeverPanic(t *testing.T) {
+	g := gen.Uniform(64, 256, 8, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		mutated := append([]byte(nil), valid...)
+		// 1-4 random byte mutations anywhere in the file.
+		for m := 0; m <= rng.Intn(4); m++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		loaded, err := ReadBinary(bytes.NewReader(mutated))
+		if err != nil {
+			continue // rejected: fine
+		}
+		if err := loaded.Validate(); err != nil {
+			t.Fatalf("trial %d: accepted a graph failing validation: %v", trial, err)
+		}
+	}
+}
+
+func TestBinaryRandomTruncationsNeverPanic(t *testing.T) {
+	g := gen.Uniform(32, 128, 8, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for cut := 0; cut < len(valid); cut += 3 {
+		loaded, err := ReadBinary(bytes.NewReader(valid[:cut]))
+		if err == nil {
+			if err := loaded.Validate(); err != nil {
+				t.Fatalf("cut %d: invalid graph accepted: %v", cut, err)
+			}
+		}
+	}
+}
+
+func TestBinaryRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		blob := make([]byte, rng.Intn(512))
+		rng.Read(blob)
+		if trial%3 == 0 && len(blob) >= 4 {
+			copy(blob, Magic) // sometimes lead with a valid magic
+		}
+		loaded, err := ReadBinary(bytes.NewReader(blob))
+		if err == nil {
+			if err := loaded.Validate(); err != nil {
+				t.Fatalf("trial %d: invalid graph accepted: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestEdgeListAdversarialLines(t *testing.T) {
+	cases := []string{
+		"1 2\n3",                        // dangling id
+		"1 2 3 4 5\n",                   // too many columns
+		"-1 2\n",                        // negative id
+		"4294967296 1\n",                // id > uint32
+		"a b\n",                         // non-numeric
+		"1 2 NaN\n",                     // NaN weight
+		"1 2 +Inf\n",                    // infinite weight
+		"999999999999999999999999 1\n",  // overflow
+		"1\t\t\t2\n# comment\n%also\n1", // mixed separators then dangling
+		strings.Repeat("1 ", 100000),    // one huge line
+	}
+	for i, c := range cases {
+		g, err := ReadEdgeList(strings.NewReader(c))
+		if err == nil {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("case %d: accepted invalid graph: %v", i, verr)
+			}
+		}
+	}
+}
+
+func TestEdgeListWeightEdgeCases(t *testing.T) {
+	// Zero and fractional weights are legal; the graph must round-trip.
+	in := "0 1 0\n1 2 0.5\n2 0 1e3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	ws := g.OutWeights(1)
+	if len(ws) != 1 || ws[0] != 0.5 {
+		t.Fatalf("weights of v1: %v", ws)
+	}
+}

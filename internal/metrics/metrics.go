@@ -1,0 +1,153 @@
+// Package metrics collects the instrumentation the paper's evaluation
+// section relies on: per-iteration computation counts (Fig. 9), pull/push
+// time split (Fig. 4), value-update counts per vertex (Table 2), suppressed
+// work (§4.5), and per-worker compute time for imbalance analysis
+// (Fig. 10b).
+package metrics
+
+import "time"
+
+// Mode identifies which propagation direction an iteration ran in.
+type Mode int
+
+// Propagation modes.
+const (
+	Pull Mode = iota
+	Push
+)
+
+func (m Mode) String() string {
+	if m == Push {
+		return "push"
+	}
+	return "pull"
+}
+
+// IterStat records one superstep of one worker.
+type IterStat struct {
+	Iter         int
+	Mode         Mode
+	Computations int64 // per-edge computations executed
+	Updates      int64 // vertex value changes
+	Suppressed   int64 // vertex computations skipped by RR
+	CatchUps     int64 // full-scan catch-up pulls (start-late repayments)
+	ActiveVerts  int64 // active vertices entering the superstep (global)
+	ECGlobal     int64 // early-converged vertices cluster-wide (arith + RR)
+	Time         time.Duration
+}
+
+// Run aggregates a worker's whole execution.
+type Run struct {
+	Iters       []IterStat
+	PullTime    time.Duration
+	PushTime    time.Duration
+	ComputeTime time.Duration // pure compute, excluding communication
+	SyncTime    time.Duration // communication + barriers
+	Total       time.Duration
+	Steals      int64
+	// Rebalances counts dynamic boundary adjustments (internal/balance).
+	Rebalances int64
+}
+
+// Add appends an iteration record and rolls it into the aggregates.
+func (r *Run) Add(s IterStat) {
+	r.Iters = append(r.Iters, s)
+	if s.Mode == Pull {
+		r.PullTime += s.Time
+	} else {
+		r.PushTime += s.Time
+	}
+	r.ComputeTime += s.Time
+}
+
+// Computations sums per-edge computations over all iterations.
+func (r *Run) Computations() int64 {
+	var total int64
+	for _, s := range r.Iters {
+		total += s.Computations
+	}
+	return total
+}
+
+// Updates sums vertex value changes over all iterations.
+func (r *Run) Updates() int64 {
+	var total int64
+	for _, s := range r.Iters {
+		total += s.Updates
+	}
+	return total
+}
+
+// Suppressed sums RR-skipped vertex computations.
+func (r *Run) Suppressed() int64 {
+	var total int64
+	for _, s := range r.Iters {
+		total += s.Suppressed
+	}
+	return total
+}
+
+// Merge sums per-iteration stats across workers (aligning by superstep
+// index) and returns cluster-wide aggregates; worker wall times are kept as
+// the per-entry maxima since supersteps are barrier-aligned.
+func Merge(runs []*Run) *Run {
+	out := &Run{}
+	for _, r := range runs {
+		for i, s := range r.Iters {
+			for len(out.Iters) <= i {
+				out.Iters = append(out.Iters, IterStat{Iter: len(out.Iters)})
+			}
+			o := &out.Iters[i]
+			o.Mode = s.Mode
+			o.Computations += s.Computations
+			o.Updates += s.Updates
+			o.Suppressed += s.Suppressed
+			o.CatchUps += s.CatchUps
+			if s.ActiveVerts > o.ActiveVerts {
+				o.ActiveVerts = s.ActiveVerts
+			}
+			if s.ECGlobal > o.ECGlobal {
+				o.ECGlobal = s.ECGlobal
+			}
+			if s.Time > o.Time {
+				o.Time = s.Time
+			}
+		}
+		if r.PullTime > out.PullTime {
+			out.PullTime = r.PullTime
+		}
+		if r.PushTime > out.PushTime {
+			out.PushTime = r.PushTime
+		}
+		if r.Total > out.Total {
+			out.Total = r.Total
+		}
+		out.Steals += r.Steals
+		if r.Rebalances > out.Rebalances {
+			out.Rebalances = r.Rebalances // all workers rebalance in lockstep
+		}
+	}
+	return out
+}
+
+// Imbalance returns (max-min)/max over per-worker compute times, the
+// paper's inter-node imbalance measure (Fig. 10b). Returns 0 for fewer than
+// two workers or zero max.
+func Imbalance(runs []*Run) float64 {
+	if len(runs) < 2 {
+		return 0
+	}
+	min, max := runs[0].ComputeTime, runs[0].ComputeTime
+	for _, r := range runs[1:] {
+		if r.ComputeTime < min {
+			min = r.ComputeTime
+		}
+		if r.ComputeTime > max {
+			max = r.ComputeTime
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(max-min) / float64(max)
+}

@@ -1,0 +1,221 @@
+// Package rrg implements SLFE's preprocessing stage (Algorithm 1 of the
+// paper): a unit-weight label propagation that records, for every vertex,
+// the *last* iteration at which an active in-neighbour could deliver an
+// update. This "redundancy reduction guidance" (RRG) drives both
+// optimisations of the execution phase:
+//
+//   - start late  — a min/max vertex need not compute before LastIter(v);
+//   - finish early — an arithmetic vertex whose value has been stable for
+//     LastIter(v) consecutive iterations is early-converged.
+//
+// With unit weights, Algorithm 1's "visited" rule means the first update
+// assigns the BFS distance; a vertex is active during iteration level(v)+1,
+// therefore
+//
+//	LastIter(v) = max{ level(u)+1 : u ∈ in(v), u reachable }
+//
+// which is what Generate computes, with a parallel frontier BFS followed by
+// a parallel in-edge sweep. The guidance depends only on topology, so it is
+// reusable across applications on the same graph (§3.2).
+package rrg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"slfe/internal/bitset"
+	"slfe/internal/graph"
+	"slfe/internal/ws"
+)
+
+// Unreached marks vertices not reachable from the preprocessing roots.
+const Unreached = math.MaxUint32
+
+// Guidance is the RRG produced by preprocessing.
+type Guidance struct {
+	// LastIter[v] is the last propagation level at which v can receive an
+	// update (0 for roots with no reachable in-neighbours and for
+	// unreachable vertices).
+	LastIter []uint32
+	// Level[v] is the BFS level from the roots (Unreached if unreachable).
+	Level []uint32
+	// Rounds is the number of propagation iterations preprocessing ran.
+	Rounds uint32
+	// MaxLastIter is the maximum of LastIter.
+	MaxLastIter uint32
+	// GenTime is the wall-clock cost of Generate, reported as the
+	// preprocessing overhead in Figure 8.
+	GenTime time.Duration
+}
+
+// Generate runs Algorithm 1 from the given roots. A nil scheduler uses a
+// fresh default scheduler.
+func Generate(g *graph.Graph, roots []graph.VertexID, sched *ws.Scheduler) *Guidance {
+	if sched == nil {
+		sched = ws.New(0, true)
+	}
+	start := time.Now()
+	n := g.NumVertices()
+	gd := &Guidance{
+		LastIter: make([]uint32, n),
+		Level:    make([]uint32, n),
+	}
+	for i := range gd.Level {
+		gd.Level[i] = Unreached
+	}
+	if n == 0 {
+		gd.GenTime = time.Since(start)
+		return gd
+	}
+
+	visited := bitset.NewAtomic(n)
+	frontier := bitset.NewAtomic(n)
+	next := bitset.NewAtomic(n)
+	for _, r := range roots {
+		if int(r) < n && visited.TestAndSet(int(r)) {
+			gd.Level[r] = 0
+			frontier.Set(int(r))
+		}
+	}
+
+	// Phase 1: parallel BFS levels ("fill_source" + propagation loop).
+	for iter := uint32(1); frontier.Any(); iter++ {
+		sched.Run(0, uint32(n), func(lo, hi uint32, _ int) {
+			for v := lo; v < hi; v++ {
+				if !frontier.Get(int(v)) {
+					continue
+				}
+				for _, u := range g.OutNeighbors(v) {
+					if visited.TestAndSet(int(u)) {
+						gd.Level[u] = iter
+						next.Set(int(u))
+					}
+				}
+			}
+		})
+		frontier, next = next, frontier
+		next.Reset()
+	}
+	// Rounds is the propagation depth: the deepest iteration that delivered
+	// an update.
+	for _, l := range gd.Level {
+		if l != Unreached && l > gd.Rounds {
+			gd.Rounds = l
+		}
+	}
+
+	// Phase 2: LastIter(v) = max level(u)+1 over reachable in-neighbours.
+	sched.Run(0, uint32(n), func(lo, hi uint32, _ int) {
+		for v := lo; v < hi; v++ {
+			var last uint32
+			for _, u := range g.InNeighbors(v) {
+				if l := gd.Level[u]; l != Unreached && l+1 > last {
+					last = l + 1
+				}
+			}
+			gd.LastIter[v] = last
+		}
+	})
+	for _, l := range gd.LastIter {
+		if l > gd.MaxLastIter {
+			gd.MaxLastIter = l
+		}
+	}
+	gd.GenTime = time.Since(start)
+	return gd
+}
+
+// DefaultRoots returns the canonical reusable root set for a graph: vertex
+// 0 plus every vertex with no incoming edges (sources can never be reached
+// by propagation, so they must seed it).
+func DefaultRoots(g *graph.Graph) []graph.VertexID {
+	roots := []graph.VertexID{}
+	n := g.NumVertices()
+	if n == 0 {
+		return roots
+	}
+	roots = append(roots, 0)
+	for v := 1; v < n; v++ {
+		if g.InDegree(graph.VertexID(v)) == 0 {
+			roots = append(roots, graph.VertexID(v))
+		}
+	}
+	return roots
+}
+
+// Reached reports whether v was reached during preprocessing.
+func (gd *Guidance) Reached(v graph.VertexID) bool { return gd.Level[v] != Unreached }
+
+const guidanceMagic = "SLRR"
+
+// WriteTo serialises the guidance (magic, u32 n, u32 rounds, then LastIter
+// and Level arrays), enabling the §4.4 amortisation of preprocessing across
+// the ~8.7 jobs Facebook runs per graph.
+func (gd *Guidance) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	buf := make([]byte, 4+4+4)
+	copy(buf, guidanceMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(gd.LastIter)))
+	binary.LittleEndian.PutUint32(buf[8:], gd.Rounds)
+	k, err := w.Write(buf)
+	total += int64(k)
+	if err != nil {
+		return total, err
+	}
+	arr := make([]byte, 4)
+	for _, x := range gd.LastIter {
+		binary.LittleEndian.PutUint32(arr, x)
+		k, err = w.Write(arr)
+		total += int64(k)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, x := range gd.Level {
+		binary.LittleEndian.PutUint32(arr, x)
+		k, err = w.Write(arr)
+		total += int64(k)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadGuidance deserialises a guidance written by WriteTo.
+func ReadGuidance(r io.Reader) (*Guidance, error) {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("rrg: truncated header: %w", err)
+	}
+	if string(hdr[:4]) != guidanceMagic {
+		return nil, errors.New("rrg: bad magic")
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	gd := &Guidance{
+		LastIter: make([]uint32, n),
+		Level:    make([]uint32, n),
+		Rounds:   binary.LittleEndian.Uint32(hdr[8:]),
+	}
+	arr := make([]byte, 4)
+	for i := range gd.LastIter {
+		if _, err := io.ReadFull(r, arr); err != nil {
+			return nil, fmt.Errorf("rrg: truncated LastIter at %d: %w", i, err)
+		}
+		gd.LastIter[i] = binary.LittleEndian.Uint32(arr)
+		if gd.LastIter[i] > gd.MaxLastIter {
+			gd.MaxLastIter = gd.LastIter[i]
+		}
+	}
+	for i := range gd.Level {
+		if _, err := io.ReadFull(r, arr); err != nil {
+			return nil, fmt.Errorf("rrg: truncated Level at %d: %w", i, err)
+		}
+		gd.Level[i] = binary.LittleEndian.Uint32(arr)
+	}
+	return gd, nil
+}

@@ -1,0 +1,114 @@
+package rrg
+
+import (
+	"fmt"
+	"time"
+
+	"slfe/internal/graph"
+)
+
+// UpdateStats reports the work an incremental Update performed.
+type UpdateStats struct {
+	// LevelsChanged counts vertices whose BFS level decreased (or was set
+	// for the first time).
+	LevelsChanged int
+	// LastIterRecomputed counts vertices whose LastIter was rebuilt.
+	LastIterRecomputed int
+	// Time is the wall-clock cost of the update.
+	Time time.Duration
+}
+
+// Update incrementally maintains the guidance after edges were ADDED to
+// the graph (the §5 future-work item of minimising preprocessing cost:
+// re-running Algorithm 1 after every batch of a growing graph wastes the
+// previous pass). g must be the new graph, already containing the added
+// edges, over the same root set the guidance was generated from; g may
+// also have grown new vertices, whose entries are appended as unreached.
+//
+// Insertions can only shorten BFS distances, so the update is a bounded
+// relaxation wave from the new edges' endpoints: levels decrease
+// monotonically, and LastIter is rebuilt exactly for the vertices whose
+// in-neighbourhood changed. Edge deletions are not supported — distances
+// could grow, which requires a full Generate.
+func (gd *Guidance) Update(g *graph.Graph, added []graph.Edge) (UpdateStats, error) {
+	start := time.Now()
+	n := g.NumVertices()
+	if len(gd.Level) > n {
+		return UpdateStats{}, fmt.Errorf("rrg: graph shrank from %d to %d vertices; regenerate instead", len(gd.Level), n)
+	}
+	for len(gd.Level) < n {
+		gd.Level = append(gd.Level, Unreached)
+		gd.LastIter = append(gd.LastIter, 0)
+	}
+
+	var stats UpdateStats
+	// affected collects vertices whose LastIter must be rebuilt.
+	affected := make(map[graph.VertexID]bool, len(added))
+
+	// Seed the relaxation from the added edges; the wave then follows the
+	// (new) adjacency.
+	var queue []graph.VertexID
+	relax := func(src, dst graph.VertexID) bool {
+		if gd.Level[src] == Unreached {
+			return false
+		}
+		if cand := gd.Level[src] + 1; cand < gd.Level[dst] {
+			gd.Level[dst] = cand
+			return true
+		}
+		return false
+	}
+	for _, e := range added {
+		if int64(e.Src) >= int64(n) || int64(e.Dst) >= int64(n) {
+			return UpdateStats{}, fmt.Errorf("%w: added edge (%d -> %d) with n=%d", graph.ErrVertexOutOfRange, e.Src, e.Dst, n)
+		}
+		affected[e.Dst] = true // new in-edge: LastIter[dst] may change
+		if relax(e.Src, e.Dst) {
+			stats.LevelsChanged++
+			queue = append(queue, e.Dst)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		// v's level changed: every out-neighbour may relax, and every
+		// out-neighbour's LastIter depends on v's level.
+		for _, u := range g.OutNeighbors(v) {
+			affected[u] = true
+			if relax(v, u) {
+				stats.LevelsChanged++
+				queue = append(queue, u)
+			}
+		}
+	}
+
+	// Rebuild LastIter for the affected set.
+	for v := range affected {
+		var last uint32
+		for _, u := range g.InNeighbors(v) {
+			if l := gd.Level[u]; l != Unreached && l+1 > last {
+				last = l + 1
+			}
+		}
+		gd.LastIter[v] = last
+		stats.LastIterRecomputed++
+	}
+
+	// Aggregates: levels only decreased and LastIter moved both ways, so
+	// both maxima are rescanned (O(n), no edge traversal).
+	gd.Rounds = 0
+	for _, l := range gd.Level {
+		if l != Unreached && l > gd.Rounds {
+			gd.Rounds = l
+		}
+	}
+	gd.MaxLastIter = 0
+	for _, l := range gd.LastIter {
+		if l > gd.MaxLastIter {
+			gd.MaxLastIter = l
+		}
+	}
+	stats.Time = time.Since(start)
+	gd.GenTime += stats.Time
+	return stats, nil
+}

@@ -1,0 +1,214 @@
+package rrg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+)
+
+// addEdges returns a new graph with extra edges appended.
+func addEdges(g *graph.Graph, extra []graph.Edge, n int) *graph.Graph {
+	edges := g.Edges(nil)
+	edges = append(edges, extra...)
+	if n < g.NumVertices() {
+		n = g.NumVertices()
+	}
+	return graph.MustBuild(n, edges)
+}
+
+func assertGuidanceEqual(t *testing.T, got, want *Guidance, label string) {
+	t.Helper()
+	if len(got.Level) != len(want.Level) {
+		t.Fatalf("%s: %d vs %d vertices", label, len(got.Level), len(want.Level))
+	}
+	for v := range want.Level {
+		if got.Level[v] != want.Level[v] {
+			t.Fatalf("%s: vertex %d: level %d, want %d", label, v, got.Level[v], want.Level[v])
+		}
+		if got.LastIter[v] != want.LastIter[v] {
+			t.Fatalf("%s: vertex %d: lastIter %d, want %d", label, v, got.LastIter[v], want.LastIter[v])
+		}
+	}
+	if got.Rounds != want.Rounds {
+		t.Fatalf("%s: rounds %d, want %d", label, got.Rounds, want.Rounds)
+	}
+	if got.MaxLastIter != want.MaxLastIter {
+		t.Fatalf("%s: maxLastIter %d, want %d", label, got.MaxLastIter, want.MaxLastIter)
+	}
+}
+
+func TestUpdateShortcutEdge(t *testing.T) {
+	// Path 0->1->2->3->4; adding 0->4 collapses v4's level from 4 to 1.
+	g := gen.Path(5)
+	gd := Generate(g, []graph.VertexID{0}, nil)
+	if gd.Level[4] != 4 || gd.LastIter[4] != 4 {
+		t.Fatalf("baseline: %v %v", gd.Level, gd.LastIter)
+	}
+	extra := []graph.Edge{{Src: 0, Dst: 4, Weight: 1}}
+	g2 := addEdges(g, extra, 5)
+	stats, err := gd.Update(g2, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LevelsChanged != 1 {
+		t.Fatalf("levels changed: %d", stats.LevelsChanged)
+	}
+	want := Generate(g2, []graph.VertexID{0}, nil)
+	assertGuidanceEqual(t, gd, want, "shortcut")
+}
+
+func TestUpdateReachesNewRegion(t *testing.T) {
+	// Two disjoint paths; an added bridge makes the second reachable.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 5, Dst: 6, Weight: 1}, {Src: 6, Dst: 7, Weight: 1},
+	}
+	g := graph.MustBuild(8, edges)
+	gd := Generate(g, []graph.VertexID{0}, nil)
+	if gd.Reached(5) {
+		t.Fatal("vertex 5 should be unreached")
+	}
+	extra := []graph.Edge{{Src: 1, Dst: 5, Weight: 1}}
+	g2 := addEdges(g, extra, 8)
+	if _, err := gd.Update(g2, extra); err != nil {
+		t.Fatal(err)
+	}
+	want := Generate(g2, []graph.VertexID{0}, nil)
+	assertGuidanceEqual(t, gd, want, "new region")
+	if !gd.Reached(7) || gd.Level[7] != 4 {
+		t.Fatalf("vertex 7: level %d", gd.Level[7])
+	}
+}
+
+func TestUpdateGrowsVertexSet(t *testing.T) {
+	g := gen.Path(4)
+	gd := Generate(g, []graph.VertexID{0}, nil)
+	// Two new vertices 4, 5 attached to the path's end.
+	extra := []graph.Edge{{Src: 3, Dst: 4, Weight: 1}, {Src: 4, Dst: 5, Weight: 1}}
+	g2 := addEdges(g, extra, 6)
+	if _, err := gd.Update(g2, extra); err != nil {
+		t.Fatal(err)
+	}
+	want := Generate(g2, []graph.VertexID{0}, nil)
+	assertGuidanceEqual(t, gd, want, "growth")
+}
+
+func TestUpdateRejectsShrunkGraph(t *testing.T) {
+	g := gen.Path(5)
+	gd := Generate(g, []graph.VertexID{0}, nil)
+	if _, err := gd.Update(gen.Path(3), nil); err == nil {
+		t.Fatal("shrunk graph accepted")
+	}
+}
+
+func TestUpdateRejectsOutOfRangeEdge(t *testing.T) {
+	g := gen.Path(5)
+	gd := Generate(g, []graph.VertexID{0}, nil)
+	if _, err := gd.Update(g, []graph.Edge{{Src: 0, Dst: 99}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestUpdateNoOpOnEmptyBatch(t *testing.T) {
+	g := gen.RMAT(256, 2048, gen.DefaultRMAT, 1, 3)
+	gd := Generate(g, DefaultRoots(g), nil)
+	want := Generate(g, DefaultRoots(g), nil)
+	stats, err := gd.Update(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LevelsChanged != 0 || stats.LastIterRecomputed != 0 {
+		t.Fatalf("no-op did work: %+v", stats)
+	}
+	assertGuidanceEqual(t, gd, want, "no-op")
+}
+
+// Property: incremental update equals full regeneration, for any base
+// graph, any batch of added edges, and any (fixed) root set.
+func TestUpdateMatchesRegeneration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(150)
+		base := gen.Uniform(n, int64(rng.Intn(4*n)), 1, seed)
+		roots := []graph.VertexID{graph.VertexID(rng.Intn(n))}
+		gd := Generate(base, roots, nil)
+
+		grow := rng.Intn(10)
+		total := n + grow
+		batch := make([]graph.Edge, 1+rng.Intn(20))
+		for i := range batch {
+			batch[i] = graph.Edge{
+				Src:    graph.VertexID(rng.Intn(total)),
+				Dst:    graph.VertexID(rng.Intn(total)),
+				Weight: 1,
+			}
+		}
+		g2 := addEdges(base, batch, total)
+		if _, err := gd.Update(g2, batch); err != nil {
+			return false
+		}
+		want := Generate(g2, roots, nil)
+		for v := range want.Level {
+			if gd.Level[v] != want.Level[v] || gd.LastIter[v] != want.LastIter[v] {
+				return false
+			}
+		}
+		return gd.Rounds == want.Rounds && gd.MaxLastIter == want.MaxLastIter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeated incremental batches stay consistent (the wave does
+// not accumulate drift).
+func TestUpdateChainedBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 200
+	g := gen.Uniform(n, 400, 1, 1)
+	roots := []graph.VertexID{0}
+	gd := Generate(g, roots, nil)
+	for round := 0; round < 10; round++ {
+		batch := make([]graph.Edge, 5)
+		for i := range batch {
+			batch[i] = graph.Edge{Src: graph.VertexID(rng.Intn(n)), Dst: graph.VertexID(rng.Intn(n)), Weight: 1}
+		}
+		g = addEdges(g, batch, n)
+		if _, err := gd.Update(g, batch); err != nil {
+			t.Fatal(err)
+		}
+		want := Generate(g, roots, nil)
+		assertGuidanceEqual(t, gd, want, "chained")
+	}
+}
+
+func BenchmarkUpdateVsRegenerate(b *testing.B) {
+	g := gen.RMAT(1<<15, 1<<18, gen.DefaultRMAT, 1, 3)
+	roots := DefaultRoots(g)
+	batch := []graph.Edge{
+		{Src: 1, Dst: 1000, Weight: 1},
+		{Src: 7, Dst: 2000, Weight: 1},
+		{Src: 11, Dst: 3000, Weight: 1},
+	}
+	g2 := addEdges(g, batch, g.NumVertices())
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gd := Generate(g, roots, nil)
+			b.StartTimer()
+			if _, err := gd.Update(g2, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("regenerate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Generate(g2, roots, nil)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package trace exports experiment data as tab-separated-value files so the
+// paper's figures can be re-plotted from a reproduction run (the text
+// tables of internal/bench are for reading; these files are for gnuplot /
+// matplotlib). File names are sanitised experiment identifiers; one file
+// per series.
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"slfe/internal/metrics"
+)
+
+// Exporter writes series files into Dir (created on first use). A nil
+// *Exporter is a valid no-op sink, so callers can thread it through
+// unconditionally.
+type Exporter struct {
+	// Dir is the target directory.
+	Dir string
+
+	written []string
+}
+
+// Enabled reports whether the exporter will write anything.
+func (e *Exporter) Enabled() bool { return e != nil && e.Dir != "" }
+
+// Files lists the paths written so far.
+func (e *Exporter) Files() []string {
+	if e == nil {
+		return nil
+	}
+	return append([]string(nil), e.written...)
+}
+
+// sanitize turns an experiment id into a safe file stem.
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// Table writes one TSV file name.tsv with a header row. Cells must not
+// contain tabs or newlines; offending bytes are replaced by spaces.
+func (e *Exporter) Table(name string, header []string, rows [][]string) error {
+	if !e.Enabled() {
+		return nil
+	}
+	if err := os.MkdirAll(e.Dir, 0o755); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	stem := sanitize(name)
+	if stem == "" {
+		return fmt.Errorf("trace: unusable series name %q", name)
+	}
+	path := filepath.Join(e.Dir, stem+".tsv")
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			c = strings.Map(func(r rune) rune {
+				if r == '\t' || r == '\n' || r == '\r' {
+					return ' '
+				}
+				return r
+			}, c)
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("trace: %s: row has %d cells, header has %d", name, len(row), len(header))
+		}
+		writeRow(row)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	e.written = append(e.written, path)
+	return nil
+}
+
+// Series writes numeric columns, formatting with %g.
+func (e *Exporter) Series(name string, header []string, rows [][]float64) error {
+	if !e.Enabled() {
+		return nil
+	}
+	srows := make([][]string, len(rows))
+	for i, row := range rows {
+		cells := make([]string, len(row))
+		for j, x := range row {
+			cells[j] = fmt.Sprintf("%g", x)
+		}
+		srows[i] = cells
+	}
+	return e.Table(name, header, srows)
+}
+
+// RunHeader is the column layout produced by RunRows.
+var RunHeader = []string{"iter", "mode", "active", "computations", "updates", "suppressed", "catchups", "ec_global", "seconds"}
+
+// RunRows flattens a (merged) metrics.Run into RunHeader-shaped rows, one
+// per superstep — the raw material of the paper's Figure 9 plots.
+func RunRows(run *metrics.Run) [][]string {
+	rows := make([][]string, 0, len(run.Iters))
+	for _, s := range run.Iters {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s.Iter),
+			s.Mode.String(),
+			fmt.Sprintf("%d", s.ActiveVerts),
+			fmt.Sprintf("%d", s.Computations),
+			fmt.Sprintf("%d", s.Updates),
+			fmt.Sprintf("%d", s.Suppressed),
+			fmt.Sprintf("%d", s.CatchUps),
+			fmt.Sprintf("%d", s.ECGlobal),
+			fmt.Sprintf("%.6f", s.Time.Seconds()),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"slfe/internal/metrics"
+)
+
+func TestNilExporterIsNoOp(t *testing.T) {
+	var e *Exporter
+	if e.Enabled() {
+		t.Fatal("nil exporter enabled")
+	}
+	if err := e.Table("x", []string{"a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Files() != nil {
+		t.Fatal("nil exporter has files")
+	}
+}
+
+func TestEmptyDirIsNoOp(t *testing.T) {
+	e := &Exporter{}
+	if err := e.Series("x", []string{"a"}, [][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Files()) != 0 {
+		t.Fatal("wrote a file with no dir")
+	}
+}
+
+func TestTableWritesTSV(t *testing.T) {
+	dir := t.TempDir()
+	e := &Exporter{Dir: filepath.Join(dir, "sub")} // created on demand
+	err := e.Table("Fig 9: SSSP/FS", []string{"iter", "comps"}, [][]string{
+		{"0", "10"},
+		{"1", "tab\there"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := e.Files()
+	if len(files) != 1 {
+		t.Fatalf("files: %v", files)
+	}
+	if filepath.Base(files[0]) != "fig-9--sssp-fs.tsv" {
+		t.Fatalf("unexpected file name %s", files[0])
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "iter\tcomps\n0\t10\n1\ttab here\n"
+	if string(data) != want {
+		t.Fatalf("content %q, want %q", data, want)
+	}
+}
+
+func TestTableRejectsRaggedRows(t *testing.T) {
+	e := &Exporter{Dir: t.TempDir()}
+	if err := e.Table("x", []string{"a", "b"}, [][]string{{"1"}}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestTableRejectsUnusableName(t *testing.T) {
+	e := &Exporter{Dir: t.TempDir()}
+	if err := e.Table("///", []string{"a"}, nil); err == nil {
+		t.Fatal("unusable name accepted")
+	}
+}
+
+func TestSeriesFormatsNumbers(t *testing.T) {
+	e := &Exporter{Dir: t.TempDir()}
+	if err := e.Series("s", []string{"x", "y"}, [][]float64{{1, 0.5}, {2, 1e-9}}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(e.Files()[0])
+	if !strings.Contains(string(data), "2\t1e-09") {
+		t.Fatalf("content %q", data)
+	}
+}
+
+func TestRunRows(t *testing.T) {
+	run := &metrics.Run{}
+	run.Add(metrics.IterStat{Iter: 0, Mode: metrics.Pull, Computations: 5, ActiveVerts: 3, Time: 2 * time.Millisecond})
+	run.Add(metrics.IterStat{Iter: 1, Mode: metrics.Push, Updates: 2})
+	rows := RunRows(run)
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if len(rows[0]) != len(RunHeader) {
+		t.Fatalf("row width %d, header %d", len(rows[0]), len(RunHeader))
+	}
+	if rows[0][1] != "pull" || rows[1][1] != "push" {
+		t.Fatalf("modes: %v %v", rows[0][1], rows[1][1])
+	}
+	if rows[0][8] != "0.002000" {
+		t.Fatalf("seconds cell: %s", rows[0][8])
+	}
+}

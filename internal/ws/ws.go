@@ -1,0 +1,156 @@
+// Package ws implements the fine-grained intra-node work-stealing scheduler
+// of §3.6: each vertex range is split into mini-chunks of 256 vertices;
+// every thread first drains its own statically assigned span of chunks
+// through an atomic cursor, then steals remaining chunks from the busiest
+// peer. Shared cursors are advanced with atomic fetch-and-add (the paper's
+// __sync_fetch_and_* accesses).
+package ws
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkSize is the paper's mini-chunk granularity (§3.6: "each mini-chunk
+// contains 256 vertices").
+const ChunkSize = 256
+
+// Stats reports one Run's distribution of work.
+type Stats struct {
+	ChunksPerThread []int64 // chunks executed by each thread
+	Steals          int64   // chunks executed by a non-owner thread
+}
+
+// MaxSkew returns max/mean chunks per thread (1.0 = perfectly balanced).
+func (s Stats) MaxSkew() float64 {
+	if len(s.ChunksPerThread) == 0 {
+		return 1
+	}
+	var max, sum int64
+	for _, c := range s.ChunksPerThread {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(s.ChunksPerThread)) / float64(sum)
+}
+
+// Scheduler executes chunked parallel loops with optional stealing.
+type Scheduler struct {
+	threads  int
+	stealing bool
+}
+
+// New returns a scheduler with the given thread count (<=0 means
+// GOMAXPROCS) and stealing policy.
+func New(threads int, stealing bool) *Scheduler {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{threads: threads, stealing: stealing}
+}
+
+// Threads returns the configured worker-thread count.
+func (s *Scheduler) Threads() int { return s.threads }
+
+// Stealing reports whether stealing is enabled.
+func (s *Scheduler) Stealing() bool { return s.stealing }
+
+// span is one thread's chunk assignment [next, end).
+type span struct {
+	next atomic.Int64
+	end  int64
+	_    [40]byte // avoid false sharing between spans
+}
+
+// Run executes fn over every mini-chunk of the vertex range [lo, hi).
+// fn(chunkLo, chunkHi, thread) receives half-open vertex sub-ranges of at
+// most ChunkSize vertices and the executing thread's id; it must be safe to
+// call concurrently from different threads on disjoint ranges.
+func (s *Scheduler) Run(lo, hi uint32, fn func(chunkLo, chunkHi uint32, thread int)) Stats {
+	if hi <= lo {
+		return Stats{ChunksPerThread: make([]int64, s.threads)}
+	}
+	nChunks := int64(hi-lo+ChunkSize-1) / ChunkSize
+	spans := make([]*span, s.threads)
+	for t := 0; t < s.threads; t++ {
+		sp := &span{}
+		start := int64(t) * nChunks / int64(s.threads)
+		sp.next.Store(start)
+		sp.end = int64(t+1) * nChunks / int64(s.threads)
+		spans[t] = sp
+	}
+
+	perThread := make([]int64, s.threads)
+	var steals atomic.Int64
+	exec := func(chunk int64, thread int) {
+		clo := lo + uint32(chunk)*ChunkSize
+		chi := clo + ChunkSize
+		if chi > hi || chi < clo { // clamp, and guard uint32 overflow
+			chi = hi
+		}
+		fn(clo, chi, thread)
+	}
+
+	var wg sync.WaitGroup
+	for t := 0; t < s.threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			own := spans[t]
+			count := int64(0)
+			// Phase 1: drain the thread's own span.
+			for {
+				c := own.next.Add(1) - 1
+				if c >= own.end {
+					break
+				}
+				exec(c, t)
+				count++
+			}
+			// Phase 2: steal from the busiest peer until all spans drain.
+			if s.stealing {
+				for {
+					victim := -1
+					var best int64
+					for v := 0; v < s.threads; v++ {
+						if v == t {
+							continue
+						}
+						if rem := spans[v].end - spans[v].next.Load(); rem > best {
+							best = rem
+							victim = v
+						}
+					}
+					if victim < 0 {
+						break
+					}
+					c := spans[victim].next.Add(1) - 1
+					if c >= spans[victim].end {
+						continue // lost the race; rescan
+					}
+					exec(c, t)
+					count++
+					steals.Add(1)
+				}
+			}
+			perThread[t] = count
+		}(t)
+	}
+	wg.Wait()
+	return Stats{ChunksPerThread: perThread, Steals: steals.Load()}
+}
+
+// ParallelFor is a convenience wrapper calling fn once per vertex.
+func (s *Scheduler) ParallelFor(lo, hi uint32, fn func(v uint32, thread int)) Stats {
+	return s.Run(lo, hi, func(clo, chi uint32, thread int) {
+		for v := clo; v < chi; v++ {
+			fn(v, thread)
+		}
+	})
+}

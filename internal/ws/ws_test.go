@@ -1,0 +1,179 @@
+package ws
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCoversEveryVertexOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 7} {
+		for _, stealing := range []bool{false, true} {
+			const lo, hi = 13, 5000
+			seen := make([]int32, hi)
+			s := New(threads, stealing)
+			s.ParallelFor(lo, hi, func(v uint32, _ int) {
+				atomic.AddInt32(&seen[v], 1)
+			})
+			for v := 0; v < lo; v++ {
+				if seen[v] != 0 {
+					t.Fatalf("threads=%d steal=%v: vertex %d below range executed", threads, stealing, v)
+				}
+			}
+			for v := lo; v < hi; v++ {
+				if seen[v] != 1 {
+					t.Fatalf("threads=%d steal=%v: vertex %d executed %d times", threads, stealing, v, seen[v])
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	s := New(4, true)
+	called := false
+	st := s.Run(10, 10, func(_, _ uint32, _ int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+	if len(st.ChunksPerThread) != 4 {
+		t.Fatalf("stats have %d threads", len(st.ChunksPerThread))
+	}
+	s.Run(10, 5, func(_, _ uint32, _ int) { t.Fatal("fn called for inverted range") })
+}
+
+func TestChunkBounds(t *testing.T) {
+	s := New(3, true)
+	s.Run(0, 1000, func(lo, hi uint32, _ int) {
+		if hi-lo > ChunkSize {
+			t.Errorf("chunk [%d,%d) exceeds ChunkSize", lo, hi)
+		}
+		if hi > 1000 {
+			t.Errorf("chunk [%d,%d) exceeds range", lo, hi)
+		}
+		if lo%ChunkSize != 0 {
+			t.Errorf("chunk start %d not aligned", lo)
+		}
+	})
+}
+
+func TestDefaultThreads(t *testing.T) {
+	s := New(0, false)
+	if s.Threads() <= 0 {
+		t.Fatalf("Threads = %d", s.Threads())
+	}
+	if New(5, true).Threads() != 5 {
+		t.Fatal("explicit thread count ignored")
+	}
+}
+
+func TestStealingRebalancesSkewedWork(t *testing.T) {
+	// Thread 0's span gets all the slow chunks; with stealing other threads
+	// must take some of them. We detect rebalancing via the Steals counter.
+	const n = 64 * ChunkSize
+	s := New(4, true)
+	var slowCalls atomic.Int64
+	st := s.Run(0, n, func(lo, _ uint32, thread int) {
+		if lo < n/4 { // chunks initially owned by thread 0
+			slowCalls.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	if st.Steals == 0 {
+		t.Skip("no steals observed (single-core scheduling); skew test skipped")
+	}
+	if st.MaxSkew() > 3.9 {
+		t.Errorf("MaxSkew = %.2f even with stealing", st.MaxSkew())
+	}
+}
+
+func TestNoStealingKeepsOwnership(t *testing.T) {
+	const n = 16 * ChunkSize
+	s := New(4, false)
+	var mu sync.Mutex
+	owner := map[uint32]int{}
+	st := s.Run(0, n, func(lo, _ uint32, thread int) {
+		mu.Lock()
+		owner[lo] = thread
+		mu.Unlock()
+	})
+	if st.Steals != 0 {
+		t.Fatalf("Steals = %d without stealing", st.Steals)
+	}
+	// Static assignment: chunk c belongs to thread c*threads/nChunks.
+	for lo, th := range owner {
+		chunk := int64(lo) / ChunkSize
+		want := -1
+		for t2 := 0; t2 < 4; t2++ {
+			start := int64(t2) * 16 / 4
+			end := int64(t2+1) * 16 / 4
+			if chunk >= start && chunk < end {
+				want = t2
+			}
+		}
+		if th != want {
+			t.Fatalf("chunk %d executed by thread %d, want %d", chunk, th, want)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	const n = 10*ChunkSize + 17 // 11 chunks, last one partial
+	s := New(2, true)
+	var total atomic.Int64
+	st := s.Run(0, n, func(lo, hi uint32, _ int) {
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != n {
+		t.Fatalf("covered %d vertices, want %d", total.Load(), n)
+	}
+	var chunks int64
+	for _, c := range st.ChunksPerThread {
+		chunks += c
+	}
+	if chunks != 11 {
+		t.Fatalf("executed %d chunks, want 11", chunks)
+	}
+}
+
+func TestMaxSkew(t *testing.T) {
+	if got := (Stats{}).MaxSkew(); got != 1 {
+		t.Errorf("empty MaxSkew = %v", got)
+	}
+	if got := (Stats{ChunksPerThread: []int64{0, 0}}).MaxSkew(); got != 1 {
+		t.Errorf("zero-work MaxSkew = %v", got)
+	}
+	got := (Stats{ChunksPerThread: []int64{3, 1}}).MaxSkew()
+	if got != 1.5 {
+		t.Errorf("MaxSkew = %v, want 1.5", got)
+	}
+}
+
+// Property: for any range and thread count, every vertex is visited exactly
+// once, with and without stealing.
+func TestQuickExactCover(t *testing.T) {
+	f := func(loRaw, span uint16, threadsRaw uint8, stealing bool) bool {
+		lo := uint32(loRaw)
+		hi := lo + uint32(span)
+		threads := int(threadsRaw)%8 + 1
+		var visited sync.Map
+		ok := atomic.Bool{}
+		ok.Store(true)
+		New(threads, stealing).ParallelFor(lo, hi, func(v uint32, _ int) {
+			if _, dup := visited.LoadOrStore(v, true); dup {
+				ok.Store(false)
+			}
+		})
+		if !ok.Load() {
+			return false
+		}
+		count := 0
+		visited.Range(func(_, _ any) bool { count++; return true })
+		return count == int(span)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
