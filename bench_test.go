@@ -68,6 +68,7 @@ func BenchmarkAblationReorder(b *testing.B)        { runExperiment(b, "ablation-
 func BenchmarkAblationAsync(b *testing.B)          { runExperiment(b, "ablation-async") }
 func BenchmarkAnalyticsApps(b *testing.B)          { runExperiment(b, "analytics") }
 func BenchmarkAblationIncrementalRRG(b *testing.B) { runExperiment(b, "ablation-incremental") }
+func BenchmarkPipelineBreakdown(b *testing.B)      { runExperiment(b, "pipeline") }
 
 // Micro-benchmarks of the pieces the experiments compose.
 

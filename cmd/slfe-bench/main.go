@@ -29,6 +29,13 @@ func main() {
 	out := flag.String("out", "", "directory for raw TSV series exports (empty: disabled)")
 	flag.Parse()
 
+	if *nodes < 1 || *threads < 0 || *scale < 1 || *prIters < 1 {
+		fmt.Fprintf(os.Stderr, "slfe-bench: invalid sizes (-nodes %d -threads %d -scale %d -pr-iters %d); "+
+			"-nodes, -scale and -pr-iters must be at least 1, -threads non-negative\n",
+			*nodes, *threads, *scale, *prIters)
+		os.Exit(2)
+	}
+
 	cfg := bench.Config{
 		Scale:   *scale,
 		Nodes:   *nodes,

@@ -32,6 +32,27 @@ func main() {
 	out := flag.String("o", "", "output path (.slfg = binary, otherwise text); default stdout text")
 	flag.Parse()
 
+	// Validate sizes up front: the generators index slices by these, so a
+	// negative value would otherwise surface as a runtime panic.
+	if *n < 0 || *m < 0 {
+		fatal(fmt.Errorf("-n and -m must be non-negative (got n=%d m=%d)", *n, *m))
+	}
+	if *rows < 1 || *cols < 1 {
+		fatal(fmt.Errorf("-rows and -cols must be at least 1 (got rows=%d cols=%d)", *rows, *cols))
+	}
+	if *clusters < 1 {
+		fatal(fmt.Errorf("-clusters must be at least 1 (got %d)", *clusters))
+	}
+	if *bridges < 0 {
+		fatal(fmt.Errorf("-bridges must be non-negative (got %d)", *bridges))
+	}
+	if *maxw < 1 {
+		fatal(fmt.Errorf("-maxw must be at least 1 (got %d)", *maxw))
+	}
+	if *scale < 1 {
+		fatal(fmt.Errorf("-scale must be at least 1 (got %d)", *scale))
+	}
+
 	var g *graph.Graph
 	switch *kind {
 	case "rmat":

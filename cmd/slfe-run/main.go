@@ -47,6 +47,19 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-iteration statistics")
 	flag.Parse()
 
+	if *nodes < 1 {
+		fatal(fmt.Errorf("-nodes must be at least 1 (got %d)", *nodes))
+	}
+	if *threads < 0 {
+		fatal(fmt.Errorf("-threads must be non-negative (got %d)", *threads))
+	}
+	if *scale < 1 {
+		fatal(fmt.Errorf("-scale must be at least 1 (got %d)", *scale))
+	}
+	if *iters < 1 {
+		fatal(fmt.Errorf("-iters must be at least 1 (got %d)", *iters))
+	}
+
 	g, err := loadGraph(*path, *dataset, *scale)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,3 @@
+module slfe
+
+go 1.24

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+	"text/tabwriter"
+	"time"
+
+	"slfe/internal/metrics"
+)
+
+// Pipeline profiles the unified superstep driver
+// (internal/core/superstep.go): the per-phase wall-time split of the
+// frontier-driven min/max apps (SSSP and CC, exercising the push/pull
+// switch) and an all-vertex arith app (PR) on the cluster. The phases are the
+// driver's own: pre-compute coordination (frontier statistics, mode
+// switch, termination reductions), staged compute, commit of staged
+// updates, and delta-sync. Commit is a sub-phase of compute and is shown
+// as its share of it.
+func Pipeline(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Pipeline: unified superstep driver per-phase wall time")
+	fmt.Fprintln(tw, "app\tgraph\titers\tfrontier\tcompute\t(commit)\tsync\tsteals")
+	for _, app := range []string{"SSSP", "CC", "PR"} {
+		for _, name := range []string{"PK", "LJ"} {
+			res, err := c.RunSLFE(app, name, c.Nodes, true)
+			if err != nil {
+				return err
+			}
+			m := metrics.Merge(res.PerWorker)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t%v\t%v\t%v\t%d\n",
+				app, name, res.Result.Iterations,
+				m.FrontierTime.Round(time.Microsecond),
+				m.ComputeTime.Round(time.Microsecond),
+				m.CommitTime.Round(time.Microsecond),
+				m.SyncTime.Round(time.Microsecond),
+				m.Steals)
+		}
+	}
+	return tw.Flush()
+}

@@ -249,14 +249,45 @@ func (b *Atomic) Any() bool {
 	return false
 }
 
-// CountRange returns the number of set bits in [lo, hi).
-func (b *Atomic) CountRange(lo, hi int) int {
-	c := 0
-	for i := lo; i < hi; i++ {
-		if b.Get(i) {
-			c++
+// rangeWords calls fn with each word of [lo, hi) in ascending order, the
+// first and last words masked to the window, until fn returns false. It
+// owns the clamping and partial-word masking shared by CountRange and
+// RangeIn; each word is an independent atomic snapshot.
+func (b *Atomic) rangeWords(lo, hi int, fn func(wi int, w uint64) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo/wordBits, (hi+wordBits-1)/wordBits
+	for wi := loW; wi < hiW; wi++ {
+		w := b.words[wi].Load()
+		if wi == loW {
+			w &= ^uint64(0) << (uint(lo) % wordBits)
+		}
+		if wi == hiW-1 {
+			if rem := hi % wordBits; rem != 0 {
+				w &= (1 << uint(rem)) - 1
+			}
+		}
+		if !fn(wi, w) {
+			return
 		}
 	}
+}
+
+// CountRange returns the number of set bits in [lo, hi), counting whole
+// words with popcount.
+func (b *Atomic) CountRange(lo, hi int) int {
+	c := 0
+	b.rangeWords(lo, hi, func(_ int, w uint64) bool {
+		c += bits.OnesCount64(w)
+		return true
+	})
 	return c
 }
 
@@ -273,6 +304,22 @@ func (b *Atomic) Range(fn func(i int) bool) {
 			w &= w - 1
 		}
 	}
+}
+
+// RangeIn calls fn for every set bit in [lo, hi) in ascending order,
+// stopping early if fn returns false. Like Range, the iteration is a
+// snapshot per word; disjoint ranges can be scanned concurrently.
+func (b *Atomic) RangeIn(lo, hi int, fn func(i int) bool) {
+	b.rangeWords(lo, hi, func(wi int, w uint64) bool {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return false
+			}
+			w &= w - 1
+		}
+		return true
+	})
 }
 
 // Snapshot copies the current contents into a non-atomic bitset.

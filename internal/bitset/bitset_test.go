@@ -328,3 +328,74 @@ func BenchmarkRange(b *testing.B) {
 		s.Range(func(j int) bool { sum += j; return true })
 	}
 }
+
+// Property: RangeIn over [lo, hi) visits exactly the set bits Range visits
+// restricted to the window, in the same ascending order, and CountRange
+// agrees with the visit count.
+func TestQuickRangeInMatchesRange(t *testing.T) {
+	f := func(raw []uint16, loRaw, hiRaw uint16) bool {
+		const n = 1<<16 + 13 // odd tail exercises the last-word mask
+		b := NewAtomic(n)
+		for _, r := range raw {
+			b.Set(int(r))
+		}
+		lo, hi := int(loRaw), int(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want []int
+		b.Range(func(i int) bool {
+			if i >= lo && i < hi {
+				want = append(want, i)
+			}
+			return true
+		})
+		var got []int
+		b.RangeIn(lo, hi, func(i int) bool {
+			got = append(got, i)
+			return true
+		})
+		if len(got) != len(want) || b.CountRange(lo, hi) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeInBoundsClamped(t *testing.T) {
+	b := NewAtomic(100)
+	b.Set(0)
+	b.Set(99)
+	var got []int
+	b.RangeIn(-5, 1000, func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != 2 || got[0] != 0 || got[1] != 99 {
+		t.Fatalf("clamped RangeIn visited %v", got)
+	}
+	if b.CountRange(-5, 1000) != 2 {
+		t.Fatalf("clamped CountRange = %d", b.CountRange(-5, 1000))
+	}
+	b.RangeIn(50, 50, func(int) bool {
+		t.Fatal("empty window visited a bit")
+		return false
+	})
+	// Early stop.
+	calls := 0
+	b.RangeIn(0, 100, func(int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"slfe/internal/balance"
@@ -224,19 +223,22 @@ func (e *Engine) maybeRebalance(st *state, iterTime time.Duration, onAcquire fun
 }
 
 // Run executes the program to convergence and returns the synchronised
-// result.
+// result. Both aggregation modes run through the unified superstep
+// pipeline (superstep.go); only the kernel differs.
 func (e *Engine) Run(p *Program) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	var res *Result
-	var err error
+	st := e.newState(p)
+	changed := bitset.NewAtomic(e.g.NumVertices())
+	var k kernel
 	if p.Agg == MinMax {
-		res, err = e.runMinMax(p)
+		k = newMinMaxKernel(e, p, st, changed)
 	} else {
-		res, err = e.runArith(p)
+		k = newArithKernel(e, p, st, changed)
 	}
+	res, err := e.runSupersteps(p, k, st, changed)
 	if err != nil {
 		return nil, err
 	}
@@ -329,24 +331,47 @@ func hasActiveIn(frontier *bitset.Atomic, ins []graph.VertexID) bool {
 
 // frontierOutEdges sums the out-degrees of the frontier (the push/pull
 // switch statistic); the frontier is globally consistent, so every worker
-// computes the same value locally.
+// computes the same value locally. The scan is a chunked parallel reduce
+// over the scheduler with per-thread partial sums merged at the barrier.
 func (e *Engine) frontierOutEdges(frontier *bitset.Atomic) int64 {
-	var sum int64
-	frontier.Range(func(i int) bool {
-		sum += e.g.OutDegree(graph.VertexID(i))
-		return true
+	sum, _ := e.sched.ReduceI64(0, uint32(frontier.Len()), func(clo, chi uint32, _ int) int64 {
+		var s int64
+		frontier.RangeIn(int(clo), int(chi), func(i int) bool {
+			s += e.g.OutDegree(graph.VertexID(i))
+			return true
+		})
+		return s
 	})
 	return sum
 }
 
-// collectBits lists the set indices of b in ascending order.
-func collectBits(b *bitset.Atomic) []uint32 {
-	var ids []uint32
-	b.Range(func(i int) bool {
-		ids = append(ids, uint32(i))
-		return true
+// collectBits lists the set indices of b in ascending order. Chunks are
+// scanned in parallel into per-chunk buffers and concatenated in chunk
+// order after the barrier, preserving the ascending order serial Range
+// produced.
+func (e *Engine) collectBits(b *bitset.Atomic) []uint32 {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	parts := make([][]uint32, (n+ws.ChunkSize-1)/ws.ChunkSize)
+	e.sched.Run(0, uint32(n), func(clo, chi uint32, _ int) {
+		var ids []uint32
+		b.RangeIn(int(clo), int(chi), func(i int) bool {
+			ids = append(ids, uint32(i))
+			return true
+		})
+		parts[clo/ws.ChunkSize] = ids
 	})
-	return ids
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]uint32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }
 
 // restoreBits sets the listed indices in b (which must be large enough).
@@ -388,506 +413,4 @@ func (e *Engine) loadCheckpoint(p *Program, kind ckpt.Kind) (*ckpt.State, error)
 		return nil, fmt.Errorf("core: checkpoint has %d values for a graph of %d vertices", len(s.Values), e.g.NumVertices())
 	}
 	return s, nil
-}
-
-// runMinMax is the frontier-driven loop for comparison aggregations with
-// the "start late" rule of Algorithm 2 (single Ruler).
-func (e *Engine) runMinMax(p *Program) (*Result, error) {
-	n := e.g.NumVertices()
-	st := e.newState(p)
-	frontier := bitset.NewAtomic(n)
-	changed := bitset.NewAtomic(n)
-	// caughtUp marks owned vertices that performed their full catch-up
-	// scan; debt marks owned vertices suppressed at least once and not yet
-	// caught up.
-	var caughtUp, debt *bitset.Atomic
-	if e.cfg.RR {
-		caughtUp = bitset.NewAtomic(n)
-		debt = bitset.NewAtomic(n)
-	}
-	for _, r := range p.Roots {
-		if int(r) < n {
-			frontier.Set(int(r))
-			st.markChanged(r, 0)
-		}
-	}
-	scratch := make([]Value, n)
-
-	iter := 0 // the Ruler of Algorithm 2
-	if snap, err := e.loadCheckpoint(p, ckpt.MinMax); err != nil {
-		return nil, err
-	} else if snap != nil {
-		copy(st.values, snap.Values)
-		frontier.Reset()
-		if err := restoreBits(frontier, snap.Sets["frontier"]); err != nil {
-			return nil, err
-		}
-		if e.cfg.RR {
-			if err := restoreBits(caughtUp, snap.Sets["caughtup"]); err != nil {
-				return nil, err
-			}
-			if err := restoreBits(debt, snap.Sets["debt"]); err != nil {
-				return nil, err
-			}
-		}
-		iter = int(snap.Iter) + 1
-	}
-	threads := e.sched.Threads()
-	for superstep := 0; superstep < 4*n+16; superstep++ {
-		active := int64(frontier.Count())
-
-		// globalDebt counts vertices that were suppressed while an update
-		// was available and have not caught up yet.
-		var globalDebt int64
-		if e.cfg.RR {
-			var localDebt int64
-			for v := e.lo; v < e.hi; v++ {
-				if debt.Get(int(v)) {
-					localDebt++
-				}
-			}
-			var err error
-			globalDebt, err = e.comm.AllReduceI64(localDebt, comm.OpSum)
-			if err != nil {
-				return nil, err
-			}
-		}
-
-		if active == 0 && globalDebt == 0 {
-			break // no active work and no debt anywhere: done
-		}
-		if active == 0 {
-			// "Start late" still owes catch-up scans but no updates are in
-			// flight: advance the Ruler straight to the earliest pending
-			// LastIter so the schedule continues without idle rounds.
-			pending := int64(math.MaxInt64)
-			for v := e.lo; v < e.hi; v++ {
-				if debt.Get(int(v)) {
-					if li := int64(e.cfg.Guidance.LastIter[v]); li < pending {
-						pending = li
-					}
-				}
-			}
-			global, err := e.comm.AllReduceI64(pending, comm.OpMin)
-			if err != nil {
-				return nil, err
-			}
-			if int(global) > iter {
-				iter = int(global)
-			}
-		}
-
-		// The push/pull switch (Gemini's heuristic), with one refinement:
-		// while "start late" debt is outstanding the engine stays in pull
-		// mode, where catch-up scans repay the debt progressively as the
-		// Ruler passes each vertex's LastIter. This realises Algorithm 3's
-		// correctness rule (updates suppressed in pull must be re-delivered
-		// before push) without its reactivate-all |E|-relaxation spike —
-		// under per-edge activity accounting the extra pull rounds cost
-		// only bitmap bookkeeping, whereas each reactivation re-relaxes
-		// every edge and, with suppression re-accruing debt, can ping-pong.
-		outEdges := e.frontierOutEdges(frontier)
-		pullMode := active == 0 || globalDebt > 0 ||
-			outEdges > e.g.NumEdges()/e.cfg.DenseDivisor
-
-		stat := metrics.IterStat{Iter: iter, ActiveVerts: active}
-		comps := make([]int64, threads)
-		updates := make([]int64, threads)
-		suppressed := make([]int64, threads)
-		catchups := make([]int64, threads)
-		changed.Reset()
-		computeStart := time.Now()
-
-		if pullMode {
-			stat.Mode = metrics.Pull
-			ruler := uint32(iter)
-			// The parallel phase only reads values and stages improvements
-			// in scratch (BSP-pure, race-free); the serial loop below
-			// commits them.
-			wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
-				for v := clo; v < chi; v++ {
-					vid := graph.VertexID(v)
-					ins, iws := e.g.InNeighbors(vid), e.g.InWeights(vid)
-					if e.cfg.RR && !caughtUp.Get(int(v)) {
-						// Algorithm 2, pullEdge_singleRuler: an O(1) Ruler
-						// test delays the vertex until iteration
-						// RRG[v].lastIter. The saving is the relaxations the
-						// baseline would perform below. Debt — the obligation
-						// to re-collect all inputs later — is only incurred
-						// when an update was actually available (an active
-						// in-neighbour existed) while suppressed; the
-						// activity probe is bitmap bookkeeping, not a §2.2
-						// computation.
-						if ruler < e.cfg.Guidance.LastIter[v] {
-							suppressed[th]++
-							if !debt.Get(int(v)) && hasActiveIn(frontier, ins) {
-								debt.Set(int(v))
-							}
-							continue
-						}
-						caughtUp.Set(int(v))
-						if debt.Get(int(v)) {
-							// First eligible pull after suppression:
-							// pullFunc over every in-edge regardless of
-							// source activity (§3.2: "requires vx to
-							// collect the inputs from all of them"), which
-							// repays the updates suppression skipped.
-							best := st.values[vid]
-							for i, u := range ins {
-								comps[th]++
-								cand := p.Relax(st.values[u], iws[i])
-								if p.Better(cand, best) {
-									best = cand
-								}
-							}
-							catchups[th]++
-							debt.Clear(int(v))
-							if p.Better(best, st.values[vid]) {
-								scratch[v] = best
-								changed.Set(int(v))
-							}
-							continue
-						}
-						// Never suppressed: baseline path below.
-					}
-					// Baseline dense pull, Gemini's signal/slot accounting:
-					// relax exactly the in-edges whose source is active this
-					// round (the per-edge activity test is cheap bitmap
-					// bookkeeping; the relaxations are the heavyweight
-					// computations of §2.2). The total is therefore one
-					// relaxation per (update, out-edge) event regardless of
-					// scheduling, and "start late" reduces it by suppressing
-					// a vertex's events outright — all but the one catch-up
-					// scan above, which alone pays the full in-degree.
-					best := st.values[vid]
-					for i, u := range ins {
-						if !frontier.Get(int(u)) {
-							continue
-						}
-						comps[th]++
-						cand := p.Relax(st.values[u], iws[i])
-						if p.Better(cand, best) {
-							best = cand
-						}
-					}
-					if p.Better(best, st.values[vid]) {
-						scratch[v] = best
-						changed.Set(int(v))
-					}
-				}
-			})
-			st.run.Steals += wsStats.Steals
-			for v := e.lo; v < e.hi; v++ {
-				if changed.Get(int(v)) {
-					st.values[v] = scratch[v]
-					// One committed value change is one "update" (the
-					// Table 2 metric).
-					updates[0]++
-				}
-			}
-		} else {
-			stat.Mode = metrics.Push
-			// Push is only entered with zero outstanding debt (see the mode
-			// switch above), so Algorithm 3's reactivate-all re-delivery is
-			// never needed; the assertion documents the invariant.
-			if e.cfg.RR && globalDebt != 0 {
-				return nil, errors.New("core: internal: push entered with outstanding catch-up debt")
-			}
-			// Source-side push with sender-side combining.
-			props := make([]map[graph.VertexID]Value, threads)
-			for i := range props {
-				props[i] = make(map[graph.VertexID]Value)
-			}
-			wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
-				pm := props[th]
-				for v := clo; v < chi; v++ {
-					if !frontier.Get(int(v)) {
-						continue
-					}
-					vid := graph.VertexID(v)
-					outs, ows := e.g.OutNeighbors(vid), e.g.OutWeights(vid)
-					for i, u := range outs {
-						cand := p.Relax(st.values[vid], ows[i])
-						comps[th]++
-						if prev, ok := pm[u]; !ok || p.Better(cand, prev) {
-							pm[u] = cand
-						}
-					}
-				}
-			})
-			st.run.Steals += wsStats.Steals
-			if err := e.exchangeProposals(p, st, props, changed, &updates[0]); err != nil {
-				return nil, err
-			}
-		}
-		stat.Time = time.Since(computeStart)
-		for th := 0; th < threads; th++ {
-			stat.Computations += comps[th]
-			stat.Updates += updates[th]
-			stat.Suppressed += suppressed[th]
-			stat.CatchUps += catchups[th]
-		}
-
-		syncStart := time.Now()
-		frontier.Reset()
-		if _, err := e.syncOwned(st, changed, frontier, iter); err != nil {
-			return nil, err
-		}
-		st.run.SyncTime += time.Since(syncStart)
-		st.run.Add(stat)
-		// Dynamic rebalancing: vertices acquired from another worker may
-		// carry unknown "start late" suppression history there, so they are
-		// conservatively marked as debt — the catch-up scan re-pulls every
-		// in-edge, repairing any update the previous owner suppressed.
-		err := e.maybeRebalance(st, stat.Time, func(v graph.VertexID) {
-			if e.cfg.RR && !caughtUp.Get(int(v)) {
-				debt.Set(int(v))
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		if e.cfg.Ckpt != nil && e.cfg.Ckpt.ShouldSave(iter) {
-			snap := &ckpt.State{
-				Program: p.Name, Kind: ckpt.MinMax, Iter: uint32(iter),
-				Values: st.values,
-				Sets:   map[string][]uint32{"frontier": collectBits(frontier)},
-			}
-			if e.cfg.RR {
-				snap.Sets["caughtup"] = collectBits(caughtUp)
-				snap.Sets["debt"] = collectBits(debt)
-			}
-			if err := e.cfg.Ckpt.Save(e.comm.Rank(), snap); err != nil {
-				return nil, err
-			}
-		}
-		iter++
-	}
-
-	res := &Result{
-		Values:     st.values,
-		Iterations: len(st.run.Iters),
-		Metrics:    st.run,
-		LastChange: st.lastChange,
-	}
-	return res, nil
-}
-
-// exchangeProposals routes push proposals to their owners, merges them, and
-// marks changed owned vertices.
-func (e *Engine) exchangeProposals(p *Program, st *state, props []map[graph.VertexID]Value, changed *bitset.Atomic, updates *int64) error {
-	// Merge thread-local proposal maps, splitting by owner.
-	size := e.comm.Size()
-	perOwner := make([]map[graph.VertexID]Value, size)
-	for i := range perOwner {
-		perOwner[i] = make(map[graph.VertexID]Value)
-	}
-	for _, pm := range props {
-		for dst, val := range pm {
-			owner := e.owner(dst)
-			if prev, ok := perOwner[owner][dst]; !ok || p.Better(val, prev) {
-				perOwner[owner][dst] = val
-			}
-		}
-	}
-	blobs := make([][]byte, size)
-	for r, m := range perOwner {
-		// Sort ids so the codec sees ascending order (VarintXOR needs it)
-		// and the wire format is deterministic.
-		ids := make([]graph.VertexID, 0, len(m))
-		for id := range m {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		vals := make([]Value, len(ids))
-		for i, id := range ids {
-			vals[i] = m[id]
-		}
-		blobs[r] = e.cfg.Codec.Encode(ids, vals)
-	}
-	got, err := e.comm.AllToAll(blobs)
-	if err != nil {
-		return err
-	}
-	for _, blob := range got {
-		err := e.cfg.Codec.Decode(blob, func(id graph.VertexID, val Value) error {
-			if id < e.lo || id >= e.hi {
-				return fmt.Errorf("core: proposal for non-owned vertex %d", id)
-			}
-			if p.Better(val, st.values[id]) {
-				st.values[id] = val
-				changed.Set(int(id))
-				*updates++
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// runArith is the all-vertex pull loop for arithmetic aggregations with the
-// "finish early" rule of Algorithm 5 (multi Ruler: the per-vertex stability
-// counter).
-func (e *Engine) runArith(p *Program) (*Result, error) {
-	n := e.g.NumVertices()
-	st := e.newState(p)
-	changed := bitset.NewAtomic(n)
-	// RulerS of Algorithm 2 / stableCnt of Algorithm 5.
-	stableCnt := make([]uint32, n)
-	stableVal := make([]Value, n)
-	for v := 0; v < n; v++ {
-		stableVal[v] = st.values[v]
-	}
-	scratch := make([]Value, n)
-	threads := e.sched.Threads()
-	maxIters := p.maxItersOrDefault()
-
-	// A vertex is early-converged once its stability streak strictly
-	// exceeds its lastIter (§2.2: "x > its maximum/latest propagation
-	// level"; Algorithm 5's pseudo-code tests stableCnt < lastIter, but the
-	// strict prose version is required for correctness — an update can
-	// arrive exactly one round after lastIter when contributions cancel
-	// transiently, e.g. opposing evidence in BeliefPropagation). ECSlack
-	// widens the margin further for programs that want extra safety.
-	slack := uint32(1)
-	if p.ECSlack > 1 {
-		slack = uint32(p.ECSlack)
-	}
-	ecFrozen := func(v graph.VertexID) bool {
-		return stableCnt[v] >= e.cfg.Guidance.LastIter[v]+slack
-	}
-
-	startIter := 0
-	if snap, err := e.loadCheckpoint(p, ckpt.Arith); err != nil {
-		return nil, err
-	} else if snap != nil {
-		if len(snap.StableCnt) != n || len(snap.StableVal) != n {
-			return nil, fmt.Errorf("core: checkpoint stability arrays sized %d/%d for %d vertices",
-				len(snap.StableCnt), len(snap.StableVal), n)
-		}
-		copy(st.values, snap.Values)
-		copy(stableCnt, snap.StableCnt)
-		copy(stableVal, snap.StableVal)
-		startIter = int(snap.Iter) + 1
-	}
-
-	var ecCount int64
-	for iter := startIter; iter < maxIters; iter++ {
-		stat := metrics.IterStat{Iter: iter, Mode: metrics.Pull, ActiveVerts: int64(n)}
-		comps := make([]int64, threads)
-		suppressed := make([]int64, threads)
-		var maxLocalDelta float64
-		changed.Reset()
-		computeStart := time.Now()
-
-		wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
-			for v := clo; v < chi; v++ {
-				vid := graph.VertexID(v)
-				// Algorithm 5 line 15: compute only while the stability
-				// streak is within the vertex's LastIter+slack; afterwards
-				// the vertex is early-converged and its cached value is
-				// reused ("finish early"). The +slack also guarantees every
-				// vertex computes at least once before freezing (vertices
-				// with no reachable in-neighbours have LastIter 0).
-				if e.cfg.RR && ecFrozen(vid) {
-					suppressed[th]++
-					continue
-				}
-				acc := p.GatherInit
-				ins, ws := e.g.InNeighbors(vid), e.g.InWeights(vid)
-				for i, u := range ins {
-					acc = p.Gather(acc, st.values[u], ws[i])
-					comps[th]++
-				}
-				scratch[v] = p.Apply(e.g, vid, acc, st.values[vid])
-			}
-		})
-		st.run.Steals += wsStats.Steals
-
-		// vertexUpdate (Algorithm 5 lines 13-18): stability bookkeeping and
-		// committing new values, single-threaded over the owned range.
-		for v := e.lo; v < e.hi; v++ {
-			if e.cfg.RR && ecFrozen(graph.VertexID(v)) {
-				continue
-			}
-			newVal := scratch[v]
-			if p.stable(newVal, stableVal[v]) {
-				stableCnt[v]++
-			} else {
-				stableCnt[v] = 0
-				stableVal[v] = newVal
-			}
-			if d := math.Abs(newVal - st.values[v]); d > 0 {
-				if d > maxLocalDelta {
-					maxLocalDelta = d
-				}
-				st.values[v] = newVal
-				changed.Set(int(v))
-			}
-		}
-		for th := 0; th < threads; th++ {
-			stat.Computations += comps[th]
-			stat.Suppressed += suppressed[th]
-		}
-		stat.Updates = int64(changed.CountRange(int(e.lo), int(e.hi)))
-		stat.Time = time.Since(computeStart)
-
-		syncStart := time.Now()
-		if _, err := e.syncOwned(st, changed, nil, iter); err != nil {
-			return nil, err
-		}
-		st.run.SyncTime += time.Since(syncStart)
-
-		// Global termination checks.
-		maxDelta, err := e.comm.AllReduceF64(maxLocalDelta, comm.OpMax)
-		if err != nil {
-			return nil, err
-		}
-		var localEC int64
-		if e.cfg.RR {
-			for v := e.lo; v < e.hi; v++ {
-				if ecFrozen(graph.VertexID(v)) {
-					localEC++
-				}
-			}
-		}
-		ecCount, err = e.comm.AllReduceI64(localEC, comm.OpSum)
-		if err != nil {
-			return nil, err
-		}
-		stat.ECGlobal = ecCount
-		st.run.Add(stat)
-		// Acquired vertices start with a zeroed local stability streak, so
-		// they simply recompute until they stabilise again — no transfer of
-		// stableCnt is needed for correctness.
-		if err := e.maybeRebalance(st, stat.Time, nil); err != nil {
-			return nil, err
-		}
-		if e.cfg.Ckpt != nil && e.cfg.Ckpt.ShouldSave(iter) {
-			snap := &ckpt.State{
-				Program: p.Name, Kind: ckpt.Arith, Iter: uint32(iter),
-				Values: st.values, StableCnt: stableCnt, StableVal: stableVal,
-			}
-			if err := e.cfg.Ckpt.Save(e.comm.Rank(), snap); err != nil {
-				return nil, err
-			}
-		}
-		if p.Epsilon > 0 && maxDelta <= p.Epsilon {
-			break
-		}
-		if e.cfg.RR && ecCount == int64(n) {
-			break
-		}
-	}
-
-	return &Result{
-		Values:     st.values,
-		Iterations: len(st.run.Iters),
-		Metrics:    st.run,
-		LastChange: st.lastChange,
-		ECCount:    ecCount,
-	}, nil
 }

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"slfe/internal/bitset"
+	"slfe/internal/ckpt"
+	"slfe/internal/comm"
+	"slfe/internal/graph"
+	"slfe/internal/metrics"
+)
+
+// arithKernel is the all-vertex pull kernel for arithmetic aggregations
+// with the "finish early" rule of Algorithm 5 (multi Ruler: the per-vertex
+// stability counter), plugged into the shared superstep driver.
+type arithKernel struct {
+	e  *Engine
+	p  *Program
+	st *state
+
+	changed *bitset.Atomic
+	// RulerS of Algorithm 2 / stableCnt of Algorithm 5.
+	stableCnt []uint32
+	stableVal []Value
+	scratch   []Value
+	slack     uint32
+	maxIters  int
+
+	comps, suppressed []int64 // per-thread counters
+	maxLocalDelta     float64
+	ecCount           int64
+}
+
+func newArithKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *arithKernel {
+	n := e.g.NumVertices()
+	threads := e.sched.Threads()
+	k := &arithKernel{
+		e: e, p: p, st: st,
+		changed:    changed,
+		stableCnt:  make([]uint32, n),
+		stableVal:  make([]Value, n),
+		scratch:    make([]Value, n),
+		maxIters:   p.maxItersOrDefault(),
+		comps:      make([]int64, threads),
+		suppressed: make([]int64, threads),
+	}
+	copy(k.stableVal, st.values)
+	// A vertex is early-converged once its stability streak strictly
+	// exceeds its lastIter (§2.2: "x > its maximum/latest propagation
+	// level"; Algorithm 5's pseudo-code tests stableCnt < lastIter, but the
+	// strict prose version is required for correctness — an update can
+	// arrive exactly one round after lastIter when contributions cancel
+	// transiently, e.g. opposing evidence in BeliefPropagation). ECSlack
+	// widens the margin further for programs that want extra safety.
+	k.slack = 1
+	if p.ECSlack > 1 {
+		k.slack = uint32(p.ECSlack)
+	}
+	return k
+}
+
+// ecFrozen reports whether v's stability streak has outlived its guidance.
+func (k *arithKernel) ecFrozen(v graph.VertexID) bool {
+	return k.stableCnt[v] >= k.e.cfg.Guidance.LastIter[v]+k.slack
+}
+
+func (k *arithKernel) kind() ckpt.Kind          { return ckpt.Arith }
+func (k *arithKernel) superstepCap() int        { return k.maxIters + 1 }
+func (k *arithKernel) frontier() *bitset.Atomic { return nil }
+
+func (k *arithKernel) restore(snap *ckpt.State) error {
+	n := k.e.g.NumVertices()
+	if len(snap.StableCnt) != n || len(snap.StableVal) != n {
+		return fmt.Errorf("core: checkpoint stability arrays sized %d/%d for %d vertices",
+			len(snap.StableCnt), len(snap.StableVal), n)
+	}
+	copy(k.stableCnt, snap.StableCnt)
+	copy(k.stableVal, snap.StableVal)
+	return nil
+}
+
+func (k *arithKernel) snapshot(snap *ckpt.State) {
+	snap.StableCnt = k.stableCnt
+	snap.StableVal = k.stableVal
+}
+
+func (k *arithKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error) {
+	if *iter >= k.maxIters {
+		return true, nil
+	}
+	stat.Iter = *iter
+	stat.Mode = metrics.Pull
+	stat.ActiveVerts = int64(k.e.g.NumVertices())
+	for t := range k.comps {
+		k.comps[t], k.suppressed[t] = 0, 0
+	}
+	k.maxLocalDelta = 0
+	return false, nil
+}
+
+func (k *arithKernel) compute(_ int, _ *metrics.IterStat) error {
+	e, p, st := k.e, k.p, k.st
+	wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
+		for v := clo; v < chi; v++ {
+			vid := graph.VertexID(v)
+			// Algorithm 5 line 15: compute only while the stability
+			// streak is within the vertex's LastIter+slack; afterwards
+			// the vertex is early-converged and its cached value is
+			// reused ("finish early"). The +slack also guarantees every
+			// vertex computes at least once before freezing (vertices
+			// with no reachable in-neighbours have LastIter 0).
+			if e.cfg.RR && k.ecFrozen(vid) {
+				k.suppressed[th]++
+				continue
+			}
+			acc := p.GatherInit
+			ins, ws := e.g.InNeighbors(vid), e.g.InWeights(vid)
+			for i, u := range ins {
+				acc = p.Gather(acc, st.values[u], ws[i])
+				k.comps[th]++
+			}
+			k.scratch[v] = p.Apply(e.g, vid, acc, st.values[vid])
+		}
+	})
+	st.run.Steals += wsStats.Steals
+	return nil
+}
+
+// commit is vertexUpdate (Algorithm 5 lines 13-18): stability bookkeeping
+// and committing new values, single-threaded over the owned range.
+func (k *arithKernel) commit(_ int, stat *metrics.IterStat) error {
+	e, p, st := k.e, k.p, k.st
+	for v := e.lo; v < e.hi; v++ {
+		if e.cfg.RR && k.ecFrozen(graph.VertexID(v)) {
+			continue
+		}
+		newVal := k.scratch[v]
+		if p.stable(newVal, k.stableVal[v]) {
+			k.stableCnt[v]++
+		} else {
+			k.stableCnt[v] = 0
+			k.stableVal[v] = newVal
+		}
+		if d := math.Abs(newVal - st.values[v]); d > 0 {
+			if d > k.maxLocalDelta {
+				k.maxLocalDelta = d
+			}
+			st.values[v] = newVal
+			k.changed.Set(int(v))
+		}
+	}
+	for t := range k.comps {
+		stat.Computations += k.comps[t]
+		stat.Suppressed += k.suppressed[t]
+	}
+	stat.Updates = int64(k.changed.CountRange(int(e.lo), int(e.hi)))
+	return nil
+}
+
+func (k *arithKernel) stepEnd(_ int, stat *metrics.IterStat) (bool, error) {
+	e, p := k.e, k.p
+	// Global termination checks.
+	maxDelta, err := e.comm.AllReduceF64(k.maxLocalDelta, comm.OpMax)
+	if err != nil {
+		return false, err
+	}
+	var localEC int64
+	if e.cfg.RR {
+		for v := e.lo; v < e.hi; v++ {
+			if k.ecFrozen(graph.VertexID(v)) {
+				localEC++
+			}
+		}
+	}
+	k.ecCount, err = e.comm.AllReduceI64(localEC, comm.OpSum)
+	if err != nil {
+		return false, err
+	}
+	stat.ECGlobal = k.ecCount
+	if p.Epsilon > 0 && maxDelta <= p.Epsilon {
+		return true, nil
+	}
+	if e.cfg.RR && k.ecCount == int64(e.g.NumVertices()) {
+		return true, nil
+	}
+	return false, nil
+}
+
+// onAcquire is a no-op: acquired vertices start with a zeroed local
+// stability streak, so they simply recompute until they stabilise again —
+// no transfer of stableCnt is needed for correctness.
+func (k *arithKernel) onAcquire(graph.VertexID) {}
+
+func (k *arithKernel) finish(res *Result) { res.ECCount = k.ecCount }

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"slfe/internal/bitset"
+	"slfe/internal/ckpt"
+	"slfe/internal/comm"
+	"slfe/internal/graph"
+	"slfe/internal/metrics"
+)
+
+// minmaxKernel is the frontier-driven comparison kernel with the "start
+// late" rule of Algorithm 2 (single Ruler), plugged into the shared
+// superstep driver.
+type minmaxKernel struct {
+	e  *Engine
+	p  *Program
+	st *state
+
+	front   *bitset.Atomic
+	changed *bitset.Atomic
+	// caughtUp marks owned vertices that performed their full catch-up
+	// scan; debt marks owned vertices suppressed at least once and not yet
+	// caught up.
+	caughtUp *bitset.Atomic
+	debt     *bitset.Atomic
+	scratch  []Value
+
+	// Per-superstep mode decision, made in stepBegin and consumed by
+	// compute/commit.
+	pullMode   bool
+	globalDebt int64
+	props      []map[graph.VertexID]Value // push-mode thread-local proposals
+
+	comps, updates, suppressed, catchups []int64 // per-thread counters
+}
+
+func newMinMaxKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *minmaxKernel {
+	n := e.g.NumVertices()
+	threads := e.sched.Threads()
+	k := &minmaxKernel{
+		e: e, p: p, st: st,
+		front:      bitset.NewAtomic(n),
+		changed:    changed,
+		scratch:    make([]Value, n),
+		comps:      make([]int64, threads),
+		updates:    make([]int64, threads),
+		suppressed: make([]int64, threads),
+		catchups:   make([]int64, threads),
+	}
+	if e.cfg.RR {
+		k.caughtUp = bitset.NewAtomic(n)
+		k.debt = bitset.NewAtomic(n)
+	}
+	for _, r := range p.Roots {
+		if int(r) < n {
+			k.front.Set(int(r))
+			st.markChanged(r, 0)
+		}
+	}
+	return k
+}
+
+func (k *minmaxKernel) kind() ckpt.Kind          { return ckpt.MinMax }
+func (k *minmaxKernel) superstepCap() int        { return 4*k.e.g.NumVertices() + 16 }
+func (k *minmaxKernel) frontier() *bitset.Atomic { return k.front }
+
+func (k *minmaxKernel) restore(snap *ckpt.State) error {
+	k.front.Reset()
+	if err := restoreBits(k.front, snap.Sets["frontier"]); err != nil {
+		return err
+	}
+	if k.e.cfg.RR {
+		if err := restoreBits(k.caughtUp, snap.Sets["caughtup"]); err != nil {
+			return err
+		}
+		if err := restoreBits(k.debt, snap.Sets["debt"]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (k *minmaxKernel) snapshot(snap *ckpt.State) {
+	snap.Sets = map[string][]uint32{"frontier": k.e.collectBits(k.front)}
+	if k.e.cfg.RR {
+		snap.Sets["caughtup"] = k.e.collectBits(k.caughtUp)
+		snap.Sets["debt"] = k.e.collectBits(k.debt)
+	}
+}
+
+func (k *minmaxKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error) {
+	e := k.e
+	active := int64(k.front.Count())
+
+	// globalDebt counts vertices that were suppressed while an update was
+	// available and have not caught up yet.
+	var globalDebt int64
+	if e.cfg.RR {
+		localDebt := int64(k.debt.CountRange(int(e.lo), int(e.hi)))
+		var err error
+		globalDebt, err = e.comm.AllReduceI64(localDebt, comm.OpSum)
+		if err != nil {
+			return false, err
+		}
+	}
+
+	if active == 0 && globalDebt == 0 {
+		return true, nil // no active work and no debt anywhere: done
+	}
+	if active == 0 {
+		// "Start late" still owes catch-up scans but no updates are in
+		// flight: advance the Ruler straight to the earliest pending
+		// LastIter so the schedule continues without idle rounds.
+		pending := int64(math.MaxInt64)
+		for v := e.lo; v < e.hi; v++ {
+			if k.debt.Get(int(v)) {
+				if li := int64(e.cfg.Guidance.LastIter[v]); li < pending {
+					pending = li
+				}
+			}
+		}
+		global, err := e.comm.AllReduceI64(pending, comm.OpMin)
+		if err != nil {
+			return false, err
+		}
+		if int(global) > *iter {
+			*iter = int(global)
+		}
+	}
+
+	// The push/pull switch (Gemini's heuristic), with one refinement:
+	// while "start late" debt is outstanding the engine stays in pull
+	// mode, where catch-up scans repay the debt progressively as the
+	// Ruler passes each vertex's LastIter. This realises Algorithm 3's
+	// correctness rule (updates suppressed in pull must be re-delivered
+	// before push) without its reactivate-all |E|-relaxation spike —
+	// under per-edge activity accounting the extra pull rounds cost
+	// only bitmap bookkeeping, whereas each reactivation re-relaxes
+	// every edge and, with suppression re-accruing debt, can ping-pong.
+	outEdges := e.frontierOutEdges(k.front)
+	k.pullMode = active == 0 || globalDebt > 0 ||
+		outEdges > e.g.NumEdges()/e.cfg.DenseDivisor
+	k.globalDebt = globalDebt
+
+	stat.Iter = *iter
+	stat.ActiveVerts = active
+	if k.pullMode {
+		stat.Mode = metrics.Pull
+	} else {
+		stat.Mode = metrics.Push
+	}
+	for t := range k.comps {
+		k.comps[t], k.updates[t], k.suppressed[t], k.catchups[t] = 0, 0, 0, 0
+	}
+	return false, nil
+}
+
+func (k *minmaxKernel) compute(iter int, _ *metrics.IterStat) error {
+	if k.pullMode {
+		k.computePull(iter)
+		return nil
+	}
+	// Push is only entered with zero outstanding debt (see the mode
+	// switch above), so Algorithm 3's reactivate-all re-delivery is
+	// never needed; the assertion documents the invariant.
+	if k.e.cfg.RR && k.globalDebt != 0 {
+		return errors.New("core: internal: push entered with outstanding catch-up debt")
+	}
+	k.computePush()
+	return nil
+}
+
+// computePull stages improvements in scratch (BSP-pure, race-free); commit
+// applies them to the owned range.
+func (k *minmaxKernel) computePull(iter int) {
+	e, p, st := k.e, k.p, k.st
+	ruler := uint32(iter)
+	wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
+		for v := clo; v < chi; v++ {
+			vid := graph.VertexID(v)
+			ins, iws := e.g.InNeighbors(vid), e.g.InWeights(vid)
+			if e.cfg.RR && !k.caughtUp.Get(int(v)) {
+				// Algorithm 2, pullEdge_singleRuler: an O(1) Ruler
+				// test delays the vertex until iteration
+				// RRG[v].lastIter. The saving is the relaxations the
+				// baseline would perform below. Debt — the obligation
+				// to re-collect all inputs later — is only incurred
+				// when an update was actually available (an active
+				// in-neighbour existed) while suppressed; the
+				// activity probe is bitmap bookkeeping, not a §2.2
+				// computation.
+				if ruler < e.cfg.Guidance.LastIter[v] {
+					k.suppressed[th]++
+					if !k.debt.Get(int(v)) && hasActiveIn(k.front, ins) {
+						k.debt.Set(int(v))
+					}
+					continue
+				}
+				k.caughtUp.Set(int(v))
+				if k.debt.Get(int(v)) {
+					// First eligible pull after suppression:
+					// pullFunc over every in-edge regardless of
+					// source activity (§3.2: "requires vx to
+					// collect the inputs from all of them"), which
+					// repays the updates suppression skipped.
+					best := st.values[vid]
+					for i, u := range ins {
+						k.comps[th]++
+						cand := p.Relax(st.values[u], iws[i])
+						if p.Better(cand, best) {
+							best = cand
+						}
+					}
+					k.catchups[th]++
+					k.debt.Clear(int(v))
+					if p.Better(best, st.values[vid]) {
+						k.scratch[v] = best
+						k.changed.Set(int(v))
+					}
+					continue
+				}
+				// Never suppressed: baseline path below.
+			}
+			// Baseline dense pull, Gemini's signal/slot accounting:
+			// relax exactly the in-edges whose source is active this
+			// round (the per-edge activity test is cheap bitmap
+			// bookkeeping; the relaxations are the heavyweight
+			// computations of §2.2). The total is therefore one
+			// relaxation per (update, out-edge) event regardless of
+			// scheduling, and "start late" reduces it by suppressing
+			// a vertex's events outright — all but the one catch-up
+			// scan above, which alone pays the full in-degree.
+			best := st.values[vid]
+			for i, u := range ins {
+				if !k.front.Get(int(u)) {
+					continue
+				}
+				k.comps[th]++
+				cand := p.Relax(st.values[u], iws[i])
+				if p.Better(cand, best) {
+					best = cand
+				}
+			}
+			if p.Better(best, st.values[vid]) {
+				k.scratch[v] = best
+				k.changed.Set(int(v))
+			}
+		}
+	})
+	k.st.run.Steals += wsStats.Steals
+}
+
+// computePush is source-side push with sender-side combining into
+// thread-local proposal maps; commit routes them to their owners.
+func (k *minmaxKernel) computePush() {
+	e, p, st := k.e, k.p, k.st
+	k.props = make([]map[graph.VertexID]Value, e.sched.Threads())
+	for i := range k.props {
+		k.props[i] = make(map[graph.VertexID]Value)
+	}
+	wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
+		pm := k.props[th]
+		for v := clo; v < chi; v++ {
+			if !k.front.Get(int(v)) {
+				continue
+			}
+			vid := graph.VertexID(v)
+			outs, ows := e.g.OutNeighbors(vid), e.g.OutWeights(vid)
+			for i, u := range outs {
+				cand := p.Relax(st.values[vid], ows[i])
+				k.comps[th]++
+				if prev, ok := pm[u]; !ok || p.Better(cand, prev) {
+					pm[u] = cand
+				}
+			}
+		}
+	})
+	st.run.Steals += wsStats.Steals
+}
+
+func (k *minmaxKernel) commit(_ int, stat *metrics.IterStat) error {
+	e := k.e
+	if k.pullMode {
+		// Commit staged improvements in parallel over the owned range;
+		// each committed value change is one "update" (the Table 2
+		// metric).
+		committed, _ := e.sched.ReduceI64(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, _ int) int64 {
+			var c int64
+			k.changed.RangeIn(int(clo), int(chi), func(v int) bool {
+				k.st.values[v] = k.scratch[v]
+				c++
+				return true
+			})
+			return c
+		})
+		k.updates[0] += committed
+	} else {
+		if err := e.exchangeProposals(k.p, k.st, k.props, k.changed, &k.updates[0]); err != nil {
+			return err
+		}
+		k.props = nil
+	}
+	for t := range k.comps {
+		stat.Computations += k.comps[t]
+		stat.Updates += k.updates[t]
+		stat.Suppressed += k.suppressed[t]
+		stat.CatchUps += k.catchups[t]
+	}
+	return nil
+}
+
+func (k *minmaxKernel) stepEnd(int, *metrics.IterStat) (bool, error) {
+	return false, nil // termination is decided in stepBegin
+}
+
+// onAcquire conservatively marks a rebalance-acquired vertex as debt: it
+// may carry unknown "start late" suppression history from its previous
+// owner, and the catch-up scan re-pulls every in-edge, repairing any
+// update that owner suppressed.
+func (k *minmaxKernel) onAcquire(v graph.VertexID) {
+	if k.e.cfg.RR && !k.caughtUp.Get(int(v)) {
+		k.debt.Set(int(v))
+	}
+}
+
+func (k *minmaxKernel) finish(*Result) {}
+
+// exchangeProposals routes push proposals to their owners, merges them, and
+// marks changed owned vertices. Both merge phases run on the scheduler:
+// first each thread-local map is split by destination owner, then one task
+// per destination rank merges, sorts and encodes its wire blob.
+func (e *Engine) exchangeProposals(p *Program, st *state, props []map[graph.VertexID]Value, changed *bitset.Atomic, updates *int64) error {
+	size := e.comm.Size()
+	split := make([][]map[graph.VertexID]Value, len(props))
+	e.sched.Tasks(len(props), func(th int) {
+		byOwner := make([]map[graph.VertexID]Value, size)
+		for dst, val := range props[th] {
+			o := e.owner(dst)
+			m := byOwner[o]
+			if m == nil {
+				m = make(map[graph.VertexID]Value)
+				byOwner[o] = m
+			}
+			m[dst] = val
+		}
+		split[th] = byOwner
+	})
+	blobs := make([][]byte, size)
+	e.sched.Tasks(size, func(r int) {
+		merged := make(map[graph.VertexID]Value)
+		for th := range split {
+			for id, val := range split[th][r] {
+				if prev, ok := merged[id]; !ok || p.Better(val, prev) {
+					merged[id] = val
+				}
+			}
+		}
+		// Sort ids so the codec sees ascending order (VarintXOR needs it)
+		// and the wire format is deterministic.
+		ids := make([]graph.VertexID, 0, len(merged))
+		for id := range merged {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		vals := make([]Value, len(ids))
+		for i, id := range ids {
+			vals[i] = merged[id]
+		}
+		blobs[r] = e.cfg.Codec.Encode(ids, vals)
+	})
+	got, err := e.comm.AllToAll(blobs)
+	if err != nil {
+		return err
+	}
+	for _, blob := range got {
+		err := e.cfg.Codec.Decode(blob, func(id graph.VertexID, val Value) error {
+			if id < e.lo || id >= e.hi {
+				return fmt.Errorf("core: proposal for non-owned vertex %d", id)
+			}
+			if p.Better(val, st.values[id]) {
+				st.values[id] = val
+				changed.Set(int(id))
+				*updates++
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

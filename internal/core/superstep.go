@@ -1,0 +1,144 @@
+package core
+
+import (
+	"time"
+
+	"slfe/internal/bitset"
+	"slfe/internal/ckpt"
+	"slfe/internal/graph"
+	"slfe/internal/metrics"
+)
+
+// kernel is one aggregation mode's plug-in into the shared superstep
+// driver. The driver owns everything both loops used to duplicate —
+// checkpoint load/save, delta-sync, rebalance windows, metrics plumbing
+// and the iteration loop itself — while the kernel supplies the
+// mode-specific compute: frontier-driven relaxation with "start late"
+// scheduling (minmaxKernel) or all-vertex gather/apply with "finish
+// early" detection (arithKernel).
+type kernel interface {
+	// kind tags checkpoint shards; a shard from one kernel must not
+	// resume the other.
+	kind() ckpt.Kind
+	// superstepCap bounds the driver loop (a safety net, not the normal
+	// termination path).
+	superstepCap() int
+	// restore applies kernel-specific state from a checkpoint shard; the
+	// driver has already restored the value array.
+	restore(snap *ckpt.State) error
+	// snapshot adds kernel-specific state to an outgoing shard.
+	snapshot(snap *ckpt.State)
+	// frontier returns the bitset the sync phase repopulates with the
+	// next frontier, or nil for kernels that activate every vertex.
+	frontier() *bitset.Atomic
+	// stepBegin runs pre-compute global coordination: termination checks,
+	// Ruler advance (it may move iter forward) and push/pull mode
+	// selection. done ends the run before any compute.
+	stepBegin(iter *int, stat *metrics.IterStat) (done bool, err error)
+	// compute stages this superstep's proposals in parallel; it must not
+	// mutate the value array (BSP purity).
+	compute(iter int, stat *metrics.IterStat) error
+	// commit applies staged values to the owned range, marks changed
+	// vertices, and folds per-thread counters into stat.
+	commit(iter int, stat *metrics.IterStat) error
+	// stepEnd runs post-sync global coordination (e.g. convergence
+	// reductions). done ends the run after checkpoint/rebalance ticks.
+	stepEnd(iter int, stat *metrics.IterStat) (done bool, err error)
+	// onAcquire makes a vertex just acquired by dynamic rebalancing safe
+	// for this kernel.
+	onAcquire(v graph.VertexID)
+	// finish fills kernel-specific result fields.
+	finish(res *Result)
+}
+
+// runSupersteps is the unified superstep pipeline: one iteration loop
+// serving both aggregation modes. Each superstep runs
+//
+//	stepBegin -> compute -> commit -> delta-sync -> stepEnd
+//	          -> rebalance window -> checkpoint tick
+//
+// with per-phase timings recorded in the run metrics.
+func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.Atomic) (*Result, error) {
+	iter := 0
+	if snap, err := e.loadCheckpoint(p, k.kind()); err != nil {
+		return nil, err
+	} else if snap != nil {
+		copy(st.values, snap.Values)
+		if err := k.restore(snap); err != nil {
+			return nil, err
+		}
+		iter = int(snap.Iter) + 1
+	}
+
+	for tick := 0; tick < k.superstepCap(); tick++ {
+		var stat metrics.IterStat
+		beginStart := time.Now()
+		done, err := k.stepBegin(&iter, &stat)
+		st.run.FrontierTime += time.Since(beginStart)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+
+		changed.Reset()
+		computeStart := time.Now()
+		if err := k.compute(iter, &stat); err != nil {
+			return nil, err
+		}
+		commitStart := time.Now()
+		if err := k.commit(iter, &stat); err != nil {
+			return nil, err
+		}
+		now := time.Now()
+		st.run.CommitTime += now.Sub(commitStart)
+		stat.Time = now.Sub(computeStart)
+
+		syncStart := time.Now()
+		f := k.frontier()
+		if f != nil {
+			f.Reset()
+		}
+		if _, err := e.syncOwned(st, changed, f, iter); err != nil {
+			return nil, err
+		}
+		st.run.SyncTime += time.Since(syncStart)
+
+		done, err = k.stepEnd(iter, &stat)
+		if err != nil {
+			return nil, err
+		}
+		st.run.Add(stat)
+
+		if e.reb != nil {
+			rebStart := time.Now()
+			if err := e.maybeRebalance(st, stat.Time, k.onAcquire); err != nil {
+				return nil, err
+			}
+			st.run.RebalanceTime += time.Since(rebStart)
+		}
+		if e.cfg.Ckpt != nil && e.cfg.Ckpt.ShouldSave(iter) {
+			ckptStart := time.Now()
+			snap := &ckpt.State{Program: p.Name, Kind: k.kind(), Iter: uint32(iter), Values: st.values}
+			k.snapshot(snap)
+			if err := e.cfg.Ckpt.Save(e.comm.Rank(), snap); err != nil {
+				return nil, err
+			}
+			st.run.CkptTime += time.Since(ckptStart)
+		}
+		if done {
+			break
+		}
+		iter++
+	}
+
+	res := &Result{
+		Values:     st.values,
+		Iterations: len(st.run.Iters),
+		Metrics:    st.run,
+		LastChange: st.lastChange,
+	}
+	k.finish(res)
+	return res, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"slfe/internal/bitset"
+	"slfe/internal/ckpt"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/partition"
+)
+
+// The unified superstep driver must refuse the documented Ckpt+Rebalance
+// combination with an explanatory error, not silently drop one feature.
+func TestCkptRebalanceIncompatibilityError(t *testing.T) {
+	g := gen.Path(16)
+	part, _ := partition.NewChunked(g, 1)
+	_, err := New(Config{
+		Graph: g, Comm: singleComm(t), Part: part,
+		Ckpt: &ckpt.Manager{Dir: t.TempDir()}, Rebalance: true,
+	})
+	if err == nil {
+		t.Fatal("ckpt+rebalance accepted")
+	}
+	if !strings.Contains(err.Error(), "rebalanc") || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("error does not explain the incompatibility: %v", err)
+	}
+}
+
+// Checkpoint-resume through the unified driver, both kernels, with RR on
+// (so the min/max shards carry the caughtup/debt sets) and multiple
+// threads with stealing (so the parallel collectBits path feeds the
+// shards). A first run writes checkpoints every superstep; a second run
+// resumes from the last complete one and must reproduce the values in
+// fewer supersteps.
+func TestDriverCheckpointResumeBothKernels(t *testing.T) {
+	g := gen.RMAT(1024, 8192, gen.DefaultRMAT, 8, 7)
+	for _, tc := range []struct {
+		name string
+		prog func() *Program
+	}{
+		{"minmax", testProgram},
+		{"arith", testArith},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.prog()
+			rr := withGuidance(t, g, p)
+			parallel := func(rank int, cfg *Config) {
+				rr(rank, cfg)
+				cfg.Threads = 2
+				cfg.Stealing = true
+			}
+			want := runCluster(t, g, p, 2, parallel)
+
+			m := &ckpt.Manager{Dir: t.TempDir(), Every: 1}
+			full := runCluster(t, g, p, 2, func(rank int, cfg *Config) {
+				parallel(rank, cfg)
+				cfg.Ckpt = m
+			})
+			latest, err := m.LatestComplete(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if latest < 0 {
+				t.Fatal("no complete checkpoint written")
+			}
+			m.Resume = true
+			resumed := runCluster(t, g, p, 2, func(rank int, cfg *Config) {
+				parallel(rank, cfg)
+				cfg.Ckpt = m
+			})
+			for v := range want.Values {
+				if resumed.Values[v] != want.Values[v] {
+					t.Fatalf("vertex %d: resumed %v, want %v", v, resumed.Values[v], want.Values[v])
+				}
+			}
+			if resumed.Iterations >= full.Iterations {
+				t.Fatalf("resume replayed the whole run: %d vs %d supersteps", resumed.Iterations, full.Iterations)
+			}
+		})
+	}
+}
+
+// Rebalancing through the unified driver with the parallel compute paths
+// (threads + stealing) must still be value-deterministic for both kernels.
+func TestDriverRebalanceParallelBothKernels(t *testing.T) {
+	g := gen.RMAT(1024, 8192, gen.DefaultRMAT, 8, 11)
+	for _, tc := range []struct {
+		name string
+		prog func() *Program
+	}{
+		{"minmax", testProgram},
+		{"arith", testArith},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.prog()
+			rr := withGuidance(t, g, p)
+			want := runCluster(t, g, p, 3, rr)
+			got := runCluster(t, g, p, 3, func(rank int, cfg *Config) {
+				rr(rank, cfg)
+				cfg.Threads = 3
+				cfg.Stealing = true
+				cfg.Rebalance = true
+				cfg.RebalanceEvery = 2
+				cfg.RebalanceDamping = 1
+			})
+			for v := range want.Values {
+				if got.Values[v] != want.Values[v] {
+					t.Fatalf("vertex %d: rebalanced %v, static %v", v, got.Values[v], want.Values[v])
+				}
+			}
+		})
+	}
+}
+
+// The driver's per-phase instrumentation must be populated: every
+// superstep contributes frontier/commit time, checkpoint ticks contribute
+// CkptTime, and the pull/push split still adds up to compute time.
+func TestDriverPhaseMetrics(t *testing.T) {
+	g := gen.RMAT(2048, 16384, gen.DefaultRMAT, 8, 13)
+	p := testProgram()
+	m := &ckpt.Manager{Dir: t.TempDir(), Every: 2}
+	res := runCluster(t, g, p, 2, func(_ int, cfg *Config) {
+		cfg.Threads = 2
+		cfg.Ckpt = m
+	})
+	r := res.Metrics
+	if r.FrontierTime <= 0 {
+		t.Error("FrontierTime not recorded")
+	}
+	if r.CommitTime <= 0 {
+		t.Error("CommitTime not recorded")
+	}
+	if r.CkptTime <= 0 {
+		t.Error("CkptTime not recorded")
+	}
+	if r.PullTime+r.PushTime != r.ComputeTime {
+		t.Errorf("pull %v + push %v != compute %v", r.PullTime, r.PushTime, r.ComputeTime)
+	}
+	if r.CommitTime > r.ComputeTime {
+		t.Errorf("commit %v exceeds compute %v", r.CommitTime, r.ComputeTime)
+	}
+
+	arith := runCluster(t, g, testArith(), 2, nil)
+	if arith.Metrics.CommitTime <= 0 {
+		t.Error("arith CommitTime not recorded")
+	}
+	if arith.Metrics.CkptTime != 0 {
+		t.Error("arith CkptTime recorded without a checkpoint manager")
+	}
+}
+
+// The parallelized frontier statistics and bit collection must agree with
+// a serial scan for any bit pattern and thread count.
+func TestParallelFrontierHelpersMatchSerial(t *testing.T) {
+	g := gen.RMAT(4096, 32768, gen.DefaultRMAT, 1, 17)
+	part, _ := partition.NewChunked(g, 1)
+	for _, threads := range []int{1, 2, 7} {
+		eng, err := New(Config{Graph: g, Comm: singleComm(t), Part: part, Threads: threads, Stealing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, density := range []int{0, 3, 64, 1} {
+			b := bitset.NewAtomic(g.NumVertices())
+			if density > 0 {
+				for v := 0; v < g.NumVertices(); v += density {
+					b.Set(v)
+				}
+			}
+			var wantSum int64
+			var wantIDs []uint32
+			b.Range(func(i int) bool {
+				wantSum += eng.g.OutDegree(graph.VertexID(i))
+				wantIDs = append(wantIDs, uint32(i))
+				return true
+			})
+			if got := eng.frontierOutEdges(b); got != wantSum {
+				t.Fatalf("threads=%d density=%d: frontierOutEdges = %d, want %d", threads, density, got, wantSum)
+			}
+			gotIDs := eng.collectBits(b)
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("threads=%d density=%d: collectBits %d ids, want %d", threads, density, len(gotIDs), len(wantIDs))
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("threads=%d density=%d: collectBits[%d] = %d, want %d (order broken)",
+						threads, density, i, gotIDs[i], wantIDs[i])
+				}
+			}
+		}
+	}
+}

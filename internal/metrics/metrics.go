@@ -47,6 +47,14 @@ type Run struct {
 	Steals      int64
 	// Rebalances counts dynamic boundary adjustments (internal/balance).
 	Rebalances int64
+
+	// Per-phase breakdown of the unified superstep pipeline
+	// (internal/core/superstep.go). CommitTime is a sub-phase already
+	// counted inside ComputeTime; the other three are outside it.
+	FrontierTime  time.Duration // pre-compute coordination: frontier stats, mode switch, termination checks
+	CommitTime    time.Duration // committing staged updates / routing push proposals
+	CkptTime      time.Duration // checkpoint shard writes
+	RebalanceTime time.Duration // rebalance window exchanges and boundary moves
 }
 
 // Add appends an iteration record and rolls it into the aggregates.
@@ -121,6 +129,24 @@ func Merge(runs []*Run) *Run {
 		}
 		if r.Total > out.Total {
 			out.Total = r.Total
+		}
+		if r.ComputeTime > out.ComputeTime {
+			out.ComputeTime = r.ComputeTime
+		}
+		if r.SyncTime > out.SyncTime {
+			out.SyncTime = r.SyncTime
+		}
+		if r.FrontierTime > out.FrontierTime {
+			out.FrontierTime = r.FrontierTime
+		}
+		if r.CommitTime > out.CommitTime {
+			out.CommitTime = r.CommitTime
+		}
+		if r.CkptTime > out.CkptTime {
+			out.CkptTime = r.CkptTime
+		}
+		if r.RebalanceTime > out.RebalanceTime {
+			out.RebalanceTime = r.RebalanceTime
 		}
 		out.Steals += r.Steals
 		if r.Rebalances > out.Rebalances {

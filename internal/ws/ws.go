@@ -154,3 +154,62 @@ func (s *Scheduler) ParallelFor(lo, hi uint32, fn func(v uint32, thread int)) St
 		}
 	})
 }
+
+// paddedI64 keeps per-thread accumulators on separate cache lines.
+type paddedI64 struct {
+	v int64
+	_ [56]byte
+}
+
+// ReduceI64 runs fn over every mini-chunk of [lo, hi) like Run and returns
+// the sum of the per-chunk results. Each thread folds its chunks into a
+// cache-line-padded local accumulator; the partials are summed after the
+// barrier, so fn needs no synchronisation of its own.
+func (s *Scheduler) ReduceI64(lo, hi uint32, fn func(chunkLo, chunkHi uint32, thread int) int64) (int64, Stats) {
+	acc := make([]paddedI64, s.threads)
+	stats := s.Run(lo, hi, func(clo, chi uint32, th int) {
+		acc[th].v += fn(clo, chi, th)
+	})
+	var total int64
+	for t := range acc {
+		total += acc[t].v
+	}
+	return total, stats
+}
+
+// Tasks runs fn(task) for every task in [0, n) across the scheduler's
+// threads, balancing through a shared atomic cursor. It is meant for small
+// fixed task counts (per-thread buffers, per-rank merges) where Run's
+// vertex-range chunking does not apply; fn must be safe to call
+// concurrently for different tasks.
+func (s *Scheduler) Tasks(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	workers := s.threads
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := next.Add(1) - 1
+				if c >= int64(n) {
+					return
+				}
+				fn(int(c))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -177,3 +177,49 @@ func TestQuickExactCover(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReduceI64SumsChunkResults(t *testing.T) {
+	for _, threads := range []int{1, 3, 8} {
+		for _, stealing := range []bool{false, true} {
+			s := New(threads, stealing)
+			const lo, hi = 7, 40000
+			// Sum of v over [lo, hi) computed chunk-wise must equal the
+			// closed form regardless of scheduling.
+			got, stats := s.ReduceI64(lo, hi, func(clo, chi uint32, _ int) int64 {
+				var sum int64
+				for v := clo; v < chi; v++ {
+					sum += int64(v)
+				}
+				return sum
+			})
+			want := int64(hi-1)*int64(hi)/2 - int64(lo-1)*int64(lo)/2
+			if got != want {
+				t.Fatalf("threads=%d steal=%v: ReduceI64 = %d, want %d", threads, stealing, got, want)
+			}
+			var chunks int64
+			for _, c := range stats.ChunksPerThread {
+				chunks += c
+			}
+			if chunks != int64((hi-lo+ChunkSize-1)/ChunkSize) {
+				t.Fatalf("chunks = %d", chunks)
+			}
+		}
+	}
+}
+
+func TestTasksRunsEachTaskOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 5} {
+		for _, n := range []int{0, 1, 3, 100} {
+			s := New(threads, false)
+			seen := make([]int32, n)
+			s.Tasks(n, func(task int) {
+				atomic.AddInt32(&seen[task], 1)
+			})
+			for task, c := range seen {
+				if c != 1 {
+					t.Fatalf("threads=%d n=%d: task %d ran %d times", threads, n, task, c)
+				}
+			}
+		}
+	}
+}
