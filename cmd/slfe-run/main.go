@@ -40,7 +40,9 @@ func main() {
 	threads := flag.Int("threads", 0, "threads per node (0 = GOMAXPROCS)")
 	rr := flag.Bool("rr", true, "enable redundancy reduction (slfe)")
 	stealing := flag.Bool("stealing", true, "enable work stealing (slfe)")
-	codecName := flag.String("codec", "raw", "delta-sync wire codec: raw | varint-xor (slfe)")
+	codecName := flag.String("codec", "raw", "delta-sync wire codec: raw | varint-xor | rle | adaptive (slfe)")
+	syncName := flag.String("sync", "dense", "delta-sync strategy: dense | sparse | adaptive (slfe)")
+	sparseDiv := flag.Int64("sparse-divisor", 0, "adaptive sync goes sparse when changed*divisor < |V| (0 = default 16)")
 	rebalance := flag.Bool("rebalance", false, "enable dynamic inter-node rebalancing (slfe)")
 	root := flag.Uint("root", 0, "root vertex for sssp/bfs/wp/numpaths")
 	iters := flag.Int("iters", 30, "iterations for arithmetic apps")
@@ -70,7 +72,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := cluster.Options{Nodes: *nodes, Threads: *threads, Stealing: *stealing, RR: *rr, Codec: codec, Rebalance: *rebalance}
+	sync, err := core.ParseSyncStrategy(*syncName)
+	if err != nil {
+		fatal(err)
+	}
+	if *sparseDiv < 0 {
+		fatal(fmt.Errorf("-sparse-divisor must be non-negative (got %d)", *sparseDiv))
+	}
+	opt := cluster.Options{Nodes: *nodes, Threads: *threads, Stealing: *stealing, RR: *rr,
+		Codec: codec, Sync: sync, SparseDivisor: *sparseDiv, Rebalance: *rebalance}
 	if runAnalytics(strings.ToLower(*app), g, graph.VertexID(*root), opt) {
 		return
 	}
@@ -92,6 +102,8 @@ func main() {
 		run = metrics.Merge(res.PerWorker)
 		fmt.Printf("system: SLFE (rr=%v) nodes=%d elapsed=%v preprocess=%v comm=%d msgs / %d bytes\n",
 			*rr, *nodes, res.Elapsed, res.PreprocessTime, res.Comm.MessagesSent, res.Comm.BytesSent)
+		fmt.Printf("delta-sync: strategy=%v supersteps dense=%d sparse=%d flush=%dB codec-picks=%s\n",
+			sync, run.DenseSyncs, run.SparseSyncs, run.FlushBytes, formatPicks(run.CodecPicks))
 	case "powergraph", "powerlyra":
 		mode := gas.PowerGraph
 		if strings.ToLower(*system) == "powerlyra" {
@@ -291,6 +303,23 @@ func printSample(app string, g *graph.Graph, values []core.Value) {
 			fmt.Printf("  vertex %d: %g\n", v, values[v])
 		}
 	}
+}
+
+// formatPicks renders the codec-choice counts in stable name order.
+func formatPicks(picks map[string]int64) string {
+	if len(picks) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(picks))
+	for n := range picks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, picks[n])
+	}
+	return strings.Join(parts, " ")
 }
 
 func fatal(err error) {

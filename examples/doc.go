@@ -1,0 +1,5 @@
+// Package examples anchors the runnable demos living in the
+// subdirectories (each one a standalone main package) so the smoke test
+// alongside can build and run them — the examples are documentation, and
+// documentation that does not compile and run is worse than none.
+package examples

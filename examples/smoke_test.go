@@ -1,0 +1,57 @@
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// perExampleDeadline bounds one example's build-and-run; the demos are
+// sized to finish in seconds, so a hang or a blow-up in an underlying
+// package fails fast instead of wedging CI.
+const perExampleDeadline = 90 * time.Second
+
+// TestExamplesRun builds and runs every examples/*/main.go. The examples
+// have no test files of their own, so without this they are invisible to
+// `go test ./...` and free to rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if _, err := os.Stat(name + "/main.go"); err != nil {
+			continue
+		}
+		found++
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), perExampleDeadline)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+name)
+			cmd.Dir = ".."
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s exceeded %v:\n%s", name, perExampleDeadline, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no examples found; smoke test is miswired")
+	}
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"slfe/internal/cluster"
+	"slfe/internal/compress"
+	"slfe/internal/core"
+	"slfe/internal/metrics"
+)
+
+// DeltaSync compares the delta-sync strategies the §4.2 communication
+// analysis motivates: each app/graph pair runs under dense AllGather,
+// sparse per-peer exchange and the adaptive mode (all with the adaptive
+// codec), reporting total sync/flush traffic, the dense/sparse superstep
+// split, and the traffic each strategy pays on the sparse tail — the
+// supersteps the adaptive mode routes sparsely, where the frontier has
+// collapsed and a dense broadcast is mostly replication overhead. With a
+// trace exporter configured, the per-superstep byte series is written as
+// one TSV per app/graph for re-plotting.
+func DeltaSync(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DeltaSync: bytes by strategy (tailB = bytes on the supersteps adaptive routes sparsely)")
+	fmt.Fprintln(tw, "app\tgraph\tstrategy\titers\tsyncB\tflushB\tdense-steps\tsparse-steps\ttailB\tcodec-picks")
+	strategies := []core.SyncStrategy{core.SyncDense, core.SyncSparse, core.SyncAdaptive}
+	for _, app := range []string{"BFS", "SSSP", "CC", "PR"} {
+		for _, name := range []string{"PK", "LJ"} {
+			merged := make(map[core.SyncStrategy]*metrics.Run, len(strategies))
+			for _, s := range strategies {
+				s := s
+				res, err := c.RunSLFE(app, name, c.Nodes, true, func(o *cluster.Options) {
+					o.Sync = s
+					o.Codec = compress.Adaptive{}
+				})
+				if err != nil {
+					return fmt.Errorf("%s/%s/%v: %w", app, name, s, err)
+				}
+				merged[s] = metrics.Merge(res.PerWorker)
+			}
+			// The strategies are bit-identical by contract, so their
+			// superstep sequences align; compare on the common prefix to
+			// stay robust if that ever regresses.
+			steps := len(merged[core.SyncDense].Iters)
+			for _, s := range strategies {
+				if n := len(merged[s].Iters); n < steps {
+					steps = n
+				}
+			}
+			adaptiveSparse := func(i int) bool { return merged[core.SyncAdaptive].Iters[i].SyncSparse }
+			for _, s := range strategies {
+				m := merged[s]
+				var total, tail int64
+				for i := 0; i < steps; i++ {
+					total += m.Iters[i].SyncBytes
+					if adaptiveSparse(i) {
+						tail += m.Iters[i].SyncBytes
+					}
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+					app, name, s, len(m.Iters), total, m.FlushBytes,
+					m.DenseSyncs, m.SparseSyncs, tail, m.CodecPicks)
+			}
+			var rows [][]string
+			for i := 0; i < steps; i++ {
+				rows = append(rows, []string{
+					fmt.Sprintf("%d", merged[core.SyncDense].Iters[i].Iter),
+					fmt.Sprintf("%d", merged[core.SyncDense].Iters[i].ActiveVerts),
+					fmt.Sprintf("%d", merged[core.SyncDense].Iters[i].SyncBytes),
+					fmt.Sprintf("%d", merged[core.SyncSparse].Iters[i].SyncBytes),
+					fmt.Sprintf("%d", merged[core.SyncAdaptive].Iters[i].SyncBytes),
+					fmt.Sprintf("%v", adaptiveSparse(i)),
+				})
+			}
+			err := c.Trace.Table("deltasync-"+app+"-"+name,
+				[]string{"iter", "active", "bytes_dense", "bytes_sparse", "bytes_adaptive", "adaptive_sparse"}, rows)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return tw.Flush()
+}

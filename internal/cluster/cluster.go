@@ -42,6 +42,13 @@ type Options struct {
 	DenseDivisor int64
 	// Codec selects the delta-sync wire codec (nil: compress.Raw).
 	Codec compress.Codec
+	// Sync selects the delta-sync strategy (dense AllGather, sparse
+	// per-peer exchange, or adaptive per-superstep selection); see
+	// core.Config.Sync.
+	Sync core.SyncStrategy
+	// SparseDivisor tunes the adaptive density threshold; see
+	// core.Config.SparseDivisor.
+	SparseDivisor int64
 	// Rebalance enables dynamic inter-node boundary adjustment; see
 	// core.Config.Rebalance.
 	Rebalance bool
@@ -128,6 +135,8 @@ func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
 				DenseDivisor:     opt.DenseDivisor,
 				TrackLastChange:  opt.TrackLastChange,
 				Codec:            opt.Codec,
+				Sync:             opt.Sync,
+				SparseDivisor:    opt.SparseDivisor,
 				Rebalance:        opt.Rebalance,
 				RebalanceEvery:   opt.RebalanceEvery,
 				RebalanceDamping: opt.RebalanceDamping,

@@ -28,6 +28,7 @@ type Comm struct {
 	// arrivals are buffered.
 	gatherSeq   uint64
 	allToAllSeq uint64
+	sparseSeq   uint64
 	pending     map[pendKey][]byte
 }
 
@@ -74,6 +75,21 @@ func (c *Comm) recvSeq(typ uint16, seq uint64) (from int, payload []byte, err er
 	}
 }
 
+// recvWord receives the next message of the given type and validates the
+// fixed 8-byte payload the reduction collectives exchange: a short or
+// oversized blob is reported as a protocol error instead of sliced out of
+// range.
+func (c *Comm) recvWord(typ uint16) (uint64, error) {
+	m, err := c.T.Recv(typ)
+	if err != nil {
+		return 0, err
+	}
+	if len(m.Payload) != 8 {
+		return 0, fmt.Errorf("comm: reduce payload from rank %d has %d bytes, want 8", m.From, len(m.Payload))
+	}
+	return binary.LittleEndian.Uint64(m.Payload), nil
+}
+
 // Rank returns this rank.
 func (c *Comm) Rank() int { return c.T.Rank() }
 
@@ -115,12 +131,11 @@ func (c *Comm) AllReduceI64(x int64, op ReduceOp) (int64, error) {
 	if c.Rank() == 0 {
 		acc := x
 		for i := 0; i < c.Size()-1; i++ {
-			m, err := c.T.Recv(typeReduce)
+			w, err := c.recvWord(typeReduce)
 			if err != nil {
 				return 0, err
 			}
-			v := int64(binary.LittleEndian.Uint64(m.Payload))
-			acc = reduceI64(acc, v, op)
+			acc = reduceI64(acc, int64(w), op)
 		}
 		binary.LittleEndian.PutUint64(buf[:], uint64(acc))
 		for r := 1; r < c.Size(); r++ {
@@ -134,11 +149,11 @@ func (c *Comm) AllReduceI64(x int64, op ReduceOp) (int64, error) {
 	if err := c.T.Send(0, typeReduce, buf[:]); err != nil {
 		return 0, err
 	}
-	m, err := c.T.Recv(typeReduceResult)
+	w, err := c.recvWord(typeReduceResult)
 	if err != nil {
 		return 0, err
 	}
-	return int64(binary.LittleEndian.Uint64(m.Payload)), nil
+	return int64(w), nil
 }
 
 // AllReduceF64 reduces x across all ranks with op and returns the result on
@@ -151,12 +166,11 @@ func (c *Comm) AllReduceF64(x float64, op ReduceOp) (float64, error) {
 	if c.Rank() == 0 {
 		acc := x
 		for i := 0; i < c.Size()-1; i++ {
-			m, err := c.T.Recv(typeReduce)
+			w, err := c.recvWord(typeReduce)
 			if err != nil {
 				return 0, err
 			}
-			v := math.Float64frombits(binary.LittleEndian.Uint64(m.Payload))
-			acc = reduceF64(acc, v, op)
+			acc = reduceF64(acc, math.Float64frombits(w), op)
 		}
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(acc))
 		for r := 1; r < c.Size(); r++ {
@@ -170,11 +184,11 @@ func (c *Comm) AllReduceF64(x float64, op ReduceOp) (float64, error) {
 	if err := c.T.Send(0, typeReduce, buf[:]); err != nil {
 		return 0, err
 	}
-	m, err := c.T.Recv(typeReduceResult)
+	w, err := c.recvWord(typeReduceResult)
 	if err != nil {
 		return 0, err
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(m.Payload)), nil
+	return math.Float64frombits(w), nil
 }
 
 // AllGather sends this rank's blob to every rank and returns all blobs
@@ -222,6 +236,69 @@ func (c *Comm) AllToAll(blobs [][]byte) ([][]byte, error) {
 	}
 	for i := 0; i < c.Size()-1; i++ {
 		from, payload, err := c.recvSeq(typeAllToAll, seq)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = payload
+	}
+	return out, nil
+}
+
+// SparseExchange is the sparse counterpart of AllToAll: blobs[r] is sent to
+// rank r only when non-nil, so a superstep with few cross-rank deltas pays
+// for the peers it actually feeds instead of a full mesh of payloads. Ranks
+// first AllGather a destination bitmap (one bit per rank, ceil(size/8)
+// bytes) so every rank knows how many payloads to expect; payloads are then
+// sent directly, batched and sequence-tagged like the gather path, so a
+// fast rank's next round never mixes with a slow rank's current one.
+// Returns the received blobs indexed by source rank; sources that sent
+// nothing stay nil (blobs[own rank] is passed through locally).
+func (c *Comm) SparseExchange(blobs [][]byte) ([][]byte, error) {
+	size := c.Size()
+	if len(blobs) != size {
+		return nil, fmt.Errorf("comm: SparseExchange needs %d blobs, got %d", size, len(blobs))
+	}
+	out := make([][]byte, size)
+	out[c.Rank()] = blobs[c.Rank()]
+	if size == 1 {
+		return out, nil
+	}
+	maskLen := (size + 7) / 8
+	mask := make([]byte, maskLen)
+	for r, b := range blobs {
+		if b != nil && r != c.Rank() {
+			mask[r/8] |= 1 << (r % 8)
+		}
+	}
+	masks, err := c.AllGather(mask)
+	if err != nil {
+		return nil, err
+	}
+	expected := 0
+	me := c.Rank()
+	for src, m := range masks {
+		if src == me {
+			continue
+		}
+		if len(m) != maskLen {
+			return nil, fmt.Errorf("comm: sparse destination mask from rank %d has %d bytes, want %d", src, len(m), maskLen)
+		}
+		if m[me/8]&(1<<(me%8)) != 0 {
+			expected++
+		}
+	}
+	seq := c.sparseSeq
+	c.sparseSeq++
+	for r, b := range blobs {
+		if r == me || b == nil {
+			continue
+		}
+		if err := c.sendSeq(r, typeSparse, seq, b); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < expected; i++ {
+		from, payload, err := c.recvSeq(typeSparse, seq)
 		if err != nil {
 			return nil, err
 		}

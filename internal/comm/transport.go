@@ -35,6 +35,7 @@ const (
 	typeReduceResult
 	typeGather
 	typeAllToAll
+	typeSparse
 	// TypeUser is the first type available to applications.
 	TypeUser uint16 = 64
 )

@@ -5,11 +5,17 @@
 // much of SLFE's win to reduced communication), so shrinking it directly
 // attacks the paper's communication bottleneck.
 //
-// Two codecs are provided: Raw, the fixed 12-byte-per-entry format, and
-// VarintXOR, which delta-encodes the ascending vertex ids and XOR-encodes
-// the value bits against the previous value (values in one delta batch are
-// strongly correlated: BFS levels, component labels and saturating ranks
-// repeat their high bits), both as unsigned varints.
+// Three concrete codecs are provided: Raw, the fixed 12-byte-per-entry
+// format; VarintXOR, which delta-encodes the ascending vertex ids and
+// XOR-encodes the value bits against the previous value (values in one
+// delta batch are strongly correlated: BFS levels, component labels and
+// saturating ranks repeat their high bits), both as unsigned varints; and
+// RLE, the run-length "unchanged-suppression" codec that stores the
+// ascending id stream as runs of consecutive vertices (dense supersteps,
+// where nearly every vertex changes, collapse to a handful of run headers
+// plus fixed-width values). Adaptive wraps all three: every batch is
+// encoded with each candidate and the smallest wins, tagged with a one-byte
+// codec id so the receiver can dispatch without prior agreement.
 package compress
 
 import (
@@ -121,7 +127,7 @@ func (VarintXOR) Decode(buf []byte, fn func(id uint32, val float64) error) error
 		return errors.New("compress: bad varint count")
 	}
 	off := n
-	prevID := uint32(0)
+	prevID := uint64(0)
 	prevBits := uint64(0)
 	for i := uint64(0); i < count; i++ {
 		delta, n := binary.Uvarint(buf[off:])
@@ -129,6 +135,8 @@ func (VarintXOR) Decode(buf []byte, fn func(id uint32, val float64) error) error
 			return fmt.Errorf("compress: truncated id at entry %d", i)
 		}
 		if delta > math.MaxUint32 {
+			// Also keeps prevID+delta+1 below 2^33: no uint64 wrap-around
+			// can sneak a non-ascending id past the range check below.
 			return fmt.Errorf("compress: id delta %d overflows uint32 at entry %d", delta, i)
 		}
 		off += n
@@ -137,12 +145,15 @@ func (VarintXOR) Decode(buf []byte, fn func(id uint32, val float64) error) error
 			return fmt.Errorf("compress: truncated value at entry %d", i)
 		}
 		off += n
-		id := prevID + uint32(delta)
+		id := prevID + delta
 		if i > 0 {
 			id++ // undo the gap-1 bias
 		}
+		if id > math.MaxUint32 {
+			return fmt.Errorf("compress: id %d overflows uint32 at entry %d", id, i)
+		}
 		valBits := bits.ReverseBytes64(xored) ^ prevBits
-		if err := fn(id, math.Float64frombits(valBits)); err != nil {
+		if err := fn(uint32(id), math.Float64frombits(valBits)); err != nil {
 			return err
 		}
 		prevID, prevBits = id, valBits
@@ -153,13 +164,186 @@ func (VarintXOR) Decode(buf []byte, fn func(id uint32, val float64) error) error
 	return nil
 }
 
-// ByName returns the codec registered under name ("raw" or "varint-xor").
+// RLE is the run-length "unchanged-suppression" codec: uvarint count, then
+// the ascending id stream as (uvarint gap, uvarint run-length) pairs —
+// gap is the number of suppressed (unchanged) vertices since the previous
+// run's end — followed by the values as fixed 8-byte little-endian float64
+// bits in id order. On dense supersteps, where almost every vertex changes,
+// the whole id stream collapses to a few run headers and each entry costs 8
+// bytes instead of Raw's 12; on sparse batches the varint codecs win.
+type RLE struct{}
+
+// Name implements Codec.
+func (RLE) Name() string { return "rle" }
+
+// Encode implements Codec. Like VarintXOR it requires ascending ids and
+// panics with ErrNotAscending on unsorted input.
+func (RLE) Encode(ids []uint32, vals []float64) []byte {
+	buf := binary.AppendUvarint(make([]byte, 0, 8+9*len(ids)), uint64(len(ids)))
+	next := uint64(0) // first id not yet covered by a run
+	for i := 0; i < len(ids); {
+		start := uint64(ids[i])
+		if i > 0 && start < next {
+			panic(ErrNotAscending)
+		}
+		j := i + 1
+		for j < len(ids) && ids[j-1] != math.MaxUint32 && ids[j] == ids[j-1]+1 {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, start-next)
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		next = uint64(ids[j-1]) + 1
+		i = j
+	}
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// Decode implements Codec.
+func (RLE) Decode(buf []byte, fn func(id uint32, val float64) error) error {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return errors.New("compress: bad rle count")
+	}
+	off := n
+	// The values section alone needs 8 bytes per entry, so an honest count
+	// is bounded by the buffer length; checking up front bounds all work.
+	if count > uint64(len(buf))/8 {
+		return fmt.Errorf("compress: rle count %d exceeds payload capacity %d", count, len(buf))
+	}
+	ids := make([]uint32, 0, count)
+	next := uint64(0)
+	for uint64(len(ids)) < count {
+		gap, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return fmt.Errorf("compress: truncated rle gap after %d ids", len(ids))
+		}
+		off += n
+		runLen, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return fmt.Errorf("compress: truncated rle run length after %d ids", len(ids))
+		}
+		off += n
+		if runLen == 0 {
+			return fmt.Errorf("compress: empty rle run after %d ids", len(ids))
+		}
+		if runLen > count-uint64(len(ids)) {
+			return fmt.Errorf("compress: rle run of %d overflows count %d", runLen, count)
+		}
+		if gap > math.MaxUint32 {
+			// Keeps next+gap below 2^33: no uint64 wrap-around can restart
+			// a run before its predecessor and slip past the end check.
+			return fmt.Errorf("compress: rle gap %d overflows uint32 after %d ids", gap, len(ids))
+		}
+		start := next + gap
+		end := start + runLen - 1
+		if end > math.MaxUint32 {
+			return fmt.Errorf("compress: rle run ends at %d, beyond uint32", end)
+		}
+		for id := start; id <= end; id++ {
+			ids = append(ids, uint32(id))
+		}
+		next = end + 1
+	}
+	if uint64(len(buf)-off) != 8*count {
+		return fmt.Errorf("compress: rle values section has %d bytes for %d entries", len(buf)-off, count)
+	}
+	for _, id := range ids {
+		val := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		if err := fn(id, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Wire-stable codec ids, used as the one-byte tag of Adaptive payloads.
+const (
+	idRaw byte = iota
+	idVarintXOR
+	idRLE
+)
+
+// candidates is the registry the adaptive codec chooses from, in tag order.
+var candidates = []struct {
+	id    byte
+	codec Codec
+}{
+	{idRaw, Raw{}},
+	{idVarintXOR, VarintXOR{}},
+	{idRLE, RLE{}},
+}
+
+// ByID returns the codec behind a wire tag.
+func ByID(id byte) (Codec, error) {
+	for _, c := range candidates {
+		if c.id == id {
+			return c.codec, nil
+		}
+	}
+	return nil, fmt.Errorf("compress: unknown codec id %d", id)
+}
+
+// EncodeBest encodes the batch with every registered codec, keeps the
+// smallest result (ties break towards the lower tag) and returns it
+// prefixed with the winner's tag, plus the winner's name for metrics.
+func EncodeBest(ids []uint32, vals []float64) ([]byte, string) {
+	var bestBuf []byte
+	var best int = -1
+	for i, c := range candidates {
+		enc := c.codec.Encode(ids, vals)
+		if best < 0 || len(enc) < len(bestBuf) {
+			bestBuf, best = enc, i
+		}
+	}
+	out := make([]byte, 1+len(bestBuf))
+	out[0] = candidates[best].id
+	copy(out[1:], bestBuf)
+	return out, candidates[best].codec.Name()
+}
+
+// Adaptive picks the smallest encoding per batch (see EncodeBest) and tags
+// it with the codec id, so every payload is self-describing and the sender
+// needs no cross-rank codec agreement. Encode requires ascending ids (the
+// VarintXOR and RLE candidates panic with ErrNotAscending otherwise).
+type Adaptive struct{}
+
+// Name implements Codec.
+func (Adaptive) Name() string { return "adaptive" }
+
+// Encode implements Codec.
+func (Adaptive) Encode(ids []uint32, vals []float64) []byte {
+	buf, _ := EncodeBest(ids, vals)
+	return buf
+}
+
+// Decode implements Codec.
+func (Adaptive) Decode(buf []byte, fn func(id uint32, val float64) error) error {
+	if len(buf) == 0 {
+		return errors.New("compress: empty adaptive payload")
+	}
+	c, err := ByID(buf[0])
+	if err != nil {
+		return err
+	}
+	return c.Decode(buf[1:], fn)
+}
+
+// ByName returns the codec registered under name
+// ("raw", "varint-xor", "rle" or "adaptive").
 func ByName(name string) (Codec, error) {
 	switch name {
 	case "", "raw":
 		return Raw{}, nil
 	case "varint-xor":
 		return VarintXOR{}, nil
+	case "rle":
+		return RLE{}, nil
+	case "adaptive":
+		return Adaptive{}, nil
 	}
 	return nil, fmt.Errorf("compress: unknown codec %q", name)
 }

@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"sort"
@@ -8,7 +9,7 @@ import (
 	"testing/quick"
 )
 
-func codecs() []Codec { return []Codec{Raw{}, VarintXOR{}} }
+func codecs() []Codec { return []Codec{Raw{}, VarintXOR{}, RLE{}, Adaptive{}} }
 
 type pair struct {
 	id  uint32
@@ -173,22 +174,148 @@ type errTest string
 func (e errTest) Error() string { return string(e) }
 
 func TestVarintXOREncodePanicsOnUnsortedIDs(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unsorted ids")
+	for _, c := range []Codec{VarintXOR{}, RLE{}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic for unsorted ids", c.Name())
+				}
+			}()
+			c.Encode([]uint32{5, 3}, []float64{0, 0})
+		}()
+	}
+}
+
+func TestRLESmallerOnDenseRuns(t *testing.T) {
+	// A dense superstep (every vertex changed, distinct values — the
+	// PageRank regime) must beat Raw's 12 bytes/entry: the id stream
+	// collapses to one run header and each value costs 8 bytes.
+	n := 4096
+	ids := make([]uint32, n)
+	vals := make([]float64, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+		vals[i] = 1.0 / float64(i+1)
+	}
+	raw := Raw{}.Encode(ids, vals)
+	rle := RLE{}.Encode(ids, vals)
+	if len(rle) >= len(raw)*3/4 {
+		t.Fatalf("rle %d bytes vs raw %d bytes on a dense run", len(rle), len(raw))
+	}
+}
+
+func TestAdaptivePicksSmallestCandidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ids  []uint32
+		vals []float64
+	}{
+		{"dense-distinct", seqIDs(2048), distinctVals(2048)},
+		{"dense-repeated", seqIDs(2048), repeatedVals(2048)},
+		{"sparse", []uint32{7, 9000, 123456}, []float64{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		buf, name := EncodeBest(tc.ids, tc.vals)
+		minLen := -1
+		for _, c := range []Codec{Raw{}, VarintXOR{}, RLE{}} {
+			if l := len(c.Encode(tc.ids, tc.vals)); minLen < 0 || l < minLen {
+				minLen = l
+			}
 		}
-	}()
-	VarintXOR{}.Encode([]uint32{5, 3}, []float64{0, 0})
+		if len(buf) != minLen+1 {
+			t.Fatalf("%s: EncodeBest(%s) produced %d bytes, smallest candidate is %d", tc.name, name, len(buf), minLen)
+		}
+		inner, err := ByID(buf[0])
+		if err != nil {
+			t.Fatalf("%s: bad tag %d", tc.name, buf[0])
+		}
+		if inner.Name() != name {
+			t.Fatalf("%s: tag names %s, EncodeBest reported %s", tc.name, inner.Name(), name)
+		}
+	}
+}
+
+func seqIDs(n int) []uint32 {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	return ids
+}
+
+func distinctVals(n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+1)
+	}
+	return vals
+}
+
+func repeatedVals(n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i % 3)
+	}
+	return vals
+}
+
+func TestDecodeRejectsUint64WrapAround(t *testing.T) {
+	// A crafted delta/gap near 2^64 must not wrap uint64 arithmetic past
+	// the 32-bit range checks and decode to duplicate ids without error.
+	nop := func(uint32, float64) error { return nil }
+
+	vx := binary.AppendUvarint(nil, 2) // count
+	vx = binary.AppendUvarint(vx, 0)   // entry 0: id 0
+	vx = binary.AppendUvarint(vx, 0)   // entry 0: value bits
+	vx = binary.AppendUvarint(vx, math.MaxUint64)
+	vx = binary.AppendUvarint(vx, 0)
+	if err := (VarintXOR{}).Decode(vx, nop); err == nil {
+		t.Error("varint-xor accepted a wrapping id delta")
+	}
+
+	rle := binary.AppendUvarint(nil, 2) // count
+	rle = binary.AppendUvarint(rle, 0)  // run 1: gap 0
+	rle = binary.AppendUvarint(rle, 1)  // run 1: length 1
+	rle = binary.AppendUvarint(rle, math.MaxUint64)
+	rle = binary.AppendUvarint(rle, 1)
+	rle = append(rle, make([]byte, 16)...) // two values
+	if err := (RLE{}).Decode(rle, nop); err == nil {
+		t.Error("rle accepted a wrapping run gap")
+	}
+}
+
+func TestAdaptiveDecodeRejectsUnknownTag(t *testing.T) {
+	if err := (Adaptive{}).Decode([]byte{0x7f, 0, 0}, func(uint32, float64) error { return nil }); err == nil {
+		t.Fatal("unknown codec tag accepted")
+	}
+	if err := (Adaptive{}).Decode(nil, func(uint32, float64) error { return nil }); err == nil {
+		t.Fatal("empty adaptive payload accepted")
+	}
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"", "raw", "varint-xor"} {
+	for _, name := range []string{"", "raw", "varint-xor", "rle", "adaptive"} {
 		if _, err := ByName(name); err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)
 		}
 	}
 	if _, err := ByName("zstd"); err == nil {
 		t.Fatal("ByName accepted an unknown codec")
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []byte{idRaw, idVarintXOR, idRLE} {
+		c, err := ByID(id)
+		if err != nil {
+			t.Fatalf("ByID(%d): %v", id, err)
+		}
+		if got, err := ByName(c.Name()); err != nil || got != c {
+			t.Fatalf("ByID(%d) = %s, not round-trippable through ByName", id, c.Name())
+		}
+	}
+	if _, err := ByID(0x7f); err == nil {
+		t.Fatal("ByID accepted an unknown id")
 	}
 }
 

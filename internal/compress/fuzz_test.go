@@ -1,0 +1,99 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// batchFromBytes derives a strictly ascending (id, value) batch from raw
+// fuzz input: each 12-byte record contributes a uvarint-style id gap and 8
+// value bits, so the corpus explores dense runs, wide gaps and every float
+// bit pattern (including NaNs and infinities) without ever violating the
+// codecs' ascending-ids contract.
+func batchFromBytes(data []byte) ([]uint32, []float64) {
+	var ids []uint32
+	var vals []float64
+	id := uint64(0)
+	for off := 0; off+12 <= len(data); off += 12 {
+		gap := uint64(binary.LittleEndian.Uint32(data[off:])) % 4096
+		if len(ids) > 0 {
+			id += gap + 1
+		} else {
+			id = gap
+		}
+		if id > math.MaxUint32 {
+			break
+		}
+		ids = append(ids, uint32(id))
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:])))
+	}
+	return ids, vals
+}
+
+// fuzzRoundTrip checks Encode/Decode identity on arbitrary ascending
+// batches: every id and every value bit pattern must survive.
+func fuzzRoundTrip(f *testing.F, c Codec) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 2, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, vals := batchFromBytes(data)
+		buf := c.Encode(ids, vals)
+		i := 0
+		err := c.Decode(buf, func(id uint32, val float64) error {
+			if i >= len(ids) {
+				t.Fatalf("%s: decoded %d entries, encoded %d", c.Name(), i+1, len(ids))
+			}
+			if id != ids[i] {
+				t.Fatalf("%s: entry %d: id %d, want %d", c.Name(), i, id, ids[i])
+			}
+			if math.Float64bits(val) != math.Float64bits(vals[i]) {
+				t.Fatalf("%s: entry %d: value bits %x, want %x", c.Name(), i,
+					math.Float64bits(val), math.Float64bits(vals[i]))
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: decode of own encoding failed: %v", c.Name(), err)
+		}
+		if i != len(ids) {
+			t.Fatalf("%s: decoded %d entries, want %d", c.Name(), i, len(ids))
+		}
+	})
+}
+
+// fuzzDecodeRobust throws arbitrary bytes at Decode: it must never panic
+// and never over-read — every emitted entry consumes at least minEntryBytes
+// of payload, so a decoder claiming more entries than the buffer can carry
+// has read past its input.
+func fuzzDecodeRobust(f *testing.F, c Codec, minEntryBytes int) {
+	ids := []uint32{0, 1, 2, 500, 501, 99999}
+	vals := []float64{0, 1, -1, math.Inf(1), 3.14, 2.71}
+	f.Add(c.Encode(ids, vals))
+	f.Add(c.Encode(nil, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		emitted := 0
+		_ = c.Decode(data, func(uint32, float64) error {
+			emitted++
+			return nil
+		})
+		if emitted > 0 && emitted > len(data)/minEntryBytes {
+			t.Fatalf("%s: emitted %d entries from %d bytes (min %d bytes/entry): over-read",
+				c.Name(), emitted, len(data), minEntryBytes)
+		}
+	})
+}
+
+func FuzzRawRoundTrip(f *testing.F)       { fuzzRoundTrip(f, Raw{}) }
+func FuzzVarintXORRoundTrip(f *testing.F) { fuzzRoundTrip(f, VarintXOR{}) }
+func FuzzRLERoundTrip(f *testing.F)       { fuzzRoundTrip(f, RLE{}) }
+func FuzzAdaptiveRoundTrip(f *testing.F)  { fuzzRoundTrip(f, Adaptive{}) }
+
+func FuzzRawDecode(f *testing.F)       { fuzzDecodeRobust(f, Raw{}, rawEntrySize) }
+func FuzzVarintXORDecode(f *testing.F) { fuzzDecodeRobust(f, VarintXOR{}, 2) }
+func FuzzRLEDecode(f *testing.F)       { fuzzDecodeRobust(f, RLE{}, 8) }
+func FuzzAdaptiveDecode(f *testing.F)  { fuzzDecodeRobust(f, Adaptive{}, 2) }

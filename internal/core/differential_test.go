@@ -1,0 +1,149 @@
+// Differential transport test: every registered application must produce
+// bit-identical results over the in-process transport and over a real TCP
+// mesh, across all delta-sync strategies. The engine is transport- and
+// strategy-agnostic by contract; this is the contract's enforcement.
+package core_test
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"slfe/internal/apps"
+	"slfe/internal/cluster"
+	"slfe/internal/comm"
+	"slfe/internal/core"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/partition"
+	"slfe/internal/rrg"
+)
+
+// diffApps lists the Program-shaped registered applications (the whole-
+// graph analytics — triangles, MST, clique, diameter — are compositions of
+// these and run through the same engine).
+func diffApps(g *graph.Graph) map[string]struct {
+	prog *core.Program
+	g    *graph.Graph
+} {
+	sym := apps.Symmetrize(g)
+	return map[string]struct {
+		prog *core.Program
+		g    *graph.Graph
+	}{
+		"SSSP":     {apps.SSSP(0), g},
+		"BFS":      {apps.BFS(0), g},
+		"CC":       {apps.CC(sym), sym},
+		"WP":       {apps.WP(0), g},
+		"PR":       {apps.PageRank(8), g},
+		"TR":       {apps.TunkRank(8), g},
+		"SpMV":     {apps.SpMV(6), g},
+		"NumPaths": {apps.NumPaths(0, 6), g},
+	}
+}
+
+// runTCP executes the program over a freshly dialled localhost TCP mesh
+// and returns every rank's values.
+func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat core.SyncStrategy, gd *rrg.Guidance) [][]core.Value {
+	t.Helper()
+	part, err := partition.NewChunked(g, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	values := make([][]core.Value, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for rank := 0; rank < nodes; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := comm.DialTCP(rank, nodes, addrs, 10*time.Second)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer tr.Close()
+			eng, err := core.New(core.Config{
+				Graph: g, Comm: comm.NewComm(tr), Part: part,
+				RR: true, Guidance: gd, Sync: strat,
+			})
+			if err != nil {
+				errs[rank] = err
+				comm.Abort(tr)
+				return
+			}
+			res, err := eng.Run(prog)
+			if err != nil {
+				errs[rank] = err
+				comm.Abort(tr)
+				return
+			}
+			values[rank] = res.Values
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return values
+}
+
+func bitIdentical(a, b []core.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialTransportsAndStrategies(t *testing.T) {
+	const nodes = 3
+	g := gen.RMAT(512, 4096, gen.DefaultRMAT, 8, 13)
+	strategies := []core.SyncStrategy{core.SyncDense, core.SyncSparse, core.SyncAdaptive}
+	for name, app := range diffApps(g) {
+		app := app
+		t.Run(name, func(t *testing.T) {
+			// Reference: in-process dense run. Guidance is generated once so
+			// every variant sees identical redundancy-reduction decisions.
+			ref, err := cluster.Execute(app.g, app.prog, cluster.Options{Nodes: nodes, RR: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gd := ref.Guidance
+			for _, sync := range strategies {
+				inproc, err := cluster.Execute(app.g, app.prog, cluster.Options{
+					Nodes: nodes, RR: true, Guidance: gd, Sync: sync,
+				})
+				if err != nil {
+					t.Fatalf("in-process %v: %v", sync, err)
+				}
+				if !bitIdentical(inproc.Result.Values, ref.Result.Values) {
+					t.Fatalf("in-process %v differs from dense reference", sync)
+				}
+				tcp := runTCP(t, app.g, app.prog, nodes, sync, gd)
+				for rank, vals := range tcp {
+					if !bitIdentical(vals, ref.Result.Values) {
+						t.Fatalf("TCP %v: rank %d differs from in-process dense reference", sync, rank)
+					}
+				}
+			}
+		})
+	}
+}

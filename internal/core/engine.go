@@ -45,8 +45,18 @@ type Config struct {
 	TrackLastChange bool
 
 	// Codec serialises delta-sync and push-proposal messages (nil:
-	// compress.Raw). All workers must agree.
+	// compress.Raw; compress.Adaptive picks the smallest encoding per
+	// batch). All workers must agree.
 	Codec compress.Codec
+
+	// Sync selects the delta-sync strategy (§4.2's communication
+	// bottleneck): dense AllGather, sparse per-peer exchange, or
+	// per-superstep adaptive selection. The sparse strategies require a
+	// static partition (no Rebalance). All workers must agree.
+	Sync SyncStrategy
+	// SparseDivisor tunes SyncAdaptive: a superstep synchronises sparsely
+	// when globalChanged * SparseDivisor < |V| (default 16).
+	SparseDivisor int64
 
 	// Ckpt enables Pregel-style superstep checkpointing: every
 	// Ckpt.Interval() supersteps each worker writes its shard, and with
@@ -89,6 +99,15 @@ type Engine struct {
 	lo    graph.VertexID // owned range
 	hi    graph.VertexID
 	reb   *rebalancer // nil unless Config.Rebalance
+	// dirty marks owned vertices whose latest value was distributed only
+	// through the sparse exchange and so is stale on uninterested ranks;
+	// flushSparse re-broadcasts them at termination. Nil under SyncDense.
+	dirty *bitset.Atomic
+	// lastGlobalChanged caches the changed-count AllReduce of the latest
+	// delta-sync; the next frontier holds exactly those vertices, so the
+	// sparse-mode active count can reuse it instead of re-reducing
+	// (-1: unknown — first superstep or just resumed from a checkpoint).
+	lastGlobalChanged int64
 }
 
 // rebalancer accumulates the measurement window for dynamic boundary
@@ -132,6 +151,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Ckpt != nil && cfg.Rebalance {
 		return nil, errors.New("core: checkpointing with dynamic rebalancing is not supported (owned ranges are not part of the snapshot)")
 	}
+	if cfg.Sync < SyncDense || cfg.Sync > SyncAdaptive {
+		return nil, fmt.Errorf("core: invalid delta-sync strategy %d", cfg.Sync)
+	}
+	if cfg.Sync != SyncDense && cfg.Rebalance {
+		return nil, errors.New("core: sparse delta-sync needs a static partition (per-vertex destination sets assume stable ownership); disable Rebalance or use SyncDense")
+	}
+	if cfg.SparseDivisor <= 0 {
+		cfg.SparseDivisor = 16
+	}
 	e := &Engine{
 		cfg:   cfg,
 		g:     cfg.Graph,
@@ -139,6 +167,9 @@ func New(cfg Config) (*Engine, error) {
 		sched: ws.New(cfg.Threads, cfg.Stealing),
 	}
 	e.lo, e.hi = cfg.Part.Range(cfg.Comm.Rank())
+	if cfg.Sync != SyncDense {
+		e.dirty = bitset.NewAtomic(cfg.Graph.NumVertices())
+	}
 	if cfg.Rebalance {
 		k := cfg.Part.Nodes()
 		bounds := make([]uint32, k+1)
@@ -278,46 +309,6 @@ func (st *state) markChanged(v graph.VertexID, iter int) {
 	}
 }
 
-// syncOwned broadcasts this worker's changed owned vertices and applies
-// every worker's changes to values and the next frontier. Returns the
-// global number of changed vertices.
-func (e *Engine) syncOwned(st *state, changed *bitset.Atomic, frontier *bitset.Atomic, iter int) (int64, error) {
-	var ids []graph.VertexID
-	var vals []Value
-	for v := e.lo; v < e.hi; v++ {
-		if changed.Get(int(v)) {
-			ids = append(ids, v)
-			vals = append(vals, st.values[v])
-		}
-	}
-	blobs, err := e.comm.AllGather(e.cfg.Codec.Encode(ids, vals))
-	if err != nil {
-		return 0, err
-	}
-	var total int64
-	n := e.g.NumVertices()
-	for rank, blob := range blobs {
-		err := e.cfg.Codec.Decode(blob, func(id graph.VertexID, val Value) error {
-			if int(id) >= n {
-				return fmt.Errorf("core: delta for out-of-range vertex %d", id)
-			}
-			if rank != e.comm.Rank() {
-				st.values[id] = val
-			}
-			if frontier != nil {
-				frontier.Set(int(id))
-			}
-			st.markChanged(id, iter)
-			total++
-			return nil
-		})
-		if err != nil {
-			return 0, err
-		}
-	}
-	return total, nil
-}
-
 // hasActiveIn reports whether any of the given in-neighbours is active
 // (short-circuiting bitmap probe).
 func hasActiveIn(frontier *bitset.Atomic, ins []graph.VertexID) bool {
@@ -343,6 +334,25 @@ func (e *Engine) frontierOutEdges(frontier *bitset.Atomic) int64 {
 		return s
 	})
 	return sum
+}
+
+// frontierOutEdgesGlobal returns the global frontier out-degree sum. Under
+// dense sync every worker holds the full frontier and computes it locally;
+// once sparse sync is possible a worker only holds the bits it needs, so
+// the owned spans are summed with an AllReduce instead.
+func (e *Engine) frontierOutEdgesGlobal(frontier *bitset.Atomic) (int64, error) {
+	if !e.sparseSync() {
+		return e.frontierOutEdges(frontier), nil
+	}
+	local, _ := e.sched.ReduceI64(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, _ int) int64 {
+		var s int64
+		frontier.RangeIn(int(clo), int(chi), func(i int) bool {
+			s += e.g.OutDegree(graph.VertexID(i))
+			return true
+		})
+		return s
+	})
+	return e.comm.AllReduceI64(local, comm.OpSum)
 }
 
 // collectBits lists the set indices of b in ascending order. Chunks are

@@ -95,7 +95,23 @@ func (k *minmaxKernel) snapshot(snap *ckpt.State) {
 
 func (k *minmaxKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error) {
 	e := k.e
+	// The global active count drives termination and the mode switch, so
+	// every worker must agree on it. Under dense sync the local frontier IS
+	// the global frontier; once sparse sync is possible each worker only
+	// holds the bits it needs, but the frontier is exactly the previous
+	// delta-sync's changed set, whose AllReduced count the engine cached.
+	// Only a frontier not built by a sync (iteration 0's roots, a
+	// checkpoint resume) needs a collective count.
 	active := int64(k.front.Count())
+	if e.sparseSync() && e.lastGlobalChanged >= 0 {
+		active = e.lastGlobalChanged
+	} else if e.sparseSync() {
+		var err error
+		active, err = e.comm.AllReduceI64(int64(k.front.CountRange(int(e.lo), int(e.hi))), comm.OpSum)
+		if err != nil {
+			return false, err
+		}
+	}
 
 	// globalDebt counts vertices that were suppressed while an update was
 	// available and have not caught up yet.
@@ -142,7 +158,10 @@ func (k *minmaxKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error
 	// under per-edge activity accounting the extra pull rounds cost
 	// only bitmap bookkeeping, whereas each reactivation re-relaxes
 	// every edge and, with suppression re-accruing debt, can ping-pong.
-	outEdges := e.frontierOutEdges(k.front)
+	outEdges, err := e.frontierOutEdgesGlobal(k.front)
+	if err != nil {
+		return false, err
+	}
 	k.pullMode = active == 0 || globalDebt > 0 ||
 		outEdges > e.g.NumEdges()/e.cfg.DenseDivisor
 	k.globalDebt = globalDebt

@@ -60,12 +60,18 @@ type kernel interface {
 // with per-phase timings recorded in the run metrics.
 func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.Atomic) (*Result, error) {
 	iter := 0
+	e.lastGlobalChanged = -1
 	if snap, err := e.loadCheckpoint(p, k.kind()); err != nil {
 		return nil, err
 	} else if snap != nil {
 		copy(st.values, snap.Values)
 		if err := k.restore(snap); err != nil {
 			return nil, err
+		}
+		if e.dirty != nil {
+			if err := restoreBits(e.dirty, snap.Sets["sparsedirty"]); err != nil {
+				return nil, err
+			}
 		}
 		iter = int(snap.Iter) + 1
 	}
@@ -100,7 +106,7 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 		if f != nil {
 			f.Reset()
 		}
-		if _, err := e.syncOwned(st, changed, f, iter); err != nil {
+		if _, err := e.syncOwned(st, changed, f, iter, &stat); err != nil {
 			return nil, err
 		}
 		st.run.SyncTime += time.Since(syncStart)
@@ -122,6 +128,14 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 			ckptStart := time.Now()
 			snap := &ckpt.State{Program: p.Name, Kind: k.kind(), Iter: uint32(iter), Values: st.values}
 			k.snapshot(snap)
+			if e.dirty != nil {
+				// The sparse-only distribution state must survive a resume,
+				// or the final consistency flush would miss these vertices.
+				if snap.Sets == nil {
+					snap.Sets = make(map[string][]uint32)
+				}
+				snap.Sets["sparsedirty"] = e.collectBits(e.dirty)
+			}
 			if err := e.cfg.Ckpt.Save(e.comm.Rank(), snap); err != nil {
 				return nil, err
 			}
@@ -131,6 +145,10 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 			break
 		}
 		iter++
+	}
+
+	if err := e.flushSparse(st); err != nil {
+		return nil, err
 	}
 
 	res := &Result{

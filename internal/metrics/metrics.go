@@ -33,6 +33,8 @@ type IterStat struct {
 	CatchUps     int64 // full-scan catch-up pulls (start-late repayments)
 	ActiveVerts  int64 // active vertices entering the superstep (global)
 	ECGlobal     int64 // early-converged vertices cluster-wide (arith + RR)
+	SyncBytes    int64 // bytes this worker sent during the delta-sync phase
+	SyncSparse   bool  // delta-sync ran the sparse per-peer exchange
 	Time         time.Duration
 }
 
@@ -47,6 +49,19 @@ type Run struct {
 	Steals      int64
 	// Rebalances counts dynamic boundary adjustments (internal/balance).
 	Rebalances int64
+
+	// DenseSyncs and SparseSyncs count supersteps synchronised through the
+	// dense AllGather and the sparse per-peer exchange; all workers move in
+	// lockstep, so both are cluster-wide counts.
+	DenseSyncs  int64
+	SparseSyncs int64
+	// FlushBytes is this worker's share of the final consistency flush that
+	// re-broadcasts values distributed only sparsely during the run.
+	FlushBytes int64
+	// CodecPicks counts, per codec name, how many delta batches this worker
+	// encoded with it (the adaptive codec spreads over several names; a
+	// fixed codec attributes every batch to its own).
+	CodecPicks map[string]int64
 
 	// Per-phase breakdown of the unified superstep pipeline
 	// (internal/core/superstep.go). CommitTime is a sub-phase already
@@ -111,6 +126,8 @@ func Merge(runs []*Run) *Run {
 			o.Updates += s.Updates
 			o.Suppressed += s.Suppressed
 			o.CatchUps += s.CatchUps
+			o.SyncBytes += s.SyncBytes
+			o.SyncSparse = o.SyncSparse || s.SyncSparse
 			if s.ActiveVerts > o.ActiveVerts {
 				o.ActiveVerts = s.ActiveVerts
 			}
@@ -151,6 +168,19 @@ func Merge(runs []*Run) *Run {
 		out.Steals += r.Steals
 		if r.Rebalances > out.Rebalances {
 			out.Rebalances = r.Rebalances // all workers rebalance in lockstep
+		}
+		if r.DenseSyncs > out.DenseSyncs {
+			out.DenseSyncs = r.DenseSyncs // lockstep: identical on every worker
+		}
+		if r.SparseSyncs > out.SparseSyncs {
+			out.SparseSyncs = r.SparseSyncs
+		}
+		out.FlushBytes += r.FlushBytes
+		for name, n := range r.CodecPicks {
+			if out.CodecPicks == nil {
+				out.CodecPicks = make(map[string]int64)
+			}
+			out.CodecPicks[name] += n
 		}
 	}
 	return out
