@@ -16,6 +16,7 @@ import (
 	"slfe/internal/apps"
 	"slfe/internal/bench"
 	"slfe/internal/cluster"
+	"slfe/internal/compress"
 	"slfe/internal/gen"
 	"slfe/internal/rrg"
 	"slfe/internal/ws"
@@ -70,6 +71,7 @@ func BenchmarkAnalyticsApps(b *testing.B)          { runExperiment(b, "analytics
 func BenchmarkAblationIncrementalRRG(b *testing.B) { runExperiment(b, "ablation-incremental") }
 func BenchmarkPipelineBreakdown(b *testing.B)      { runExperiment(b, "pipeline") }
 func BenchmarkDeltaSyncStrategies(b *testing.B)    { runExperiment(b, "deltasync") }
+func BenchmarkHotpathAllocations(b *testing.B)     { runExperiment(b, "hotpath") }
 
 // Micro-benchmarks of the pieces the experiments compose.
 
@@ -121,4 +123,58 @@ func BenchmarkCC8Nodes(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Push-combine microbenchmark: the flat combiner against the seed's
+// map-based exchange. DenseDivisor=1 keeps SSSP in push mode on every
+// non-empty frontier, so the run is dominated by the combining path under
+// comparison; -benchmem shows the allocation gap.
+func BenchmarkPushCombineFlat(b *testing.B) { benchPushCombine(b, false) }
+func BenchmarkPushCombineMap(b *testing.B)  { benchPushCombine(b, true) }
+
+func benchPushCombine(b *testing.B, mapPush bool) {
+	g := gen.RMAT(1<<14, 1<<17, gen.DefaultRMAT, 64, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := cluster.Execute(g, apps.SSSP(0), cluster.Options{
+			Nodes: 2, Threads: 2, Stealing: true, MapPush: mapPush, DenseDivisor: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Codec microbenchmark: pooled append-encode against the allocating encode
+// over a representative dense delta batch (adaptive codec tries all three
+// candidates either way).
+func BenchmarkCodecAppendEncode(b *testing.B) {
+	ids, vals := codecBatch()
+	var sc compress.EncodeScratch
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = compress.AppendEncodeBest(buf[:0], &sc, ids, vals)
+	}
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	ids, vals := codecBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = compress.EncodeBest(ids, vals)
+	}
+}
+
+func codecBatch() ([]uint32, []float64) {
+	ids := make([]uint32, 4096)
+	vals := make([]float64, 4096)
+	for i := range ids {
+		ids[i] = uint32(i * 3)
+		vals[i] = float64(i % 17)
+	}
+	return ids, vals
 }

@@ -48,6 +48,7 @@ func main() {
 
 	results := make([]*core.Result, nodes)
 	errs := make([]error, nodes)
+	transports := make([]comm.Transport, nodes)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for rank := 0; rank < nodes; rank++ {
@@ -61,7 +62,7 @@ func main() {
 				errs[rank] = err
 				return
 			}
-			defer tr.Close()
+			transports[rank] = tr
 			eng, err := core.New(core.Config{
 				Graph:    g,
 				Comm:     comm.NewComm(tr),
@@ -72,17 +73,30 @@ func main() {
 			})
 			if err != nil {
 				errs[rank] = err
+				comm.Abort(tr)
 				return
 			}
+			defer eng.Close()
 			res, err := eng.Run(prog)
 			results[rank] = res
 			errs[rank] = err
+			if err != nil {
+				comm.Abort(tr)
+				return
+			}
 			st := tr.Stats()
 			fmt.Printf("rank %d: done, sent %d messages / %d bytes over TCP\n",
 				rank, st.MessagesSent, st.BytesSent)
 		}(rank)
 	}
 	wg.Wait()
+	// Close only after every rank finished: an early Close can reset
+	// connections carrying a slower peer's final reduce results.
+	for _, tr := range transports {
+		if tr != nil {
+			tr.Close()
+		}
+	}
 	for rank, err := range errs {
 		if err != nil {
 			log.Fatalf("rank %d: %v", rank, err)

@@ -170,6 +170,7 @@ func TriangleCount(g *graph.Graph, opt cluster.Options) (*TriangleStats, error) 
 	err = cluster.SPMD(opt.Nodes, func(rank int, cm *comm.Comm) error {
 		lo, hi := part.Range(rank)
 		sched := ws.New(opt.Threads, opt.Stealing)
+		defer sched.Close()
 		var local int64
 		sched.Run(lo, hi, func(chunkLo, chunkHi uint32, _ int) {
 			var c int64
@@ -243,6 +244,7 @@ func KCore(g *graph.Graph, opt cluster.Options) ([]uint32, error) {
 		}
 		lo, hi := part.Range(rank)
 		sched := ws.New(opt.Threads, opt.Stealing)
+		defer sched.Close()
 		type delta struct {
 			v graph.VertexID
 			h uint32

@@ -89,6 +89,9 @@ func New(cfg Config) (*Engine, error) {
 	}, nil
 }
 
+// Close releases the engine's persistent scheduler pool.
+func (e *Engine) Close() { e.sched.Close() }
+
 // owner maps a vertex to its owning rank under the configured ingress.
 func (e *Engine) owner(v graph.VertexID) int {
 	size := e.comm.Size()
@@ -329,6 +332,7 @@ func Execute(g *graph.Graph, p *core.Program, nodes int, mode Mode, threads int)
 				errs[r] = err
 				return
 			}
+			defer eng.Close()
 			results[r], errs[r] = eng.Run(p)
 		}(r)
 	}

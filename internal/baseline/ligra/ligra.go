@@ -56,6 +56,9 @@ func New(g *graph.Graph, threads int) *Engine {
 	return &Engine{g: g, sched: ws.New(threads, true), DenseDivisor: 20}
 }
 
+// Close releases the engine's persistent scheduler pool.
+func (e *Engine) Close() { e.sched.Close() }
+
 // EdgeMapFuncs are the update (push) and condition hooks of Ligra's
 // edgeMap. Update must be safe for concurrent invocation on distinct dst.
 type EdgeMapFuncs struct {
@@ -155,6 +158,7 @@ func Execute(g *graph.Graph, p *core.Program, threads int) (*Result, error) {
 	}
 	start := time.Now()
 	e := New(g, threads)
+	defer e.Close()
 	n := g.NumVertices()
 	values := make([]core.Value, n)
 	for v := 0; v < n; v++ {

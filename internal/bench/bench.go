@@ -118,6 +118,10 @@ func (c *Config) Program(app string, g *graph.Graph) (*core.Program, error) {
 		return apps.PageRank(c.PRIters), nil
 	case "TR":
 		return apps.TunkRank(c.PRIters), nil
+	case "SpMV":
+		return apps.SpMV(c.PRIters), nil
+	case "NumPaths":
+		return apps.NumPaths(0, c.PRIters), nil
 	}
 	return nil, fmt.Errorf("bench: unknown app %q", app)
 }

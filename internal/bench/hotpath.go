@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+
+	"slfe/internal/cluster"
+	"slfe/internal/compress"
+	"slfe/internal/metrics"
+)
+
+// hotpathApps is the full registered application set the differential test
+// also exercises: every aggregation class, push/pull mix and frontier shape
+// the engine's hot path serves.
+var hotpathApps = []string{"SSSP", "BFS", "CC", "WP", "PR", "TR", "SpMV", "NumPaths"}
+
+// Hotpath profiles the zero-allocation superstep hot path: every app runs
+// single-node (so the process-global allocation counters are attributable)
+// with per-superstep runtime.ReadMemStats deltas, once with the flat push
+// combiner and pooled wire buffers and once with the seed's map-based
+// combining, asserting the results stay bit-identical. Steady state is the
+// median of the last half of the supersteps — after the warm-up supersteps
+// that grow the engine-owned pools. A second section measures the codec
+// layer alone: pooled AppendEncodeBest against allocating EncodeBest. With
+// a trace exporter configured, the per-superstep alloc series is written as
+// one TSV per app plus a summary and the codec comparison.
+func Hotpath(c Config) error {
+	c.defaults()
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Hotpath: steady-state heap allocations per superstep (median of last half; single node)")
+	fmt.Fprintln(tw, "app\tgraph\titers\tflat-allocs/step\tflat-B/step\tmap-allocs/step\tmap-B/step\tidentical")
+	var summary [][]string
+	for _, app := range hotpathApps {
+		runs := map[bool]*cluster.RunResult{}
+		for _, mapPush := range []bool{false, true} {
+			res, err := c.RunSLFE(app, "PK", 1, true, func(o *cluster.Options) {
+				o.MeasureAllocs = true
+				o.MapPush = mapPush
+				o.Codec = compress.Adaptive{}
+			})
+			if err != nil {
+				return fmt.Errorf("hotpath %s (mapPush=%v): %w", app, mapPush, err)
+			}
+			runs[mapPush] = res
+		}
+		flat, mapped := runs[false], runs[true]
+		identical := sameBits(flat.Result.Values, mapped.Result.Values)
+		if !identical {
+			return fmt.Errorf("hotpath %s: flat combining diverged from the map-based oracle", app)
+		}
+		fa, fb := steadyState(flat.Result.Metrics.Iters)
+		ma, mb := steadyState(mapped.Result.Metrics.Iters)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			app, "PK", flat.Result.Iterations, fa, fb, ma, mb, identical)
+		summary = append(summary, []string{
+			app,
+			fmt.Sprintf("%d", flat.Result.Iterations),
+			fmt.Sprintf("%d", fa), fmt.Sprintf("%d", fb),
+			fmt.Sprintf("%d", ma), fmt.Sprintf("%d", mb),
+			fmt.Sprintf("%v", identical),
+		})
+		var rows [][]string
+		fi, mi := flat.Result.Metrics.Iters, mapped.Result.Metrics.Iters
+		steps := len(fi)
+		if len(mi) < steps {
+			steps = len(mi)
+		}
+		for i := 0; i < steps; i++ {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", fi[i].Iter),
+				fi[i].Mode.String(),
+				fmt.Sprintf("%d", fi[i].HeapAllocs),
+				fmt.Sprintf("%d", fi[i].HeapBytes),
+				fmt.Sprintf("%d", mi[i].HeapAllocs),
+				fmt.Sprintf("%d", mi[i].HeapBytes),
+			})
+		}
+		err := c.Trace.Table("hotpath-"+app,
+			[]string{"iter", "mode", "allocs_flat", "bytes_flat", "allocs_map", "bytes_map"}, rows)
+		if err != nil {
+			return err
+		}
+	}
+	err := c.Trace.Table("hotpath-summary",
+		[]string{"app", "iters", "allocs_flat", "bytes_flat", "allocs_map", "bytes_map", "identical"}, summary)
+	if err != nil {
+		return err
+	}
+
+	// Codec layer: pooled append-encode vs allocating encode over a
+	// representative dense batch.
+	fmt.Fprintln(tw, "\nHotpath codec: adaptive encode of a 4096-entry batch, allocations per op")
+	fmt.Fprintln(tw, "path\tallocs/op\tB/op")
+	ids := make([]uint32, 4096)
+	vals := make([]float64, 4096)
+	for i := range ids {
+		ids[i] = uint32(i * 3)
+		vals[i] = float64(i % 17)
+	}
+	var sc compress.EncodeScratch
+	var buf []byte
+	pa, pb := measureAllocs(func() {
+		buf, _ = compress.AppendEncodeBest(buf[:0], &sc, ids, vals)
+	})
+	ua, ub := measureAllocs(func() {
+		_, _ = compress.EncodeBest(ids, vals)
+	})
+	fmt.Fprintf(tw, "pooled\t%.1f\t%.0f\n", pa, pb)
+	fmt.Fprintf(tw, "unpooled\t%.1f\t%.0f\n", ua, ub)
+	err = c.Trace.Table("hotpath-codec",
+		[]string{"path", "allocs_per_op", "bytes_per_op"}, [][]string{
+			{"pooled", fmt.Sprintf("%.1f", pa), fmt.Sprintf("%.0f", pb)},
+			{"unpooled", fmt.Sprintf("%.1f", ua), fmt.Sprintf("%.0f", ub)},
+		})
+	if err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+// steadyState returns the median per-superstep allocation count and bytes
+// over the last half of the run (the supersteps after pool warm-up).
+func steadyState(iters []metrics.IterStat) (allocs, bytes int64) {
+	if len(iters) == 0 {
+		return 0, 0
+	}
+	tail := iters[len(iters)/2:]
+	as := make([]int64, len(tail))
+	bs := make([]int64, len(tail))
+	for i, s := range tail {
+		as[i], bs[i] = s.HeapAllocs, s.HeapBytes
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	return as[len(as)/2], bs[len(bs)/2]
+}
+
+// measureAllocs runs fn repeatedly (after one warm-up call) and returns the
+// mean mallocs and bytes per call — the experiment harness' stand-in for
+// testing.AllocsPerRun.
+func measureAllocs(fn func()) (allocsPerOp, bytesPerOp float64) {
+	const reps = 200
+	fn() // warm-up: grow any pooled buffers
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / reps,
+		float64(after.TotalAlloc-before.TotalAlloc) / reps
+}
+
+// sameBits reports bit-exact equality of two value arrays.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"slfe/internal/cluster"
+	"slfe/internal/compress"
+)
+
+// TestSteadyStateAllocBudget is the CI regression guard for the
+// zero-allocation superstep hot path: a steady-state superstep (median of
+// the last half of the run, single node) must stay under a deliberately
+// generous fixed budget. The flat path measures ~1-2 allocs and <1KB per
+// superstep; the budget trips only on a structural regression (per-superstep
+// maps, goroutine spawning, fresh wire buffers), never on GC noise.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	const (
+		allocBudget = 256       // objects per steady-state superstep
+		byteBudget  = 256 << 10 // bytes per steady-state superstep
+	)
+	c := Config{Scale: 4000, Nodes: 1, Threads: 2, PRIters: 20, Out: io.Discard}
+	cases := []struct {
+		app  string
+		opts func(*cluster.Options)
+	}{
+		// Pull path: all-vertex arith kernel, 20 steady supersteps.
+		{"PR", nil},
+		// Push path: DenseDivisor=1 keeps the frontier kernel in push mode.
+		{"SSSP", func(o *cluster.Options) { o.DenseDivisor = 1 }},
+	}
+	for _, tc := range cases {
+		res, err := c.RunSLFE(tc.app, "PK", 1, true, func(o *cluster.Options) {
+			o.MeasureAllocs = true
+			o.Codec = compress.Adaptive{}
+			if tc.opts != nil {
+				tc.opts(o)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.app, err)
+		}
+		allocs, bytes := steadyState(res.Result.Metrics.Iters)
+		t.Logf("%s: %d iters, steady state %d allocs / %d bytes per superstep",
+			tc.app, res.Result.Iterations, allocs, bytes)
+		if allocs > allocBudget {
+			t.Errorf("%s: steady-state supersteps allocate %d objects, budget %d — the hot path regressed",
+				tc.app, allocs, allocBudget)
+		}
+		if bytes > byteBudget {
+			t.Errorf("%s: steady-state supersteps allocate %d bytes, budget %d — the hot path regressed",
+				tc.app, bytes, byteBudget)
+		}
+	}
+}

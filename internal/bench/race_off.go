@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build
+// (instrumentation perturbs allocation counts, so the alloc-budget guard
+// skips itself under -race).
+const raceEnabled = false

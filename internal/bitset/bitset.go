@@ -322,6 +322,68 @@ func (b *Atomic) RangeIn(lo, hi int, fn func(i int) bool) {
 	})
 }
 
+// Iter walks the set bits of a window of an Atomic bitset without
+// callbacks. Unlike RangeIn, which takes a closure (and so makes the
+// caller's captured locals escape to the heap), an Iter is a plain value
+// that lives on the caller's stack — the engine's steady-state loops use it
+// to stay allocation-free. Each word is an independent atomic snapshot,
+// like Range/RangeIn.
+type Iter struct {
+	b   *Atomic
+	w   uint64 // unconsumed bits of the current word
+	wi  int    // current word index
+	hiW int    // one past the last word index
+	hi  int    // bit bound masking the final word
+}
+
+// IterIn returns an iterator over the set bits of [lo, hi) in ascending
+// order. Use it as:
+//
+//	it := b.IterIn(lo, hi)
+//	for i := it.Next(); i >= 0; i = it.Next() { ... }
+func (b *Atomic) IterIn(lo, hi int) Iter {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return Iter{}
+	}
+	it := Iter{b: b, wi: lo / wordBits, hiW: (hi + wordBits - 1) / wordBits, hi: hi}
+	w := b.words[it.wi].Load() &^ ((1 << (uint(lo) % wordBits)) - 1)
+	if it.wi == it.hiW-1 {
+		if rem := hi % wordBits; rem != 0 {
+			w &= (1 << uint(rem)) - 1
+		}
+	}
+	it.w = w
+	return it
+}
+
+// Next returns the next set bit, or -1 when the window is exhausted.
+func (it *Iter) Next() int {
+	for {
+		if it.w != 0 {
+			tz := bits.TrailingZeros64(it.w)
+			it.w &= it.w - 1
+			return it.wi*wordBits + tz
+		}
+		it.wi++
+		if it.wi >= it.hiW {
+			return -1
+		}
+		w := it.b.words[it.wi].Load()
+		if it.wi == it.hiW-1 {
+			if rem := it.hi % wordBits; rem != 0 {
+				w &= (1 << uint(rem)) - 1
+			}
+		}
+		it.w = w
+	}
+}
+
 // Snapshot copies the current contents into a non-atomic bitset.
 func (b *Atomic) Snapshot() *Bits {
 	s := New(b.n)

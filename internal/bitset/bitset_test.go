@@ -399,3 +399,56 @@ func TestRangeInBoundsClamped(t *testing.T) {
 		t.Fatalf("early stop ignored: %d calls", calls)
 	}
 }
+
+// Iter must visit exactly the bits RangeIn visits, for arbitrary windows,
+// and must not allocate.
+func TestIterMatchesRangeIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(400)
+		b := NewAtomic(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		lo := rng.Intn(n+65) - 32
+		hi := lo + rng.Intn(n+65)
+		var want []int
+		b.RangeIn(lo, hi, func(i int) bool {
+			want = append(want, i)
+			return true
+		})
+		var got []int
+		it := b.IterIn(lo, hi)
+		for i := it.Next(); i >= 0; i = it.Next() {
+			got = append(got, i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d [%d,%d): got %d bits, want %d", n, lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d [%d,%d): bit %d: got %d, want %d", n, lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIterDoesNotAllocate(t *testing.T) {
+	b := NewAtomic(100000)
+	for i := 0; i < 100000; i += 7 {
+		b.Set(i)
+	}
+	sum := 0
+	allocs := testing.AllocsPerRun(10, func() {
+		it := b.IterIn(13, 99990)
+		for i := it.Next(); i >= 0; i = it.Next() {
+			sum += i
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Iter allocates %.1f objects per scan", allocs)
+	}
+	_ = sum
+}

@@ -49,6 +49,12 @@ type Options struct {
 	// SparseDivisor tunes the adaptive density threshold; see
 	// core.Config.SparseDivisor.
 	SparseDivisor int64
+	// MapPush selects the seed's map-based push combining instead of the
+	// flat combiner; see core.Config.MapPush.
+	MapPush bool
+	// MeasureAllocs records per-superstep heap-allocation deltas; see
+	// core.Config.MeasureAllocs (only attributable with Nodes=1).
+	MeasureAllocs bool
 	// Rebalance enables dynamic inter-node boundary adjustment; see
 	// core.Config.Rebalance.
 	Rebalance bool
@@ -105,7 +111,9 @@ func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
 					roots = rrg.DefaultRoots(g)
 				}
 			}
-			guidance = rrg.Generate(g, roots, ws.New(opt.Threads, opt.Stealing))
+			sched := ws.New(opt.Threads, opt.Stealing)
+			guidance = rrg.Generate(g, roots, sched)
+			sched.Close()
 			out.PreprocessTime = guidance.GenTime
 		}
 		out.Guidance = guidance
@@ -137,6 +145,8 @@ func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
 				Codec:            opt.Codec,
 				Sync:             opt.Sync,
 				SparseDivisor:    opt.SparseDivisor,
+				MapPush:          opt.MapPush,
+				MeasureAllocs:    opt.MeasureAllocs,
 				Rebalance:        opt.Rebalance,
 				RebalanceEvery:   opt.RebalanceEvery,
 				RebalanceDamping: opt.RebalanceDamping,
@@ -147,6 +157,7 @@ func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
 				comm.Abort(transports[rank])
 				return
 			}
+			defer eng.Close()
 			results[rank], errs[rank] = eng.Run(p)
 			if errs[rank] != nil {
 				// Unblock peers waiting on this rank's collectives.

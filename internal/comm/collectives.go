@@ -30,6 +30,16 @@ type Comm struct {
 	allToAllSeq uint64
 	sparseSeq   uint64
 	pending     map[pendKey][]byte
+
+	// seqBuf is the reusable header+payload staging buffer of sendSeq.
+	// Transports do not retain payloads after Send returns (the local
+	// transport copies, TCP writes synchronously), so one buffer serves
+	// every send of this Comm. A Comm is not safe for concurrent use.
+	seqBuf []byte
+	// self is the reused single-rank result of the size-1 fast paths, so a
+	// solo worker's collectives stay allocation-free. Valid until the next
+	// collective.
+	self [][]byte
 }
 
 type pendKey struct {
@@ -41,11 +51,12 @@ type pendKey struct {
 // NewComm wraps a transport.
 func NewComm(t Transport) *Comm { return &Comm{T: t, pending: make(map[pendKey][]byte)} }
 
-// sendSeq sends payload tagged with an 8-byte sequence header.
+// sendSeq sends payload tagged with an 8-byte sequence header, staging the
+// frame in the Comm's reusable buffer.
 func (c *Comm) sendSeq(to int, typ uint16, seq uint64, payload []byte) error {
-	buf := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint64(buf, seq)
-	copy(buf[8:], payload)
+	buf := binary.LittleEndian.AppendUint64(c.seqBuf[:0], seq)
+	buf = append(buf, payload...)
+	c.seqBuf = buf[:0]
 	return c.T.Send(to, typ, buf)
 }
 
@@ -191,9 +202,23 @@ func (c *Comm) AllReduceF64(x float64, op ReduceOp) (float64, error) {
 	return math.Float64frombits(w), nil
 }
 
+// selfResult returns the reused single-entry result slice holding blob,
+// the size-1 fast path of the gather-style collectives.
+func (c *Comm) selfResult(blob []byte) [][]byte {
+	if c.self == nil {
+		c.self = make([][]byte, 1)
+	}
+	c.self[0] = blob
+	return c.self
+}
+
 // AllGather sends this rank's blob to every rank and returns all blobs
-// indexed by rank (own blob included, not copied).
+// indexed by rank (own blob included, not copied). With a single rank the
+// returned slice is reused by the next size-1 collective.
 func (c *Comm) AllGather(blob []byte) ([][]byte, error) {
+	if c.Size() == 1 {
+		return c.selfResult(blob), nil
+	}
 	seq := c.gatherSeq
 	c.gatherSeq++
 	out := make([][]byte, c.Size())
@@ -221,6 +246,9 @@ func (c *Comm) AllGather(blob []byte) ([][]byte, error) {
 func (c *Comm) AllToAll(blobs [][]byte) ([][]byte, error) {
 	if len(blobs) != c.Size() {
 		return nil, fmt.Errorf("comm: AllToAll needs %d blobs, got %d", c.Size(), len(blobs))
+	}
+	if c.Size() == 1 {
+		return c.selfResult(blobs[0]), nil
 	}
 	seq := c.allToAllSeq
 	c.allToAllSeq++
@@ -258,11 +286,11 @@ func (c *Comm) SparseExchange(blobs [][]byte) ([][]byte, error) {
 	if len(blobs) != size {
 		return nil, fmt.Errorf("comm: SparseExchange needs %d blobs, got %d", size, len(blobs))
 	}
+	if size == 1 {
+		return c.selfResult(blobs[0]), nil
+	}
 	out := make([][]byte, size)
 	out[c.Rank()] = blobs[c.Rank()]
-	if size == 1 {
-		return out, nil
-	}
 	maskLen := (size + 7) / 8
 	mask := make([]byte, maskLen)
 	for r, b := range blobs {

@@ -210,13 +210,13 @@ func (t *tcpTransport) Send(to int, typ uint16, payload []byte) error {
 	if conn == nil {
 		return errors.New("comm: no connection to peer")
 	}
-	hdr := make([]byte, frameHeaderLen)
+	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint16(hdr[4:], typ)
 	binary.LittleEndian.PutUint32(hdr[6:], uint32(t.rank))
 	t.sendMu[to].Lock()
 	defer t.sendMu[to].Unlock()
-	if _, err := conn.Write(hdr); err != nil {
+	if _, err := conn.Write(hdr[:]); err != nil {
 		return fmt.Errorf("comm: send header: %w", err)
 	}
 	if _, err := conn.Write(payload); err != nil {

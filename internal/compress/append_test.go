@@ -1,0 +1,75 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomBatch returns an ascending-id batch with clustered ids and
+// correlated values, the shape delta-sync emits.
+func randomBatch(rng *rand.Rand, n int) ([]uint32, []float64) {
+	ids := make([]uint32, n)
+	vals := make([]float64, n)
+	id := uint32(rng.Intn(50))
+	for i := 0; i < n; i++ {
+		ids[i] = id
+		id += uint32(1 + rng.Intn(9))
+		vals[i] = float64(rng.Intn(40))
+	}
+	return ids, vals
+}
+
+// AppendEncode must produce byte-identical output to Encode and honour
+// pre-existing dst contents.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	codecs := []AppendCodec{Raw{}, VarintXOR{}, RLE{}, Adaptive{}}
+	for trial := 0; trial < 50; trial++ {
+		ids, vals := randomBatch(rng, rng.Intn(200))
+		for _, c := range codecs {
+			want := c.Encode(ids, vals)
+			got := c.AppendEncode(nil, ids, vals)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: AppendEncode(nil) differs from Encode", c.Name())
+			}
+			prefixed := c.AppendEncode([]byte("pfx"), ids, vals)
+			if !bytes.Equal(prefixed[:3], []byte("pfx")) || !bytes.Equal(prefixed[3:], want) {
+				t.Fatalf("%s: AppendEncode clobbered the prefix", c.Name())
+			}
+		}
+	}
+}
+
+// AppendEncodeBest with a reusable scratch must match EncodeBest and pick
+// the same winner.
+func TestAppendEncodeBestMatchesEncodeBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var sc EncodeScratch
+	for trial := 0; trial < 50; trial++ {
+		ids, vals := randomBatch(rng, rng.Intn(300))
+		want, wantName := EncodeBest(ids, vals)
+		got, gotName := AppendEncodeBest(nil, &sc, ids, vals)
+		if gotName != wantName || !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: pooled best (%s, %d bytes) differs from EncodeBest (%s, %d bytes)",
+				trial, gotName, len(got), wantName, len(want))
+		}
+	}
+}
+
+// With warmed buffers, AppendEncode and AppendEncodeBest must not allocate.
+func TestAppendEncodeDoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ids, vals := randomBatch(rng, 512)
+	for _, c := range []AppendCodec{Raw{}, VarintXOR{}, RLE{}} {
+		buf := c.AppendEncode(nil, ids, vals)
+		if a := testing.AllocsPerRun(20, func() { buf = c.AppendEncode(buf[:0], ids, vals) }); a > 0 {
+			t.Errorf("%s: AppendEncode allocates %.1f objects per batch", c.Name(), a)
+		}
+	}
+	var sc EncodeScratch
+	buf, _ := AppendEncodeBest(nil, &sc, ids, vals)
+	if a := testing.AllocsPerRun(20, func() { buf, _ = AppendEncodeBest(buf[:0], &sc, ids, vals) }); a > 0 {
+		t.Errorf("AppendEncodeBest allocates %.1f objects per batch", a)
+	}
+}

@@ -38,6 +38,16 @@ type Codec interface {
 	Decode(buf []byte, fn func(id uint32, val float64) error) error
 }
 
+// AppendCodec is the allocation-free form of Codec: AppendEncode writes the
+// batch after dst's existing contents and returns the extended slice, so a
+// caller that retains the returned buffer pays nothing on the next batch of
+// similar size. Every codec in this package implements it; Encode is
+// AppendEncode into a fresh buffer.
+type AppendCodec interface {
+	Codec
+	AppendEncode(dst []byte, ids []uint32, vals []float64) []byte
+}
+
 // Raw is the uncompressed codec: u32 count, then fixed (u32 id, u64
 // value-bits) pairs.
 type Raw struct{}
@@ -48,16 +58,18 @@ const rawEntrySize = 4 + 8
 func (Raw) Name() string { return "raw" }
 
 // Encode implements Codec.
-func (Raw) Encode(ids []uint32, vals []float64) []byte {
-	buf := make([]byte, 4+len(ids)*rawEntrySize)
-	binary.LittleEndian.PutUint32(buf, uint32(len(ids)))
-	off := 4
+func (c Raw) Encode(ids []uint32, vals []float64) []byte {
+	return c.AppendEncode(make([]byte, 0, 4+len(ids)*rawEntrySize), ids, vals)
+}
+
+// AppendEncode implements AppendCodec.
+func (Raw) AppendEncode(dst []byte, ids []uint32, vals []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ids)))
 	for i, id := range ids {
-		binary.LittleEndian.PutUint32(buf[off:], id)
-		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(vals[i]))
-		off += rawEntrySize
+		dst = binary.LittleEndian.AppendUint32(dst, id)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(vals[i]))
 	}
-	return buf
+	return dst
 }
 
 // Decode implements Codec.
@@ -99,8 +111,13 @@ var ErrNotAscending = errors.New("compress: ids must be ascending")
 // Encode implements Codec. Unsorted ids are a programming error: Encode
 // panics with ErrNotAscending rather than emit a stream that cannot be
 // decoded.
-func (VarintXOR) Encode(ids []uint32, vals []float64) []byte {
-	buf := make([]byte, 0, 4+3*len(ids))
+func (c VarintXOR) Encode(ids []uint32, vals []float64) []byte {
+	return c.AppendEncode(make([]byte, 0, 4+3*len(ids)), ids, vals)
+}
+
+// AppendEncode implements AppendCodec; it panics with ErrNotAscending on
+// unsorted input like Encode.
+func (VarintXOR) AppendEncode(buf []byte, ids []uint32, vals []float64) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(ids)))
 	prevID := uint32(0)
 	prevBits := uint64(0)
@@ -178,8 +195,14 @@ func (RLE) Name() string { return "rle" }
 
 // Encode implements Codec. Like VarintXOR it requires ascending ids and
 // panics with ErrNotAscending on unsorted input.
-func (RLE) Encode(ids []uint32, vals []float64) []byte {
-	buf := binary.AppendUvarint(make([]byte, 0, 8+9*len(ids)), uint64(len(ids)))
+func (c RLE) Encode(ids []uint32, vals []float64) []byte {
+	return c.AppendEncode(make([]byte, 0, 8+9*len(ids)), ids, vals)
+}
+
+// AppendEncode implements AppendCodec; it panics with ErrNotAscending on
+// unsorted input like Encode.
+func (RLE) AppendEncode(dst []byte, ids []uint32, vals []float64) []byte {
+	buf := binary.AppendUvarint(dst, uint64(len(ids)))
 	next := uint64(0) // first id not yet covered by a run
 	for i := 0; i < len(ids); {
 		start := uint64(ids[i])
@@ -291,18 +314,39 @@ func ByID(id byte) (Codec, error) {
 // smallest result (ties break towards the lower tag) and returns it
 // prefixed with the winner's tag, plus the winner's name for metrics.
 func EncodeBest(ids []uint32, vals []float64) ([]byte, string) {
-	var bestBuf []byte
-	var best int = -1
+	out, name := AppendEncodeBest(nil, nil, ids, vals)
+	return out, name
+}
+
+// EncodeScratch holds the per-candidate trial buffers AppendEncodeBest
+// needs; reusing one across batches makes the adaptive selection
+// allocation-free in steady state. The zero value is ready to use. A
+// scratch must not be shared by concurrent encoders.
+type EncodeScratch struct {
+	bufs [][]byte
+}
+
+// AppendEncodeBest is the pooled form of EncodeBest: candidate encodings go
+// into sc's reusable buffers and the tagged winner is appended to dst. A
+// nil sc allocates fresh trial buffers (EncodeBest semantics).
+func AppendEncodeBest(dst []byte, sc *EncodeScratch, ids []uint32, vals []float64) ([]byte, string) {
+	var local EncodeScratch
+	if sc == nil {
+		sc = &local
+	}
+	if len(sc.bufs) < len(candidates) {
+		sc.bufs = append(sc.bufs, make([][]byte, len(candidates)-len(sc.bufs))...)
+	}
+	best := -1
 	for i, c := range candidates {
-		enc := c.codec.Encode(ids, vals)
-		if best < 0 || len(enc) < len(bestBuf) {
-			bestBuf, best = enc, i
+		sc.bufs[i] = c.codec.(AppendCodec).AppendEncode(sc.bufs[i][:0], ids, vals)
+		if best < 0 || len(sc.bufs[i]) < len(sc.bufs[best]) {
+			best = i
 		}
 	}
-	out := make([]byte, 1+len(bestBuf))
-	out[0] = candidates[best].id
-	copy(out[1:], bestBuf)
-	return out, candidates[best].codec.Name()
+	dst = append(dst, candidates[best].id)
+	dst = append(dst, sc.bufs[best]...)
+	return dst, candidates[best].codec.Name()
 }
 
 // Adaptive picks the smallest encoding per batch (see EncodeBest) and tags
@@ -318,6 +362,13 @@ func (Adaptive) Name() string { return "adaptive" }
 func (Adaptive) Encode(ids []uint32, vals []float64) []byte {
 	buf, _ := EncodeBest(ids, vals)
 	return buf
+}
+
+// AppendEncode implements AppendCodec. Callers that also want the winner's
+// name or pooled trial buffers should use AppendEncodeBest directly.
+func (Adaptive) AppendEncode(dst []byte, ids []uint32, vals []float64) []byte {
+	dst, _ = AppendEncodeBest(dst, nil, ids, vals)
+	return dst
 }
 
 // Decode implements Codec.

@@ -151,47 +151,139 @@ func (st *state) foldPicks(picks map[string]int64) {
 	if len(picks) == 0 {
 		return
 	}
+	for name, n := range picks {
+		st.picks()[name] += n
+	}
+}
+
+// picks returns the run's codec-choice counter map, created on first use
+// and reused for the rest of the run (incrementing an existing key does not
+// allocate).
+func (st *state) picks() map[string]int64 {
 	if st.run.CodecPicks == nil {
 		st.run.CodecPicks = make(map[string]int64)
 	}
-	for name, n := range picks {
-		st.run.CodecPicks[name] += n
+	return st.run.CodecPicks
+}
+
+// frameEnc is the engine-owned pooled counterpart of frameEncode: the
+// per-segment trial and output buffers, the segment-name table and the
+// final frame buffer are all reused across supersteps, so the dense
+// delta-sync's serialisation is allocation-free in steady state. The wire
+// format is identical to frameEncode's.
+type frameEnc struct {
+	ids      []graph.VertexID
+	vals     []Value
+	adaptive bool
+	codec    compress.Codec
+	appendC  compress.AppendCodec // nil when the codec has no append form
+	init     bool
+	parts    [][]byte
+	names    []string
+	scratch  []compress.EncodeScratch
+	out      []byte
+	body     func(s int)
+}
+
+// frameEncodePooled serialises a delta batch like frameEncode, but into
+// engine-owned reusable buffers, with segments encoded in parallel on the
+// scheduler and per-segment codec choices counted into picks (which must
+// not be nil). The returned blob is valid until the next pooled encode;
+// transports do not retain it past Send.
+func (e *Engine) frameEncodePooled(ids []graph.VertexID, vals []Value, picks map[string]int64) []byte {
+	f := &e.frame
+	if !f.init {
+		f.init = true
+		f.codec = e.cfg.Codec
+		_, f.adaptive = e.cfg.Codec.(compress.Adaptive)
+		f.appendC, _ = e.cfg.Codec.(compress.AppendCodec)
+		f.body = e.frameSeg
+	}
+	nSeg := (len(ids) + frameSegEntries - 1) / frameSegEntries
+	if nSeg == 0 {
+		f.out = binary.AppendUvarint(f.out[:0], 0)
+		return f.out
+	}
+	for len(f.parts) < nSeg {
+		f.parts = append(f.parts, nil)
+		f.names = append(f.names, "")
+		f.scratch = append(f.scratch, compress.EncodeScratch{})
+	}
+	f.ids, f.vals = ids, vals
+	if nSeg > 1 {
+		e.sched.Tasks(nSeg, f.body)
+	} else {
+		f.body(0)
+	}
+	f.ids, f.vals = nil, nil
+	buf := binary.AppendUvarint(f.out[:0], uint64(nSeg))
+	for s := 0; s < nSeg; s++ {
+		buf = binary.AppendUvarint(buf, uint64(len(f.parts[s])))
+		buf = append(buf, f.parts[s]...)
+		picks[f.names[s]]++
+	}
+	f.out = buf
+	return buf
+}
+
+// frameSeg encodes one segment into its reusable buffer.
+func (e *Engine) frameSeg(s int) {
+	f := &e.frame
+	lo := s * frameSegEntries
+	hi := min(lo+frameSegEntries, len(f.ids))
+	ids, vals := f.ids[lo:hi], f.vals[lo:hi]
+	switch {
+	case f.adaptive:
+		f.parts[s], f.names[s] = compress.AppendEncodeBest(f.parts[s][:0], &f.scratch[s], ids, vals)
+	case f.appendC != nil:
+		f.parts[s] = f.appendC.AppendEncode(f.parts[s][:0], ids, vals)
+		f.names[s] = f.codec.Name()
+	default:
+		f.parts[s] = f.codec.Encode(ids, vals)
+		f.names[s] = f.codec.Name()
 	}
 }
 
 // collectOwnedChanged lists the changed owned vertices and their values in
-// ascending id order. Chunks of the owned range are scanned in parallel and
-// concatenated in chunk order, like collectBits.
+// ascending id order. Chunks of the owned range are scanned in parallel
+// into engine-owned per-chunk buffers and concatenated in chunk order; all
+// storage (including the returned slices) is reused by the next superstep's
+// collection, which is safe because delta-sync consumes the batch before
+// returning.
 func (e *Engine) collectOwnedChanged(st *state, changed *bitset.Atomic) ([]graph.VertexID, []Value) {
 	lo, hi := uint32(e.lo), uint32(e.hi)
 	if hi <= lo {
 		return nil, nil
 	}
-	type part struct {
-		ids  []graph.VertexID
-		vals []Value
+	cs := &e.collect
+	nParts := int(hi-lo+ws.ChunkSize-1) / ws.ChunkSize
+	for len(cs.partIDs) < nParts {
+		cs.partIDs = append(cs.partIDs, nil)
+		cs.partVals = append(cs.partVals, nil)
 	}
-	parts := make([]part, (hi-lo+ws.ChunkSize-1)/ws.ChunkSize)
-	e.sched.Run(lo, hi, func(clo, chi uint32, _ int) {
-		var p part
-		changed.RangeIn(int(clo), int(chi), func(i int) bool {
-			p.ids = append(p.ids, graph.VertexID(i))
-			p.vals = append(p.vals, st.values[i])
-			return true
-		})
-		parts[(clo-lo)/ws.ChunkSize] = p
-	})
-	total := 0
-	for _, p := range parts {
-		total += len(p.ids)
+	cs.lo, cs.src, cs.values = lo, changed, st.values
+	e.sched.Run(lo, hi, cs.body)
+	cs.src, cs.values = nil, nil
+	cs.ids, cs.vals = cs.ids[:0], cs.vals[:0]
+	for i := 0; i < nParts; i++ {
+		cs.ids = append(cs.ids, cs.partIDs[i]...)
+		cs.vals = append(cs.vals, cs.partVals[i]...)
 	}
-	ids := make([]graph.VertexID, 0, total)
-	vals := make([]Value, 0, total)
-	for _, p := range parts {
-		ids = append(ids, p.ids...)
-		vals = append(vals, p.vals...)
+	return cs.ids, cs.vals
+}
+
+// collectChunk scans one chunk of the changed set into its per-chunk
+// buffer.
+func (e *Engine) collectChunk(clo, chi uint32, _ int) {
+	cs := &e.collect
+	idx := int(clo-cs.lo) / ws.ChunkSize
+	ids, vals := cs.partIDs[idx][:0], cs.partVals[idx][:0]
+	it := cs.src.IterIn(int(clo), int(chi))
+	for i := it.Next(); i >= 0; i = it.Next() {
+		ids = append(ids, graph.VertexID(i))
+		vals = append(vals, cs.values[i])
 	}
-	return ids, vals
+	cs.partIDs[idx], cs.partVals[idx] = ids, vals
 }
 
 // syncOwned distributes this worker's changed owned vertices and applies
@@ -239,35 +331,23 @@ func (e *Engine) syncOwned(st *state, changed *bitset.Atomic, frontier *bitset.A
 }
 
 // syncDense broadcasts the batch to every rank (the original AllGather
-// path, now with parallel segmented encoding).
+// path) with parallel segmented encoding into pooled wire buffers and a
+// pre-created decode callback, so a steady-state dense sync allocates
+// nothing beyond what the transport itself copies.
 func (e *Engine) syncDense(st *state, frontier *bitset.Atomic, iter int, ids []graph.VertexID, vals []Value) (int64, error) {
-	blob, picks := frameEncode(e.sched, e.cfg.Codec, ids, vals)
-	st.foldPicks(picks)
+	blob := e.frameEncodePooled(ids, vals, st.picks())
 	blobs, err := e.comm.AllGather(blob)
 	if err != nil {
 		return 0, err
 	}
-	var total int64
-	n := e.g.NumVertices()
+	e.decFrontier, e.decIter, e.decTotal = frontier, iter, 0
 	for rank, b := range blobs {
-		err := frameDecode(e.cfg.Codec, b, func(id uint32, val float64) error {
-			if int(id) >= n {
-				return fmt.Errorf("core: delta for out-of-range vertex %d", id)
-			}
-			if rank != e.comm.Rank() {
-				st.values[id] = val
-			}
-			if frontier != nil {
-				frontier.Set(int(id))
-			}
-			st.markChanged(graph.VertexID(id), iter)
-			total++
-			return nil
-		})
-		if err != nil {
+		e.decRank = rank
+		if err := frameDecode(e.cfg.Codec, b, e.denseDecode); err != nil {
 			return 0, err
 		}
 	}
+	e.decFrontier = nil
 	// A dense broadcast delivers the latest value of these vertices to
 	// every rank, superseding any earlier sparse-only distribution.
 	if e.dirty != nil {
@@ -275,7 +355,23 @@ func (e *Engine) syncDense(st *state, frontier *bitset.Atomic, iter int, ids []g
 			e.dirty.Clear(int(id))
 		}
 	}
-	return total, nil
+	return e.decTotal, nil
+}
+
+// applyDenseDelta is the pre-created decode callback of syncDense.
+func (e *Engine) applyDenseDelta(id uint32, val float64) error {
+	if int(id) >= e.g.NumVertices() {
+		return fmt.Errorf("core: delta for out-of-range vertex %d", id)
+	}
+	if e.decRank != e.comm.Rank() {
+		e.curState.values[id] = val
+	}
+	if e.decFrontier != nil {
+		e.decFrontier.Set(int(id))
+	}
+	e.curState.markChanged(graph.VertexID(id), e.decIter)
+	e.decTotal++
+	return nil
 }
 
 // syncSparse routes each changed vertex only to the ranks owning one of
@@ -405,8 +501,7 @@ func (e *Engine) flushSparse(st *state) error {
 // flushGather broadcasts one owned (id, value) batch and applies every
 // remote rank's batch through apply.
 func (e *Engine) flushGather(st *state, ids []graph.VertexID, vals []Value, apply func(id uint32, val float64)) error {
-	blob, picks := frameEncode(e.sched, e.cfg.Codec, ids, vals)
-	st.foldPicks(picks)
+	blob := e.frameEncodePooled(ids, vals, st.picks())
 	blobs, err := e.comm.AllGather(blob)
 	if err != nil {
 		return err

@@ -63,6 +63,7 @@ func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat c
 	}
 	values := make([][]core.Value, nodes)
 	errs := make([]error, nodes)
+	transports := make([]comm.Transport, nodes)
 	var wg sync.WaitGroup
 	for rank := 0; rank < nodes; rank++ {
 		wg.Add(1)
@@ -73,7 +74,7 @@ func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat c
 				errs[rank] = err
 				return
 			}
-			defer tr.Close()
+			transports[rank] = tr
 			eng, err := core.New(core.Config{
 				Graph: g, Comm: comm.NewComm(tr), Part: part,
 				RR: true, Guidance: gd, Sync: strat,
@@ -83,6 +84,7 @@ func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat c
 				comm.Abort(tr)
 				return
 			}
+			defer eng.Close()
 			res, err := eng.Run(prog)
 			if err != nil {
 				errs[rank] = err
@@ -93,6 +95,13 @@ func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat c
 		}(rank)
 	}
 	wg.Wait()
+	// Close only after every rank finished: an early Close can reset
+	// connections carrying a slower peer's final reduce results.
+	for _, tr := range transports {
+		if tr != nil {
+			tr.Close()
+		}
+	}
 	for rank, err := range errs {
 		if err != nil {
 			t.Fatalf("rank %d: %v", rank, err)

@@ -65,6 +65,20 @@ type Config struct {
 	// snapshot).
 	Ckpt *ckpt.Manager
 
+	// MapPush selects the seed's map-based push-proposal combining instead
+	// of the default flat combiner. The two produce bit-identical results;
+	// the map path allocates its working set every push superstep and
+	// exists as the flat path's differential oracle and as the baseline of
+	// the `hotpath` bench experiment.
+	MapPush bool
+
+	// MeasureAllocs records per-superstep heap allocation deltas
+	// (runtime.ReadMemStats) into the iteration metrics. The counters are
+	// process-global, so the numbers are only attributable when a single
+	// worker runs in the process (the hotpath experiment's Nodes=1 mode);
+	// with in-process clusters they measure the whole cluster.
+	MeasureAllocs bool
+
 	// Rebalance enables dynamic inter-node boundary adjustment (the §5
 	// future-work item, implemented in internal/balance): every
 	// RebalanceEvery iterations workers exchange their window compute
@@ -108,6 +122,53 @@ type Engine struct {
 	// sparse-mode active count can reuse it instead of re-reducing
 	// (-1: unknown — first superstep or just resumed from a checkpoint).
 	lastGlobalChanged int64
+
+	// Steady-state working sets, allocated once and reused every superstep
+	// (the zero-allocation hot path). curState/changed point at the active
+	// run's state so the pre-created closures below need no per-superstep
+	// captures.
+	curState  *state
+	changed   *bitset.Atomic
+	push      *pushState   // flat push-combining buffers (push.go)
+	collect   collectState // changed-owned-vertex gather buffers
+	bits      bitsCollect  // checkpoint bit-listing buffers
+	frame     frameEnc     // delta-sync wire framing buffers (deltasync.go)
+	dirtySnap []uint32     // checkpoint shard's sparse-dirty listing
+
+	// Frontier-statistic scan: the pre-created chunk body folds through
+	// the scheduler's own reusable reduction accumulators, so the
+	// per-superstep push/pull switch scan allocates nothing.
+	outBody      func(clo, chi uint32, thread int) int64
+	statFrontier *bitset.Atomic
+
+	// Pre-created dense delta-sync decode callback and its per-batch
+	// context (deltasync.go).
+	denseDecode func(id uint32, val float64) error
+	decFrontier *bitset.Atomic
+	decIter     int
+	decRank     int
+	decTotal    int64
+}
+
+// collectState is the reusable working set of collectOwnedChanged: one
+// append buffer per mini-chunk of the owned range (written in parallel,
+// concatenated in chunk order) plus the concatenated output.
+type collectState struct {
+	lo       uint32
+	src      *bitset.Atomic
+	values   []Value
+	partIDs  [][]graph.VertexID
+	partVals [][]Value
+	ids      []graph.VertexID
+	vals     []Value
+	body     func(clo, chi uint32, thread int)
+}
+
+// bitsCollect is the same shape for collectBitsInto (checkpoint shards).
+type bitsCollect struct {
+	src   *bitset.Atomic
+	parts [][]uint32
+	body  func(clo, chi uint32, thread int)
 }
 
 // rebalancer accumulates the measurement window for dynamic boundary
@@ -166,6 +227,10 @@ func New(cfg Config) (*Engine, error) {
 		comm:  cfg.Comm,
 		sched: ws.New(cfg.Threads, cfg.Stealing),
 	}
+	e.collect.body = e.collectChunk
+	e.bits.body = e.collectBitsChunk
+	e.outBody = e.outEdgesChunk
+	e.denseDecode = e.applyDenseDelta
 	e.lo, e.hi = cfg.Part.Range(cfg.Comm.Rank())
 	if cfg.Sync != SyncDense {
 		e.dirty = bitset.NewAtomic(cfg.Graph.NumVertices())
@@ -195,12 +260,25 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// Close releases the engine's persistent scheduler pool. The engine must
+// not be used afterwards; forgetting to call Close leaks only parked
+// goroutines (they die with the process).
+func (e *Engine) Close() { e.sched.Close() }
+
 // owner returns the worker currently owning v, honouring dynamic ranges.
 func (e *Engine) owner(v graph.VertexID) int {
 	if e.reb != nil {
 		return e.reb.ranges.Owner(v)
 	}
 	return e.cfg.Part.Owner(v)
+}
+
+// rankRange returns rank r's owned range, honouring dynamic ranges.
+func (e *Engine) rankRange(r int) (lo, hi graph.VertexID) {
+	if e.reb != nil {
+		return e.reb.ranges.Range(r)
+	}
+	return e.cfg.Part.Range(r)
 }
 
 // maybeRebalance closes one iteration of the measurement window and, at
@@ -322,18 +400,28 @@ func hasActiveIn(frontier *bitset.Atomic, ins []graph.VertexID) bool {
 
 // frontierOutEdges sums the out-degrees of the frontier (the push/pull
 // switch statistic); the frontier is globally consistent, so every worker
-// computes the same value locally. The scan is a chunked parallel reduce
-// over the scheduler with per-thread partial sums merged at the barrier.
+// computes the same value locally. The scan is a chunked ReduceI64 over
+// the scheduler with a pre-created chunk body, so the per-superstep scan
+// allocates nothing (the scheduler owns the reduction accumulators).
 func (e *Engine) frontierOutEdges(frontier *bitset.Atomic) int64 {
-	sum, _ := e.sched.ReduceI64(0, uint32(frontier.Len()), func(clo, chi uint32, _ int) int64 {
-		var s int64
-		frontier.RangeIn(int(clo), int(chi), func(i int) bool {
-			s += e.g.OutDegree(graph.VertexID(i))
-			return true
-		})
-		return s
-	})
+	return e.sumFrontierOutEdges(frontier, 0, uint32(frontier.Len()))
+}
+
+func (e *Engine) sumFrontierOutEdges(frontier *bitset.Atomic, lo, hi uint32) int64 {
+	e.statFrontier = frontier
+	sum, _ := e.sched.ReduceI64(lo, hi, e.outBody)
+	e.statFrontier = nil
 	return sum
+}
+
+// outEdgesChunk sums one chunk's frontier out-degrees.
+func (e *Engine) outEdgesChunk(clo, chi uint32, _ int) int64 {
+	it := e.statFrontier.IterIn(int(clo), int(chi))
+	var s int64
+	for i := it.Next(); i >= 0; i = it.Next() {
+		s += e.g.OutDegree(graph.VertexID(i))
+	}
+	return s
 }
 
 // frontierOutEdgesGlobal returns the global frontier out-degree sum. Under
@@ -344,44 +432,45 @@ func (e *Engine) frontierOutEdgesGlobal(frontier *bitset.Atomic) (int64, error) 
 	if !e.sparseSync() {
 		return e.frontierOutEdges(frontier), nil
 	}
-	local, _ := e.sched.ReduceI64(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, _ int) int64 {
-		var s int64
-		frontier.RangeIn(int(clo), int(chi), func(i int) bool {
-			s += e.g.OutDegree(graph.VertexID(i))
-			return true
-		})
-		return s
-	})
+	local := e.sumFrontierOutEdges(frontier, uint32(e.lo), uint32(e.hi))
 	return e.comm.AllReduceI64(local, comm.OpSum)
 }
 
-// collectBits lists the set indices of b in ascending order. Chunks are
-// scanned in parallel into per-chunk buffers and concatenated in chunk
-// order after the barrier, preserving the ascending order serial Range
-// produced.
-func (e *Engine) collectBits(b *bitset.Atomic) []uint32 {
+// collectBitsInto appends the set indices of b to dst in ascending order.
+// Chunks are scanned in parallel into engine-owned per-chunk buffers (reused
+// across calls) and concatenated in chunk order, preserving the ascending
+// order serial Range produced. Callers own dst; the checkpoint path hands in
+// a retained slice re-sliced to zero length each tick.
+func (e *Engine) collectBitsInto(dst []uint32, b *bitset.Atomic) []uint32 {
 	n := b.Len()
 	if n == 0 {
-		return nil
+		return dst
 	}
-	parts := make([][]uint32, (n+ws.ChunkSize-1)/ws.ChunkSize)
-	e.sched.Run(0, uint32(n), func(clo, chi uint32, _ int) {
-		var ids []uint32
-		b.RangeIn(int(clo), int(chi), func(i int) bool {
-			ids = append(ids, uint32(i))
-			return true
-		})
-		parts[clo/ws.ChunkSize] = ids
-	})
-	total := 0
-	for _, p := range parts {
-		total += len(p)
+	nParts := (n + ws.ChunkSize - 1) / ws.ChunkSize
+	bs := &e.bits
+	for len(bs.parts) < nParts {
+		bs.parts = append(bs.parts, nil)
 	}
-	out := make([]uint32, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
+	bs.src = b
+	e.sched.Run(0, uint32(n), bs.body)
+	bs.src = nil
+	for i := 0; i < nParts; i++ {
+		dst = append(dst, bs.parts[i]...)
 	}
-	return out
+	return dst
+}
+
+// collectBitsChunk scans one chunk of the source bitset into its per-chunk
+// buffer.
+func (e *Engine) collectBitsChunk(clo, chi uint32, _ int) {
+	bs := &e.bits
+	idx := int(clo) / ws.ChunkSize
+	ids := bs.parts[idx][:0]
+	it := bs.src.IterIn(int(clo), int(chi))
+	for i := it.Next(); i >= 0; i = it.Next() {
+		ids = append(ids, uint32(i))
+	}
+	bs.parts[idx] = ids
 }
 
 // restoreBits sets the listed indices in b (which must be large enough).

@@ -30,6 +30,10 @@ type arithKernel struct {
 	comps, suppressed []int64 // per-thread counters
 	maxLocalDelta     float64
 	ecCount           int64
+
+	// Pre-created compute body, so dispatching a superstep allocates
+	// nothing.
+	gatherBody func(clo, chi uint32, thread int)
 }
 
 func newArithKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *arithKernel {
@@ -57,6 +61,7 @@ func newArithKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *a
 	if p.ECSlack > 1 {
 		k.slack = uint32(p.ECSlack)
 	}
+	k.gatherBody = k.computeChunk
 	return k
 }
 
@@ -100,31 +105,35 @@ func (k *arithKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error)
 }
 
 func (k *arithKernel) compute(_ int, _ *metrics.IterStat) error {
-	e, p, st := k.e, k.p, k.st
-	wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
-		for v := clo; v < chi; v++ {
-			vid := graph.VertexID(v)
-			// Algorithm 5 line 15: compute only while the stability
-			// streak is within the vertex's LastIter+slack; afterwards
-			// the vertex is early-converged and its cached value is
-			// reused ("finish early"). The +slack also guarantees every
-			// vertex computes at least once before freezing (vertices
-			// with no reachable in-neighbours have LastIter 0).
-			if e.cfg.RR && k.ecFrozen(vid) {
-				k.suppressed[th]++
-				continue
-			}
-			acc := p.GatherInit
-			ins, ws := e.g.InNeighbors(vid), e.g.InWeights(vid)
-			for i, u := range ins {
-				acc = p.Gather(acc, st.values[u], ws[i])
-				k.comps[th]++
-			}
-			k.scratch[v] = p.Apply(e.g, vid, acc, st.values[vid])
-		}
-	})
-	st.run.Steals += wsStats.Steals
+	wsStats := k.e.sched.Run(uint32(k.e.lo), uint32(k.e.hi), k.gatherBody)
+	k.st.run.Steals += wsStats.Steals
 	return nil
+}
+
+// computeChunk gathers and applies one chunk of the owned range into
+// scratch (BSP-pure).
+func (k *arithKernel) computeChunk(clo, chi uint32, th int) {
+	e, p, st := k.e, k.p, k.st
+	for v := clo; v < chi; v++ {
+		vid := graph.VertexID(v)
+		// Algorithm 5 line 15: compute only while the stability
+		// streak is within the vertex's LastIter+slack; afterwards
+		// the vertex is early-converged and its cached value is
+		// reused ("finish early"). The +slack also guarantees every
+		// vertex computes at least once before freezing (vertices
+		// with no reachable in-neighbours have LastIter 0).
+		if e.cfg.RR && k.ecFrozen(vid) {
+			k.suppressed[th]++
+			continue
+		}
+		acc := p.GatherInit
+		ins, ws := e.g.InNeighbors(vid), e.g.InWeights(vid)
+		for i, u := range ins {
+			acc = p.Gather(acc, st.values[u], ws[i])
+			k.comps[th]++
+		}
+		k.scratch[v] = p.Apply(e.g, vid, acc, st.values[vid])
+	}
 }
 
 // commit is vertexUpdate (Algorithm 5 lines 13-18): stability bookkeeping

@@ -2,9 +2,7 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"math"
-	"sort"
 
 	"slfe/internal/bitset"
 	"slfe/internal/ckpt"
@@ -15,7 +13,10 @@ import (
 
 // minmaxKernel is the frontier-driven comparison kernel with the "start
 // late" rule of Algorithm 2 (single Ruler), plugged into the shared
-// superstep driver.
+// superstep driver. Every per-superstep working set (scratch values,
+// per-thread counters, push buffers) is allocated once here or on the
+// engine and reused; the compute/commit bodies are pre-created closures so
+// dispatching a superstep performs no heap allocations.
 type minmaxKernel struct {
 	e  *Engine
 	p  *Program
@@ -34,9 +35,18 @@ type minmaxKernel struct {
 	// compute/commit.
 	pullMode   bool
 	globalDebt int64
-	props      []map[graph.VertexID]Value // push-mode thread-local proposals
+	ruler      uint32                     // current iteration, read by pullBody
+	props      []map[graph.VertexID]Value // Config.MapPush thread-local proposals
 
 	comps, updates, suppressed, catchups []int64 // per-thread counters
+
+	// Pre-created phase bodies (no per-superstep closures).
+	pullBody   func(clo, chi uint32, thread int)
+	pushBody   func(clo, chi uint32, thread int)
+	commitBody func(clo, chi uint32, thread int)
+
+	// Reused checkpoint-shard listings (valid until the next tick).
+	snapFrontier, snapCaught, snapDebt []uint32
 }
 
 func newMinMaxKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *minmaxKernel {
@@ -62,6 +72,9 @@ func newMinMaxKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *
 			st.markChanged(r, 0)
 		}
 	}
+	k.pullBody = k.computePullChunk
+	k.pushBody = k.computePushChunk
+	k.commitBody = k.commitPullChunk
 	return k
 }
 
@@ -86,10 +99,13 @@ func (k *minmaxKernel) restore(snap *ckpt.State) error {
 }
 
 func (k *minmaxKernel) snapshot(snap *ckpt.State) {
-	snap.Sets = map[string][]uint32{"frontier": k.e.collectBits(k.front)}
+	k.snapFrontier = k.e.collectBitsInto(k.snapFrontier[:0], k.front)
+	snap.Sets = map[string][]uint32{"frontier": k.snapFrontier}
 	if k.e.cfg.RR {
-		snap.Sets["caughtup"] = k.e.collectBits(k.caughtUp)
-		snap.Sets["debt"] = k.e.collectBits(k.debt)
+		k.snapCaught = k.e.collectBitsInto(k.snapCaught[:0], k.caughtUp)
+		k.snapDebt = k.e.collectBitsInto(k.snapDebt[:0], k.debt)
+		snap.Sets["caughtup"] = k.snapCaught
+		snap.Sets["debt"] = k.snapDebt
 	}
 }
 
@@ -181,7 +197,9 @@ func (k *minmaxKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error
 
 func (k *minmaxKernel) compute(iter int, _ *metrics.IterStat) error {
 	if k.pullMode {
-		k.computePull(iter)
+		k.ruler = uint32(iter)
+		wsStats := k.e.sched.Run(uint32(k.e.lo), uint32(k.e.hi), k.pullBody)
+		k.st.run.Steals += wsStats.Steals
 		return nil
 	}
 	// Push is only entered with zero outstanding debt (see the mode
@@ -194,89 +212,137 @@ func (k *minmaxKernel) compute(iter int, _ *metrics.IterStat) error {
 	return nil
 }
 
-// computePull stages improvements in scratch (BSP-pure, race-free); commit
-// applies them to the owned range.
-func (k *minmaxKernel) computePull(iter int) {
+// computePullChunk stages improvements in scratch (BSP-pure, race-free) for
+// one chunk of the owned range; commit applies them.
+func (k *minmaxKernel) computePullChunk(clo, chi uint32, th int) {
 	e, p, st := k.e, k.p, k.st
-	ruler := uint32(iter)
-	wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
-		for v := clo; v < chi; v++ {
-			vid := graph.VertexID(v)
-			ins, iws := e.g.InNeighbors(vid), e.g.InWeights(vid)
-			if e.cfg.RR && !k.caughtUp.Get(int(v)) {
-				// Algorithm 2, pullEdge_singleRuler: an O(1) Ruler
-				// test delays the vertex until iteration
-				// RRG[v].lastIter. The saving is the relaxations the
-				// baseline would perform below. Debt — the obligation
-				// to re-collect all inputs later — is only incurred
-				// when an update was actually available (an active
-				// in-neighbour existed) while suppressed; the
-				// activity probe is bitmap bookkeeping, not a §2.2
-				// computation.
-				if ruler < e.cfg.Guidance.LastIter[v] {
-					k.suppressed[th]++
-					if !k.debt.Get(int(v)) && hasActiveIn(k.front, ins) {
-						k.debt.Set(int(v))
-					}
-					continue
+	ruler := k.ruler
+	for v := clo; v < chi; v++ {
+		vid := graph.VertexID(v)
+		ins, iws := e.g.InNeighbors(vid), e.g.InWeights(vid)
+		if e.cfg.RR && !k.caughtUp.Get(int(v)) {
+			// Algorithm 2, pullEdge_singleRuler: an O(1) Ruler
+			// test delays the vertex until iteration
+			// RRG[v].lastIter. The saving is the relaxations the
+			// baseline would perform below. Debt — the obligation
+			// to re-collect all inputs later — is only incurred
+			// when an update was actually available (an active
+			// in-neighbour existed) while suppressed; the
+			// activity probe is bitmap bookkeeping, not a §2.2
+			// computation.
+			if ruler < e.cfg.Guidance.LastIter[v] {
+				k.suppressed[th]++
+				if !k.debt.Get(int(v)) && hasActiveIn(k.front, ins) {
+					k.debt.Set(int(v))
 				}
-				k.caughtUp.Set(int(v))
-				if k.debt.Get(int(v)) {
-					// First eligible pull after suppression:
-					// pullFunc over every in-edge regardless of
-					// source activity (§3.2: "requires vx to
-					// collect the inputs from all of them"), which
-					// repays the updates suppression skipped.
-					best := st.values[vid]
-					for i, u := range ins {
-						k.comps[th]++
-						cand := p.Relax(st.values[u], iws[i])
-						if p.Better(cand, best) {
-							best = cand
-						}
-					}
-					k.catchups[th]++
-					k.debt.Clear(int(v))
-					if p.Better(best, st.values[vid]) {
-						k.scratch[v] = best
-						k.changed.Set(int(v))
-					}
-					continue
-				}
-				// Never suppressed: baseline path below.
+				continue
 			}
-			// Baseline dense pull, Gemini's signal/slot accounting:
-			// relax exactly the in-edges whose source is active this
-			// round (the per-edge activity test is cheap bitmap
-			// bookkeeping; the relaxations are the heavyweight
-			// computations of §2.2). The total is therefore one
-			// relaxation per (update, out-edge) event regardless of
-			// scheduling, and "start late" reduces it by suppressing
-			// a vertex's events outright — all but the one catch-up
-			// scan above, which alone pays the full in-degree.
-			best := st.values[vid]
-			for i, u := range ins {
-				if !k.front.Get(int(u)) {
-					continue
+			k.caughtUp.Set(int(v))
+			if k.debt.Get(int(v)) {
+				// First eligible pull after suppression:
+				// pullFunc over every in-edge regardless of
+				// source activity (§3.2: "requires vx to
+				// collect the inputs from all of them"), which
+				// repays the updates suppression skipped.
+				best := st.values[vid]
+				for i, u := range ins {
+					k.comps[th]++
+					cand := p.Relax(st.values[u], iws[i])
+					if p.Better(cand, best) {
+						best = cand
+					}
 				}
-				k.comps[th]++
-				cand := p.Relax(st.values[u], iws[i])
-				if p.Better(cand, best) {
-					best = cand
+				k.catchups[th]++
+				k.debt.Clear(int(v))
+				if p.Better(best, st.values[vid]) {
+					k.scratch[v] = best
+					k.changed.Set(int(v))
 				}
+				continue
 			}
-			if p.Better(best, st.values[vid]) {
-				k.scratch[v] = best
-				k.changed.Set(int(v))
+			// Never suppressed: baseline path below.
+		}
+		// Baseline dense pull, Gemini's signal/slot accounting:
+		// relax exactly the in-edges whose source is active this
+		// round (the per-edge activity test is cheap bitmap
+		// bookkeeping; the relaxations are the heavyweight
+		// computations of §2.2). The total is therefore one
+		// relaxation per (update, out-edge) event regardless of
+		// scheduling, and "start late" reduces it by suppressing
+		// a vertex's events outright — all but the one catch-up
+		// scan above, which alone pays the full in-degree.
+		best := st.values[vid]
+		for i, u := range ins {
+			if !k.front.Get(int(u)) {
+				continue
+			}
+			k.comps[th]++
+			cand := p.Relax(st.values[u], iws[i])
+			if p.Better(cand, best) {
+				best = cand
 			}
 		}
-	})
+		if p.Better(best, st.values[vid]) {
+			k.scratch[v] = best
+			k.changed.Set(int(v))
+		}
+	}
+}
+
+// computePush is source-side push with sender-side combining. The default
+// flat path appends into engine-owned per-thread per-rank buffers
+// (push.go); Config.MapPush keeps the seed's thread-local proposal maps.
+func (k *minmaxKernel) computePush() {
+	e := k.e
+	if e.cfg.MapPush {
+		k.computePushMap()
+		return
+	}
+	e.pushInit(k.p)
+	wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), k.pushBody)
 	k.st.run.Steals += wsStats.Steals
 }
 
-// computePush is source-side push with sender-side combining into
-// thread-local proposal maps; commit routes them to their owners.
-func (k *minmaxKernel) computePush() {
+// computePushChunk relaxes one chunk's frontier vertices into the flat
+// per-rank append buffers. Ownership lookups are amortised with a cursor
+// over the rank ranges: adjacency lists are ascending, so the owner changes
+// at most once per rank per source vertex.
+func (k *minmaxKernel) computePushChunk(clo, chi uint32, th int) {
+	e, p, st := k.e, k.p, k.st
+	bufs := e.push.bufs[th]
+	comps := int64(0)
+	it := k.front.IterIn(int(clo), int(chi))
+	for v := it.Next(); v >= 0; v = it.Next() {
+		vid := graph.VertexID(v)
+		srcVal := st.values[vid]
+		outs, ows := e.g.OutNeighbors(vid), e.g.OutWeights(vid)
+		curR := -1
+		var curLo, curHi graph.VertexID
+		for i, u := range outs {
+			cand := p.Relax(srcVal, ows[i])
+			comps++
+			if curR < 0 || u < curLo || u >= curHi {
+				curR = e.owner(u)
+				curLo, curHi = e.rankRange(curR)
+			}
+			b := &bufs[curR]
+			// Parallel edges land adjacently in the ascending list:
+			// combine in place instead of appending a duplicate.
+			if n := len(b.ids); n > 0 && b.ids[n-1] == u {
+				if p.Better(cand, b.vals[n-1]) {
+					b.vals[n-1] = cand
+				}
+			} else {
+				b.ids = append(b.ids, u)
+				b.vals = append(b.vals, cand)
+			}
+		}
+	}
+	k.comps[th] += comps
+}
+
+// computePushMap is the seed's map-based push compute (Config.MapPush).
+func (k *minmaxKernel) computePushMap() {
 	e, p, st := k.e, k.p, k.st
 	k.props = make([]map[graph.VertexID]Value, e.sched.Threads())
 	for i := range k.props {
@@ -302,27 +368,27 @@ func (k *minmaxKernel) computePush() {
 	st.run.Steals += wsStats.Steals
 }
 
+// commitPullChunk applies one chunk's staged improvements to the owned
+// range; each committed value change is one "update" (the Table 2 metric).
+func (k *minmaxKernel) commitPullChunk(clo, chi uint32, th int) {
+	it := k.changed.IterIn(int(clo), int(chi))
+	for v := it.Next(); v >= 0; v = it.Next() {
+		k.st.values[v] = k.scratch[v]
+		k.updates[th]++
+	}
+}
+
 func (k *minmaxKernel) commit(_ int, stat *metrics.IterStat) error {
 	e := k.e
 	if k.pullMode {
-		// Commit staged improvements in parallel over the owned range;
-		// each committed value change is one "update" (the Table 2
-		// metric).
-		committed, _ := e.sched.ReduceI64(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, _ int) int64 {
-			var c int64
-			k.changed.RangeIn(int(clo), int(chi), func(v int) bool {
-				k.st.values[v] = k.scratch[v]
-				c++
-				return true
-			})
-			return c
-		})
-		k.updates[0] += committed
-	} else {
-		if err := e.exchangeProposals(k.p, k.st, k.props, k.changed, &k.updates[0]); err != nil {
+		e.sched.Run(uint32(e.lo), uint32(e.hi), k.commitBody)
+	} else if e.cfg.MapPush {
+		if err := e.exchangeProposalsMap(k.p, k.st, k.props, k.changed, &k.updates[0]); err != nil {
 			return err
 		}
 		k.props = nil
+	} else if err := e.exchangePushFlat(&k.updates[0]); err != nil {
+		return err
 	}
 	for t := range k.comps {
 		stat.Computations += k.comps[t]
@@ -348,69 +414,3 @@ func (k *minmaxKernel) onAcquire(v graph.VertexID) {
 }
 
 func (k *minmaxKernel) finish(*Result) {}
-
-// exchangeProposals routes push proposals to their owners, merges them, and
-// marks changed owned vertices. Both merge phases run on the scheduler:
-// first each thread-local map is split by destination owner, then one task
-// per destination rank merges, sorts and encodes its wire blob.
-func (e *Engine) exchangeProposals(p *Program, st *state, props []map[graph.VertexID]Value, changed *bitset.Atomic, updates *int64) error {
-	size := e.comm.Size()
-	split := make([][]map[graph.VertexID]Value, len(props))
-	e.sched.Tasks(len(props), func(th int) {
-		byOwner := make([]map[graph.VertexID]Value, size)
-		for dst, val := range props[th] {
-			o := e.owner(dst)
-			m := byOwner[o]
-			if m == nil {
-				m = make(map[graph.VertexID]Value)
-				byOwner[o] = m
-			}
-			m[dst] = val
-		}
-		split[th] = byOwner
-	})
-	blobs := make([][]byte, size)
-	e.sched.Tasks(size, func(r int) {
-		merged := make(map[graph.VertexID]Value)
-		for th := range split {
-			for id, val := range split[th][r] {
-				if prev, ok := merged[id]; !ok || p.Better(val, prev) {
-					merged[id] = val
-				}
-			}
-		}
-		// Sort ids so the codec sees ascending order (VarintXOR needs it)
-		// and the wire format is deterministic.
-		ids := make([]graph.VertexID, 0, len(merged))
-		for id := range merged {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		vals := make([]Value, len(ids))
-		for i, id := range ids {
-			vals[i] = merged[id]
-		}
-		blobs[r] = e.cfg.Codec.Encode(ids, vals)
-	})
-	got, err := e.comm.AllToAll(blobs)
-	if err != nil {
-		return err
-	}
-	for _, blob := range got {
-		err := e.cfg.Codec.Decode(blob, func(id graph.VertexID, val Value) error {
-			if id < e.lo || id >= e.hi {
-				return fmt.Errorf("core: proposal for non-owned vertex %d", id)
-			}
-			if p.Better(val, st.values[id]) {
-				st.values[id] = val
-				changed.Set(int(id))
-				*updates++
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"slfe/internal/bitset"
+	"slfe/internal/compress"
+	"slfe/internal/graph"
+)
+
+// This file implements the push-mode proposal exchange. The default path is
+// the flat combiner: engine-owned, superstep-reusable append buffers and
+// dense per-owner scatter arrays that replace the seed's per-superstep
+// map[VertexID]Value allocations, keeping the steady-state push superstep
+// allocation-free. The seed's map-based path is retained behind
+// Config.MapPush as the differential oracle and the baseline of the
+// `hotpath` bench experiment.
+//
+// Flat combining, per superstep:
+//
+//  1. compute (kernel_minmax.pushBody): each thread appends raw
+//     (dst, proposal) pairs into its per-destination-rank pairBuf,
+//     combining consecutive duplicates in place. Ownership lookups are
+//     amortised by a per-source cursor over the ascending adjacency list.
+//  2. combine (combineRank, one scheduler task per destination rank): all
+//     threads' pairs for rank r are folded into a dense per-owner value
+//     array indexed by (id - lo_r), guarded by a `seen` bitset with a
+//     second-level `blocks` bitmap (one bit per seen-word). The fold is the
+//     same Better-merge the map path performed, made order-insensitive by
+//     the aggregation's total order.
+//  3. emit: ids are produced in ascending order without sorting — a dense
+//     batch scans every seen-word, a sparse one walks only the touched
+//     blocks (the sort-free bucketed merge), chosen by the batch's own
+//     density. Both emit orders are identical, so the wire format does not
+//     depend on the heuristic. The scanned words are cleared on the way
+//     out, restoring the all-clear invariant the next superstep relies on.
+//  4. encode + AllToAll: each rank's batch is append-encoded into its
+//     reusable wire buffer (transports do not retain payloads after Send).
+
+// pairBuf is one thread's append buffer of proposals for one destination
+// rank. Length resets every push superstep; capacity is retained.
+type pairBuf struct {
+	ids  []graph.VertexID
+	vals []Value
+}
+
+// rankCombiner merges every thread's proposals for one destination rank.
+// All storage is indexed relative to the rank's owned range and reused
+// across supersteps; seen and blocks are all-clear between supersteps.
+type rankCombiner struct {
+	lo, hi  graph.VertexID // owned range the arrays are sized for
+	vals    []Value        // dense candidate per local index
+	seen    []uint64       // bit per local index: vals[li] is live
+	blocks  []uint64       // bit per seen-word: word has live bits
+	outIDs  []graph.VertexID
+	outVals []Value
+}
+
+// ensure sizes the combiner for the rank's current owned range (which can
+// drift under dynamic rebalancing). Growth re-allocates; the all-clear
+// invariant makes plain reslicing safe otherwise.
+func (cb *rankCombiner) ensure(lo, hi graph.VertexID) {
+	cb.lo, cb.hi = lo, hi
+	n := int(hi) - int(lo)
+	if n < 0 {
+		n = 0
+	}
+	if cap(cb.vals) >= n {
+		cb.vals = cb.vals[:n]
+	} else {
+		cb.vals = make([]Value, n)
+	}
+	words := (n + 63) / 64
+	if cap(cb.seen) >= words {
+		cb.seen = cb.seen[:words]
+	} else {
+		cb.seen = make([]uint64, words)
+	}
+	bw := (words + 63) / 64
+	if cap(cb.blocks) >= bw {
+		cb.blocks = cb.blocks[:bw]
+	} else {
+		cb.blocks = make([]uint64, bw)
+	}
+}
+
+// pushState is the engine-owned working set of the flat push exchange,
+// allocated on the first push superstep and reused for the rest of the
+// engine's lifetime.
+type pushState struct {
+	bufs  [][]pairBuf // [thread][rank] append buffers
+	comb  []rankCombiner
+	blobs [][]byte // per-rank wire buffers (reused; transports copy)
+	encSc []compress.EncodeScratch
+
+	// Per-superstep context for the pre-created task/decode closures.
+	prog    *Program
+	updates int64
+
+	combineFn func(r int)
+	decodeFn  func(id uint32, val float64) error
+}
+
+// pushInit lazily builds the push working set and resets it for a new
+// superstep.
+func (e *Engine) pushInit(p *Program) *pushState {
+	if e.push == nil {
+		threads := e.sched.Threads()
+		size := e.comm.Size()
+		ps := &pushState{
+			bufs:  make([][]pairBuf, threads),
+			comb:  make([]rankCombiner, size),
+			blobs: make([][]byte, size),
+			encSc: make([]compress.EncodeScratch, size),
+		}
+		for t := range ps.bufs {
+			ps.bufs[t] = make([]pairBuf, size)
+		}
+		ps.combineFn = e.combineRank
+		ps.decodeFn = e.applyPushDelta
+		e.push = ps
+	}
+	ps := e.push
+	ps.prog = p
+	ps.updates = 0
+	for t := range ps.bufs {
+		for r := range ps.bufs[t] {
+			b := &ps.bufs[t][r]
+			b.ids, b.vals = b.ids[:0], b.vals[:0]
+		}
+	}
+	return ps
+}
+
+// combineRank is the per-destination-rank scheduler task: fold, emit in
+// ascending order, clear, encode.
+func (e *Engine) combineRank(r int) {
+	ps := e.push
+	p := ps.prog
+	lo, hi := e.rankRange(r)
+	cb := &ps.comb[r]
+	cb.ensure(lo, hi)
+	entries := 0
+	for t := range ps.bufs {
+		b := &ps.bufs[t][r]
+		entries += len(b.ids)
+		for i, id := range b.ids {
+			li := int(id - lo)
+			wi, mask := li>>6, uint64(1)<<(uint(li)&63)
+			if cb.seen[wi]&mask == 0 {
+				cb.seen[wi] |= mask
+				cb.blocks[wi>>6] |= 1 << (uint(wi) & 63)
+				cb.vals[li] = b.vals[i]
+			} else if p.Better(b.vals[i], cb.vals[li]) {
+				cb.vals[li] = b.vals[i]
+			}
+		}
+	}
+	cb.outIDs, cb.outVals = cb.outIDs[:0], cb.outVals[:0]
+	if entries >= (int(hi)-int(lo))/8 {
+		// Dense batch: scan every word; clearing blocks wholesale is
+		// cheaper than tracking them.
+		for wi := range cb.seen {
+			cb.emitWord(wi)
+		}
+		for i := range cb.blocks {
+			cb.blocks[i] = 0
+		}
+	} else {
+		// Sparse batch: walk only the touched 64-id buckets.
+		for bwi, bw := range cb.blocks {
+			if bw == 0 {
+				continue
+			}
+			cb.blocks[bwi] = 0
+			for bw != 0 {
+				cb.emitWord(bwi<<6 + bits.TrailingZeros64(bw))
+				bw &= bw - 1
+			}
+		}
+	}
+	ids, vals := cb.outIDs, cb.outVals
+	if _, ok := e.cfg.Codec.(compress.Adaptive); ok {
+		ps.blobs[r], _ = compress.AppendEncodeBest(ps.blobs[r][:0], &ps.encSc[r], ids, vals)
+	} else if ac, ok := e.cfg.Codec.(compress.AppendCodec); ok {
+		ps.blobs[r] = ac.AppendEncode(ps.blobs[r][:0], ids, vals)
+	} else {
+		ps.blobs[r] = e.cfg.Codec.Encode(ids, vals)
+	}
+}
+
+// emitWord appends seen word wi's live (id, value) pairs in ascending order
+// and clears the word.
+func (cb *rankCombiner) emitWord(wi int) {
+	w := cb.seen[wi]
+	if w == 0 {
+		return
+	}
+	cb.seen[wi] = 0
+	for w != 0 {
+		li := wi<<6 + bits.TrailingZeros64(w)
+		w &= w - 1
+		cb.outIDs = append(cb.outIDs, cb.lo+graph.VertexID(li))
+		cb.outVals = append(cb.outVals, cb.vals[li])
+	}
+}
+
+// exchangePushFlat combines, exchanges and applies push proposals through
+// the flat path. The per-rank combine tasks run on the scheduler; decode
+// applies remote proposals to the owned range.
+func (e *Engine) exchangePushFlat(updates *int64) error {
+	ps := e.push
+	e.sched.Tasks(e.comm.Size(), ps.combineFn)
+	got, err := e.comm.AllToAll(ps.blobs)
+	if err != nil {
+		return err
+	}
+	for _, blob := range got {
+		if err := e.cfg.Codec.Decode(blob, ps.decodeFn); err != nil {
+			return err
+		}
+	}
+	*updates += ps.updates
+	return nil
+}
+
+// applyPushDelta is the pre-created decode callback of the flat exchange.
+func (e *Engine) applyPushDelta(id uint32, val float64) error {
+	if graph.VertexID(id) < e.lo || graph.VertexID(id) >= e.hi {
+		return fmt.Errorf("core: proposal for non-owned vertex %d", id)
+	}
+	ps := e.push
+	st := e.curState
+	if ps.prog.Better(val, st.values[id]) {
+		st.values[id] = val
+		e.changed.Set(int(id))
+		ps.updates++
+	}
+	return nil
+}
+
+// exchangeProposalsMap is the seed's map-based push exchange, kept behind
+// Config.MapPush as the flat path's differential oracle and hotpath
+// baseline: thread-local proposal maps are split by destination owner, then
+// one task per destination rank merges, sorts and encodes its wire blob.
+func (e *Engine) exchangeProposalsMap(p *Program, st *state, props []map[graph.VertexID]Value, changed *bitset.Atomic, updates *int64) error {
+	size := e.comm.Size()
+	split := make([][]map[graph.VertexID]Value, len(props))
+	e.sched.Tasks(len(props), func(th int) {
+		byOwner := make([]map[graph.VertexID]Value, size)
+		for dst, val := range props[th] {
+			o := e.owner(dst)
+			m := byOwner[o]
+			if m == nil {
+				m = make(map[graph.VertexID]Value)
+				byOwner[o] = m
+			}
+			m[dst] = val
+		}
+		split[th] = byOwner
+	})
+	blobs := make([][]byte, size)
+	e.sched.Tasks(size, func(r int) {
+		merged := make(map[graph.VertexID]Value)
+		for th := range split {
+			for id, val := range split[th][r] {
+				if prev, ok := merged[id]; !ok || p.Better(val, prev) {
+					merged[id] = val
+				}
+			}
+		}
+		// Sort ids so the codec sees ascending order (VarintXOR needs it)
+		// and the wire format is deterministic.
+		ids := make([]graph.VertexID, 0, len(merged))
+		for id := range merged {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		vals := make([]Value, len(ids))
+		for i, id := range ids {
+			vals[i] = merged[id]
+		}
+		blobs[r] = e.cfg.Codec.Encode(ids, vals)
+	})
+	got, err := e.comm.AllToAll(blobs)
+	if err != nil {
+		return err
+	}
+	for _, blob := range got {
+		err := e.cfg.Codec.Decode(blob, func(id graph.VertexID, val Value) error {
+			if id < e.lo || id >= e.hi {
+				return fmt.Errorf("core: proposal for non-owned vertex %d", id)
+			}
+			if p.Better(val, st.values[id]) {
+				st.values[id] = val
+				changed.Set(int(id))
+				*updates++
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

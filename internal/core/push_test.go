@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"slfe/internal/compress"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/partition"
+)
+
+// The flat push combiner must be bit-identical to the seed's map-based
+// exchange on every thread count and codec, for both aggregation orders
+// (min-Better SSSP-style and max-Better widest-path-style). Run under
+// -race this also asserts the per-thread append buffers are never shared
+// across threads (concurrent appends into aliased slices would be
+// flagged). DenseDivisor=1 forces push mode whenever the frontier is
+// non-empty, maximising coverage of the flat path.
+func TestFlatPushMatchesMapPush(t *testing.T) {
+	const nodes = 3
+	g := gen.RMAT(768, 6144, gen.DefaultRMAT, 8, 29)
+	maxProg := &Program{
+		Name: "widest-test",
+		Agg:  MinMax,
+		InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
+			if v == 0 {
+				return math.Inf(1)
+			}
+			return 0
+		},
+		Roots:  []graph.VertexID{0},
+		Relax:  func(srcVal Value, w float32) Value { return math.Min(srcVal, float64(w)) },
+		Better: func(a, b Value) bool { return a > b },
+	}
+	for _, prog := range []*Program{testProgram(), maxProg} {
+		for _, threads := range []int{1, 4} {
+			for _, codec := range []compress.Codec{nil, compress.Adaptive{}} {
+				mutate := func(mapPush bool) func(int, *Config) {
+					return func(_ int, cfg *Config) {
+						cfg.DenseDivisor = 1
+						cfg.Threads = threads
+						cfg.Stealing = true
+						cfg.Codec = codec
+						cfg.MapPush = mapPush
+					}
+				}
+				flat := runClusterAll(t, g, prog, nodes, mutate(false))
+				mapped := runClusterAll(t, g, prog, nodes, mutate(true))
+				for rank := range flat {
+					if !sameValues(flat[rank].Values, mapped[rank].Values) {
+						t.Fatalf("threads=%d codec=%v: flat push differs from map push on rank %d",
+							threads, codec, rank)
+					}
+				}
+				// Same updates/computations accounting, not just same values.
+				if fu, mu := flat[0].Metrics.Updates(), mapped[0].Metrics.Updates(); fu != mu {
+					t.Fatalf("threads=%d codec=%v: flat counted %d updates, map %d", threads, codec, fu, mu)
+				}
+				if fc, mc := flat[0].Metrics.Computations(), mapped[0].Metrics.Computations(); fc != mc {
+					t.Fatalf("threads=%d codec=%v: flat counted %d computations, map %d", threads, codec, fc, mc)
+				}
+			}
+		}
+	}
+}
+
+// poisonIDs overwrites a pooled id buffer's full capacity with an
+// out-of-range sentinel.
+func poisonIDs(s []uint32) {
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = math.MaxUint32
+	}
+}
+
+func poisonVals(s []float64) {
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = math.NaN()
+	}
+}
+
+func poisonBytes(s []byte) {
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = 0xAA
+	}
+}
+
+// Pooled buffers must never leak stale contents into a later run: poison
+// every engine-owned data buffer between two runs of the same engine and
+// require bit-identical results. Control state (the combiner's seen/blocks
+// bitmaps) is deliberately not poisoned — its all-clear invariant is what
+// the engine maintains; the data arrays it gates are what must not alias.
+func TestPooledBuffersSurvivePoisoning(t *testing.T) {
+	g := gen.RMAT(512, 4096, gen.DefaultRMAT, 8, 31)
+	part, err := partition.NewChunked(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := testProgram()
+	mk := func() *Engine {
+		eng, err := New(Config{
+			Graph: g, Comm: singleComm(t), Part: part,
+			Threads: 2, Stealing: true,
+			DenseDivisor: 1, // force push supersteps
+			Codec:        compress.Adaptive{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	ref, err := mk().Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := mk()
+	defer eng.Close()
+	if _, err := eng.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	// Poison every pooled data buffer the first run left behind.
+	if eng.push == nil {
+		t.Fatal("push path never ran; DenseDivisor=1 should force push supersteps")
+	}
+	for _, byRank := range eng.push.bufs {
+		for r := range byRank {
+			poisonIDs(byRank[r].ids)
+			poisonVals(byRank[r].vals)
+		}
+	}
+	for r := range eng.push.comb {
+		cb := &eng.push.comb[r]
+		poisonVals(cb.vals[:0])
+		poisonIDs(cb.outIDs)
+		poisonVals(cb.outVals)
+	}
+	for r := range eng.push.blobs {
+		poisonBytes(eng.push.blobs[r])
+	}
+	poisonBytes(eng.frame.out)
+	for s := range eng.frame.parts {
+		poisonBytes(eng.frame.parts[s])
+	}
+	for i := range eng.collect.partIDs {
+		poisonIDs(eng.collect.partIDs[i])
+		poisonVals(eng.collect.partVals[i])
+	}
+	poisonIDs(eng.collect.ids)
+	poisonVals(eng.collect.vals)
+	for i := range eng.bits.parts {
+		poisonIDs(eng.bits.parts[i])
+	}
+
+	again, err := eng.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameValues(ref.Values, again.Values) {
+		t.Fatal("poisoned pooled buffers leaked into a later run's results")
+	}
+}
+
+// A combiner emit must leave seen/blocks all-clear (the invariant the next
+// superstep's fold relies on), in both the dense-scan and the
+// bucketed-sparse emit paths.
+func TestCombinerClearsAfterEmit(t *testing.T) {
+	var cb rankCombiner
+	cb.ensure(100, 1700) // 1600 ids: 25 seen words, 1 blocks word
+	better := func(a, b Value) bool { return a < b }
+	fold := func(ids []uint32, vals []float64) {
+		for i, id := range ids {
+			li := int(id - cb.lo)
+			wi, mask := li>>6, uint64(1)<<(uint(li)&63)
+			if cb.seen[wi]&mask == 0 {
+				cb.seen[wi] |= mask
+				cb.blocks[wi>>6] |= 1 << (uint(wi) & 63)
+				cb.vals[li] = vals[i]
+			} else if better(vals[i], cb.vals[li]) {
+				cb.vals[li] = vals[i]
+			}
+		}
+	}
+	check := func(mode string, emit func()) {
+		cb.outIDs, cb.outVals = cb.outIDs[:0], cb.outVals[:0]
+		emit()
+		for wi, w := range cb.seen {
+			if w != 0 {
+				t.Fatalf("%s: seen word %d left set: %x", mode, wi, w)
+			}
+		}
+		for bi, b := range cb.blocks {
+			if b != 0 {
+				t.Fatalf("%s: blocks word %d left set: %x", mode, bi, b)
+			}
+		}
+	}
+	// Sparse path: a few scattered ids.
+	fold([]uint32{100, 163, 1699}, []float64{1, 2, 3})
+	check("sparse", func() {
+		for bwi, bw := range cb.blocks {
+			if bw == 0 {
+				continue
+			}
+			cb.blocks[bwi] = 0
+			for bw != 0 {
+				cb.emitWord(bwi<<6 + trailingZeros(bw))
+				bw &= bw - 1
+			}
+		}
+	})
+	if len(cb.outIDs) != 3 || cb.outIDs[0] != 100 || cb.outIDs[1] != 163 || cb.outIDs[2] != 1699 {
+		t.Fatalf("sparse emit produced %v", cb.outIDs)
+	}
+	// Dense path: every id.
+	ids := make([]uint32, 1600)
+	vals := make([]float64, 1600)
+	for i := range ids {
+		ids[i] = 100 + uint32(i)
+		vals[i] = float64(i)
+	}
+	fold(ids, vals)
+	check("dense", func() {
+		for wi := range cb.seen {
+			cb.emitWord(wi)
+		}
+		for i := range cb.blocks {
+			cb.blocks[i] = 0
+		}
+	})
+	if len(cb.outIDs) != 1600 || cb.outIDs[0] != 100 || cb.outIDs[1599] != 1699 {
+		t.Fatalf("dense emit produced %d ids", len(cb.outIDs))
+	}
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"slfe/internal/bitset"
@@ -61,6 +62,11 @@ type kernel interface {
 func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.Atomic) (*Result, error) {
 	iter := 0
 	e.lastGlobalChanged = -1
+	// The run's state and changed set are pinned on the engine so the
+	// pre-created hot-path closures (dense decode, push apply, collect
+	// bodies) reach them without per-superstep captures.
+	e.curState, e.changed = st, changed
+	defer func() { e.curState, e.changed = nil, nil }()
 	if snap, err := e.loadCheckpoint(p, k.kind()); err != nil {
 		return nil, err
 	} else if snap != nil {
@@ -74,6 +80,16 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 			}
 		}
 		iter = int(snap.Iter) + 1
+	}
+
+	// Per-superstep heap-allocation deltas (the hotpath experiment's
+	// instrument). The window covers stepBegin through stepEnd — the
+	// steady-state path — and excludes checkpoint/rebalance ticks.
+	var mem runtime.MemStats
+	var prevMallocs, prevBytes uint64
+	if e.cfg.MeasureAllocs {
+		runtime.ReadMemStats(&mem)
+		prevMallocs, prevBytes = mem.Mallocs, mem.TotalAlloc
 	}
 
 	for tick := 0; tick < k.superstepCap(); tick++ {
@@ -115,6 +131,11 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 		if err != nil {
 			return nil, err
 		}
+		if e.cfg.MeasureAllocs {
+			runtime.ReadMemStats(&mem)
+			stat.HeapAllocs = int64(mem.Mallocs - prevMallocs)
+			stat.HeapBytes = int64(mem.TotalAlloc - prevBytes)
+		}
 		st.run.Add(stat)
 
 		if e.reb != nil {
@@ -134,7 +155,8 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 				if snap.Sets == nil {
 					snap.Sets = make(map[string][]uint32)
 				}
-				snap.Sets["sparsedirty"] = e.collectBits(e.dirty)
+				e.dirtySnap = e.collectBitsInto(e.dirtySnap[:0], e.dirty)
+				snap.Sets["sparsedirty"] = e.dirtySnap
 			}
 			if err := e.cfg.Ckpt.Save(e.comm.Rank(), snap); err != nil {
 				return nil, err
@@ -143,6 +165,10 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 		}
 		if done {
 			break
+		}
+		if e.cfg.MeasureAllocs {
+			runtime.ReadMemStats(&mem)
+			prevMallocs, prevBytes = mem.Mallocs, mem.TotalAlloc
 		}
 		iter++
 	}

@@ -178,7 +178,7 @@ func TestParallelFrontierHelpersMatchSerial(t *testing.T) {
 			if got := eng.frontierOutEdges(b); got != wantSum {
 				t.Fatalf("threads=%d density=%d: frontierOutEdges = %d, want %d", threads, density, got, wantSum)
 			}
-			gotIDs := eng.collectBits(b)
+			gotIDs := eng.collectBitsInto(nil, b)
 			if len(gotIDs) != len(wantIDs) {
 				t.Fatalf("threads=%d density=%d: collectBits %d ids, want %d", threads, density, len(gotIDs), len(wantIDs))
 			}

@@ -39,6 +39,7 @@ func TestEngineOverTCP(t *testing.T) {
 
 	results := make([]*Result, nodes)
 	errs := make([]error, nodes)
+	transports := make([]comm.Transport, nodes)
 	var wg sync.WaitGroup
 	for rank := 0; rank < nodes; rank++ {
 		wg.Add(1)
@@ -49,19 +50,31 @@ func TestEngineOverTCP(t *testing.T) {
 				errs[rank] = err
 				return
 			}
-			defer tr.Close()
+			transports[rank] = tr
 			eng, err := New(Config{
 				Graph: g, Comm: comm.NewComm(tr), Part: part,
 				RR: true, Guidance: gd,
 			})
 			if err != nil {
 				errs[rank] = err
+				comm.Abort(tr)
 				return
 			}
+			defer eng.Close()
 			results[rank], errs[rank] = eng.Run(prog)
+			if errs[rank] != nil {
+				comm.Abort(tr)
+			}
 		}(rank)
 	}
 	wg.Wait()
+	// Close only after every rank finished: an early Close can reset
+	// connections carrying a slower peer's final reduce results.
+	for _, tr := range transports {
+		if tr != nil {
+			tr.Close()
+		}
+	}
 	for rank, err := range errs {
 		if err != nil {
 			t.Fatalf("rank %d: %v", rank, err)

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -264,5 +265,85 @@ func BenchmarkBuild(b *testing.B) {
 		if _, err := Build(10000, edges); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// The packed parallel adjacency sort must agree with a plain reference
+// sort: ascending neighbour id, ties broken by ascending weight, parallel
+// edges preserved.
+func TestSortAdjacencyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	weights := []float32{-3.5, -1, 0, 0.25, 1, 2, 1e9, -1e9, 7}
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(50)
+		m := rng.Intn(400)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{
+				Src:    VertexID(rng.Intn(n)),
+				Dst:    VertexID(rng.Intn(n)),
+				Weight: weights[rng.Intn(len(weights))],
+			}
+		}
+		g, err := Build(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			outs, ows := g.OutNeighbors(VertexID(v)), g.OutWeights(VertexID(v))
+			for i := 1; i < len(outs); i++ {
+				if outs[i] < outs[i-1] || (outs[i] == outs[i-1] && ows[i] < ows[i-1]) {
+					t.Fatalf("trial %d: out-adjacency of %d unsorted at %d: (%d,%v) before (%d,%v)",
+						trial, v, i, outs[i-1], ows[i-1], outs[i], ows[i])
+				}
+			}
+			ins, iws := g.InNeighbors(VertexID(v)), g.InWeights(VertexID(v))
+			for i := 1; i < len(ins); i++ {
+				if ins[i] < ins[i-1] || (ins[i] == ins[i-1] && iws[i] < iws[i-1]) {
+					t.Fatalf("trial %d: in-adjacency of %d unsorted at %d", trial, v, i)
+				}
+			}
+		}
+		// Multiset of edges unchanged.
+		got := g.Edges(nil)
+		if len(got) != len(edges) {
+			t.Fatalf("trial %d: %d edges after build, want %d", trial, len(got), len(edges))
+		}
+		count := map[Edge]int{}
+		for _, e := range edges {
+			count[e]++
+		}
+		for _, e := range got {
+			count[e]--
+		}
+		for e, c := range count {
+			if c != 0 {
+				t.Fatalf("trial %d: edge %v multiplicity off by %d", trial, e, c)
+			}
+		}
+	}
+}
+
+// The weight bit transform must be an order-preserving bijection, so the
+// packed sort key reconstructs weights bit-exactly.
+func TestOrderedWeightBits(t *testing.T) {
+	vals := []float32{
+		float32(math.Inf(-1)), -1e30, -2.5, -1, -math.SmallestNonzeroFloat32,
+		float32(math.Copysign(0, -1)), 0, math.SmallestNonzeroFloat32, 1, 2.5, 1e30,
+		float32(math.Inf(1)),
+	}
+	for i, a := range vals {
+		if got := weightFromOrderedBits(orderedWeightBits(a)); math.Float32bits(got) != math.Float32bits(a) {
+			t.Fatalf("%v does not round-trip: got %v", a, got)
+		}
+		for _, b := range vals[i+1:] {
+			if orderedWeightBits(a) >= orderedWeightBits(b) {
+				t.Fatalf("order broken: bits(%v) >= bits(%v)", a, b)
+			}
+		}
+	}
+	nan := float32(math.NaN())
+	if got := weightFromOrderedBits(orderedWeightBits(nan)); math.Float32bits(got) != math.Float32bits(nan) {
+		t.Fatal("NaN does not round-trip")
 	}
 }

@@ -35,7 +35,14 @@ type IterStat struct {
 	ECGlobal     int64 // early-converged vertices cluster-wide (arith + RR)
 	SyncBytes    int64 // bytes this worker sent during the delta-sync phase
 	SyncSparse   bool  // delta-sync ran the sparse per-peer exchange
-	Time         time.Duration
+	// HeapAllocs/HeapBytes are the process-wide heap allocation deltas of
+	// this superstep (stepBegin through stepEnd), recorded only under
+	// core.Config.MeasureAllocs. The runtime counters are process-global,
+	// so the numbers are per-worker only when one worker runs per process
+	// (the hotpath experiment's single-node mode).
+	HeapAllocs int64
+	HeapBytes  int64
+	Time       time.Duration
 }
 
 // Run aggregates a worker's whole execution.
@@ -136,6 +143,14 @@ func Merge(runs []*Run) *Run {
 			}
 			if s.Time > o.Time {
 				o.Time = s.Time
+			}
+			// Process-global measurements: every in-process worker saw the
+			// same counters, so max (not sum) avoids double counting.
+			if s.HeapAllocs > o.HeapAllocs {
+				o.HeapAllocs = s.HeapAllocs
+			}
+			if s.HeapBytes > o.HeapBytes {
+				o.HeapBytes = s.HeapBytes
 			}
 		}
 		if r.PullTime > out.PullTime {

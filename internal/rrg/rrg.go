@@ -57,6 +57,7 @@ type Guidance struct {
 func Generate(g *graph.Graph, roots []graph.VertexID, sched *ws.Scheduler) *Guidance {
 	if sched == nil {
 		sched = ws.New(0, true)
+		defer sched.Close()
 	}
 	start := time.Now()
 	n := g.NumVertices()

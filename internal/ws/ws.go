@@ -4,11 +4,20 @@
 // through an atomic cursor, then steals remaining chunks from the busiest
 // peer. Shared cursors are advanced with atomic fetch-and-add (the paper's
 // __sync_fetch_and_* accesses).
+//
+// The scheduler is a persistent worker pool: the pool goroutines are spawned
+// lazily on the first parallel phase and parked on per-worker channels
+// between phases, and every per-phase array (spans, per-thread counters,
+// reduction accumulators) is owned by the scheduler and reused. A
+// steady-state phase therefore performs no heap allocations and no goroutine
+// creation — only channel wake-ups. A Scheduler is NOT safe for concurrent
+// use: one phase (Run / ReduceI64 / Tasks / ParallelFor) runs at a time,
+// always dispatched from the same goroutine discipline the engine already
+// follows.
 package ws
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -17,6 +26,9 @@ import (
 const ChunkSize = 256
 
 // Stats reports one Run's distribution of work.
+//
+// ChunksPerThread aliases scheduler-owned storage that the next Run
+// overwrites; copy it if it must outlive the next phase.
 type Stats struct {
 	ChunksPerThread []int64 // chunks executed by each thread
 	Steals          int64   // chunks executed by a non-owner thread
@@ -40,10 +52,58 @@ func (s Stats) MaxSkew() float64 {
 	return float64(max) * float64(len(s.ChunksPerThread)) / float64(sum)
 }
 
-// Scheduler executes chunked parallel loops with optional stealing.
+// span is one thread's chunk assignment [next, end).
+type span struct {
+	next atomic.Int64
+	end  int64
+	_    [40]byte // avoid false sharing between spans
+}
+
+// paddedI64 keeps per-thread accumulators on separate cache lines.
+type paddedI64 struct {
+	v int64
+	_ [56]byte
+}
+
+// Scheduler executes chunked parallel loops with optional stealing over a
+// persistent worker pool.
 type Scheduler struct {
 	threads  int
 	stealing bool
+
+	// Persistent pool: workers 1..threads-1 park on wake[t] between phases;
+	// the dispatching goroutine acts as worker 0. Spawned lazily so
+	// schedulers that never run a phase cost nothing.
+	started bool
+	closed  bool
+	wake    []chan struct{}
+	done    chan struct{}
+
+	// Phase state, written by the dispatcher before the wake send (the
+	// channel send/receive pair is the happens-before edge workers rely on).
+	body func(t int)
+
+	// Run state (reused across phases).
+	spans     []span
+	perThread []int64
+	steals    atomic.Int64
+	lo, hi    uint32
+	fn        func(chunkLo, chunkHi uint32, thread int)
+
+	// ReduceI64 state.
+	acc   []paddedI64
+	redFn func(chunkLo, chunkHi uint32, thread int) int64
+
+	// Tasks state.
+	taskN    int64
+	taskNext atomic.Int64
+	taskFn   func(task int)
+
+	// Method values bound once at construction so dispatching a phase never
+	// allocates a closure.
+	runBody  func(t int)
+	taskBody func(t int)
+	redWrap  func(chunkLo, chunkHi uint32, thread int)
 }
 
 // New returns a scheduler with the given thread count (<=0 means
@@ -52,7 +112,11 @@ func New(threads int, stealing bool) *Scheduler {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	return &Scheduler{threads: threads, stealing: stealing}
+	s := &Scheduler{threads: threads, stealing: stealing}
+	s.runBody = s.runWorker
+	s.taskBody = s.taskWorker
+	s.redWrap = s.reduceChunk
+	return s
 }
 
 // Threads returns the configured worker-thread count.
@@ -61,89 +125,160 @@ func (s *Scheduler) Threads() int { return s.threads }
 // Stealing reports whether stealing is enabled.
 func (s *Scheduler) Stealing() bool { return s.stealing }
 
-// span is one thread's chunk assignment [next, end).
-type span struct {
-	next atomic.Int64
-	end  int64
-	_    [40]byte // avoid false sharing between spans
+// Close parks the pool permanently: the pool goroutines exit and any later
+// phase panics. Closing a scheduler whose pool never started (or closing
+// twice) is a no-op. Close must not race a running phase.
+func (s *Scheduler) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ch := range s.wake {
+		if ch != nil {
+			close(ch)
+		}
+	}
+}
+
+// ensurePool spawns the parked pool goroutines on first use.
+func (s *Scheduler) ensurePool() {
+	if s.started {
+		return
+	}
+	if s.closed {
+		panic("ws: scheduler used after Close")
+	}
+	s.started = true
+	s.wake = make([]chan struct{}, s.threads)
+	s.done = make(chan struct{}, s.threads)
+	for t := 1; t < s.threads; t++ {
+		s.wake[t] = make(chan struct{}, 1)
+		go s.park(t)
+	}
+}
+
+// park is the pool goroutine's lifetime: wait for a phase, run it, report
+// completion, repeat until Close.
+func (s *Scheduler) park(t int) {
+	for range s.wake[t] {
+		s.body(t)
+		s.done <- struct{}{}
+	}
+}
+
+// dispatch runs body(t) on workers 0..workers-1, the dispatcher itself
+// serving as worker 0, and returns after every worker finished.
+func (s *Scheduler) dispatch(body func(t int), workers int) {
+	if workers <= 1 {
+		body(0)
+		return
+	}
+	s.ensurePool()
+	s.body = body
+	for t := 1; t < workers; t++ {
+		s.wake[t] <- struct{}{}
+	}
+	body(0)
+	for i := 1; i < workers; i++ {
+		<-s.done
+	}
 }
 
 // Run executes fn over every mini-chunk of the vertex range [lo, hi).
 // fn(chunkLo, chunkHi, thread) receives half-open vertex sub-ranges of at
 // most ChunkSize vertices and the executing thread's id; it must be safe to
-// call concurrently from different threads on disjoint ranges.
+// call concurrently from different threads on disjoint ranges. fn must not
+// re-enter the scheduler.
 func (s *Scheduler) Run(lo, hi uint32, fn func(chunkLo, chunkHi uint32, thread int)) Stats {
+	if s.perThread == nil {
+		s.perThread = make([]int64, s.threads)
+		s.spans = make([]span, s.threads)
+	}
+	for t := range s.perThread {
+		s.perThread[t] = 0
+	}
+	s.steals.Store(0)
 	if hi <= lo {
-		return Stats{ChunksPerThread: make([]int64, s.threads)}
+		return Stats{ChunksPerThread: s.perThread}
 	}
 	nChunks := int64(hi-lo+ChunkSize-1) / ChunkSize
-	spans := make([]*span, s.threads)
 	for t := 0; t < s.threads; t++ {
-		sp := &span{}
-		start := int64(t) * nChunks / int64(s.threads)
-		sp.next.Store(start)
-		sp.end = int64(t+1) * nChunks / int64(s.threads)
-		spans[t] = sp
+		s.spans[t].next.Store(int64(t) * nChunks / int64(s.threads))
+		s.spans[t].end = int64(t+1) * nChunks / int64(s.threads)
 	}
+	s.lo, s.hi, s.fn = lo, hi, fn
+	s.dispatch(s.runBody, s.threads)
+	s.fn = nil
+	return Stats{ChunksPerThread: s.perThread, Steals: s.steals.Load()}
+}
 
-	perThread := make([]int64, s.threads)
-	var steals atomic.Int64
-	exec := func(chunk int64, thread int) {
-		clo := lo + uint32(chunk)*ChunkSize
-		chi := clo + ChunkSize
-		if chi > hi || chi < clo { // clamp, and guard uint32 overflow
-			chi = hi
+// exec maps chunk ids to vertex sub-ranges, clamping the final chunk (and
+// guarding uint32 overflow).
+func (s *Scheduler) exec(chunk int64, thread int) {
+	clo := s.lo + uint32(chunk)*ChunkSize
+	chi := clo + ChunkSize
+	if chi > s.hi || chi < clo {
+		chi = s.hi
+	}
+	s.fn(clo, chi, thread)
+}
+
+// runWorker is one thread's share of a Run phase.
+func (s *Scheduler) runWorker(t int) {
+	own := &s.spans[t]
+	count := int64(0)
+	// Phase 1: drain the thread's own span.
+	for {
+		c := own.next.Add(1) - 1
+		if c >= own.end {
+			break
 		}
-		fn(clo, chi, thread)
+		s.exec(c, t)
+		count++
 	}
-
-	var wg sync.WaitGroup
-	for t := 0; t < s.threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			own := spans[t]
-			count := int64(0)
-			// Phase 1: drain the thread's own span.
+	// Phase 2: steal from the busiest peer until all spans drain. Remaining
+	// work is re-read once per pass (not once per chunk): the chosen victim
+	// is drained until its cursor passes its end, and a pass that yields
+	// nothing — every claim lost against an already-drained victim — backs
+	// off with Gosched instead of immediately rescanning every span.
+	if s.stealing {
+		stolen := int64(0)
+		for {
+			victim := -1
+			var best int64
+			for v := range s.spans {
+				if v == t {
+					continue
+				}
+				if rem := s.spans[v].end - s.spans[v].next.Load(); rem > best {
+					best = rem
+					victim = v
+				}
+			}
+			if victim < 0 {
+				break // every span drained
+			}
+			vs := &s.spans[victim]
+			got := false
 			for {
-				c := own.next.Add(1) - 1
-				if c >= own.end {
+				c := vs.next.Add(1) - 1
+				if c >= vs.end {
 					break
 				}
-				exec(c, t)
+				s.exec(c, t)
 				count++
+				stolen++
+				got = true
 			}
-			// Phase 2: steal from the busiest peer until all spans drain.
-			if s.stealing {
-				for {
-					victim := -1
-					var best int64
-					for v := 0; v < s.threads; v++ {
-						if v == t {
-							continue
-						}
-						if rem := spans[v].end - spans[v].next.Load(); rem > best {
-							best = rem
-							victim = v
-						}
-					}
-					if victim < 0 {
-						break
-					}
-					c := spans[victim].next.Add(1) - 1
-					if c >= spans[victim].end {
-						continue // lost the race; rescan
-					}
-					exec(c, t)
-					count++
-					steals.Add(1)
-				}
+			if !got {
+				runtime.Gosched() // lost the race; yield before the next pass
 			}
-			perThread[t] = count
-		}(t)
+		}
+		if stolen > 0 {
+			s.steals.Add(stolen)
+		}
 	}
-	wg.Wait()
-	return Stats{ChunksPerThread: perThread, Steals: steals.Load()}
+	s.perThread[t] = count
 }
 
 // ParallelFor is a convenience wrapper calling fn once per vertex.
@@ -155,33 +290,38 @@ func (s *Scheduler) ParallelFor(lo, hi uint32, fn func(v uint32, thread int)) St
 	})
 }
 
-// paddedI64 keeps per-thread accumulators on separate cache lines.
-type paddedI64 struct {
-	v int64
-	_ [56]byte
-}
-
 // ReduceI64 runs fn over every mini-chunk of [lo, hi) like Run and returns
 // the sum of the per-chunk results. Each thread folds its chunks into a
 // cache-line-padded local accumulator; the partials are summed after the
 // barrier, so fn needs no synchronisation of its own.
 func (s *Scheduler) ReduceI64(lo, hi uint32, fn func(chunkLo, chunkHi uint32, thread int) int64) (int64, Stats) {
-	acc := make([]paddedI64, s.threads)
-	stats := s.Run(lo, hi, func(clo, chi uint32, th int) {
-		acc[th].v += fn(clo, chi, th)
-	})
+	if s.acc == nil {
+		s.acc = make([]paddedI64, s.threads)
+	}
+	for t := range s.acc {
+		s.acc[t].v = 0
+	}
+	s.redFn = fn
+	stats := s.Run(lo, hi, s.redWrap)
+	s.redFn = nil
 	var total int64
-	for t := range acc {
-		total += acc[t].v
+	for t := range s.acc {
+		total += s.acc[t].v
 	}
 	return total, stats
+}
+
+// reduceChunk folds one chunk's result into the executing thread's padded
+// accumulator.
+func (s *Scheduler) reduceChunk(clo, chi uint32, th int) {
+	s.acc[th].v += s.redFn(clo, chi, th)
 }
 
 // Tasks runs fn(task) for every task in [0, n) across the scheduler's
 // threads, balancing through a shared atomic cursor. It is meant for small
 // fixed task counts (per-thread buffers, per-rank merges) where Run's
 // vertex-range chunking does not apply; fn must be safe to call
-// concurrently for different tasks.
+// concurrently for different tasks and must not re-enter the scheduler.
 func (s *Scheduler) Tasks(n int, fn func(task int)) {
 	if n <= 0 {
 		return
@@ -196,20 +336,20 @@ func (s *Scheduler) Tasks(n int, fn func(task int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				c := next.Add(1) - 1
-				if c >= int64(n) {
-					return
-				}
-				fn(int(c))
-			}
-		}()
+	s.taskN = int64(n)
+	s.taskNext.Store(0)
+	s.taskFn = fn
+	s.dispatch(s.taskBody, workers)
+	s.taskFn = nil
+}
+
+// taskWorker drains the shared task cursor.
+func (s *Scheduler) taskWorker(int) {
+	for {
+		c := s.taskNext.Add(1) - 1
+		if c >= s.taskN {
+			return
+		}
+		s.taskFn(int(c))
 	}
-	wg.Wait()
 }

@@ -207,6 +207,79 @@ func TestReduceI64SumsChunkResults(t *testing.T) {
 	}
 }
 
+// The pool must be reusable across many phases of different shapes, with
+// stats reset between them.
+func TestPoolReuseAcrossPhases(t *testing.T) {
+	s := New(4, true)
+	defer s.Close()
+	for round := 0; round < 50; round++ {
+		var total atomic.Int64
+		st := s.Run(0, 3000, func(lo, hi uint32, _ int) {
+			total.Add(int64(hi - lo))
+		})
+		if total.Load() != 3000 {
+			t.Fatalf("round %d: covered %d vertices", round, total.Load())
+		}
+		var chunks int64
+		for _, c := range st.ChunksPerThread {
+			chunks += c
+		}
+		if chunks != 12 {
+			t.Fatalf("round %d: stale stats, %d chunks", round, chunks)
+		}
+		var tasks atomic.Int64
+		s.Tasks(7, func(int) { tasks.Add(1) })
+		if tasks.Load() != 7 {
+			t.Fatalf("round %d: %d tasks ran", round, tasks.Load())
+		}
+		sum, _ := s.ReduceI64(0, 100, func(clo, chi uint32, _ int) int64 {
+			return int64(chi - clo)
+		})
+		if sum != 100 {
+			t.Fatalf("round %d: reduce = %d", round, sum)
+		}
+	}
+}
+
+func TestCloseIsIdempotentAndLazy(t *testing.T) {
+	// Never-started pool: Close must not panic.
+	s := New(4, true)
+	s.Close()
+	s.Close()
+
+	// Started pool: Close twice is fine, and a later phase panics instead of
+	// hanging on a closed channel send.
+	s2 := New(3, false)
+	s2.Run(0, 10, func(_, _ uint32, _ int) {})
+	s2.Close()
+	s2.Close()
+}
+
+// A steady-state Run/ReduceI64/Tasks phase must not allocate: the pool,
+// spans, counters and accumulators are all reused. This is the scheduler's
+// share of the zero-allocation superstep contract.
+func TestPhasesDoNotAllocate(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		s := New(threads, true)
+		fn := func(_, _ uint32, _ int) {}
+		red := func(clo, chi uint32, _ int) int64 { return int64(chi - clo) }
+		task := func(int) {}
+		s.Run(0, 10000, fn) // warm up: pool + arrays
+		s.ReduceI64(0, 10000, red)
+		s.Tasks(64, task)
+		if a := testing.AllocsPerRun(20, func() { s.Run(0, 10000, fn) }); a > 0 {
+			t.Errorf("threads=%d: Run allocates %.1f objects per phase", threads, a)
+		}
+		if a := testing.AllocsPerRun(20, func() { s.ReduceI64(0, 10000, red) }); a > 0 {
+			t.Errorf("threads=%d: ReduceI64 allocates %.1f objects per phase", threads, a)
+		}
+		if a := testing.AllocsPerRun(20, func() { s.Tasks(64, task) }); a > 0 {
+			t.Errorf("threads=%d: Tasks allocates %.1f objects per phase", threads, a)
+		}
+		s.Close()
+	}
+}
+
 func TestTasksRunsEachTaskOnce(t *testing.T) {
 	for _, threads := range []int{1, 2, 5} {
 		for _, n := range []int{0, 1, 3, 100} {
