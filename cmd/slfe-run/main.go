@@ -43,6 +43,7 @@ func main() {
 	codecName := flag.String("codec", "raw", "delta-sync wire codec: raw | varint-xor | rle | adaptive (slfe)")
 	syncName := flag.String("sync", "dense", "delta-sync strategy: dense | sparse | adaptive (slfe)")
 	sparseDiv := flag.Int64("sparse-divisor", 0, "adaptive sync goes sparse when changed*divisor < |V| (0 = default 16)")
+	serialSync := flag.Bool("serial-sync", false, "disable overlapped delta-sync streaming; run sync strictly after the compute barrier (slfe, differential oracle)")
 	rebalance := flag.Bool("rebalance", false, "enable dynamic inter-node rebalancing (slfe)")
 	root := flag.Uint("root", 0, "root vertex for sssp/bfs/wp/numpaths")
 	iters := flag.Int("iters", 30, "iterations for arithmetic apps")
@@ -80,7 +81,7 @@ func main() {
 		fatal(fmt.Errorf("-sparse-divisor must be non-negative (got %d)", *sparseDiv))
 	}
 	opt := cluster.Options{Nodes: *nodes, Threads: *threads, Stealing: *stealing, RR: *rr,
-		Codec: codec, Sync: sync, SparseDivisor: *sparseDiv, Rebalance: *rebalance}
+		Codec: codec, Sync: sync, SparseDivisor: *sparseDiv, SerialSync: *serialSync, Rebalance: *rebalance}
 	if runAnalytics(strings.ToLower(*app), g, graph.VertexID(*root), opt) {
 		return
 	}
@@ -102,8 +103,17 @@ func main() {
 		run = metrics.Merge(res.PerWorker)
 		fmt.Printf("system: SLFE (rr=%v) nodes=%d elapsed=%v preprocess=%v comm=%d msgs / %d bytes\n",
 			*rr, *nodes, res.Elapsed, res.PreprocessTime, res.Comm.MessagesSent, res.Comm.BytesSent)
-		fmt.Printf("delta-sync: strategy=%v supersteps dense=%d sparse=%d flush=%dB codec-picks=%s\n",
-			sync, run.DenseSyncs, run.SparseSyncs, run.FlushBytes, formatPicks(run.CodecPicks))
+		fmt.Printf("delta-sync: strategy=%v supersteps dense=%d sparse=%d overlapped=%d flush=%dB codec-picks=%s\n",
+			sync, run.DenseSyncs, run.SparseSyncs, run.OverlappedSyncs, run.FlushBytes, formatPicks(run.CodecPicks))
+		var streamed, syncB int64
+		for _, s := range run.Iters {
+			streamed += s.StreamedBytes
+			syncB += s.SyncBytes
+		}
+		if syncB > 0 {
+			fmt.Printf("overlap: streamed %dB of %dB sync traffic during compute (ratio %.2f)\n",
+				streamed, syncB, float64(streamed)/float64(syncB))
+		}
 	case "powergraph", "powerlyra":
 		mode := gas.PowerGraph
 		if strings.ToLower(*system) == "powerlyra" {

@@ -6,6 +6,7 @@ import (
 
 	"slfe/internal/cluster"
 	"slfe/internal/compress"
+	"slfe/internal/metrics"
 )
 
 // TestSteadyStateAllocBudget is the CI regression guard for the
@@ -24,16 +25,25 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 	)
 	c := Config{Scale: 4000, Nodes: 1, Threads: 2, PRIters: 20, Out: io.Discard}
 	cases := []struct {
-		app  string
-		opts func(*cluster.Options)
+		name  string
+		app   string
+		nodes int
+		opts  func(*cluster.Options)
 	}{
 		// Pull path: all-vertex arith kernel, 20 steady supersteps.
-		{"PR", nil},
+		{"PR", "PR", 1, nil},
 		// Push path: DenseDivisor=1 keeps the frontier kernel in push mode.
-		{"SSSP", func(o *cluster.Options) { o.DenseDivisor = 1 }},
+		{"SSSP-push", "SSSP", 1, func(o *cluster.Options) { o.DenseDivisor = 1 }},
+		// Overlapped pipeline: two in-process workers stream delta-sync
+		// during compute. The counters are process-global, so this measures
+		// the whole two-worker cluster — including the transport's
+		// per-message payload copies, which are inherent to delivery, not a
+		// hot-path regression; the budget stays the same deliberately
+		// generous bound.
+		{"PR-overlapped", "PR", 2, nil},
 	}
 	for _, tc := range cases {
-		res, err := c.RunSLFE(tc.app, "PK", 1, true, func(o *cluster.Options) {
+		res, err := c.RunSLFE(tc.app, "PK", tc.nodes, true, func(o *cluster.Options) {
 			o.MeasureAllocs = true
 			o.Codec = compress.Adaptive{}
 			if tc.opts != nil {
@@ -41,18 +51,24 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 			}
 		})
 		if err != nil {
-			t.Fatalf("%s: %v", tc.app, err)
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if tc.nodes > 1 {
+			m := metrics.Merge(res.PerWorker)
+			if m.OverlappedSyncs == 0 {
+				t.Fatalf("%s: multi-worker run never took the overlapped path", tc.name)
+			}
 		}
 		allocs, bytes := steadyState(res.Result.Metrics.Iters)
 		t.Logf("%s: %d iters, steady state %d allocs / %d bytes per superstep",
-			tc.app, res.Result.Iterations, allocs, bytes)
+			tc.name, res.Result.Iterations, allocs, bytes)
 		if allocs > allocBudget {
 			t.Errorf("%s: steady-state supersteps allocate %d objects, budget %d — the hot path regressed",
-				tc.app, allocs, allocBudget)
+				tc.name, allocs, allocBudget)
 		}
 		if bytes > byteBudget {
 			t.Errorf("%s: steady-state supersteps allocate %d bytes, budget %d — the hot path regressed",
-				tc.app, bytes, byteBudget)
+				tc.name, bytes, byteBudget)
 		}
 	}
 }

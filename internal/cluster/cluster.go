@@ -52,6 +52,10 @@ type Options struct {
 	// MapPush selects the seed's map-based push combining instead of the
 	// flat combiner; see core.Config.MapPush.
 	MapPush bool
+	// SerialSync disables the overlapped superstep pipeline and runs
+	// delta-sync strictly after the compute barrier; see
+	// core.Config.SerialSync.
+	SerialSync bool
 	// MeasureAllocs records per-superstep heap-allocation deltas; see
 	// core.Config.MeasureAllocs (only attributable with Nodes=1).
 	MeasureAllocs bool
@@ -89,6 +93,29 @@ func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
 	if opt.Nodes <= 0 {
 		opt.Nodes = 1
 	}
+	transports, err := comm.NewLocalGroup(opt.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteOver(g, p, opt, transports)
+}
+
+// ExecuteOver runs the program over caller-provided transports, one per
+// rank — e.g. a loopback TCP mesh from comm.LoopbackTCP — with the same
+// orchestration as Execute (opt.Nodes is taken from the transport count).
+// The transports are closed when every rank has finished, never earlier: a
+// premature close can reset connections still carrying a slower peer's
+// final collective results.
+func ExecuteOver(g *graph.Graph, p *core.Program, opt Options, transports []comm.Transport) (*RunResult, error) {
+	opt.Nodes = len(transports)
+	defer func() {
+		for _, t := range transports {
+			t.Close()
+		}
+	}()
+	if opt.Nodes == 0 {
+		return nil, fmt.Errorf("cluster: no transports")
+	}
 	part, err := partition.NewChunked(g, opt.Nodes)
 	if err != nil {
 		return nil, err
@@ -119,10 +146,6 @@ func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
 		out.Guidance = guidance
 	}
 
-	transports, err := comm.NewLocalGroup(opt.Nodes)
-	if err != nil {
-		return nil, err
-	}
 	results := make([]*core.Result, opt.Nodes)
 	errs := make([]error, opt.Nodes)
 	start := time.Now()
@@ -131,7 +154,6 @@ func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			defer transports[rank].Close()
 			eng, err := core.New(core.Config{
 				Graph:            g,
 				Comm:             comm.NewComm(transports[rank]),
@@ -146,6 +168,7 @@ func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
 				Sync:             opt.Sync,
 				SparseDivisor:    opt.SparseDivisor,
 				MapPush:          opt.MapPush,
+				SerialSync:       opt.SerialSync,
 				MeasureAllocs:    opt.MeasureAllocs,
 				Rebalance:        opt.Rebalance,
 				RebalanceEvery:   opt.RebalanceEvery,

@@ -31,6 +31,14 @@ type Comm struct {
 	sparseSeq   uint64
 	pending     map[pendKey][]byte
 
+	// Streaming-exchange state (stream.go): the round counter, messages of
+	// future rounds received while draining the current one, the reusable
+	// header+payload staging buffer, and the pooled Exchange itself.
+	streamSeq     uint64
+	pendingStream map[uint64][]Message
+	streamBuf     []byte
+	ex            *Exchange
+
 	// seqBuf is the reusable header+payload staging buffer of sendSeq.
 	// Transports do not retain payloads after Send returns (the local
 	// transport copies, TCP writes synchronously), so one buffer serves

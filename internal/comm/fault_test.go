@@ -207,6 +207,90 @@ func TestTCPGarbageStreamClosesInbox(t *testing.T) {
 	}
 }
 
+// TestCloseIdempotentDuringExchange is the shutdown-path regression test:
+// Close must be idempotent and safe to race against itself, Abort, and an
+// in-flight streaming exchange — no panic, no deadlock, and every
+// operation after the close reports ErrClosed instead of delivering into a
+// dismantled endpoint. Before this guard, double-close in shutdown paths
+// was only avoided by test ordering.
+func TestCloseIdempotentDuringExchange(t *testing.T) {
+	groups := map[string]func() []Transport{
+		"local": func() []Transport {
+			ts, err := NewLocalGroup(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ts
+		},
+		"tcp": func() []Transport { return dialMesh(t, 3) },
+	}
+	for name, mk := range groups {
+		t.Run(name, func(t *testing.T) {
+			ts := mk()
+			// Rank 1 blocks mid-exchange (its peers send nothing), then gets
+			// closed out from under the drain.
+			finishErr := make(chan error, 1)
+			go func() {
+				x := NewComm(ts[1]).StartExchange()
+				_ = x.SendChunk(0, []byte("in flight"))
+				finishErr <- x.Finish(func(int, []byte) error { return nil })
+			}()
+			time.Sleep(10 * time.Millisecond) // let Finish block in Recv
+			// Concurrent double close from several goroutines, racing Abort.
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if i == 3 {
+						Abort(ts[1])
+						return
+					}
+					ts[1].Close()
+				}(i)
+			}
+			wg.Wait()
+			select {
+			case err := <-finishErr:
+				if err == nil {
+					t.Fatal("Finish succeeded on a closed transport")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Finish still blocked after close")
+			}
+			// Every later operation fails cleanly; a second Close round is a
+			// no-op.
+			if err := ts[1].Close(); err != nil && name == "local" {
+				t.Fatalf("repeated close: %v", err)
+			}
+			if _, err := ts[1].Recv(TypeUser); err == nil {
+				t.Fatal("Recv delivered after close")
+			}
+			for _, tr := range ts {
+				tr.Close()
+			}
+		})
+	}
+}
+
+// TestLocalSendAfterPeerCloseIsDropped pins the drop-after-close rule: a
+// message sent to a closed peer is discarded, not queued for a Recv that
+// can only ever return ErrClosed.
+func TestLocalSendAfterPeerCloseIsDropped(t *testing.T) {
+	ts, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts[0].Close()
+	ts[1].Close()
+	if err := ts[0].Send(1, TypeUser, []byte("late")); err != nil {
+		t.Fatalf("send to closed peer errored at the sender: %v", err)
+	}
+	if _, err := ts[1].Recv(TypeUser); err != ErrClosed {
+		t.Fatalf("Recv after close = %v, want ErrClosed", err)
+	}
+}
+
 // TestAbortTCP verifies the TCP Aborter path end to end.
 func TestAbortTCP(t *testing.T) {
 	ts := dialMesh(t, 2)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +28,7 @@ type tcpTransport struct {
 	inbox  *typedQueues
 	stats  statCounters
 
+	closed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -193,6 +195,9 @@ func (t *tcpTransport) Rank() int { return t.rank }
 func (t *tcpTransport) Size() int { return t.size }
 
 func (t *tcpTransport) Send(to int, typ uint16, payload []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
 	if to < 0 || to >= t.size {
 		return fmt.Errorf("comm: send to invalid rank %d (size %d)", to, t.size)
 	}
@@ -229,8 +234,13 @@ func (t *tcpTransport) Recv(typ uint16) (Message, error) {
 	return t.inbox.pop(typ)
 }
 
+// Close shuts the endpoint down. It is idempotent and safe to call
+// concurrently, including while an exchange is in flight: blocked Recvs
+// return ErrClosed, later Sends fail with ErrClosed, and a racing Send's
+// in-progress socket write surfaces a write error instead of panicking.
 func (t *tcpTransport) Close() error {
 	t.closeOnce.Do(func() {
+		t.closed.Store(true)
 		t.inbox.close()
 		for _, c := range t.peers {
 			if c != nil {
@@ -247,5 +257,62 @@ func (t *tcpTransport) Close() error {
 // read loop, which closes their inboxes in turn — the TCP equivalent of the
 // local hub teardown.
 func (t *tcpTransport) Abort() { t.Close() }
+
+// LoopbackTCP dials a full TCP mesh of size ranks on 127.0.0.1 — the
+// loopback counterpart of NewLocalGroup, used by benchmarks and tests that
+// want real sockets (serialisation, kernel buffering, write syscalls) on
+// one machine. Ports are reserved by listening on :0 per rank and released
+// just before the concurrent DialTCP round claims them; that gap is an
+// inherent race (another process can snatch a released port), so a failed
+// mesh is retried with fresh ports a few times before giving up.
+func LoopbackTCP(size int, timeout time.Duration) ([]Transport, error) {
+	if size <= 0 {
+		return nil, errors.New("comm: group size must be positive")
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		addrs := make([]string, size)
+		reserve := func() error {
+			for i := range addrs {
+				l, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return fmt.Errorf("comm: reserve loopback port: %w", err)
+				}
+				addrs[i] = l.Addr().String()
+				l.Close()
+			}
+			return nil
+		}
+		if err := reserve(); err != nil {
+			return nil, err
+		}
+		ts := make([]Transport, size)
+		errs := make([]error, size)
+		var wg sync.WaitGroup
+		for rank := 0; rank < size; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				ts[rank], errs[rank] = DialTCP(rank, size, addrs, timeout)
+			}(rank)
+		}
+		wg.Wait()
+		lastErr = nil
+		for _, err := range errs {
+			if err != nil && lastErr == nil {
+				lastErr = err
+			}
+		}
+		if lastErr == nil {
+			return ts, nil
+		}
+		for _, t := range ts {
+			if t != nil {
+				t.Close()
+			}
+		}
+	}
+	return nil, lastErr
+}
 
 func (t *tcpTransport) Stats() Stats { return t.stats.snapshot() }

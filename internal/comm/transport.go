@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Message is one delivered payload.
@@ -36,6 +37,7 @@ const (
 	typeGather
 	typeAllToAll
 	typeSparse
+	typeStream
 	// TypeUser is the first type available to applications.
 	TypeUser uint16 = 64
 )
@@ -46,6 +48,11 @@ var ErrClosed = errors.New("comm: transport closed")
 // Transport delivers typed messages between ranks 0..Size-1. Sends are
 // asynchronous; Recv blocks until a message of the requested type arrives.
 // Per-(sender, type) FIFO ordering is guaranteed.
+//
+// Close shuts the local endpoint down and is idempotent: concurrent or
+// repeated calls — including a Close racing an in-flight Send, Recv or
+// streaming exchange — are safe, and every blocked or later operation
+// returns ErrClosed instead of hanging or delivering after shutdown.
 type Transport interface {
 	Rank() int
 	Size() int
@@ -70,6 +77,114 @@ func Abort(t Transport) {
 	if a, ok := t.(Aborter); ok {
 		a.Abort()
 	}
+}
+
+// latencyTransport models network propagation delay for experiments: every
+// payload is delivered one fixed one-way latency after Send, but Send
+// itself returns immediately — like a real pipe, any number of messages
+// can be in flight. One forwarder goroutine per destination preserves the
+// per-(sender, type) FIFO order the Transport contract requires.
+type latencyTransport struct {
+	Transport
+	d      time.Duration
+	queues []chan delayedMsg
+	done   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type delayedMsg struct {
+	typ     uint16
+	payload []byte
+	due     time.Time
+}
+
+// WithLatency wraps a transport so every delivery arrives one-way latency
+// d after its Send — an emulated-RTT harness for communication
+// experiments (the overlap benchmark uses it to model rack-scale links on
+// a loopback mesh). Close stops the forwarders; messages still in flight
+// at close time are dropped, like frames on a cut wire.
+func WithLatency(t Transport, d time.Duration) Transport {
+	if d <= 0 {
+		return t
+	}
+	lt := &latencyTransport{
+		Transport: t,
+		d:         d,
+		queues:    make([]chan delayedMsg, t.Size()),
+		done:      make(chan struct{}),
+	}
+	for i := range lt.queues {
+		q := make(chan delayedMsg, 4096)
+		lt.queues[i] = q
+		lt.wg.Add(1)
+		go lt.forward(i, q)
+	}
+	return lt
+}
+
+func (t *latencyTransport) forward(to int, q chan delayedMsg) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.done:
+			return
+		case m := <-q:
+			if wait := time.Until(m.due); wait > 0 {
+				time.Sleep(wait)
+			}
+			if t.closed.Load() {
+				return
+			}
+			if t.Transport.Send(to, m.typ, m.payload) != nil {
+				return // endpoint gone; forward nothing further to this peer
+			}
+		}
+	}
+}
+
+func (t *latencyTransport) Send(to int, typ uint16, payload []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= t.Size() {
+		return fmt.Errorf("comm: send to invalid rank %d (size %d)", to, t.Size())
+	}
+	// Copy: the sender reuses its buffers the moment Send returns, but the
+	// payload only hits the inner transport when the latency elapses.
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	select {
+	case t.queues[to] <- delayedMsg{typ: typ, payload: p, due: time.Now().Add(t.d)}:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	}
+}
+
+// stop shuts the forwarders down exactly once (dropping in-flight
+// messages), whether reached through Close or Abort — either entry must
+// release the goroutines, or they leak with their queues pinned.
+func (t *latencyTransport) stop() {
+	if t.closed.CompareAndSwap(false, true) {
+		close(t.done)
+		t.wg.Wait()
+	}
+}
+
+// Close stops the forwarders and closes the wrapped transport. Idempotent
+// and safe to race Sends and Abort, like every Transport Close.
+func (t *latencyTransport) Close() error {
+	t.stop()
+	return t.Transport.Close()
+}
+
+// Abort implements Aborter: the wrapped transport is torn down first so a
+// forwarder blocked in its Send returns an error, then the forwarders are
+// stopped.
+func (t *latencyTransport) Abort() {
+	Abort(t.Transport)
+	t.stop()
 }
 
 type Stats struct {
@@ -108,6 +223,13 @@ func newTypedQueues() *typedQueues {
 
 func (q *typedQueues) push(m Message) {
 	q.mu.Lock()
+	if q.closed {
+		// The receiver shut down: dropping beats delivering into a
+		// dismantled endpoint (pop would hand the stale message out before
+		// reporting ErrClosed, resurrecting a half-torn-down exchange).
+		q.mu.Unlock()
+		return
+	}
 	q.queues[m.Type] = append(q.queues[m.Type], m)
 	q.mu.Unlock()
 	q.cond.Broadcast()
@@ -117,13 +239,13 @@ func (q *typedQueues) pop(typ uint16) (Message, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
+		if q.closed {
+			return Message{}, ErrClosed
+		}
 		if list := q.queues[typ]; len(list) > 0 {
 			m := list[0]
 			q.queues[typ] = list[1:]
 			return m, nil
-		}
-		if q.closed {
-			return Message{}, ErrClosed
 		}
 		q.cond.Wait()
 	}

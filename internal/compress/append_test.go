@@ -73,3 +73,60 @@ func TestAppendEncodeDoesNotAllocate(t *testing.T) {
 		t.Errorf("AppendEncodeBest allocates %.1f objects per batch", a)
 	}
 }
+
+// StreamEncoder chunks must decode back to the original batch under every
+// codec and pick the same winner as EncodeBest under Adaptive.
+func TestStreamEncoderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	codecs := []Codec{Raw{}, VarintXOR{}, RLE{}, Adaptive{}, nil}
+	for _, c := range codecs {
+		enc := NewStreamEncoder(c)
+		dec := c
+		if dec == nil {
+			dec = Raw{}
+		}
+		for trial := 0; trial < 30; trial++ {
+			ids, vals := randomBatch(rng, rng.Intn(300))
+			payload, name := enc.EncodeChunk(ids, vals)
+			if _, isAdaptive := dec.(Adaptive); isAdaptive {
+				wantPayload, wantName := EncodeBest(ids, vals)
+				if name != wantName || !bytes.Equal(payload, wantPayload) {
+					t.Fatalf("adaptive chunk (%s) differs from EncodeBest (%s)", name, wantName)
+				}
+			}
+			var gotIDs []uint32
+			var gotVals []float64
+			err := dec.Decode(payload, func(id uint32, val float64) error {
+				gotIDs = append(gotIDs, id)
+				gotVals = append(gotVals, val)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s: decode: %v", dec.Name(), err)
+			}
+			if len(gotIDs) != len(ids) {
+				t.Fatalf("%s: decoded %d entries, want %d", dec.Name(), len(gotIDs), len(ids))
+			}
+			for i := range ids {
+				if gotIDs[i] != ids[i] || gotVals[i] != vals[i] {
+					t.Fatalf("%s: entry %d round-tripped as (%d, %v), want (%d, %v)",
+						dec.Name(), i, gotIDs[i], gotVals[i], ids[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+// A warmed StreamEncoder must not allocate per chunk (the overlapped
+// delta-sync encodes on the superstep hot path).
+func TestStreamEncoderDoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids, vals := randomBatch(rng, 512)
+	for _, c := range []Codec{Raw{}, VarintXOR{}, RLE{}, Adaptive{}} {
+		enc := NewStreamEncoder(c)
+		enc.EncodeChunk(ids, vals) // warm the pooled buffers
+		if a := testing.AllocsPerRun(20, func() { enc.EncodeChunk(ids, vals) }); a > 0 {
+			t.Errorf("%s: EncodeChunk allocates %.1f objects per chunk", c.Name(), a)
+		}
+	}
+}

@@ -349,6 +349,55 @@ func AppendEncodeBest(dst []byte, sc *EncodeScratch, ids []uint32, vals []float6
 	return dst, candidates[best].codec.Name()
 }
 
+// StreamEncoder encodes a stream of independently serialised chunks for
+// the overlapped delta-sync: each EncodeChunk call produces one
+// self-contained wire payload in the encoder's reusable buffer, so codec
+// selection works per chunk without a whole-frame staging copy — the
+// payload is handed straight to the transport (which never retains it past
+// Send) instead of being appended into a frame first. An Adaptive codec
+// selects the best candidate per chunk through the pooled
+// AppendEncodeBest; append-capable codecs encode in place; any other codec
+// falls back to its allocating Encode. The zero value is unusable — build
+// one with NewStreamEncoder. A StreamEncoder must not be shared by
+// concurrent encoders.
+type StreamEncoder struct {
+	codec    Codec
+	appendC  AppendCodec // nil when codec has no append form
+	adaptive bool
+	sc       EncodeScratch
+	buf      []byte
+}
+
+// NewStreamEncoder returns a per-chunk encoder for codec (nil means Raw).
+func NewStreamEncoder(codec Codec) StreamEncoder {
+	if codec == nil {
+		codec = Raw{}
+	}
+	e := StreamEncoder{codec: codec}
+	_, e.adaptive = codec.(Adaptive)
+	e.appendC, _ = codec.(AppendCodec)
+	return e
+}
+
+// EncodeChunk serialises one chunk and returns the payload plus the name
+// of the codec that produced it (the selected candidate under Adaptive).
+// The payload aliases the encoder's reusable buffer and is valid until the
+// next EncodeChunk.
+func (e *StreamEncoder) EncodeChunk(ids []uint32, vals []float64) ([]byte, string) {
+	switch {
+	case e.adaptive:
+		var name string
+		e.buf, name = AppendEncodeBest(e.buf[:0], &e.sc, ids, vals)
+		return e.buf, name
+	case e.appendC != nil:
+		e.buf = e.appendC.AppendEncode(e.buf[:0], ids, vals)
+		return e.buf, e.codec.Name()
+	default:
+		e.buf = e.codec.Encode(ids, vals)
+		return e.buf, e.codec.Name()
+	}
+}
+
 // Adaptive picks the smallest encoding per batch (see EncodeBest) and tags
 // it with the codec id, so every payload is self-describing and the sender
 // needs no cross-rank codec agreement. Encode requires ascending ids (the

@@ -1,12 +1,13 @@
 // Differential transport test: every registered application must produce
 // bit-identical results over the in-process transport and over a real TCP
-// mesh, across all delta-sync strategies. The engine is transport- and
-// strategy-agnostic by contract; this is the contract's enforcement.
+// mesh, across all delta-sync strategies and both sync pipelines (serial
+// and overlapped). The engine is transport-, strategy- and
+// pipeline-agnostic by contract; this is the contract's enforcement.
 package core_test
 
 import (
+	"fmt"
 	"math"
-	"net"
 	"sync"
 	"testing"
 	"time"
@@ -46,38 +47,27 @@ func diffApps(g *graph.Graph) map[string]struct {
 
 // runTCP executes the program over a freshly dialled localhost TCP mesh
 // and returns every rank's values.
-func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat core.SyncStrategy, gd *rrg.Guidance) [][]core.Value {
+func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat core.SyncStrategy, serialSync bool, gd *rrg.Guidance) [][]core.Value {
 	t.Helper()
 	part, err := partition.NewChunked(g, nodes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	addrs := make([]string, nodes)
-	for i := range addrs {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		addrs[i] = l.Addr().String()
-		l.Close()
+	transports, err := comm.LoopbackTCP(nodes, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
 	}
 	values := make([][]core.Value, nodes)
 	errs := make([]error, nodes)
-	transports := make([]comm.Transport, nodes)
 	var wg sync.WaitGroup
 	for rank := 0; rank < nodes; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			tr, err := comm.DialTCP(rank, nodes, addrs, 10*time.Second)
-			if err != nil {
-				errs[rank] = err
-				return
-			}
-			transports[rank] = tr
+			tr := transports[rank]
 			eng, err := core.New(core.Config{
 				Graph: g, Comm: comm.NewComm(tr), Part: part,
-				RR: true, Guidance: gd, Sync: strat,
+				RR: true, Guidance: gd, Sync: strat, SerialSync: serialSync,
 			})
 			if err != nil {
 				errs[rank] = err
@@ -98,9 +88,7 @@ func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat c
 	// Close only after every rank finished: an early Close can reset
 	// connections carrying a slower peer's final reduce results.
 	for _, tr := range transports {
-		if tr != nil {
-			tr.Close()
-		}
+		tr.Close()
 	}
 	for rank, err := range errs {
 		if err != nil {
@@ -122,6 +110,12 @@ func bitIdentical(a, b []core.Value) bool {
 	return true
 }
 
+// TestDifferentialTransportsAndStrategies is the engine's core contract
+// check: for every registered application, every delta-sync strategy
+// (dense | sparse | adaptive) crossed with both sync pipelines (serial
+// oracle | overlapped streaming), over both the in-process transport and a
+// real TCP mesh, must produce values bit-identical to the serial dense
+// in-process reference.
 func TestDifferentialTransportsAndStrategies(t *testing.T) {
 	const nodes = 3
 	g := gen.RMAT(512, 4096, gen.DefaultRMAT, 8, 13)
@@ -129,27 +123,31 @@ func TestDifferentialTransportsAndStrategies(t *testing.T) {
 	for name, app := range diffApps(g) {
 		app := app
 		t.Run(name, func(t *testing.T) {
-			// Reference: in-process dense run. Guidance is generated once so
-			// every variant sees identical redundancy-reduction decisions.
-			ref, err := cluster.Execute(app.g, app.prog, cluster.Options{Nodes: nodes, RR: true})
+			// Reference: serial dense in-process run. Guidance is generated
+			// once so every variant sees identical redundancy-reduction
+			// decisions.
+			ref, err := cluster.Execute(app.g, app.prog, cluster.Options{Nodes: nodes, RR: true, SerialSync: true})
 			if err != nil {
 				t.Fatal(err)
 			}
 			gd := ref.Guidance
 			for _, sync := range strategies {
-				inproc, err := cluster.Execute(app.g, app.prog, cluster.Options{
-					Nodes: nodes, RR: true, Guidance: gd, Sync: sync,
-				})
-				if err != nil {
-					t.Fatalf("in-process %v: %v", sync, err)
-				}
-				if !bitIdentical(inproc.Result.Values, ref.Result.Values) {
-					t.Fatalf("in-process %v differs from dense reference", sync)
-				}
-				tcp := runTCP(t, app.g, app.prog, nodes, sync, gd)
-				for rank, vals := range tcp {
-					if !bitIdentical(vals, ref.Result.Values) {
-						t.Fatalf("TCP %v: rank %d differs from in-process dense reference", sync, rank)
+				for _, serial := range []bool{true, false} {
+					label := fmt.Sprintf("%v/serial=%v", sync, serial)
+					inproc, err := cluster.Execute(app.g, app.prog, cluster.Options{
+						Nodes: nodes, RR: true, Guidance: gd, Sync: sync, SerialSync: serial,
+					})
+					if err != nil {
+						t.Fatalf("in-process %s: %v", label, err)
+					}
+					if !bitIdentical(inproc.Result.Values, ref.Result.Values) {
+						t.Fatalf("in-process %s differs from serial dense reference", label)
+					}
+					tcp := runTCP(t, app.g, app.prog, nodes, sync, serial, gd)
+					for rank, vals := range tcp {
+						if !bitIdentical(vals, ref.Result.Values) {
+							t.Fatalf("TCP %s: rank %d differs from serial dense reference", label, rank)
+						}
 					}
 				}
 			}

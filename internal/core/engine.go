@@ -72,6 +72,17 @@ type Config struct {
 	// the `hotpath` bench experiment.
 	MapPush bool
 
+	// SerialSync disables the overlapped superstep pipeline: delta-sync
+	// then runs strictly after the compute barrier (encode, exchange,
+	// decode on the critical path), the pre-overlap behaviour. By default
+	// pull-style supersteps of multi-worker runs stream their delta-sync
+	// frames while compute is still running (overlap.go); the two paths
+	// produce bit-identical results, and the serial one is kept as the
+	// overlapped path's differential oracle and the baseline of the
+	// `overlap` bench experiment, mirroring MapPush. All workers must
+	// agree.
+	SerialSync bool
+
 	// MeasureAllocs records per-superstep heap allocation deltas
 	// (runtime.ReadMemStats) into the iteration metrics. The counters are
 	// process-global, so the numbers are only attributable when a single
@@ -133,6 +144,7 @@ type Engine struct {
 	collect   collectState // changed-owned-vertex gather buffers
 	bits      bitsCollect  // checkpoint bit-listing buffers
 	frame     frameEnc     // delta-sync wire framing buffers (deltasync.go)
+	stream    streamState  // overlapped delta-sync streaming state (overlap.go)
 	dirtySnap []uint32     // checkpoint shard's sparse-dirty listing
 
 	// Frontier-statistic scan: the pre-created chunk body folds through
@@ -231,6 +243,7 @@ func New(cfg Config) (*Engine, error) {
 	e.bits.body = e.collectBitsChunk
 	e.outBody = e.outEdgesChunk
 	e.denseDecode = e.applyDenseDelta
+	e.streamInit()
 	e.lo, e.hi = cfg.Part.Range(cfg.Comm.Rank())
 	if cfg.Sync != SyncDense {
 		e.dirty = bitset.NewAtomic(cfg.Graph.NumVertices())

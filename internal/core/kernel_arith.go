@@ -104,8 +104,12 @@ func (k *arithKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error)
 	return false, nil
 }
 
+// stagedCompute implements kernel: the gather/apply compute always stages
+// into scratch chunk-locally, so every arith superstep may stream.
+func (k *arithKernel) stagedCompute() ([]Value, bool) { return k.scratch, true }
+
 func (k *arithKernel) compute(_ int, _ *metrics.IterStat) error {
-	wsStats := k.e.sched.Run(uint32(k.e.lo), uint32(k.e.hi), k.gatherBody)
+	wsStats := k.e.computeOwned(k.gatherBody)
 	k.st.run.Steals += wsStats.Steals
 	return nil
 }
@@ -133,6 +137,12 @@ func (k *arithKernel) computeChunk(clo, chi uint32, th int) {
 			k.comps[th]++
 		}
 		k.scratch[v] = p.Apply(e.g, vid, acc, st.values[vid])
+		// Mark the change at compute time (the same |Δ| > 0 test commit
+		// applies), so the overlapped pipeline can emit this chunk's deltas
+		// before the commit barrier. Commit's own Set is then idempotent.
+		if d := math.Abs(k.scratch[v] - st.values[v]); d > 0 {
+			k.changed.Set(int(v))
+		}
 	}
 }
 

@@ -195,10 +195,19 @@ func (k *minmaxKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error
 	return false, nil
 }
 
+// stagedCompute implements kernel: pull supersteps stage final values into
+// scratch chunk-locally and may stream; push supersteps may not.
+func (k *minmaxKernel) stagedCompute() ([]Value, bool) {
+	if k.pullMode {
+		return k.scratch, true
+	}
+	return nil, false
+}
+
 func (k *minmaxKernel) compute(iter int, _ *metrics.IterStat) error {
 	if k.pullMode {
 		k.ruler = uint32(iter)
-		wsStats := k.e.sched.Run(uint32(k.e.lo), uint32(k.e.hi), k.pullBody)
+		wsStats := k.e.computeOwned(k.pullBody)
 		k.st.run.Steals += wsStats.Steals
 		return nil
 	}

@@ -36,8 +36,17 @@ type kernel interface {
 	// Ruler advance (it may move iter forward) and push/pull mode
 	// selection. done ends the run before any compute.
 	stepBegin(iter *int, stat *metrics.IterStat) (done bool, err error)
+	// stagedCompute reports whether this superstep's compute is pull-style
+	// — every owned vertex's new value is staged chunk-locally into the
+	// returned scratch array — so the overlapped pipeline may stream
+	// deltas while compute runs. Push supersteps return (nil, false): an
+	// owned vertex's value is only known after the proposal exchange.
+	// Valid after stepBegin (which fixes the superstep's mode).
+	stagedCompute() ([]Value, bool)
 	// compute stages this superstep's proposals in parallel; it must not
-	// mutate the value array (BSP purity).
+	// mutate the value array (BSP purity). Pull-style bodies dispatch
+	// through Engine.computeOwned so they join the overlap phase when the
+	// superstep streams.
 	compute(iter int, stat *metrics.IterStat) error
 	// commit applies staged values to the owned range, marks changed
 	// vertices, and folds per-thread counters into stat.
@@ -66,7 +75,7 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 	// pre-created hot-path closures (dense decode, push apply, collect
 	// bodies) reach them without per-superstep captures.
 	e.curState, e.changed = st, changed
-	defer func() { e.curState, e.changed = nil, nil }()
+	defer func() { e.curState, e.changed, e.stream.active = nil, nil, false }()
 	if snap, err := e.loadCheckpoint(p, k.kind()); err != nil {
 		return nil, err
 	} else if snap != nil {
@@ -106,8 +115,18 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 
 		changed.Reset()
 		computeStart := time.Now()
+		if e.overlapSync() {
+			if staged, ok := k.stagedCompute(); ok {
+				e.streamBegin(staged, iter)
+			}
+		}
 		if err := k.compute(iter, &stat); err != nil {
 			return nil, err
+		}
+		if e.stream.active {
+			if err := e.streamFlush(); err != nil {
+				return nil, err
+			}
 		}
 		commitStart := time.Now()
 		if err := k.commit(iter, &stat); err != nil {
@@ -122,10 +141,16 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 		if f != nil {
 			f.Reset()
 		}
-		if _, err := e.syncOwned(st, changed, f, iter, &stat); err != nil {
+		if e.stream.active {
+			if err := e.syncStreamed(st, changed, f, iter, &stat); err != nil {
+				return nil, err
+			}
+		} else if _, err := e.syncOwned(st, changed, f, iter, &stat); err != nil {
 			return nil, err
 		}
-		st.run.SyncTime += time.Since(syncStart)
+		syncDur := time.Since(syncStart)
+		st.run.SyncTime += syncDur
+		stat.ExposedComm = syncDur
 
 		done, err = k.stepEnd(iter, &stat)
 		if err != nil {

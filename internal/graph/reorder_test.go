@@ -166,3 +166,110 @@ func TestRelabelProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRelabelSelfLoops checks self-loops survive relabelling: a loop on v
+// must become a loop on perm[v] with its weight intact.
+func TestRelabelSelfLoops(t *testing.T) {
+	g := MustBuild(4, []Edge{
+		{Src: 1, Dst: 1, Weight: 7}, {Src: 0, Dst: 2, Weight: 1}, {Src: 3, Dst: 3, Weight: 2},
+	})
+	perm := []VertexID{3, 2, 1, 0}
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		v VertexID
+		w float32
+	}{{2, 7}, {0, 2}} { // loops at perm[1]=2 and perm[3]=0
+		found := false
+		for i, u := range h.OutNeighbors(tc.v) {
+			if u == tc.v && h.OutWeights(tc.v)[i] == tc.w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("self-loop at %d (weight %v) lost in relabelling", tc.v, tc.w)
+		}
+	}
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d -> %d", g.NumEdges(), h.NumEdges())
+	}
+}
+
+// TestBFSOrderSelfLoopRoot checks a root whose only out-edge is a
+// self-loop does not wedge the traversal.
+func TestBFSOrderSelfLoopRoot(t *testing.T) {
+	g := MustBuild(3, []Edge{{Src: 0, Dst: 0}, {Src: 1, Dst: 2}})
+	perm := BFSOrder(g, 0)
+	if perm[0] != 0 {
+		t.Fatalf("root rank %d, want 0", perm[0])
+	}
+	seen := make([]bool, 3)
+	for _, p := range perm {
+		if int(p) >= len(seen) || seen[p] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+}
+
+// TestBFSOrderDisconnectedComponents checks unreached components keep
+// their relative order after every reached vertex.
+func TestBFSOrderDisconnectedComponents(t *testing.T) {
+	// Component A: 0 -> 1; component B: 2 -> 3; isolated: 4.
+	g := MustBuild(5, []Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}})
+	perm := BFSOrder(g, 0)
+	if perm[0] != 0 || perm[1] != 1 {
+		t.Fatalf("reached component misordered: %v", perm)
+	}
+	// Unreached vertices 2, 3, 4 follow in original relative order.
+	if perm[2] != 2 || perm[3] != 3 || perm[4] != 4 {
+		t.Fatalf("unreached vertices reordered: %v", perm)
+	}
+	// Rooting in component B leaves A unreached but still covered.
+	perm = BFSOrder(g, 2)
+	if perm[2] != 0 || perm[3] != 1 {
+		t.Fatalf("component B misordered from its root: %v", perm)
+	}
+	if perm[0] != 2 || perm[1] != 3 || perm[4] != 4 {
+		t.Fatalf("unreached component A misordered: %v", perm)
+	}
+}
+
+// TestReorderEmptyGraph checks the zero-vertex graph round-trips through
+// every reordering helper without panicking.
+func TestReorderEmptyGraph(t *testing.T) {
+	g := MustBuild(0, nil)
+	if perm := BFSOrder(g, 0); len(perm) != 0 {
+		t.Fatalf("BFSOrder on empty graph returned %v", perm)
+	}
+	if perm := DegreeOrder(g); len(perm) != 0 {
+		t.Fatalf("DegreeOrder on empty graph returned %v", perm)
+	}
+	h, err := g.Relabel(nil)
+	if err != nil {
+		t.Fatalf("Relabel on empty graph: %v", err)
+	}
+	if h.NumVertices() != 0 || h.NumEdges() != 0 {
+		t.Fatalf("empty graph relabelled into %v", h)
+	}
+	if inv := InversePerm(nil); len(inv) != 0 {
+		t.Fatalf("InversePerm(nil) returned %v", inv)
+	}
+}
+
+// TestBFSOrderOutOfRangeRootFallsBack documents the out-of-range-root
+// fallback: the traversal restarts from vertex 0.
+func TestBFSOrderOutOfRangeRootFallsBack(t *testing.T) {
+	g := ladder()
+	if got, want := BFSOrder(g, 99), BFSOrder(g, 0); len(got) != len(want) {
+		t.Fatal("length mismatch")
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("fallback order differs at %d: %v vs %v", i, got, want)
+			}
+		}
+	}
+}

@@ -35,6 +35,16 @@ type IterStat struct {
 	ECGlobal     int64 // early-converged vertices cluster-wide (arith + RR)
 	SyncBytes    int64 // bytes this worker sent during the delta-sync phase
 	SyncSparse   bool  // delta-sync ran the sparse per-peer exchange
+	// ExposedComm is the delta-sync wall time left on the critical path
+	// after the compute barrier: the whole sync phase when synchronising
+	// serially, only the drain/decode tail when the overlapped pipeline
+	// streamed deltas during compute.
+	ExposedComm time.Duration
+	// StreamedBytes counts the bytes this worker sent while its compute
+	// phase was still running (communication hidden by overlap; zero on the
+	// serial path). StreamedBytes/SyncBytes is the superstep's overlap
+	// ratio.
+	StreamedBytes int64
 	// HeapAllocs/HeapBytes are the process-wide heap allocation deltas of
 	// this superstep (stepBegin through stepEnd), recorded only under
 	// core.Config.MeasureAllocs. The runtime counters are process-global,
@@ -62,6 +72,10 @@ type Run struct {
 	// lockstep, so both are cluster-wide counts.
 	DenseSyncs  int64
 	SparseSyncs int64
+	// OverlappedSyncs counts supersteps whose delta-sync streamed during
+	// compute (the pipelined path); like the strategy counters it is a
+	// lockstep, cluster-wide count.
+	OverlappedSyncs int64
 	// FlushBytes is this worker's share of the final consistency flush that
 	// re-broadcasts values distributed only sparsely during the run.
 	FlushBytes int64
@@ -134,7 +148,11 @@ func Merge(runs []*Run) *Run {
 			o.Suppressed += s.Suppressed
 			o.CatchUps += s.CatchUps
 			o.SyncBytes += s.SyncBytes
+			o.StreamedBytes += s.StreamedBytes
 			o.SyncSparse = o.SyncSparse || s.SyncSparse
+			if s.ExposedComm > o.ExposedComm {
+				o.ExposedComm = s.ExposedComm
+			}
 			if s.ActiveVerts > o.ActiveVerts {
 				o.ActiveVerts = s.ActiveVerts
 			}
@@ -189,6 +207,9 @@ func Merge(runs []*Run) *Run {
 		}
 		if r.SparseSyncs > out.SparseSyncs {
 			out.SparseSyncs = r.SparseSyncs
+		}
+		if r.OverlappedSyncs > out.OverlappedSyncs {
+			out.OverlappedSyncs = r.OverlappedSyncs // lockstep: identical on every worker
 		}
 		out.FlushBytes += r.FlushBytes
 		for name, n := range r.CodecPicks {

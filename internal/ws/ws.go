@@ -90,6 +90,17 @@ type Scheduler struct {
 	lo, hi    uint32
 	fn        func(chunkLo, chunkHi uint32, thread int)
 
+	// RunOverlap state: per-chunk completion flags plus a buffered
+	// completion channel (both reused across phases) and whether exec
+	// should mark them. The flags give the dispatcher its ascending-order
+	// cursor; the channel lets it block between completions instead of
+	// burning a core spinning. mark is written by the dispatcher before
+	// the wake send and reset after the last done receive, so the pool
+	// goroutines always observe a settled value.
+	flags     []atomic.Uint32
+	chunkDone chan int64
+	mark      bool
+
 	// ReduceI64 state.
 	acc   []paddedI64
 	redFn func(chunkLo, chunkHi uint32, thread int) int64
@@ -213,7 +224,9 @@ func (s *Scheduler) Run(lo, hi uint32, fn func(chunkLo, chunkHi uint32, thread i
 }
 
 // exec maps chunk ids to vertex sub-ranges, clamping the final chunk (and
-// guarding uint32 overflow).
+// guarding uint32 overflow). Under RunOverlap it publishes the chunk's
+// completion after fn returns; the atomic store is the happens-before edge
+// the draining dispatcher relies on to read the chunk's results.
 func (s *Scheduler) exec(chunk int64, thread int) {
 	clo := s.lo + uint32(chunk)*ChunkSize
 	chi := clo + ChunkSize
@@ -221,6 +234,10 @@ func (s *Scheduler) exec(chunk int64, thread int) {
 		chi = s.hi
 	}
 	s.fn(clo, chi, thread)
+	if s.mark {
+		s.flags[chunk].Store(1)
+		s.chunkDone <- chunk // buffered to nChunks: never blocks
+	}
 }
 
 // runWorker is one thread's share of a Run phase.
@@ -279,6 +296,101 @@ func (s *Scheduler) runWorker(t int) {
 		}
 	}
 	s.perThread[t] = count
+}
+
+// RunOverlap executes fn over every mini-chunk of [lo, hi) like Run, but
+// the dispatching goroutine does not compute: it drains completed chunks
+// in ascending chunk order through drain while workers 1..threads-1
+// execute (and steal) chunks. This is the overlap phase of the pipelined
+// superstep — drain typically encodes and streams a chunk's deltas while
+// the remaining chunks are still computing. drain(chunkLo, chunkHi) is
+// called exactly once per chunk, strictly in ascending order, and only
+// after fn finished that chunk (the completion flag's atomic store/load
+// pair is the happens-before edge, so drain may freely read what fn
+// wrote). With a single thread there is no spare worker: the dispatcher
+// interleaves, computing each chunk and draining it immediately — the
+// stream still leaves early, just without parallel overlap. Like every
+// phase, fn must not re-enter the scheduler; drain runs on the dispatching
+// goroutine and so may touch dispatcher-owned state (e.g. a Comm).
+func (s *Scheduler) RunOverlap(lo, hi uint32, fn func(chunkLo, chunkHi uint32, thread int), drain func(chunkLo, chunkHi uint32)) Stats {
+	if s.perThread == nil {
+		s.perThread = make([]int64, s.threads)
+		s.spans = make([]span, s.threads)
+	}
+	for t := range s.perThread {
+		s.perThread[t] = 0
+	}
+	s.steals.Store(0)
+	if hi <= lo {
+		return Stats{ChunksPerThread: s.perThread}
+	}
+	nChunks := int64(hi-lo+ChunkSize-1) / ChunkSize
+	s.lo, s.hi, s.fn = lo, hi, fn
+	chunkBounds := func(c int64) (uint32, uint32) {
+		clo := lo + uint32(c)*ChunkSize
+		chi := clo + ChunkSize
+		if chi > hi || chi < clo {
+			chi = hi
+		}
+		return clo, chi
+	}
+	if s.threads <= 1 {
+		for c := int64(0); c < nChunks; c++ {
+			s.exec(c, 0)
+			s.perThread[0]++
+			drain(chunkBounds(c))
+		}
+		s.fn = nil
+		return Stats{ChunksPerThread: s.perThread}
+	}
+	if int64(cap(s.flags)) < nChunks {
+		s.flags = make([]atomic.Uint32, nChunks)
+	} else {
+		s.flags = s.flags[:nChunks]
+		for i := range s.flags {
+			s.flags[i].Store(0)
+		}
+	}
+	if int64(cap(s.chunkDone)) < nChunks {
+		s.chunkDone = make(chan int64, nChunks)
+	}
+	// The dispatcher's span is empty: workers 1..threads-1 share the chunks.
+	w := int64(s.threads - 1)
+	s.spans[0].next.Store(0)
+	s.spans[0].end = 0
+	for t := 1; t < s.threads; t++ {
+		s.spans[t].next.Store(int64(t-1) * nChunks / w)
+		s.spans[t].end = int64(t) * nChunks / w
+	}
+	s.ensurePool()
+	s.mark = true
+	s.body = s.runBody
+	for t := 1; t < s.threads; t++ {
+		s.wake[t] <- struct{}{}
+	}
+	// Drain in ascending chunk order, blocking on the completion channel
+	// (not spinning) while the next chunk is still computing. A received
+	// token only says "some chunk finished", so the cursor re-checks its
+	// own flag; chunk c's own token guarantees the wait terminates. Every
+	// token is consumed before the phase ends so the channel starts the
+	// next phase empty.
+	consumed := int64(0)
+	for c := int64(0); c < nChunks; c++ {
+		for s.flags[c].Load() == 0 {
+			<-s.chunkDone
+			consumed++
+		}
+		drain(chunkBounds(c))
+	}
+	for ; consumed < nChunks; consumed++ {
+		<-s.chunkDone
+	}
+	for i := 1; i < s.threads; i++ {
+		<-s.done
+	}
+	s.mark = false
+	s.fn = nil
+	return Stats{ChunksPerThread: s.perThread, Steals: s.steals.Load()}
 }
 
 // ParallelFor is a convenience wrapper calling fn once per vertex.

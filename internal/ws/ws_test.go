@@ -296,3 +296,103 @@ func TestTasksRunsEachTaskOnce(t *testing.T) {
 		}
 	}
 }
+
+// TestRunOverlapDrainsEveryChunkInOrder checks the overlap phase's
+// contract: every chunk computed exactly once, drained exactly once, in
+// strictly ascending order, and only after its compute finished.
+func TestRunOverlapDrainsEveryChunkInOrder(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 7} {
+		for _, stealing := range []bool{false, true} {
+			const lo, hi = 13, 5000
+			s := New(threads, stealing)
+			computed := make([]int32, hi)
+			drained := make([]int32, hi)
+			prev := int64(-1)
+			st := s.RunOverlap(lo, hi, func(clo, chi uint32, _ int) {
+				for v := clo; v < chi; v++ {
+					atomic.AddInt32(&computed[v], 1)
+				}
+			}, func(clo, chi uint32) {
+				c := int64(clo-lo) / ChunkSize
+				if c != prev+1 {
+					t.Fatalf("threads=%d steal=%v: drained chunk %d after %d", threads, stealing, c, prev)
+				}
+				prev = c
+				for v := clo; v < chi; v++ {
+					if atomic.LoadInt32(&computed[v]) != 1 {
+						t.Fatalf("threads=%d steal=%v: drained vertex %d before/without compute", threads, stealing, v)
+					}
+					drained[v]++
+				}
+			})
+			for v := lo; v < hi; v++ {
+				if computed[v] != 1 || drained[v] != 1 {
+					t.Fatalf("threads=%d steal=%v: vertex %d computed %d / drained %d times",
+						threads, stealing, v, computed[v], drained[v])
+				}
+			}
+			var total int64
+			for _, c := range st.ChunksPerThread {
+				total += c
+			}
+			if want := int64(hi-lo+ChunkSize-1) / ChunkSize; total != want {
+				t.Fatalf("threads=%d steal=%v: stats count %d chunks, want %d", threads, stealing, total, want)
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestRunOverlapDrainSeesComputeWrites checks the publication edge: the
+// drain must observe everything fn wrote for that chunk without extra
+// synchronisation.
+func TestRunOverlapDrainSeesComputeWrites(t *testing.T) {
+	const hi = 10000
+	s := New(4, true)
+	defer s.Close()
+	vals := make([]uint32, hi) // plain writes in fn, plain reads in drain
+	var sum uint64
+	s.RunOverlap(0, hi, func(clo, chi uint32, _ int) {
+		for v := clo; v < chi; v++ {
+			vals[v] = v * 3
+		}
+	}, func(clo, chi uint32) {
+		for v := clo; v < chi; v++ {
+			sum += uint64(vals[v])
+		}
+	})
+	var want uint64
+	for v := uint32(0); v < hi; v++ {
+		want += uint64(v * 3)
+	}
+	if sum != want {
+		t.Fatalf("drain read %d, want %d", sum, want)
+	}
+}
+
+// TestRunOverlapEmptyAndInterleavedWithRun checks the empty range and that
+// Run and RunOverlap phases can alternate on one scheduler (the mark flag
+// and flag reuse must not leak between phases).
+func TestRunOverlapEmptyAndInterleavedWithRun(t *testing.T) {
+	s := New(3, true)
+	defer s.Close()
+	calls := 0
+	s.RunOverlap(7, 7, func(_, _ uint32, _ int) { calls++ }, func(_, _ uint32) { calls++ })
+	if calls != 0 {
+		t.Fatal("fn/drain called for empty range")
+	}
+	for round := 0; round < 3; round++ {
+		var n atomic.Int64
+		s.Run(0, 3000, func(clo, chi uint32, _ int) { n.Add(int64(chi - clo)) })
+		if n.Load() != 3000 {
+			t.Fatalf("round %d: Run covered %d vertices", round, n.Load())
+		}
+		drained := 0
+		s.RunOverlap(0, 1000+uint32(round)*2000, func(_, _ uint32, _ int) {}, func(clo, chi uint32) {
+			drained += int(chi - clo)
+		})
+		if want := 1000 + round*2000; drained != want {
+			t.Fatalf("round %d: drained %d vertices, want %d", round, drained, want)
+		}
+	}
+}
