@@ -11,6 +11,7 @@ package slfe_test
 
 import (
 	"io"
+	"math"
 	"testing"
 
 	"slfe/internal/apps"
@@ -156,7 +157,7 @@ func BenchmarkCodecAppendEncode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf, _ = compress.AppendEncodeBest(buf[:0], &sc, ids, vals)
+		buf, _ = compress.AppendEncodeBest(buf[:0], &sc, 8, ids, vals)
 	}
 }
 
@@ -165,16 +166,16 @@ func BenchmarkCodecEncode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _ = compress.EncodeBest(ids, vals)
+		_, _ = compress.EncodeBest(8, ids, vals)
 	}
 }
 
-func codecBatch() ([]uint32, []float64) {
+func codecBatch() ([]uint32, []uint64) {
 	ids := make([]uint32, 4096)
-	vals := make([]float64, 4096)
+	vals := make([]uint64, 4096)
 	for i := range ids {
 		ids[i] = uint32(i * 3)
-		vals[i] = float64(i % 17)
+		vals[i] = math.Float64bits(float64(i % 17))
 	}
 	return ids, vals
 }

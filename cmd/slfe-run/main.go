@@ -5,8 +5,11 @@
 //
 //	slfe-run -app sssp -graph graph.slfg -nodes 8 -rr
 //	slfe-run -app pr -dataset FS -scale 1000 -iters 30 -system powergraph
+//	slfe-run -app pr -dataset FS -domain f32              # half-width wire/values
+//	slfe-run -app cc -dataset OK -domain u32              # exact integer labels
 //
 // It prints the runtime, per-iteration statistics and a sample of results.
+// Run with -help for the registered application × value-domain matrix.
 package main
 
 import (
@@ -30,17 +33,27 @@ import (
 	"slfe/internal/metrics"
 )
 
+// domainWidth resolves a value-domain name to its wire word width via the
+// authoritative core mapping.
+func domainWidth(domain string) (int, error) {
+	if w, ok := core.WidthOf(domain); ok {
+		return w, nil
+	}
+	return 0, fmt.Errorf("unknown value domain %q (want f64 | f32 | u32 | dist32)", domain)
+}
+
 func main() {
-	app := flag.String("app", "sssp", "application: sssp | bfs | cc | wp | pr | tr | spmv | numpaths | heat | bp | triangles | kcore | clique | mst | diameter")
+	app := flag.String("app", "sssp", "application: see the registered-applications table in -help (plus triangles | kcore | clique | mst | diameter)")
+	domain := flag.String("domain", "f64", "value domain: f64 (original, 8-byte) | f32 (paper-faithful, 4-byte) | u32 (exact integer labels) | dist32 (SSSP distance+parent tree)")
 	path := flag.String("graph", "", "graph file (text or .slfg)")
 	dataset := flag.String("dataset", "", "Table 4 dataset code instead of -graph (PK OK LJ WK DI ST FS RMAT)")
 	scale := flag.Int("scale", 1000, "dataset down-scale factor")
-	system := flag.String("system", "slfe", "engine: slfe | powergraph | powerlyra | graphchi | ligra | async")
+	system := flag.String("system", "slfe", "engine: slfe | powergraph | powerlyra | graphchi | ligra | async (baselines run the f64 domain only)")
 	nodes := flag.Int("nodes", 1, "cluster size (slfe/powergraph/powerlyra)")
 	threads := flag.Int("threads", 0, "threads per node (0 = GOMAXPROCS)")
 	rr := flag.Bool("rr", true, "enable redundancy reduction (slfe)")
 	stealing := flag.Bool("stealing", true, "enable work stealing (slfe)")
-	codecName := flag.String("codec", "raw", "delta-sync wire codec: raw | varint-xor | rle | adaptive (slfe)")
+	codecName := flag.String("codec", "raw", "delta-sync wire codec: raw | varint-xor | rle | adaptive (slfe; built at the domain's word width)")
 	syncName := flag.String("sync", "dense", "delta-sync strategy: dense | sparse | adaptive (slfe)")
 	sparseDiv := flag.Int64("sparse-divisor", 0, "adaptive sync goes sparse when changed*divisor < |V| (0 = default 16)")
 	serialSync := flag.Bool("serial-sync", false, "disable overlapped delta-sync streaming; run sync strictly after the compute barrier (slfe, differential oracle)")
@@ -48,6 +61,7 @@ func main() {
 	root := flag.Uint("root", 0, "root vertex for sssp/bfs/wp/numpaths")
 	iters := flag.Int("iters", 30, "iterations for arithmetic apps")
 	verbose := flag.Bool("v", false, "print per-iteration statistics")
+	flag.Usage = usage
 	flag.Parse()
 
 	if *nodes < 1 {
@@ -62,6 +76,10 @@ func main() {
 	if *iters < 1 {
 		fatal(fmt.Errorf("-iters must be at least 1 (got %d)", *iters))
 	}
+	width, err := domainWidth(*domain)
+	if err != nil {
+		fatal(err)
+	}
 
 	g, err := loadGraph(*path, *dataset, *scale)
 	if err != nil {
@@ -69,7 +87,7 @@ func main() {
 	}
 	fmt.Printf("graph: %v\n", g)
 
-	codec, err := compress.ByName(*codecName)
+	codec, err := compress.ByNameW(*codecName, width)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,27 +100,36 @@ func main() {
 	}
 	opt := cluster.Options{Nodes: *nodes, Threads: *threads, Stealing: *stealing, RR: *rr,
 		Codec: codec, Sync: sync, SparseDivisor: *sparseDiv, SerialSync: *serialSync, Rebalance: *rebalance}
-	if runAnalytics(strings.ToLower(*app), g, graph.VertexID(*root), opt) {
+	appKey := strings.ToLower(*app)
+	if runAnalytics(appKey, g, graph.VertexID(*root), opt) {
 		return
 	}
 
-	prog, g, err := buildProgram(*app, g, graph.VertexID(*root), *iters)
-	if err != nil {
-		fatal(err)
-	}
-
-	var values []core.Value
+	var values []float64
 	var run *metrics.Run
 	switch strings.ToLower(*system) {
 	case "slfe":
-		res, err := cluster.Execute(g, prog, opt)
+		entry, ok := apps.LookupRunnable(appKey, *domain)
+		if !ok {
+			if doms := apps.RunnableDomains(appKey); len(doms) > 0 {
+				fatal(fmt.Errorf("application %q is not registered for domain %q (available: %s)",
+					appKey, *domain, strings.Join(doms, " ")))
+			}
+			fatal(fmt.Errorf("unknown application %q; run with -help for the registered table", appKey))
+		}
+		runG := g
+		if entry.NeedsSym {
+			runG = apps.Symmetrize(g)
+		}
+		out, err := entry.Build(graph.VertexID(*root), *iters).Execute(runG, opt)
 		if err != nil {
 			fatal(err)
 		}
-		values = res.Result.Values
-		run = metrics.Merge(res.PerWorker)
-		fmt.Printf("system: SLFE (rr=%v) nodes=%d elapsed=%v preprocess=%v comm=%d msgs / %d bytes\n",
-			*rr, *nodes, res.Elapsed, res.PreprocessTime, res.Comm.MessagesSent, res.Comm.BytesSent)
+		g = runG
+		values = out.Values
+		run = metrics.Merge(out.PerWorker)
+		fmt.Printf("system: SLFE (rr=%v domain=%s width=%dB) nodes=%d elapsed=%v preprocess=%v comm=%d msgs / %d bytes\n",
+			*rr, *domain, width, *nodes, out.Elapsed, out.Preprocess, out.Comm.MessagesSent, out.Comm.BytesSent)
 		fmt.Printf("delta-sync: strategy=%v supersteps dense=%d sparse=%d overlapped=%d flush=%dB codec-picks=%s\n",
 			sync, run.DenseSyncs, run.SparseSyncs, run.OverlappedSyncs, run.FlushBytes, formatPicks(run.CodecPicks))
 		var streamed, syncB int64
@@ -115,6 +142,8 @@ func main() {
 				streamed, syncB, float64(streamed)/float64(syncB))
 		}
 	case "powergraph", "powerlyra":
+		prog, runG := baselineProgram(appKey, g, graph.VertexID(*root), *iters, *domain)
+		g = runG
 		mode := gas.PowerGraph
 		if strings.ToLower(*system) == "powerlyra" {
 			mode = gas.PowerLyra
@@ -128,6 +157,8 @@ func main() {
 		fmt.Printf("system: %v nodes=%d elapsed=%v comm=%d msgs / %d bytes\n",
 			mode, *nodes, res.Metrics.Total, stats.MessagesSent, stats.BytesSent)
 	case "graphchi":
+		prog, runG := baselineProgram(appKey, g, graph.VertexID(*root), *iters, *domain)
+		g = runG
 		dir, err := os.MkdirTemp("", "slfe-run-ooc-*")
 		if err != nil {
 			fatal(err)
@@ -145,6 +176,8 @@ func main() {
 		run = res.Metrics
 		fmt.Printf("system: GraphChi-proxy elapsed=%v diskIO=%d bytes\n", res.Metrics.Total, res.BytesRead)
 	case "ligra":
+		prog, runG := baselineProgram(appKey, g, graph.VertexID(*root), *iters, *domain)
+		g = runG
 		res, err := ligra.Execute(g, prog, *threads)
 		if err != nil {
 			fatal(err)
@@ -153,6 +186,8 @@ func main() {
 		run = res.Metrics
 		fmt.Printf("system: Ligra-proxy elapsed=%v\n", res.Metrics.Total)
 	case "async":
+		prog, runG := baselineProgram(appKey, g, graph.VertexID(*root), *iters, *domain)
+		g = runG
 		res, _, err := async.Execute(g, prog, *nodes)
 		if err != nil {
 			fatal(err)
@@ -173,7 +208,30 @@ func main() {
 				s.Iter, s.Mode, s.ActiveVerts, s.Computations, s.Updates, s.Suppressed)
 		}
 	}
-	printSample(*app, g, values)
+	printSample(appKey, g, values)
+}
+
+// usage prints the flag defaults followed by the registered
+// application × value-domain table.
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+	flag.PrintDefaults()
+	fmt.Fprintln(flag.CommandLine.Output(), "\nRegistered applications (application: domains, aggregation):")
+	byKey := map[string][]string{}
+	agg := map[string]core.AggKind{}
+	var keys []string
+	for _, a := range apps.Runnables() {
+		if _, ok := byKey[a.Key]; !ok {
+			keys = append(keys, a.Key)
+		}
+		byKey[a.Key] = append(byKey[a.Key], a.Domain)
+		agg[a.Key] = a.Agg
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %-18s %s\n", k, strings.Join(byKey[k], " "), agg[k])
+	}
+	fmt.Fprintln(flag.CommandLine.Output(), "  plus whole-graph analytics: triangles | kcore | clique | mst | diameter (f64)")
 }
 
 func loadGraph(path, dataset string, scale int) (*graph.Graph, error) {
@@ -190,39 +248,45 @@ func loadGraph(path, dataset string, scale int) (*graph.Graph, error) {
 	return nil, fmt.Errorf("one of -graph or -dataset is required")
 }
 
-// buildProgram returns the program and (for CC) the symmetrised graph.
-func buildProgram(app string, g *graph.Graph, root graph.VertexID, iters int) (*core.Program, *graph.Graph, error) {
-	switch strings.ToLower(app) {
+// baselineProgram builds the float64 program the proxy baselines run (they
+// interpret Program hooks directly and support only the f64 domain); for CC
+// it returns the symmetrised graph.
+func baselineProgram(app string, g *graph.Graph, root graph.VertexID, iters int, domain string) (*core.Program[float64], *graph.Graph) {
+	if domain != "f64" {
+		fatal(fmt.Errorf("baseline systems run the f64 domain only (got -domain %s)", domain))
+	}
+	switch app {
 	case "sssp":
-		return apps.SSSP(root), g, nil
+		return apps.SSSP(root), g
 	case "bfs":
-		return apps.BFS(root), g, nil
+		return apps.BFS(root), g
 	case "cc":
 		sym := apps.Symmetrize(g)
-		return apps.CC(sym), sym, nil
+		return apps.CC(sym), sym
 	case "wp":
-		return apps.WP(root), g, nil
+		return apps.WP(root), g
 	case "pr":
-		return apps.PageRank(iters), g, nil
+		return apps.PageRank(iters), g
 	case "tr":
-		return apps.TunkRank(iters), g, nil
+		return apps.TunkRank(iters), g
 	case "spmv":
-		return apps.SpMV(iters), g, nil
+		return apps.SpMV(iters), g
 	case "numpaths":
-		return apps.NumPaths(root, iters), g, nil
+		return apps.NumPaths(root, iters), g
 	case "heat":
-		return apps.HeatSimulation([]graph.VertexID{root}, iters), g, nil
+		return apps.HeatSimulation([]graph.VertexID{root}, iters), g
 	case "bp":
 		// Demo priors: the root holds positive evidence.
-		prior := func(_ *graph.Graph, v graph.VertexID) core.Value {
+		prior := func(_ *graph.Graph, v graph.VertexID) float64 {
 			if v == root {
 				return 2
 			}
 			return 0
 		}
-		return apps.BeliefPropagation(prior, apps.BeliefCoupling, iters), g, nil
+		return apps.BeliefPropagation(prior, apps.BeliefCoupling, iters), g
 	}
-	return nil, nil, fmt.Errorf("unknown app %q", app)
+	fatal(fmt.Errorf("unknown app %q for baseline systems", app))
+	return nil, nil
 }
 
 // runAnalytics handles the applications that are whole-graph analyses
@@ -282,21 +346,21 @@ func runAnalytics(app string, g *graph.Graph, root graph.VertexID, opt cluster.O
 	return true
 }
 
-func printSample(app string, g *graph.Graph, values []core.Value) {
+func printSample(app string, g *graph.Graph, values []float64) {
 	if len(values) == 0 {
 		return
 	}
-	switch strings.ToLower(app) {
+	switch app {
 	case "pr", "tr":
 		scores := values
-		if strings.ToLower(app) == "pr" {
+		if app == "pr" {
 			scores = apps.PageRankScores(g, values)
 		} else {
 			scores = apps.TunkRankScores(g, values)
 		}
 		type kv struct {
 			v graph.VertexID
-			s core.Value
+			s float64
 		}
 		top := make([]kv, 0, len(scores))
 		for v, s := range scores {

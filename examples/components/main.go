@@ -46,7 +46,7 @@ func main() {
 		l.Close()
 	}
 
-	results := make([]*core.Result, nodes)
+	results := make([]*core.Result[float64], nodes)
 	errs := make([]error, nodes)
 	transports := make([]comm.Transport, nodes)
 	var wg sync.WaitGroup
@@ -63,7 +63,7 @@ func main() {
 				return
 			}
 			transports[rank] = tr
-			eng, err := core.New(core.Config{
+			eng, err := core.New[float64](core.Config{
 				Graph:    g,
 				Comm:     comm.NewComm(tr),
 				Part:     part,

@@ -12,6 +12,7 @@ import (
 
 	"slfe/internal/apps"
 	"slfe/internal/cluster"
+	"slfe/internal/core"
 	"slfe/internal/gen"
 	"slfe/internal/graph"
 )
@@ -36,6 +37,27 @@ func main() {
 	}
 	fmt.Printf("fastest route %d -> %d takes %.0f minutes (%d supersteps, %v)\n",
 		start, dest, sssp.Result.Values[dest], sssp.Result.Iterations, sssp.Elapsed)
+
+	// The same query over the composite dist32 value domain: each vertex
+	// carries (distance, predecessor) in one 8-byte wire word, so the run
+	// returns an actual shortest-path tree — the turn-by-turn route, not
+	// just its length.
+	tree, err := cluster.Execute(g, apps.SSSPTree(start), cluster.Options{Nodes: 4, RR: true, Stealing: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	route := []graph.VertexID{dest}
+	for v := dest; v != start; {
+		p := tree.Result.Values[v].Parent
+		if p == core.NoParent || len(route) > rows*cols {
+			log.Fatalf("broken shortest-path tree at intersection %d", v)
+		}
+		v = graph.VertexID(p)
+		route = append(route, v)
+	}
+	fmt.Printf("turn-by-turn route has %d intersections (same %.0f minutes: %v)\n",
+		len(route), float64(tree.Result.Values[dest].Dist),
+		float64(tree.Result.Values[dest].Dist) == sssp.Result.Values[dest])
 
 	// Widest path: the best bottleneck capacity from the same corner.
 	wp, err := cluster.Execute(g, apps.WP(start), cluster.Options{Nodes: 4, RR: true, Stealing: true})

@@ -46,14 +46,14 @@ const BeliefCoupling = 0.3
 // originates only at evidence vertices, so lastIter must measure
 // propagation depth from them — otherwise a vertex that is transiently
 // stable before evidence arrives would be frozen too early.
-func BeliefPropagation(prior func(g *graph.Graph, v graph.VertexID) core.Value, coupling float64, iters int) *core.Program {
+func BeliefPropagation(prior func(g *graph.Graph, v graph.VertexID) core.Value, coupling float64, iters int) *core.Program[float64] {
 	if prior == nil {
 		prior = func(_ *graph.Graph, _ graph.VertexID) core.Value { return 0 }
 	}
 	if coupling == 0 {
 		coupling = BeliefCoupling
 	}
-	return &core.Program{
+	return &core.Program[float64]{
 		Name:       "BP",
 		Agg:        core.Arith,
 		InitValue:  prior,

@@ -21,6 +21,7 @@ package async
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -48,7 +49,7 @@ type Result struct {
 // Execute runs a MinMax program asynchronously on nodes workers. Arith
 // programs are rejected: their convergence depends on synchronous (Jacobi)
 // iteration order, which an async engine does not preserve.
-func Execute(g *graph.Graph, p *core.Program, nodes int) (*Result, []*metrics.Run, error) {
+func Execute(g *graph.Graph, p *core.Program[float64], nodes int) (*Result, []*metrics.Run, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -136,9 +137,9 @@ func Execute(g *graph.Graph, p *core.Program, nodes int) (*Result, []*metrics.Ru
 					ids = append(ids, id)
 				}
 				sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-				vals := make([]core.Value, len(ids))
+				vals := make([]uint64, len(ids))
 				for i, id := range ids {
-					vals[i] = m[id]
+					vals[i] = math.Float64bits(m[id])
 				}
 				sent += int64(len(ids))
 				blobs[r] = codec.Encode(ids, vals)
@@ -149,11 +150,11 @@ func Execute(g *graph.Graph, p *core.Program, nodes int) (*Result, []*metrics.Ru
 			}
 			syncStart := time.Now()
 			for _, blob := range got {
-				err := codec.Decode(blob, func(id graph.VertexID, val core.Value) error {
+				err := codec.Decode(blob, func(id graph.VertexID, bits uint64) error {
 					if id < lo || id >= hi {
 						return fmt.Errorf("async: proposal for non-owned vertex %d", id)
 					}
-					if p.Better(val, values[id]) {
+					if val := math.Float64frombits(bits); p.Better(val, values[id]) {
 						values[id] = val
 						stat.Updates++
 						if !inList[id] {
@@ -182,18 +183,18 @@ func Execute(g *graph.Graph, p *core.Program, nodes int) (*Result, []*metrics.Ru
 
 		// Assemble the global result: owners publish their ranges.
 		var ids []graph.VertexID
-		var vals []core.Value
+		var vals []uint64
 		for v := lo; v < hi; v++ {
 			ids = append(ids, v)
-			vals = append(vals, values[v])
+			vals = append(vals, math.Float64bits(values[v]))
 		}
 		blobs, err := cm.AllGather(codec.Encode(ids, vals))
 		if err != nil {
 			return err
 		}
 		for _, blob := range blobs {
-			err := codec.Decode(blob, func(id graph.VertexID, val core.Value) error {
-				values[id] = val
+			err := codec.Decode(blob, func(id graph.VertexID, bits uint64) error {
+				values[id] = math.Float64frombits(bits)
 				return nil
 			})
 			if err != nil {

@@ -115,7 +115,7 @@ func (e *Engine) owner(v graph.VertexID) int {
 }
 
 // Run executes the program to convergence.
-func (e *Engine) Run(p *core.Program) (*Result, error) {
+func (e *Engine) Run(p *core.Program[float64]) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -312,7 +312,7 @@ func decodeDeltas(buf []byte, fn func(id graph.VertexID, val core.Value) error) 
 
 // Execute runs the program on an in-process GAS cluster of the given size
 // and returns rank 0's result plus per-worker metrics and traffic.
-func Execute(g *graph.Graph, p *core.Program, nodes int, mode Mode, threads int) (*Result, []*metrics.Run, comm.Stats, error) {
+func Execute(g *graph.Graph, p *core.Program[float64], nodes int, mode Mode, threads int) (*Result, []*metrics.Run, comm.Stats, error) {
 	if nodes <= 0 {
 		nodes = 1
 	}

@@ -152,7 +152,7 @@ type Result struct {
 // Execute runs a core.Program on the Ligra engine. MinMax programs use
 // frontier iteration with a mutex-free monotone update; arith programs run
 // dense rounds for MaxIters.
-func Execute(g *graph.Graph, p *core.Program, threads int) (*Result, error) {
+func Execute(g *graph.Graph, p *core.Program[float64], threads int) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

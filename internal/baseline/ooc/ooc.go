@@ -89,7 +89,7 @@ type Result struct {
 }
 
 // Run executes the program over the shards until convergence.
-func (e *Engine) Run(p *core.Program) (*Result, error) {
+func (e *Engine) Run(p *core.Program[float64]) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

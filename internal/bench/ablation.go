@@ -199,7 +199,7 @@ func AblationReorder(c Config) error {
 }
 
 // remapRootProgram rebuilds the app's program with the given root.
-func remapRootProgram(c Config, app string, g *graph.Graph, root graph.VertexID) *core.Program {
+func remapRootProgram(c Config, app string, g *graph.Graph, root graph.VertexID) *core.Program[float64] {
 	switch app {
 	case "SSSP":
 		return apps.SSSP(root)

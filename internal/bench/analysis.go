@@ -17,12 +17,12 @@ import (
 
 func symmetrize(g *graph.Graph) *graph.Graph { return apps.Symmetrize(g) }
 
-func gasExecute(g *graph.Graph, p *core.Program, nodes, threads int) (*gas.Result, []*metrics.Run, int64, error) {
+func gasExecute(g *graph.Graph, p *core.Program[float64], nodes, threads int) (*gas.Result, []*metrics.Run, int64, error) {
 	res, runs, stats, err := gas.Execute(g, p, nodes, gas.PowerLyra, threads)
 	return res, runs, stats.BytesSent, err
 }
 
-func clusterExecute(g *graph.Graph, p *core.Program, nodes, threads int) (*cluster.RunResult, error) {
+func clusterExecute(g *graph.Graph, p *core.Program[float64], nodes, threads int) (*cluster.RunResult[float64], error) {
 	return cluster.Execute(g, p, cluster.Options{Nodes: nodes, Threads: threads, Stealing: true, RR: true})
 }
 

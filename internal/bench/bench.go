@@ -103,7 +103,7 @@ func appIsArith(app string) bool { return app == "PR" || app == "TR" }
 
 // Program builds the named application program against g; CC callers must
 // pass the symmetrised graph.
-func (c *Config) Program(app string, g *graph.Graph) (*core.Program, error) {
+func (c *Config) Program(app string, g *graph.Graph) (*core.Program[float64], error) {
 	c.defaults()
 	switch app {
 	case "SSSP":
@@ -136,7 +136,7 @@ func (c *Config) graphFor(app, name string) (*graph.Graph, error) {
 }
 
 // RunSLFE executes one app on one dataset with the SLFE engine.
-func (c *Config) RunSLFE(app, name string, nodes int, rr bool, opts ...func(*cluster.Options)) (*cluster.RunResult, error) {
+func (c *Config) RunSLFE(app, name string, nodes int, rr bool, opts ...func(*cluster.Options)) (*cluster.RunResult[float64], error) {
 	c.defaults()
 	g, err := c.graphFor(app, name)
 	if err != nil {

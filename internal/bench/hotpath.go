@@ -34,7 +34,7 @@ func Hotpath(c Config) error {
 	fmt.Fprintln(tw, "app\tgraph\titers\tflat-allocs/step\tflat-B/step\tmap-allocs/step\tmap-B/step\tidentical")
 	var summary [][]string
 	for _, app := range hotpathApps {
-		runs := map[bool]*cluster.RunResult{}
+		runs := map[bool]*cluster.RunResult[float64]{}
 		for _, mapPush := range []bool{false, true} {
 			res, err := c.RunSLFE(app, "PK", 1, true, func(o *cluster.Options) {
 				o.MeasureAllocs = true
@@ -95,18 +95,18 @@ func Hotpath(c Config) error {
 	fmt.Fprintln(tw, "\nHotpath codec: adaptive encode of a 4096-entry batch, allocations per op")
 	fmt.Fprintln(tw, "path\tallocs/op\tB/op")
 	ids := make([]uint32, 4096)
-	vals := make([]float64, 4096)
+	vals := make([]uint64, 4096)
 	for i := range ids {
 		ids[i] = uint32(i * 3)
-		vals[i] = float64(i % 17)
+		vals[i] = math.Float64bits(float64(i % 17))
 	}
 	var sc compress.EncodeScratch
 	var buf []byte
 	pa, pb := measureAllocs(func() {
-		buf, _ = compress.AppendEncodeBest(buf[:0], &sc, ids, vals)
+		buf, _ = compress.AppendEncodeBest(buf[:0], &sc, 8, ids, vals)
 	})
 	ua, ub := measureAllocs(func() {
-		_, _ = compress.EncodeBest(ids, vals)
+		_, _ = compress.EncodeBest(8, ids, vals)
 	})
 	fmt.Fprintf(tw, "pooled\t%.1f\t%.0f\n", pa, pb)
 	fmt.Fprintf(tw, "unpooled\t%.1f\t%.0f\n", ua, ub)

@@ -4,8 +4,10 @@ import (
 	"io"
 	"testing"
 
+	"slfe/internal/apps"
 	"slfe/internal/cluster"
 	"slfe/internal/compress"
+	"slfe/internal/graph"
 	"slfe/internal/metrics"
 )
 
@@ -68,6 +70,53 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 		}
 		if bytes > byteBudget {
 			t.Errorf("%s: steady-state supersteps allocate %d bytes, budget %d — the hot path regressed",
+				tc.name, bytes, byteBudget)
+		}
+	}
+
+	// The narrow value domains run the same generic hot path; the
+	// genericization must not have reintroduced per-superstep allocations
+	// through boxing, closure captures or fresh conversion buffers.
+	domainCases := []struct {
+		name, app, domain string
+	}{
+		{"PR-f32", "pr", "f32"},
+		{"SSSP-f32", "sssp", "f32"},
+		{"BFS-u32", "bfs", "u32"},
+		{"CC-u32", "cc", "u32"},
+		{"SSSPTree-dist32", "sssp", "dist32"},
+	}
+	for _, tc := range domainCases {
+		entry, ok := apps.LookupRunnable(tc.app, tc.domain)
+		if !ok {
+			t.Fatalf("%s: no registry entry", tc.name)
+		}
+		g, err := c.Graph("PK")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if entry.NeedsSym {
+			g, err = c.Graph("PK:sym")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := entry.Build(graph.VertexID(0), c.PRIters).Execute(g, cluster.Options{
+			Nodes: 1, Threads: 2, Stealing: true, RR: true,
+			MeasureAllocs: true, Codec: compress.Adaptive{W: domWidth(tc.domain)},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		allocs, bytes := steadyState(out.Run.Iters)
+		t.Logf("%s: %d iters, steady state %d allocs / %d bytes per superstep",
+			tc.name, out.Iterations, allocs, bytes)
+		if allocs > allocBudget {
+			t.Errorf("%s: steady-state supersteps allocate %d objects, budget %d — generics regressed the hot path",
+				tc.name, allocs, allocBudget)
+		}
+		if bytes > byteBudget {
+			t.Errorf("%s: steady-state supersteps allocate %d bytes, budget %d — generics regressed the hot path",
 				tc.name, bytes, byteBudget)
 		}
 	}

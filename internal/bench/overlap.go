@@ -35,7 +35,7 @@ func Overlap(c Config) error {
 	fmt.Fprintln(tw, "app\tgraph\tpath\titers\toverlapped\telapsed\tsuperstep\tsync\texposed\tstreamedB\tsyncB\tidentical")
 	var summary [][]string
 	for _, app := range hotpathApps {
-		runs := map[bool]*cluster.RunResult{}
+		runs := map[bool]*cluster.RunResult[float64]{}
 		for _, serial := range []bool{true, false} {
 			res, err := c.RunSLFE(app, "PK", c.Nodes, true, func(o *cluster.Options) {
 				o.SerialSync = serial
@@ -125,7 +125,7 @@ func Overlap(c Config) error {
 			// profile; the minimum is the standard microbenchmark
 			// estimator of the undisturbed run.
 			const reps = 5
-			runs := map[bool]*cluster.RunResult{}
+			runs := map[bool]*cluster.RunResult[float64]{}
 			for rep := 0; rep < reps; rep++ {
 				for _, serial := range []bool{true, false} {
 					transports, err := comm.LoopbackTCP(c.Nodes, 10*time.Second)

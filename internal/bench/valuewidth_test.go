@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestValueWidthPageRankF32Reduction is the CI guard for the value-domain
+// refactor's headline number: PageRank at scale 500 must cut its
+// streamed+sync delta traffic by at least 40% when running the f32 domain
+// instead of f64 (the wire word halves; the adaptive codec keeps the id
+// stream shared). The f32 results are additionally verified against the
+// f64 oracle inside valuewidthRun's caller path, so the cut cannot come
+// from dropping data.
+func TestValueWidthPageRankF32Reduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node PageRank runs")
+	}
+	c := Config{Scale: 500, Nodes: 3, Threads: 2, PRIters: 30, Out: io.Discard}
+	c.defaults()
+	ref, refSync, err := valuewidthRun(c, "pr", "f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSync, err := valuewidthRun(c, "pr", "f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valuesMatch("f32", got.Values, ref.Values) {
+		t.Fatal("f32 PageRank diverged from the f64 oracle")
+	}
+	if refSync <= 0 {
+		t.Fatalf("f64 run reports %d sync bytes", refSync)
+	}
+	reduction := 1 - float64(gotSync)/float64(refSync)
+	t.Logf("sync+streamed bytes: f64=%d f32=%d (reduction %.1f%%)", refSync, gotSync, 100*reduction)
+	if reduction < 0.40 {
+		t.Fatalf("f32 cut sync traffic by only %.1f%% (%d -> %d bytes); want >= 40%%",
+			100*reduction, refSync, gotSync)
+	}
+}
+
+// TestValueWidthExperiment smoke-runs the whole experiment at a small
+// scale: every (app, domain) pairing must execute and verify against its
+// f64 oracle.
+func TestValueWidthExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every app in three domains")
+	}
+	c := Config{Scale: 16000, Nodes: 2, Threads: 2, PRIters: 10, Out: io.Discard}
+	if err := ValueWidth(c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,13 @@
 // ranks' shards for the same iteration exist. On restart the engine
 // resumes from the latest complete checkpoint instead of iteration 0 —
 // the standard Pregel-style fault-tolerance scheme.
+//
+// Shards are domain-tagged (format version 2): values are stored as the
+// value domain's wire words at the domain's width, and the domain name is
+// part of the frame, so a shard written by one property domain can never
+// silently resume as another (the bits would be meaningless). Version-1
+// shards — the pre-domain format with untagged float64 values — are
+// rejected with an actionable error.
 package ckpt
 
 import (
@@ -13,7 +20,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,11 +45,19 @@ type State struct {
 	Kind Kind
 	// Iter is the superstep the snapshot was taken after.
 	Iter uint32
-	// Values is the (globally synchronised) property array.
-	Values []float64
-	// StableCnt / StableVal are the arith loop's Algorithm 5 state.
+	// Domain names the value domain the shard was written in ("f64",
+	// "f32", "u32", ...); verified on resume.
+	Domain string
+	// Width is the domain's wire word width in bytes (4 or 8). Values are
+	// stored at this width.
+	Width uint8
+	// Values is the (globally synchronised) property array as the
+	// domain's wire words.
+	Values []uint64
+	// StableCnt / StableVal are the arith loop's Algorithm 5 state
+	// (StableVal as wire words like Values).
 	StableCnt []uint32
-	StableVal []float64
+	StableVal []uint64
 	// Sets holds the min/max loop's bitsets as sorted set-index lists
 	// (keys: "frontier", "caughtup", "debt").
 	Sets map[string][]uint32
@@ -51,26 +65,36 @@ type State struct {
 
 const magic = "SLCK"
 
+// version is the current shard format: 2 introduced domain-tagged,
+// width-aware value arrays.
+const version = 2
+
+// width normalises the shard's word width (0 from a zero-value State means
+// the legacy 8 bytes).
+func (s *State) width() int {
+	if s.Width == 4 {
+		return 4
+	}
+	return 8
+}
+
 // WriteTo serialises the shard with a trailing CRC32.
 func (s *State) WriteTo(w io.Writer) (int64, error) {
+	width := s.width()
 	var buf []byte
 	buf = append(buf, magic...)
-	buf = binary.LittleEndian.AppendUint16(buf, 1) // version
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = appendString(buf, s.Program)
 	buf = append(buf, byte(s.Kind))
 	buf = binary.LittleEndian.AppendUint32(buf, s.Iter)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.Values)))
-	for _, v := range s.Values {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
-	}
+	buf = appendString(buf, s.Domain)
+	buf = append(buf, byte(width))
+	buf = appendWords(buf, s.Values, width)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.StableCnt)))
 	for _, c := range s.StableCnt {
 		buf = binary.LittleEndian.AppendUint32(buf, c)
 	}
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.StableVal)))
-	for _, v := range s.StableVal {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
-	}
+	buf = appendWords(buf, s.StableVal, width)
 	keys := make([]string, 0, len(s.Sets))
 	for k := range s.Sets {
 		keys = append(keys, k)
@@ -90,8 +114,26 @@ func (s *State) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
+// appendWords writes a length-prefixed word array at the given width.
+func appendWords(buf []byte, words []uint64, width int) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(words)))
+	for _, w := range words {
+		if width == 4 {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(w))
+		} else {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+	return buf
+}
+
 // ErrCorrupt reports a shard failing structural or checksum validation.
 var ErrCorrupt = errors.New("ckpt: corrupt checkpoint shard")
+
+// ErrUntagged reports a version-1 shard: the pre-domain format carried no
+// value-domain tag, so its bits cannot be trusted to match the running
+// program's domain.
+var ErrUntagged = errors.New("ckpt: checkpoint shard uses the untagged version-1 format (written before value domains existed); it cannot be resumed safely — delete the checkpoint directory and re-run, or replay it with a pre-domain build")
 
 // ReadState deserialises a shard written by WriteTo.
 func ReadState(r io.Reader) (*State, error) {
@@ -110,16 +152,26 @@ func ReadState(r io.Reader) (*State, error) {
 	if string(d.bytes(4)) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if v := d.u16(); v != 1 {
+	switch v := d.u16(); v {
+	case version:
+	case 1:
+		return nil, ErrUntagged
+	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
 	s := &State{}
 	s.Program = d.string()
 	s.Kind = Kind(d.bytes(1)[0])
 	s.Iter = d.u32()
-	s.Values = d.f64s()
+	s.Domain = d.string()
+	s.Width = d.bytes(1)[0]
+	if s.Width != 4 && s.Width != 8 {
+		return nil, fmt.Errorf("%w: value width %d", ErrCorrupt, s.Width)
+	}
+	width := int(s.Width)
+	s.Values = d.words(width)
 	s.StableCnt = d.u32s()
-	s.StableVal = d.f64s()
+	s.StableVal = d.words(width)
 	nsets := d.u32()
 	if nsets > 16 {
 		return nil, fmt.Errorf("%w: %d sets", ErrCorrupt, nsets)
@@ -178,14 +230,18 @@ func (d *decoder) lenCapped() int {
 	return int(n)
 }
 
-func (d *decoder) f64s() []float64 {
+func (d *decoder) words(width int) []uint64 {
 	n := d.lenCapped()
 	if d.err != nil || n == 0 {
 		return nil
 	}
-	out := make([]float64, n)
+	out := make([]uint64, n)
 	for i := range out {
-		out[i] = math.Float64frombits(d.u64())
+		if width == 4 {
+			out[i] = uint64(d.u32())
+		} else {
+			out[i] = d.u64()
+		}
 	}
 	return out
 }

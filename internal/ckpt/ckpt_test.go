@@ -14,9 +14,11 @@ func sampleState() *State {
 		Program:   "SSSP",
 		Kind:      MinMax,
 		Iter:      7,
-		Values:    []float64{0, 1.5, math.Inf(1), -2},
+		Domain:    "f64",
+		Width:     8,
+		Values:    []uint64{0, math.Float64bits(1.5), math.Float64bits(math.Inf(1)), math.Float64bits(-2)},
 		StableCnt: []uint32{0, 3},
-		StableVal: []float64{0.25},
+		StableVal: []uint64{math.Float64bits(0.25)},
 		Sets: map[string][]uint32{
 			"frontier": {1, 3},
 			"debt":     {},
@@ -37,7 +39,10 @@ func TestStateRoundTrip(t *testing.T) {
 	if got.Program != s.Program || got.Kind != s.Kind || got.Iter != s.Iter {
 		t.Fatalf("header: %+v", got)
 	}
-	if len(got.Values) != 4 || !math.IsInf(got.Values[2], 1) {
+	if got.Domain != "f64" || got.Width != 8 {
+		t.Fatalf("domain tag: %q width %d", got.Domain, got.Width)
+	}
+	if len(got.Values) != 4 || !math.IsInf(math.Float64frombits(got.Values[2]), 1) {
 		t.Fatalf("values: %v", got.Values)
 	}
 	if len(got.StableCnt) != 2 || got.StableCnt[1] != 3 {
@@ -71,8 +76,8 @@ func TestReadStateRejectsCorruption(t *testing.T) {
 }
 
 func TestStateRoundTripProperty(t *testing.T) {
-	f := func(values []float64, cnts []uint32, iter uint32, name string) bool {
-		s := &State{Program: name, Kind: Arith, Iter: iter, Values: values, StableCnt: cnts}
+	f := func(values []uint64, cnts []uint32, iter uint32, name string) bool {
+		s := &State{Program: name, Kind: Arith, Iter: iter, Domain: "f64", Width: 8, Values: values, StableCnt: cnts}
 		if len(name) > 1<<15 {
 			return true
 		}
@@ -88,7 +93,7 @@ func TestStateRoundTripProperty(t *testing.T) {
 			return false
 		}
 		for i := range values {
-			if math.Float64bits(got.Values[i]) != math.Float64bits(values[i]) {
+			if got.Values[i] != values[i] {
 				return false
 			}
 		}

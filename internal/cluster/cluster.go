@@ -70,11 +70,11 @@ type Options struct {
 	Ckpt *ckpt.Manager
 }
 
-// RunResult is the outcome of a cluster execution.
-type RunResult struct {
+// RunResult is the outcome of a cluster execution over property type V.
+type RunResult[V comparable] struct {
 	// Result is worker 0's result; values are synchronised, so it is the
 	// cluster result.
-	Result *core.Result
+	Result *core.Result[V]
 	// PerWorker holds each worker's metrics.
 	PerWorker []*metrics.Run
 	// Guidance is the RRG used (nil when RR is off).
@@ -89,7 +89,7 @@ type RunResult struct {
 
 // Execute partitions g, optionally generates RR guidance, and runs the
 // program on an in-process cluster.
-func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
+func Execute[V comparable](g *graph.Graph, p *core.Program[V], opt Options) (*RunResult[V], error) {
 	if opt.Nodes <= 0 {
 		opt.Nodes = 1
 	}
@@ -106,7 +106,7 @@ func Execute(g *graph.Graph, p *core.Program, opt Options) (*RunResult, error) {
 // The transports are closed when every rank has finished, never earlier: a
 // premature close can reset connections still carrying a slower peer's
 // final collective results.
-func ExecuteOver(g *graph.Graph, p *core.Program, opt Options, transports []comm.Transport) (*RunResult, error) {
+func ExecuteOver[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transports []comm.Transport) (*RunResult[V], error) {
 	opt.Nodes = len(transports)
 	defer func() {
 		for _, t := range transports {
@@ -121,7 +121,7 @@ func ExecuteOver(g *graph.Graph, p *core.Program, opt Options, transports []comm
 		return nil, err
 	}
 
-	out := &RunResult{}
+	out := &RunResult[V]{}
 	var guidance *rrg.Guidance
 	if opt.RR {
 		if opt.Guidance != nil {
@@ -146,7 +146,7 @@ func ExecuteOver(g *graph.Graph, p *core.Program, opt Options, transports []comm
 		out.Guidance = guidance
 	}
 
-	results := make([]*core.Result, opt.Nodes)
+	results := make([]*core.Result[V], opt.Nodes)
 	errs := make([]error, opt.Nodes)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -154,7 +154,7 @@ func ExecuteOver(g *graph.Graph, p *core.Program, opt Options, transports []comm
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			eng, err := core.New(core.Config{
+			eng, err := core.New[V](core.Config{
 				Graph:            g,
 				Comm:             comm.NewComm(transports[rank]),
 				Part:             part,

@@ -10,8 +10,8 @@ import (
 	"slfe/internal/graph"
 )
 
-func ssspProgram() *core.Program {
-	return &core.Program{
+func ssspProgram() *core.Program[float64] {
+	return &core.Program[float64]{
 		Name: "sssp",
 		Agg:  core.MinMax,
 		InitValue: func(_ *graph.Graph, v graph.VertexID) core.Value {
@@ -78,7 +78,7 @@ func TestCkptRebalanceRejectedThroughExecute(t *testing.T) {
 // checkpointed run followed by a resumed run that skips the prefix.
 func TestCkptResumeThroughExecute(t *testing.T) {
 	g := gen.RMAT(512, 4096, gen.DefaultRMAT, 1, 37)
-	p := &core.Program{
+	p := &core.Program[float64]{
 		Name:       "pr",
 		Agg:        core.Arith,
 		InitValue:  func(_ *graph.Graph, _ graph.VertexID) core.Value { return 1 },

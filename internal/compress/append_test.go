@@ -2,20 +2,25 @@ package compress
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 )
 
 // randomBatch returns an ascending-id batch with clustered ids and
-// correlated values, the shape delta-sync emits.
-func randomBatch(rng *rand.Rand, n int) ([]uint32, []float64) {
+// correlated values, the shape delta-sync emits, masked to the word width.
+func randomBatch(rng *rand.Rand, n, w int) ([]uint32, []uint64) {
+	mask := uint64(math.MaxUint64)
+	if w == 4 {
+		mask = math.MaxUint32
+	}
 	ids := make([]uint32, n)
-	vals := make([]float64, n)
+	vals := make([]uint64, n)
 	id := uint32(rng.Intn(50))
 	for i := 0; i < n; i++ {
 		ids[i] = id
 		id += uint32(1 + rng.Intn(9))
-		vals[i] = float64(rng.Intn(40))
+		vals[i] = math.Float64bits(float64(rng.Intn(40))) & mask
 	}
 	return ids, vals
 }
@@ -24,18 +29,20 @@ func randomBatch(rng *rand.Rand, n int) ([]uint32, []float64) {
 // pre-existing dst contents.
 func TestAppendEncodeMatchesEncode(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	codecs := []AppendCodec{Raw{}, VarintXOR{}, RLE{}, Adaptive{}}
-	for trial := 0; trial < 50; trial++ {
-		ids, vals := randomBatch(rng, rng.Intn(200))
-		for _, c := range codecs {
-			want := c.Encode(ids, vals)
-			got := c.AppendEncode(nil, ids, vals)
-			if !bytes.Equal(got, want) {
-				t.Fatalf("%s: AppendEncode(nil) differs from Encode", c.Name())
-			}
-			prefixed := c.AppendEncode([]byte("pfx"), ids, vals)
-			if !bytes.Equal(prefixed[:3], []byte("pfx")) || !bytes.Equal(prefixed[3:], want) {
-				t.Fatalf("%s: AppendEncode clobbered the prefix", c.Name())
+	for _, w := range widths {
+		codecs := []AppendCodec{Raw{W: w}, VarintXOR{W: w}, RLE{W: w}, Adaptive{W: w}}
+		for trial := 0; trial < 50; trial++ {
+			ids, vals := randomBatch(rng, rng.Intn(200), w)
+			for _, c := range codecs {
+				want := c.Encode(ids, vals)
+				got := c.AppendEncode(nil, ids, vals)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s/w%d: AppendEncode(nil) differs from Encode", c.Name(), w)
+				}
+				prefixed := c.AppendEncode([]byte("pfx"), ids, vals)
+				if !bytes.Equal(prefixed[:3], []byte("pfx")) || !bytes.Equal(prefixed[3:], want) {
+					t.Fatalf("%s/w%d: AppendEncode clobbered the prefix", c.Name(), w)
+				}
 			}
 		}
 	}
@@ -45,14 +52,16 @@ func TestAppendEncodeMatchesEncode(t *testing.T) {
 // the same winner.
 func TestAppendEncodeBestMatchesEncodeBest(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	var sc EncodeScratch
-	for trial := 0; trial < 50; trial++ {
-		ids, vals := randomBatch(rng, rng.Intn(300))
-		want, wantName := EncodeBest(ids, vals)
-		got, gotName := AppendEncodeBest(nil, &sc, ids, vals)
-		if gotName != wantName || !bytes.Equal(got, want) {
-			t.Fatalf("trial %d: pooled best (%s, %d bytes) differs from EncodeBest (%s, %d bytes)",
-				trial, gotName, len(got), wantName, len(want))
+	for _, w := range widths {
+		var sc EncodeScratch
+		for trial := 0; trial < 50; trial++ {
+			ids, vals := randomBatch(rng, rng.Intn(300), w)
+			want, wantName := EncodeBest(w, ids, vals)
+			got, gotName := AppendEncodeBest(nil, &sc, w, ids, vals)
+			if gotName != wantName || !bytes.Equal(got, want) {
+				t.Fatalf("w%d trial %d: pooled best (%s, %d bytes) differs from EncodeBest (%s, %d bytes)",
+					w, trial, gotName, len(got), wantName, len(want))
+			}
 		}
 	}
 }
@@ -60,17 +69,19 @@ func TestAppendEncodeBestMatchesEncodeBest(t *testing.T) {
 // With warmed buffers, AppendEncode and AppendEncodeBest must not allocate.
 func TestAppendEncodeDoesNotAllocate(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	ids, vals := randomBatch(rng, 512)
-	for _, c := range []AppendCodec{Raw{}, VarintXOR{}, RLE{}} {
-		buf := c.AppendEncode(nil, ids, vals)
-		if a := testing.AllocsPerRun(20, func() { buf = c.AppendEncode(buf[:0], ids, vals) }); a > 0 {
-			t.Errorf("%s: AppendEncode allocates %.1f objects per batch", c.Name(), a)
+	for _, w := range widths {
+		ids, vals := randomBatch(rng, 512, w)
+		for _, c := range []AppendCodec{Raw{W: w}, VarintXOR{W: w}, RLE{W: w}} {
+			buf := c.AppendEncode(nil, ids, vals)
+			if a := testing.AllocsPerRun(20, func() { buf = c.AppendEncode(buf[:0], ids, vals) }); a > 0 {
+				t.Errorf("%s/w%d: AppendEncode allocates %.1f objects per batch", c.Name(), w, a)
+			}
 		}
-	}
-	var sc EncodeScratch
-	buf, _ := AppendEncodeBest(nil, &sc, ids, vals)
-	if a := testing.AllocsPerRun(20, func() { buf, _ = AppendEncodeBest(buf[:0], &sc, ids, vals) }); a > 0 {
-		t.Errorf("AppendEncodeBest allocates %.1f objects per batch", a)
+		var sc EncodeScratch
+		buf, _ := AppendEncodeBest(nil, &sc, w, ids, vals)
+		if a := testing.AllocsPerRun(20, func() { buf, _ = AppendEncodeBest(buf[:0], &sc, w, ids, vals) }); a > 0 {
+			t.Errorf("w%d: AppendEncodeBest allocates %.1f objects per batch", w, a)
+		}
 	}
 }
 
@@ -78,39 +89,44 @@ func TestAppendEncodeDoesNotAllocate(t *testing.T) {
 // codec and pick the same winner as EncodeBest under Adaptive.
 func TestStreamEncoderRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	codecs := []Codec{Raw{}, VarintXOR{}, RLE{}, Adaptive{}, nil}
-	for _, c := range codecs {
-		enc := NewStreamEncoder(c)
-		dec := c
-		if dec == nil {
-			dec = Raw{}
+	for _, w := range widths {
+		codecs := []Codec{Raw{W: w}, VarintXOR{W: w}, RLE{W: w}, Adaptive{W: w}}
+		if w == 8 {
+			codecs = append(codecs, nil) // nil means Raw{} at width 8
 		}
-		for trial := 0; trial < 30; trial++ {
-			ids, vals := randomBatch(rng, rng.Intn(300))
-			payload, name := enc.EncodeChunk(ids, vals)
-			if _, isAdaptive := dec.(Adaptive); isAdaptive {
-				wantPayload, wantName := EncodeBest(ids, vals)
-				if name != wantName || !bytes.Equal(payload, wantPayload) {
-					t.Fatalf("adaptive chunk (%s) differs from EncodeBest (%s)", name, wantName)
+		for _, c := range codecs {
+			enc := NewStreamEncoder(c)
+			dec := c
+			if dec == nil {
+				dec = Raw{}
+			}
+			for trial := 0; trial < 30; trial++ {
+				ids, vals := randomBatch(rng, rng.Intn(300), w)
+				payload, name := enc.EncodeChunk(ids, vals)
+				if _, isAdaptive := dec.(Adaptive); isAdaptive {
+					wantPayload, wantName := EncodeBest(w, ids, vals)
+					if name != wantName || !bytes.Equal(payload, wantPayload) {
+						t.Fatalf("w%d: adaptive chunk (%s) differs from EncodeBest (%s)", w, name, wantName)
+					}
 				}
-			}
-			var gotIDs []uint32
-			var gotVals []float64
-			err := dec.Decode(payload, func(id uint32, val float64) error {
-				gotIDs = append(gotIDs, id)
-				gotVals = append(gotVals, val)
-				return nil
-			})
-			if err != nil {
-				t.Fatalf("%s: decode: %v", dec.Name(), err)
-			}
-			if len(gotIDs) != len(ids) {
-				t.Fatalf("%s: decoded %d entries, want %d", dec.Name(), len(gotIDs), len(ids))
-			}
-			for i := range ids {
-				if gotIDs[i] != ids[i] || gotVals[i] != vals[i] {
-					t.Fatalf("%s: entry %d round-tripped as (%d, %v), want (%d, %v)",
-						dec.Name(), i, gotIDs[i], gotVals[i], ids[i], vals[i])
+				var gotIDs []uint32
+				var gotVals []uint64
+				err := dec.Decode(payload, func(id uint32, val uint64) error {
+					gotIDs = append(gotIDs, id)
+					gotVals = append(gotVals, val)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%s/w%d: decode: %v", dec.Name(), w, err)
+				}
+				if len(gotIDs) != len(ids) {
+					t.Fatalf("%s/w%d: decoded %d entries, want %d", dec.Name(), w, len(gotIDs), len(ids))
+				}
+				for i := range ids {
+					if gotIDs[i] != ids[i] || gotVals[i] != vals[i] {
+						t.Fatalf("%s/w%d: entry %d round-tripped as (%d, %x), want (%d, %x)",
+							dec.Name(), w, i, gotIDs[i], gotVals[i], ids[i], vals[i])
+					}
 				}
 			}
 		}
@@ -121,12 +137,14 @@ func TestStreamEncoderRoundTrip(t *testing.T) {
 // delta-sync encodes on the superstep hot path).
 func TestStreamEncoderDoesNotAllocate(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	ids, vals := randomBatch(rng, 512)
-	for _, c := range []Codec{Raw{}, VarintXOR{}, RLE{}, Adaptive{}} {
-		enc := NewStreamEncoder(c)
-		enc.EncodeChunk(ids, vals) // warm the pooled buffers
-		if a := testing.AllocsPerRun(20, func() { enc.EncodeChunk(ids, vals) }); a > 0 {
-			t.Errorf("%s: EncodeChunk allocates %.1f objects per chunk", c.Name(), a)
+	for _, w := range widths {
+		ids, vals := randomBatch(rng, 512, w)
+		for _, c := range []Codec{Raw{W: w}, VarintXOR{W: w}, RLE{W: w}, Adaptive{W: w}} {
+			enc := NewStreamEncoder(c)
+			enc.EncodeChunk(ids, vals) // warm the pooled buffers
+			if a := testing.AllocsPerRun(20, func() { enc.EncodeChunk(ids, vals) }); a > 0 {
+				t.Errorf("%s/w%d: EncodeChunk allocates %.1f objects per chunk", c.Name(), w, a)
+			}
 		}
 	}
 }

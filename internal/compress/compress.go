@@ -5,17 +5,26 @@
 // much of SLFE's win to reduced communication), so shrinking it directly
 // attacks the paper's communication bottleneck.
 //
-// Three concrete codecs are provided: Raw, the fixed 12-byte-per-entry
-// format; VarintXOR, which delta-encodes the ascending vertex ids and
-// XOR-encodes the value bits against the previous value (values in one
-// delta batch are strongly correlated: BFS levels, component labels and
-// saturating ranks repeat their high bits), both as unsigned varints; and
-// RLE, the run-length "unchanged-suppression" codec that stores the
-// ascending id stream as runs of consecutive vertices (dense supersteps,
-// where nearly every vertex changes, collapse to a handful of run headers
-// plus fixed-width values). Adaptive wraps all three: every batch is
-// encoded with each candidate and the smallest wins, tagged with a one-byte
-// codec id so the receiver can dispatch without prior agreement.
+// Values travel as raw bit words (uint64), produced by the engine's value
+// domain (core.Domain): a float64 domain ships 8-byte words, while float32
+// and uint32 domains ship 4-byte words — half the wire traffic before any
+// entropy coding. Every codec is therefore width-parameterised: the W field
+// selects the word width in bytes (4 or 8; the zero value keeps the
+// original 8-byte format, so pre-domain callers and wire captures stay
+// valid).
+//
+// Three concrete codecs are provided: Raw, the fixed-width format;
+// VarintXOR, which delta-encodes the ascending vertex ids and XOR-encodes
+// the value bits against the previous value (values in one delta batch are
+// strongly correlated: BFS levels, component labels and saturating ranks
+// repeat their high bits), both as unsigned varints; and RLE, the
+// run-length "unchanged-suppression" codec that stores the ascending id
+// stream as runs of consecutive vertices (dense supersteps, where nearly
+// every vertex changes, collapse to a handful of run headers plus
+// fixed-width values). Adaptive wraps all three: every batch is encoded
+// with each candidate and the smallest wins, tagged with a one-byte codec
+// id so the receiver can dispatch without prior agreement (the width is
+// engine configuration shared by all ranks, not part of the tag).
 package compress
 
 import (
@@ -27,15 +36,19 @@ import (
 )
 
 // Codec encodes and decodes one delta batch of parallel slices: vals[i] is
-// the new value of vertex ids[i]. VarintXOR additionally requires ids to be
-// ascending (the engine emits them in owned-range order).
+// the value-bit word of vertex ids[i]. VarintXOR and RLE additionally
+// require ids to be ascending (the engine emits them in owned-range order).
 type Codec interface {
 	// Name identifies the codec in experiment tables.
 	Name() string
+	// Width is the value word width in bytes (4 or 8). A word of a 4-byte
+	// codec must fit in its low 32 bits; the high bits are dropped on the
+	// wire.
+	Width() int
 	// Encode serialises the (ids[i], vals[i]) pairs.
-	Encode(ids []uint32, vals []float64) []byte
+	Encode(ids []uint32, vals []uint64) []byte
 	// Decode calls fn for every encoded pair, in encoding order.
-	Decode(buf []byte, fn func(id uint32, val float64) error) error
+	Decode(buf []byte, fn func(id uint32, val uint64) error) error
 }
 
 // AppendCodec is the allocation-free form of Codec: AppendEncode writes the
@@ -45,50 +58,74 @@ type Codec interface {
 // AppendEncode into a fresh buffer.
 type AppendCodec interface {
 	Codec
-	AppendEncode(dst []byte, ids []uint32, vals []float64) []byte
+	AppendEncode(dst []byte, ids []uint32, vals []uint64) []byte
 }
 
-// Raw is the uncompressed codec: u32 count, then fixed (u32 id, u64
-// value-bits) pairs.
-type Raw struct{}
+// widthOf normalises a codec's W field: 0 means the original 8-byte words.
+func widthOf(w int) int {
+	if w == 4 {
+		return 4
+	}
+	return 8
+}
 
-const rawEntrySize = 4 + 8
+// Raw is the uncompressed codec: u32 count, then fixed (u32 id, value-bits)
+// pairs, the value occupying Width() bytes.
+type Raw struct {
+	// W is the value word width in bytes: 4 or 8 (0 means 8).
+	W int
+}
 
 // Name implements Codec.
 func (Raw) Name() string { return "raw" }
 
+// Width implements Codec.
+func (c Raw) Width() int { return widthOf(c.W) }
+
 // Encode implements Codec.
-func (c Raw) Encode(ids []uint32, vals []float64) []byte {
-	return c.AppendEncode(make([]byte, 0, 4+len(ids)*rawEntrySize), ids, vals)
+func (c Raw) Encode(ids []uint32, vals []uint64) []byte {
+	return c.AppendEncode(make([]byte, 0, 4+len(ids)*(4+c.Width())), ids, vals)
 }
 
 // AppendEncode implements AppendCodec.
-func (Raw) AppendEncode(dst []byte, ids []uint32, vals []float64) []byte {
+func (c Raw) AppendEncode(dst []byte, ids []uint32, vals []uint64) []byte {
+	w := c.Width()
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ids)))
 	for i, id := range ids {
 		dst = binary.LittleEndian.AppendUint32(dst, id)
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(vals[i]))
+		if w == 4 {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(vals[i]))
+		} else {
+			dst = binary.LittleEndian.AppendUint64(dst, vals[i])
+		}
 	}
 	return dst
 }
 
 // Decode implements Codec.
-func (Raw) Decode(buf []byte, fn func(id uint32, val float64) error) error {
+func (c Raw) Decode(buf []byte, fn func(id uint32, val uint64) error) error {
 	if len(buf) < 4 {
 		return errors.New("compress: short raw payload")
 	}
+	w := c.Width()
+	entry := 4 + w
 	count := int(binary.LittleEndian.Uint32(buf))
-	if len(buf) != 4+count*rawEntrySize {
-		return fmt.Errorf("compress: raw payload length %d does not match count %d", len(buf), count)
+	if count < 0 || len(buf) != 4+count*entry {
+		return fmt.Errorf("compress: raw payload length %d does not match count %d (width %d)", len(buf), count, w)
 	}
 	off := 4
 	for i := 0; i < count; i++ {
 		id := binary.LittleEndian.Uint32(buf[off:])
-		val := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		var val uint64
+		if w == 4 {
+			val = uint64(binary.LittleEndian.Uint32(buf[off+4:]))
+		} else {
+			val = binary.LittleEndian.Uint64(buf[off+4:])
+		}
 		if err := fn(id, val); err != nil {
 			return err
 		}
-		off += rawEntrySize
+		off += entry
 	}
 	return nil
 }
@@ -96,28 +133,49 @@ func (Raw) Decode(buf []byte, fn func(id uint32, val float64) error) error {
 // VarintXOR compresses a batch as: uvarint count, then per entry a uvarint
 // id delta (first id is absolute) followed by a uvarint of the value bits
 // XORed with the previous entry's value bits (the first entry XORs against
-// zero). A float64's information concentrates in its high bytes (sign,
+// zero). A float's information concentrates in its high bytes (sign,
 // exponent, leading mantissa) while uvarint drops high zero bytes, so the
-// XOR residue is byte-reversed before encoding. Repeated values cost one
-// byte; nearby ids cost one byte.
-type VarintXOR struct{}
+// XOR residue is byte-reversed (within the word width) before encoding.
+// Repeated values cost one byte; nearby ids cost one byte.
+type VarintXOR struct {
+	// W is the value word width in bytes: 4 or 8 (0 means 8).
+	W int
+}
 
 // Name implements Codec.
 func (VarintXOR) Name() string { return "varint-xor" }
 
+// Width implements Codec.
+func (c VarintXOR) Width() int { return widthOf(c.W) }
+
 // ErrNotAscending reports an Encode call with unsorted ids.
 var ErrNotAscending = errors.New("compress: ids must be ascending")
+
+// reverse byte-reverses a word within the codec's width: the significant
+// high bytes of the XOR residue move to the low end, where uvarint is
+// cheap.
+func reverse(w int, x uint64) uint64 {
+	if w == 4 {
+		return uint64(bits.ReverseBytes32(uint32(x)))
+	}
+	return bits.ReverseBytes64(x)
+}
 
 // Encode implements Codec. Unsorted ids are a programming error: Encode
 // panics with ErrNotAscending rather than emit a stream that cannot be
 // decoded.
-func (c VarintXOR) Encode(ids []uint32, vals []float64) []byte {
+func (c VarintXOR) Encode(ids []uint32, vals []uint64) []byte {
 	return c.AppendEncode(make([]byte, 0, 4+3*len(ids)), ids, vals)
 }
 
 // AppendEncode implements AppendCodec; it panics with ErrNotAscending on
 // unsorted input like Encode.
-func (VarintXOR) AppendEncode(buf []byte, ids []uint32, vals []float64) []byte {
+func (c VarintXOR) AppendEncode(buf []byte, ids []uint32, vals []uint64) []byte {
+	w := c.Width()
+	var mask uint64 = math.MaxUint64
+	if w == 4 {
+		mask = math.MaxUint32
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(ids)))
 	prevID := uint32(0)
 	prevBits := uint64(0)
@@ -130,15 +188,16 @@ func (VarintXOR) AppendEncode(buf []byte, ids []uint32, vals []float64) []byte {
 			delta = uint64(id-prevID) - 1 // gaps of 1 (dense runs) cost "0"
 		}
 		buf = binary.AppendUvarint(buf, delta)
-		valBits := math.Float64bits(vals[i])
-		buf = binary.AppendUvarint(buf, bits.ReverseBytes64(valBits^prevBits))
+		valBits := vals[i] & mask
+		buf = binary.AppendUvarint(buf, reverse(w, valBits^prevBits))
 		prevID, prevBits = id, valBits
 	}
 	return buf
 }
 
 // Decode implements Codec.
-func (VarintXOR) Decode(buf []byte, fn func(id uint32, val float64) error) error {
+func (c VarintXOR) Decode(buf []byte, fn func(id uint32, val uint64) error) error {
+	w := c.Width()
 	count, n := binary.Uvarint(buf)
 	if n <= 0 {
 		return errors.New("compress: bad varint count")
@@ -162,6 +221,9 @@ func (VarintXOR) Decode(buf []byte, fn func(id uint32, val float64) error) error
 			return fmt.Errorf("compress: truncated value at entry %d", i)
 		}
 		off += n
+		if w == 4 && xored > math.MaxUint32 {
+			return fmt.Errorf("compress: value residue %d overflows width-4 word at entry %d", xored, i)
+		}
 		id := prevID + delta
 		if i > 0 {
 			id++ // undo the gap-1 bias
@@ -169,8 +231,8 @@ func (VarintXOR) Decode(buf []byte, fn func(id uint32, val float64) error) error
 		if id > math.MaxUint32 {
 			return fmt.Errorf("compress: id %d overflows uint32 at entry %d", id, i)
 		}
-		valBits := bits.ReverseBytes64(xored) ^ prevBits
-		if err := fn(uint32(id), math.Float64frombits(valBits)); err != nil {
+		valBits := reverse(w, xored) ^ prevBits
+		if err := fn(uint32(id), valBits); err != nil {
 			return err
 		}
 		prevID, prevBits = id, valBits
@@ -184,24 +246,32 @@ func (VarintXOR) Decode(buf []byte, fn func(id uint32, val float64) error) error
 // RLE is the run-length "unchanged-suppression" codec: uvarint count, then
 // the ascending id stream as (uvarint gap, uvarint run-length) pairs —
 // gap is the number of suppressed (unchanged) vertices since the previous
-// run's end — followed by the values as fixed 8-byte little-endian float64
-// bits in id order. On dense supersteps, where almost every vertex changes,
-// the whole id stream collapses to a few run headers and each entry costs 8
-// bytes instead of Raw's 12; on sparse batches the varint codecs win.
-type RLE struct{}
+// run's end — followed by the values as fixed Width()-byte little-endian
+// words in id order. On dense supersteps, where almost every vertex
+// changes, the whole id stream collapses to a few run headers and each
+// entry costs one word instead of Raw's word+4; on sparse batches the
+// varint codecs win.
+type RLE struct {
+	// W is the value word width in bytes: 4 or 8 (0 means 8).
+	W int
+}
 
 // Name implements Codec.
 func (RLE) Name() string { return "rle" }
 
+// Width implements Codec.
+func (c RLE) Width() int { return widthOf(c.W) }
+
 // Encode implements Codec. Like VarintXOR it requires ascending ids and
 // panics with ErrNotAscending on unsorted input.
-func (c RLE) Encode(ids []uint32, vals []float64) []byte {
-	return c.AppendEncode(make([]byte, 0, 8+9*len(ids)), ids, vals)
+func (c RLE) Encode(ids []uint32, vals []uint64) []byte {
+	return c.AppendEncode(make([]byte, 0, 8+(1+c.Width())*len(ids)), ids, vals)
 }
 
 // AppendEncode implements AppendCodec; it panics with ErrNotAscending on
 // unsorted input like Encode.
-func (RLE) AppendEncode(dst []byte, ids []uint32, vals []float64) []byte {
+func (c RLE) AppendEncode(dst []byte, ids []uint32, vals []uint64) []byte {
+	w := c.Width()
 	buf := binary.AppendUvarint(dst, uint64(len(ids)))
 	next := uint64(0) // first id not yet covered by a run
 	for i := 0; i < len(ids); {
@@ -219,21 +289,26 @@ func (RLE) AppendEncode(dst []byte, ids []uint32, vals []float64) []byte {
 		i = j
 	}
 	for _, v := range vals {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		if w == 4 {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		} else {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
 	}
 	return buf
 }
 
 // Decode implements Codec.
-func (RLE) Decode(buf []byte, fn func(id uint32, val float64) error) error {
+func (c RLE) Decode(buf []byte, fn func(id uint32, val uint64) error) error {
+	w := c.Width()
 	count, n := binary.Uvarint(buf)
 	if n <= 0 {
 		return errors.New("compress: bad rle count")
 	}
 	off := n
-	// The values section alone needs 8 bytes per entry, so an honest count
+	// The values section alone needs one word per entry, so an honest count
 	// is bounded by the buffer length; checking up front bounds all work.
-	if count > uint64(len(buf))/8 {
+	if count > uint64(len(buf))/uint64(w) {
 		return fmt.Errorf("compress: rle count %d exceeds payload capacity %d", count, len(buf))
 	}
 	ids := make([]uint32, 0, count)
@@ -270,12 +345,17 @@ func (RLE) Decode(buf []byte, fn func(id uint32, val float64) error) error {
 		}
 		next = end + 1
 	}
-	if uint64(len(buf)-off) != 8*count {
-		return fmt.Errorf("compress: rle values section has %d bytes for %d entries", len(buf)-off, count)
+	if uint64(len(buf)-off) != uint64(w)*count {
+		return fmt.Errorf("compress: rle values section has %d bytes for %d entries (width %d)", len(buf)-off, count, w)
 	}
 	for _, id := range ids {
-		val := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
-		off += 8
+		var val uint64
+		if w == 4 {
+			val = uint64(binary.LittleEndian.Uint32(buf[off:]))
+		} else {
+			val = binary.LittleEndian.Uint64(buf[off:])
+		}
+		off += w
 		if err := fn(id, val); err != nil {
 			return err
 		}
@@ -290,19 +370,25 @@ const (
 	idRLE
 )
 
-// candidates is the registry the adaptive codec chooses from, in tag order.
-var candidates = []struct {
+// candidates returns the adaptive registry for one word width, in tag
+// order. The array is a value (no allocation, no shared state).
+func candidates(w int) [3]struct {
 	id    byte
-	codec Codec
-}{
-	{idRaw, Raw{}},
-	{idVarintXOR, VarintXOR{}},
-	{idRLE, RLE{}},
+	codec AppendCodec
+} {
+	return [3]struct {
+		id    byte
+		codec AppendCodec
+	}{
+		{idRaw, Raw{W: w}},
+		{idVarintXOR, VarintXOR{W: w}},
+		{idRLE, RLE{W: w}},
+	}
 }
 
-// ByID returns the codec behind a wire tag.
-func ByID(id byte) (Codec, error) {
-	for _, c := range candidates {
+// ByID returns the width-w codec behind a wire tag.
+func ByID(id byte, w int) (Codec, error) {
+	for _, c := range candidates(widthOf(w)) {
 		if c.id == id {
 			return c.codec, nil
 		}
@@ -310,11 +396,12 @@ func ByID(id byte) (Codec, error) {
 	return nil, fmt.Errorf("compress: unknown codec id %d", id)
 }
 
-// EncodeBest encodes the batch with every registered codec, keeps the
-// smallest result (ties break towards the lower tag) and returns it
-// prefixed with the winner's tag, plus the winner's name for metrics.
-func EncodeBest(ids []uint32, vals []float64) ([]byte, string) {
-	out, name := AppendEncodeBest(nil, nil, ids, vals)
+// EncodeBest encodes the batch with every registered codec of the given
+// width, keeps the smallest result (ties break towards the lower tag) and
+// returns it prefixed with the winner's tag, plus the winner's name for
+// metrics.
+func EncodeBest(w int, ids []uint32, vals []uint64) ([]byte, string) {
+	out, name := AppendEncodeBest(nil, nil, w, ids, vals)
 	return out, name
 }
 
@@ -329,24 +416,25 @@ type EncodeScratch struct {
 // AppendEncodeBest is the pooled form of EncodeBest: candidate encodings go
 // into sc's reusable buffers and the tagged winner is appended to dst. A
 // nil sc allocates fresh trial buffers (EncodeBest semantics).
-func AppendEncodeBest(dst []byte, sc *EncodeScratch, ids []uint32, vals []float64) ([]byte, string) {
+func AppendEncodeBest(dst []byte, sc *EncodeScratch, w int, ids []uint32, vals []uint64) ([]byte, string) {
 	var local EncodeScratch
 	if sc == nil {
 		sc = &local
 	}
-	if len(sc.bufs) < len(candidates) {
-		sc.bufs = append(sc.bufs, make([][]byte, len(candidates)-len(sc.bufs))...)
+	cands := candidates(widthOf(w))
+	if len(sc.bufs) < len(cands) {
+		sc.bufs = append(sc.bufs, make([][]byte, len(cands)-len(sc.bufs))...)
 	}
 	best := -1
-	for i, c := range candidates {
-		sc.bufs[i] = c.codec.(AppendCodec).AppendEncode(sc.bufs[i][:0], ids, vals)
+	for i, c := range cands {
+		sc.bufs[i] = c.codec.AppendEncode(sc.bufs[i][:0], ids, vals)
 		if best < 0 || len(sc.bufs[i]) < len(sc.bufs[best]) {
 			best = i
 		}
 	}
-	dst = append(dst, candidates[best].id)
+	dst = append(dst, cands[best].id)
 	dst = append(dst, sc.bufs[best]...)
-	return dst, candidates[best].codec.Name()
+	return dst, cands[best].codec.Name()
 }
 
 // StreamEncoder encodes a stream of independently serialised chunks for
@@ -364,16 +452,17 @@ type StreamEncoder struct {
 	codec    Codec
 	appendC  AppendCodec // nil when codec has no append form
 	adaptive bool
+	width    int
 	sc       EncodeScratch
 	buf      []byte
 }
 
-// NewStreamEncoder returns a per-chunk encoder for codec (nil means Raw).
+// NewStreamEncoder returns a per-chunk encoder for codec (nil means Raw{}).
 func NewStreamEncoder(codec Codec) StreamEncoder {
 	if codec == nil {
 		codec = Raw{}
 	}
-	e := StreamEncoder{codec: codec}
+	e := StreamEncoder{codec: codec, width: codec.Width()}
 	_, e.adaptive = codec.(Adaptive)
 	e.appendC, _ = codec.(AppendCodec)
 	return e
@@ -383,11 +472,11 @@ func NewStreamEncoder(codec Codec) StreamEncoder {
 // of the codec that produced it (the selected candidate under Adaptive).
 // The payload aliases the encoder's reusable buffer and is valid until the
 // next EncodeChunk.
-func (e *StreamEncoder) EncodeChunk(ids []uint32, vals []float64) ([]byte, string) {
+func (e *StreamEncoder) EncodeChunk(ids []uint32, vals []uint64) ([]byte, string) {
 	switch {
 	case e.adaptive:
 		var name string
-		e.buf, name = AppendEncodeBest(e.buf[:0], &e.sc, ids, vals)
+		e.buf, name = AppendEncodeBest(e.buf[:0], &e.sc, e.width, ids, vals)
 		return e.buf, name
 	case e.appendC != nil:
 		e.buf = e.appendC.AppendEncode(e.buf[:0], ids, vals)
@@ -400,50 +489,64 @@ func (e *StreamEncoder) EncodeChunk(ids []uint32, vals []float64) ([]byte, strin
 
 // Adaptive picks the smallest encoding per batch (see EncodeBest) and tags
 // it with the codec id, so every payload is self-describing and the sender
-// needs no cross-rank codec agreement. Encode requires ascending ids (the
+// needs no cross-rank codec agreement (all ranks still share the width, an
+// engine-level configuration). Encode requires ascending ids (the
 // VarintXOR and RLE candidates panic with ErrNotAscending otherwise).
-type Adaptive struct{}
+type Adaptive struct {
+	// W is the value word width in bytes: 4 or 8 (0 means 8).
+	W int
+}
 
 // Name implements Codec.
 func (Adaptive) Name() string { return "adaptive" }
 
+// Width implements Codec.
+func (c Adaptive) Width() int { return widthOf(c.W) }
+
 // Encode implements Codec.
-func (Adaptive) Encode(ids []uint32, vals []float64) []byte {
-	buf, _ := EncodeBest(ids, vals)
+func (c Adaptive) Encode(ids []uint32, vals []uint64) []byte {
+	buf, _ := EncodeBest(c.Width(), ids, vals)
 	return buf
 }
 
 // AppendEncode implements AppendCodec. Callers that also want the winner's
 // name or pooled trial buffers should use AppendEncodeBest directly.
-func (Adaptive) AppendEncode(dst []byte, ids []uint32, vals []float64) []byte {
-	dst, _ = AppendEncodeBest(dst, nil, ids, vals)
+func (c Adaptive) AppendEncode(dst []byte, ids []uint32, vals []uint64) []byte {
+	dst, _ = AppendEncodeBest(dst, nil, c.Width(), ids, vals)
 	return dst
 }
 
 // Decode implements Codec.
-func (Adaptive) Decode(buf []byte, fn func(id uint32, val float64) error) error {
+func (c Adaptive) Decode(buf []byte, fn func(id uint32, val uint64) error) error {
 	if len(buf) == 0 {
 		return errors.New("compress: empty adaptive payload")
 	}
-	c, err := ByID(buf[0])
+	inner, err := ByID(buf[0], c.Width())
 	if err != nil {
 		return err
 	}
-	return c.Decode(buf[1:], fn)
+	return inner.Decode(buf[1:], fn)
 }
 
-// ByName returns the codec registered under name
-// ("raw", "varint-xor", "rle" or "adaptive").
+// ByName returns the width-8 codec registered under name
+// ("raw", "varint-xor", "rle" or "adaptive"); see ByNameW.
 func ByName(name string) (Codec, error) {
+	return ByNameW(name, 8)
+}
+
+// ByNameW returns the codec registered under name at the given word width
+// (4 or 8 bytes; anything else means 8).
+func ByNameW(name string, w int) (Codec, error) {
+	w = widthOf(w)
 	switch name {
 	case "", "raw":
-		return Raw{}, nil
+		return Raw{W: w}, nil
 	case "varint-xor":
-		return VarintXOR{}, nil
+		return VarintXOR{W: w}, nil
 	case "rle":
-		return RLE{}, nil
+		return RLE{W: w}, nil
 	case "adaptive":
-		return Adaptive{}, nil
+		return Adaptive{W: w}, nil
 	}
 	return nil, fmt.Errorf("compress: unknown codec %q", name)
 }

@@ -9,29 +9,52 @@ import (
 	"testing/quick"
 )
 
-func codecs() []Codec { return []Codec{Raw{}, VarintXOR{}, RLE{}, Adaptive{}} }
+// widths are the supported value word widths in bytes.
+var widths = []int{8, 4}
+
+func codecsW(w int) []Codec {
+	return []Codec{Raw{W: w}, VarintXOR{W: w}, RLE{W: w}, Adaptive{W: w}}
+}
+
+func codecs() []Codec { return codecsW(8) }
+
+// wordMask returns the live-bit mask of a width.
+func wordMask(w int) uint64 {
+	if w == 4 {
+		return math.MaxUint32
+	}
+	return math.MaxUint64
+}
 
 type pair struct {
 	id  uint32
-	val float64
+	val uint64
 }
 
-func roundTrip(t *testing.T, c Codec, ids []uint32, vals []float64) []pair {
+func f64bits(vals []float64) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, c Codec, ids []uint32, vals []uint64) []pair {
 	t.Helper()
 	buf := c.Encode(ids, vals)
 	var got []pair
-	if err := c.Decode(buf, func(id uint32, val float64) error {
+	if err := c.Decode(buf, func(id uint32, val uint64) error {
 		got = append(got, pair{id, val})
 		return nil
 	}); err != nil {
-		t.Fatalf("%s: decode: %v", c.Name(), err)
+		t.Fatalf("%s/w%d: decode: %v", c.Name(), c.Width(), err)
 	}
 	return got
 }
 
 func TestRoundTripBasic(t *testing.T) {
 	ids := []uint32{0, 2, 3, 5, 7}
-	vals := []float64{3.14, -1, math.Inf(1), 1e-300, -0.0}
+	vals := f64bits([]float64{3.14, -1, math.Inf(1), 1e-300, -0.0})
 	for _, c := range codecs() {
 		got := roundTrip(t, c, ids, vals)
 		if len(got) != len(ids) {
@@ -41,17 +64,67 @@ func TestRoundTripBasic(t *testing.T) {
 			if got[i].id != ids[i] {
 				t.Fatalf("%s: entry %d: id %d, want %d", c.Name(), i, got[i].id, ids[i])
 			}
-			if math.Float64bits(got[i].val) != math.Float64bits(vals[i]) {
-				t.Fatalf("%s: entry %d: value %v, want %v", c.Name(), i, got[i].val, vals[i])
+			if got[i].val != vals[i] {
+				t.Fatalf("%s: entry %d: value %x, want %x", c.Name(), i, got[i].val, vals[i])
 			}
 		}
 	}
 }
 
+// Width-4 codecs must round-trip every 32-bit pattern (float32 bits,
+// integer labels) in 4-byte words.
+func TestRoundTripWidth4(t *testing.T) {
+	ids := []uint32{0, 2, 3, 5, 7, 4_000_000_000}
+	vals := []uint64{
+		uint64(math.Float32bits(3.14)),
+		uint64(math.Float32bits(float32(math.Inf(1)))),
+		0,
+		math.MaxUint32,
+		12345,
+		uint64(math.Float32bits(-0.0)),
+	}
+	for _, c := range codecsW(4) {
+		got := roundTrip(t, c, ids, vals)
+		if len(got) != len(ids) {
+			t.Fatalf("%s/w4: got %d pairs, want %d", c.Name(), len(got), len(ids))
+		}
+		for i := range ids {
+			if got[i].id != ids[i] || got[i].val != vals[i] {
+				t.Fatalf("%s/w4: entry %d: (%d, %x), want (%d, %x)",
+					c.Name(), i, got[i].id, got[i].val, ids[i], vals[i])
+			}
+		}
+	}
+}
+
+// Width-4 payloads must cost roughly half their width-8 counterparts on
+// the fixed-width codecs — the whole point of the narrow domains.
+func TestWidth4HalvesFixedWidthPayloads(t *testing.T) {
+	n := 4096
+	ids := make([]uint32, n)
+	vals := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+		vals[i] = uint64(math.Float32bits(1.0 / float32(i+1)))
+	}
+	raw8 := len(Raw{W: 8}.Encode(ids, vals))
+	raw4 := len(Raw{W: 4}.Encode(ids, vals))
+	if raw4 >= raw8*3/4 {
+		t.Fatalf("width-4 raw %dB vs width-8 raw %dB; expected a substantial cut", raw4, raw8)
+	}
+	rle8 := len(RLE{W: 8}.Encode(ids, vals))
+	rle4 := len(RLE{W: 4}.Encode(ids, vals))
+	if rle4 >= rle8*3/4 {
+		t.Fatalf("width-4 rle %dB vs width-8 rle %dB; expected a substantial cut", rle4, rle8)
+	}
+}
+
 func TestRoundTripEmpty(t *testing.T) {
-	for _, c := range codecs() {
-		if got := roundTrip(t, c, nil, nil); len(got) != 0 {
-			t.Fatalf("%s: empty batch decoded to %d pairs", c.Name(), len(got))
+	for _, w := range widths {
+		for _, c := range codecsW(w) {
+			if got := roundTrip(t, c, nil, nil); len(got) != 0 {
+				t.Fatalf("%s/w%d: empty batch decoded to %d pairs", c.Name(), w, len(got))
+			}
 		}
 	}
 }
@@ -60,8 +133,8 @@ func TestRoundTripNaNPreservesBits(t *testing.T) {
 	// NaN payload bits must survive (the engine never produces NaN but the
 	// codec must not corrupt what it is given).
 	for _, c := range codecs() {
-		got := roundTrip(t, c, []uint32{9}, []float64{math.NaN()})
-		if math.Float64bits(got[0].val) != math.Float64bits(math.NaN()) {
+		got := roundTrip(t, c, []uint32{9}, []uint64{math.Float64bits(math.NaN())})
+		if got[0].val != math.Float64bits(math.NaN()) {
 			t.Fatalf("%s: NaN bits changed", c.Name())
 		}
 	}
@@ -80,29 +153,32 @@ func TestRoundTripProperty(t *testing.T) {
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		rng := rand.New(rand.NewSource(seed))
-		vals := make([]float64, len(ids))
-		for i := range vals {
-			switch rng.Intn(4) {
-			case 0:
-				vals[i] = math.Inf(1)
-			case 1:
-				vals[i] = float64(rng.Intn(100)) // repeated small values
-			default:
-				vals[i] = rng.NormFloat64() * 1e3
-			}
-		}
-		for _, c := range codecs() {
-			buf := c.Encode(ids, vals)
-			i := 0
-			err := c.Decode(buf, func(id uint32, val float64) error {
-				if id != ids[i] || math.Float64bits(val) != math.Float64bits(vals[i]) {
-					t.Errorf("%s: entry %d mismatch", c.Name(), i)
+		for _, w := range widths {
+			mask := wordMask(w)
+			vals := make([]uint64, len(ids))
+			for i := range vals {
+				switch rng.Intn(4) {
+				case 0:
+					vals[i] = math.Float64bits(math.Inf(1)) & mask
+				case 1:
+					vals[i] = uint64(rng.Intn(100)) // repeated small values
+				default:
+					vals[i] = rng.Uint64() & mask
 				}
-				i++
-				return nil
-			})
-			if err != nil || i != len(ids) {
-				return false
+			}
+			for _, c := range codecsW(w) {
+				buf := c.Encode(ids, vals)
+				i := 0
+				err := c.Decode(buf, func(id uint32, val uint64) error {
+					if id != ids[i] || val != vals[i] {
+						t.Errorf("%s/w%d: entry %d mismatch", c.Name(), w, i)
+					}
+					i++
+					return nil
+				})
+				if err != nil || i != len(ids) {
+					return false
+				}
 			}
 		}
 		return true
@@ -117,10 +193,10 @@ func TestVarintXORSmallerOnTypicalBatches(t *testing.T) {
 	// component labels) must compress well below the raw 12 bytes/entry.
 	n := 4096
 	ids := make([]uint32, n)
-	vals := make([]float64, n)
+	vals := make([]uint64, n)
 	for i := range ids {
 		ids[i] = uint32(i)
-		vals[i] = float64(i % 7)
+		vals[i] = math.Float64bits(float64(i % 7))
 	}
 	raw := Raw{}.Encode(ids, vals)
 	xz := VarintXOR{}.Encode(ids, vals)
@@ -131,30 +207,32 @@ func TestVarintXORSmallerOnTypicalBatches(t *testing.T) {
 
 func TestDecodeRejectsCorruptPayloads(t *testing.T) {
 	ids := []uint32{0, 1, 2, 3}
-	vals := []float64{1, 2, 3, 4}
-	for _, c := range codecs() {
-		buf := c.Encode(ids, vals)
-		for cut := 1; cut < len(buf); cut++ {
-			if err := c.Decode(buf[:cut], func(uint32, float64) error { return nil }); err == nil {
-				t.Fatalf("%s: truncation at %d/%d went undetected", c.Name(), cut, len(buf))
+	for _, w := range widths {
+		vals := []uint64{1, 2, 3, 4}
+		for _, c := range codecsW(w) {
+			buf := c.Encode(ids, vals)
+			for cut := 1; cut < len(buf); cut++ {
+				if err := c.Decode(buf[:cut], func(uint32, uint64) error { return nil }); err == nil {
+					t.Fatalf("%s/w%d: truncation at %d/%d went undetected", c.Name(), w, cut, len(buf))
+				}
 			}
-		}
-		if err := c.Decode(nil, func(uint32, float64) error { return nil }); err == nil {
-			t.Fatalf("%s: nil payload accepted", c.Name())
-		}
-		if err := c.Decode(append(append([]byte{}, buf...), 0xff), func(uint32, float64) error { return nil }); err == nil {
-			t.Fatalf("%s: trailing garbage accepted", c.Name())
+			if err := c.Decode(nil, func(uint32, uint64) error { return nil }); err == nil {
+				t.Fatalf("%s/w%d: nil payload accepted", c.Name(), w)
+			}
+			if err := c.Decode(append(append([]byte{}, buf...), 0xff), func(uint32, uint64) error { return nil }); err == nil {
+				t.Fatalf("%s/w%d: trailing garbage accepted", c.Name(), w)
+			}
 		}
 	}
 }
 
 func TestDecodeStopsOnCallbackError(t *testing.T) {
 	ids := []uint32{0, 1, 2}
-	vals := []float64{1, 2, 3}
+	vals := []uint64{1, 2, 3}
 	for _, c := range codecs() {
 		buf := c.Encode(ids, vals)
 		calls := 0
-		err := c.Decode(buf, func(uint32, float64) error {
+		err := c.Decode(buf, func(uint32, uint64) error {
 			calls++
 			if calls == 2 {
 				return errStop
@@ -174,15 +252,17 @@ type errTest string
 func (e errTest) Error() string { return string(e) }
 
 func TestVarintXOREncodePanicsOnUnsortedIDs(t *testing.T) {
-	for _, c := range []Codec{VarintXOR{}, RLE{}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s: expected panic for unsorted ids", c.Name())
-				}
+	for _, w := range widths {
+		for _, c := range []Codec{VarintXOR{W: w}, RLE{W: w}} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("%s/w%d: expected panic for unsorted ids", c.Name(), w)
+					}
+				}()
+				c.Encode([]uint32{5, 3}, []uint64{0, 0})
 			}()
-			c.Encode([]uint32{5, 3}, []float64{0, 0})
-		}()
+		}
 	}
 }
 
@@ -192,10 +272,10 @@ func TestRLESmallerOnDenseRuns(t *testing.T) {
 	// collapses to one run header and each value costs 8 bytes.
 	n := 4096
 	ids := make([]uint32, n)
-	vals := make([]float64, n)
+	vals := make([]uint64, n)
 	for i := range ids {
 		ids[i] = uint32(i)
-		vals[i] = 1.0 / float64(i+1)
+		vals[i] = math.Float64bits(1.0 / float64(i+1))
 	}
 	raw := Raw{}.Encode(ids, vals)
 	rle := RLE{}.Encode(ids, vals)
@@ -208,29 +288,36 @@ func TestAdaptivePicksSmallestCandidate(t *testing.T) {
 	cases := []struct {
 		name string
 		ids  []uint32
-		vals []float64
+		vals []uint64
 	}{
 		{"dense-distinct", seqIDs(2048), distinctVals(2048)},
 		{"dense-repeated", seqIDs(2048), repeatedVals(2048)},
-		{"sparse", []uint32{7, 9000, 123456}, []float64{1, 2, 3}},
+		{"sparse", []uint32{7, 9000, 123456}, []uint64{1, 2, 3}},
 	}
-	for _, tc := range cases {
-		buf, name := EncodeBest(tc.ids, tc.vals)
-		minLen := -1
-		for _, c := range []Codec{Raw{}, VarintXOR{}, RLE{}} {
-			if l := len(c.Encode(tc.ids, tc.vals)); minLen < 0 || l < minLen {
-				minLen = l
+	for _, w := range widths {
+		for _, tc := range cases {
+			vals := make([]uint64, len(tc.vals))
+			mask := wordMask(w)
+			for i, v := range tc.vals {
+				vals[i] = v & mask
 			}
-		}
-		if len(buf) != minLen+1 {
-			t.Fatalf("%s: EncodeBest(%s) produced %d bytes, smallest candidate is %d", tc.name, name, len(buf), minLen)
-		}
-		inner, err := ByID(buf[0])
-		if err != nil {
-			t.Fatalf("%s: bad tag %d", tc.name, buf[0])
-		}
-		if inner.Name() != name {
-			t.Fatalf("%s: tag names %s, EncodeBest reported %s", tc.name, inner.Name(), name)
+			buf, name := EncodeBest(w, tc.ids, vals)
+			minLen := -1
+			for _, c := range []Codec{Raw{W: w}, VarintXOR{W: w}, RLE{W: w}} {
+				if l := len(c.Encode(tc.ids, vals)); minLen < 0 || l < minLen {
+					minLen = l
+				}
+			}
+			if len(buf) != minLen+1 {
+				t.Fatalf("%s/w%d: EncodeBest(%s) produced %d bytes, smallest candidate is %d", tc.name, w, name, len(buf), minLen)
+			}
+			inner, err := ByID(buf[0], w)
+			if err != nil {
+				t.Fatalf("%s/w%d: bad tag %d", tc.name, w, buf[0])
+			}
+			if inner.Name() != name || inner.Width() != w {
+				t.Fatalf("%s/w%d: tag names %s (w%d), EncodeBest reported %s", tc.name, w, inner.Name(), inner.Width(), name)
+			}
 		}
 	}
 }
@@ -243,18 +330,18 @@ func seqIDs(n int) []uint32 {
 	return ids
 }
 
-func distinctVals(n int) []float64 {
-	vals := make([]float64, n)
+func distinctVals(n int) []uint64 {
+	vals := make([]uint64, n)
 	for i := range vals {
-		vals[i] = 1.0 / float64(i+1)
+		vals[i] = math.Float64bits(1.0 / float64(i+1))
 	}
 	return vals
 }
 
-func repeatedVals(n int) []float64 {
-	vals := make([]float64, n)
+func repeatedVals(n int) []uint64 {
+	vals := make([]uint64, n)
 	for i := range vals {
-		vals[i] = float64(i % 3)
+		vals[i] = math.Float64bits(float64(i % 3))
 	}
 	return vals
 }
@@ -262,7 +349,7 @@ func repeatedVals(n int) []float64 {
 func TestDecodeRejectsUint64WrapAround(t *testing.T) {
 	// A crafted delta/gap near 2^64 must not wrap uint64 arithmetic past
 	// the 32-bit range checks and decode to duplicate ids without error.
-	nop := func(uint32, float64) error { return nil }
+	nop := func(uint32, uint64) error { return nil }
 
 	vx := binary.AppendUvarint(nil, 2) // count
 	vx = binary.AppendUvarint(vx, 0)   // entry 0: id 0
@@ -284,19 +371,43 @@ func TestDecodeRejectsUint64WrapAround(t *testing.T) {
 	}
 }
 
-func TestAdaptiveDecodeRejectsUnknownTag(t *testing.T) {
-	if err := (Adaptive{}).Decode([]byte{0x7f, 0, 0}, func(uint32, float64) error { return nil }); err == nil {
-		t.Fatal("unknown codec tag accepted")
+// A width-4 varint-xor payload whose residue exceeds 32 bits must be
+// rejected, not silently truncated into a different word.
+func TestVarintXORWidth4RejectsWideResidue(t *testing.T) {
+	buf := binary.AppendUvarint(nil, 1) // count
+	buf = binary.AppendUvarint(buf, 0)  // id 0
+	buf = binary.AppendUvarint(buf, uint64(math.MaxUint32)+1)
+	if err := (VarintXOR{W: 4}).Decode(buf, func(uint32, uint64) error { return nil }); err == nil {
+		t.Fatal("width-4 varint-xor accepted a 33-bit value residue")
 	}
-	if err := (Adaptive{}).Decode(nil, func(uint32, float64) error { return nil }); err == nil {
-		t.Fatal("empty adaptive payload accepted")
+}
+
+func TestAdaptiveDecodeRejectsUnknownTag(t *testing.T) {
+	for _, w := range widths {
+		if err := (Adaptive{W: w}).Decode([]byte{0x7f, 0, 0}, func(uint32, uint64) error { return nil }); err == nil {
+			t.Fatalf("w%d: unknown codec tag accepted", w)
+		}
+		if err := (Adaptive{W: w}).Decode(nil, func(uint32, uint64) error { return nil }); err == nil {
+			t.Fatalf("w%d: empty adaptive payload accepted", w)
+		}
 	}
 }
 
 func TestByName(t *testing.T) {
 	for _, name := range []string{"", "raw", "varint-xor", "rle", "adaptive"} {
-		if _, err := ByName(name); err != nil {
+		c, err := ByName(name)
+		if err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Width() != 8 {
+			t.Fatalf("ByName(%q) width %d, want 8", name, c.Width())
+		}
+		c4, err := ByNameW(name, 4)
+		if err != nil {
+			t.Fatalf("ByNameW(%q, 4): %v", name, err)
+		}
+		if c4.Width() != 4 {
+			t.Fatalf("ByNameW(%q, 4) width %d", name, c4.Width())
 		}
 	}
 	if _, err := ByName("zstd"); err == nil {
@@ -305,27 +416,29 @@ func TestByName(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []byte{idRaw, idVarintXOR, idRLE} {
-		c, err := ByID(id)
-		if err != nil {
-			t.Fatalf("ByID(%d): %v", id, err)
+	for _, w := range widths {
+		for _, id := range []byte{idRaw, idVarintXOR, idRLE} {
+			c, err := ByID(id, w)
+			if err != nil {
+				t.Fatalf("ByID(%d, %d): %v", id, w, err)
+			}
+			if got, err := ByNameW(c.Name(), w); err != nil || got != c {
+				t.Fatalf("ByID(%d, %d) = %s, not round-trippable through ByNameW", id, w, c.Name())
+			}
 		}
-		if got, err := ByName(c.Name()); err != nil || got != c {
-			t.Fatalf("ByID(%d) = %s, not round-trippable through ByName", id, c.Name())
+		if _, err := ByID(0x7f, w); err == nil {
+			t.Fatalf("ByID accepted an unknown id at width %d", w)
 		}
-	}
-	if _, err := ByID(0x7f); err == nil {
-		t.Fatal("ByID accepted an unknown id")
 	}
 }
 
 func BenchmarkEncode(b *testing.B) {
 	n := 1 << 14
 	ids := make([]uint32, n)
-	vals := make([]float64, n)
+	vals := make([]uint64, n)
 	for i := range ids {
 		ids[i] = uint32(i * 3)
-		vals[i] = float64(i % 100)
+		vals[i] = math.Float64bits(float64(i % 100))
 	}
 	for _, c := range codecs() {
 		b.Run(c.Name(), func(b *testing.B) {

@@ -6,14 +6,18 @@ import (
 	"testing"
 )
 
-// batchFromBytes derives a strictly ascending (id, value) batch from raw
-// fuzz input: each 12-byte record contributes a uvarint-style id gap and 8
-// value bits, so the corpus explores dense runs, wide gaps and every float
-// bit pattern (including NaNs and infinities) without ever violating the
-// codecs' ascending-ids contract.
-func batchFromBytes(data []byte) ([]uint32, []float64) {
+// batchFromBytes derives a strictly ascending (id, value-bits) batch from
+// raw fuzz input: each 12-byte record contributes a uvarint-style id gap and
+// 8 value bits (masked to the word width), so the corpus explores dense
+// runs, wide gaps and every bit pattern (including NaN and infinity floats)
+// without ever violating the codecs' ascending-ids contract.
+func batchFromBytes(data []byte, w int) ([]uint32, []uint64) {
+	mask := uint64(math.MaxUint64)
+	if w == 4 {
+		mask = math.MaxUint32
+	}
 	var ids []uint32
-	var vals []float64
+	var vals []uint64
 	id := uint64(0)
 	for off := 0; off+12 <= len(data); off += 12 {
 		gap := uint64(binary.LittleEndian.Uint32(data[off:])) % 4096
@@ -26,7 +30,7 @@ func batchFromBytes(data []byte) ([]uint32, []float64) {
 			break
 		}
 		ids = append(ids, uint32(id))
-		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:])))
+		vals = append(vals, binary.LittleEndian.Uint64(data[off+4:])&mask)
 	}
 	return ids, vals
 }
@@ -38,19 +42,18 @@ func fuzzRoundTrip(f *testing.F, c Codec) {
 	f.Add(make([]byte, 12))
 	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 2, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ids, vals := batchFromBytes(data)
+		ids, vals := batchFromBytes(data, c.Width())
 		buf := c.Encode(ids, vals)
 		i := 0
-		err := c.Decode(buf, func(id uint32, val float64) error {
+		err := c.Decode(buf, func(id uint32, val uint64) error {
 			if i >= len(ids) {
 				t.Fatalf("%s: decoded %d entries, encoded %d", c.Name(), i+1, len(ids))
 			}
 			if id != ids[i] {
 				t.Fatalf("%s: entry %d: id %d, want %d", c.Name(), i, id, ids[i])
 			}
-			if math.Float64bits(val) != math.Float64bits(vals[i]) {
-				t.Fatalf("%s: entry %d: value bits %x, want %x", c.Name(), i,
-					math.Float64bits(val), math.Float64bits(vals[i]))
+			if val != vals[i] {
+				t.Fatalf("%s: entry %d: value bits %x, want %x", c.Name(), i, val, vals[i])
 			}
 			i++
 			return nil
@@ -70,14 +73,19 @@ func fuzzRoundTrip(f *testing.F, c Codec) {
 // has read past its input.
 func fuzzDecodeRobust(f *testing.F, c Codec, minEntryBytes int) {
 	ids := []uint32{0, 1, 2, 500, 501, 99999}
-	vals := []float64{0, 1, -1, math.Inf(1), 3.14, 2.71}
+	vals := []uint64{0, 1, math.Float64bits(-1), math.Float64bits(math.Inf(1)), 314, 271}
+	if c.Width() == 4 {
+		for i := range vals {
+			vals[i] &= math.MaxUint32
+		}
+	}
 	f.Add(c.Encode(ids, vals))
 	f.Add(c.Encode(nil, nil))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		emitted := 0
-		_ = c.Decode(data, func(uint32, float64) error {
+		_ = c.Decode(data, func(uint32, uint64) error {
 			emitted++
 			return nil
 		})
@@ -93,7 +101,20 @@ func FuzzVarintXORRoundTrip(f *testing.F) { fuzzRoundTrip(f, VarintXOR{}) }
 func FuzzRLERoundTrip(f *testing.F)       { fuzzRoundTrip(f, RLE{}) }
 func FuzzAdaptiveRoundTrip(f *testing.F)  { fuzzRoundTrip(f, Adaptive{}) }
 
-func FuzzRawDecode(f *testing.F)       { fuzzDecodeRobust(f, Raw{}, rawEntrySize) }
+func FuzzRawDecode(f *testing.F)       { fuzzDecodeRobust(f, Raw{}, 12) }
 func FuzzVarintXORDecode(f *testing.F) { fuzzDecodeRobust(f, VarintXOR{}, 2) }
 func FuzzRLEDecode(f *testing.F)       { fuzzDecodeRobust(f, RLE{}, 8) }
 func FuzzAdaptiveDecode(f *testing.F)  { fuzzDecodeRobust(f, Adaptive{}, 2) }
+
+// Width-4 targets: the narrow-word codecs ship the F32/U32 domains and get
+// the same round-trip and robustness treatment.
+
+func FuzzRawW4RoundTrip(f *testing.F)       { fuzzRoundTrip(f, Raw{W: 4}) }
+func FuzzVarintXORW4RoundTrip(f *testing.F) { fuzzRoundTrip(f, VarintXOR{W: 4}) }
+func FuzzRLEW4RoundTrip(f *testing.F)       { fuzzRoundTrip(f, RLE{W: 4}) }
+func FuzzAdaptiveW4RoundTrip(f *testing.F)  { fuzzRoundTrip(f, Adaptive{W: 4}) }
+
+func FuzzRawW4Decode(f *testing.F)       { fuzzDecodeRobust(f, Raw{W: 4}, 8) }
+func FuzzVarintXORW4Decode(f *testing.F) { fuzzDecodeRobust(f, VarintXOR{W: 4}, 2) }
+func FuzzRLEW4Decode(f *testing.F)       { fuzzDecodeRobust(f, RLE{W: 4}, 4) }
+func FuzzAdaptiveW4Decode(f *testing.F)  { fuzzDecodeRobust(f, Adaptive{W: 4}, 2) }

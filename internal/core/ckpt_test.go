@@ -15,7 +15,7 @@ import (
 // runWithCkpt executes p on nodes workers with the given checkpoint
 // manager; rank failRank's transport dies after failAfter sends (failRank
 // < 0 disables injection). Returns worker results and errors.
-func runWithCkpt(t *testing.T, g *graph.Graph, p *Program, nodes int, m *ckpt.Manager, failRank, failAfter int) ([]*Result, []error) {
+func runWithCkpt(t *testing.T, g *graph.Graph, p *Program[float64], nodes int, m *ckpt.Manager, failRank, failAfter int) ([]*Result[float64], []error) {
 	t.Helper()
 	part, err := partition.NewChunked(g, nodes)
 	if err != nil {
@@ -25,7 +25,7 @@ func runWithCkpt(t *testing.T, g *graph.Graph, p *Program, nodes int, m *ckpt.Ma
 	if err != nil {
 		t.Fatal(err)
 	}
-	results := make([]*Result, nodes)
+	results := make([]*Result[float64], nodes)
 	errs := make([]error, nodes)
 	var wg sync.WaitGroup
 	for rank := 0; rank < nodes; rank++ {
@@ -36,7 +36,7 @@ func runWithCkpt(t *testing.T, g *graph.Graph, p *Program, nodes int, m *ckpt.Ma
 			if rank == failRank {
 				tr = &flakyTransport{Transport: tr, remaining: failAfter}
 			}
-			eng, err := New(Config{Graph: g, Comm: comm.NewComm(tr), Part: part, Ckpt: m})
+			eng, err := New[float64](Config{Graph: g, Comm: comm.NewComm(tr), Part: part, Ckpt: m})
 			if err != nil {
 				errs[rank] = err
 				comm.Abort(transports[rank])
@@ -168,7 +168,7 @@ func TestCheckpointRejectsWrongProgram(t *testing.T) {
 func TestCheckpointIncompatibleWithRebalance(t *testing.T) {
 	g := gen.Path(16)
 	part, _ := partition.NewChunked(g, 1)
-	_, err := New(Config{
+	_, err := New[float64](Config{
 		Graph: g, Comm: singleComm(t), Part: part,
 		Ckpt: &ckpt.Manager{Dir: t.TempDir()}, Rebalance: true,
 	})

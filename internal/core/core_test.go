@@ -22,8 +22,8 @@ func singleComm(t *testing.T) *comm.Comm {
 	return comm.NewComm(ts[0])
 }
 
-func testProgram() *Program {
-	return &Program{
+func testProgram() *Program[float64] {
+	return &Program[float64]{
 		Name: "test-sssp",
 		Agg:  MinMax,
 		InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
@@ -55,16 +55,16 @@ func TestNewValidation(t *testing.T) {
 			Guidance: &rrg.Guidance{LastIter: make([]uint32, 3), Level: make([]uint32, 3)}}},
 	}
 	for _, c := range cases {
-		if _, err := New(c.cfg); err == nil {
+		if _, err := New[float64](c.cfg); err == nil {
 			t.Errorf("%s: config accepted", c.name)
 		}
 	}
 	// Partition/comm size mismatch.
 	badPart, _ := partition.NewChunked(g, 3)
-	if _, err := New(Config{Graph: g, Comm: cm, Part: badPart}); err == nil {
+	if _, err := New[float64](Config{Graph: g, Comm: cm, Part: badPart}); err == nil {
 		t.Error("partition size mismatch accepted")
 	}
-	if _, err := New(Config{Graph: g, Comm: cm, Part: part}); err != nil {
+	if _, err := New[float64](Config{Graph: g, Comm: cm, Part: part}); err != nil {
 		t.Errorf("valid config rejected: %v", err)
 	}
 }
@@ -74,13 +74,13 @@ func TestProgramValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	cases := []func(p *Program){
-		func(p *Program) { p.Name = "" },
-		func(p *Program) { p.InitValue = nil },
-		func(p *Program) { p.Relax = nil },
-		func(p *Program) { p.Better = nil },
-		func(p *Program) { p.Roots = nil },
-		func(p *Program) { p.Agg = AggKind(9) },
+	cases := []func(p *Program[float64]){
+		func(p *Program[float64]) { p.Name = "" },
+		func(p *Program[float64]) { p.InitValue = nil },
+		func(p *Program[float64]) { p.Relax = nil },
+		func(p *Program[float64]) { p.Better = nil },
+		func(p *Program[float64]) { p.Roots = nil },
+		func(p *Program[float64]) { p.Agg = AggKind(9) },
 	}
 	for i, mutate := range cases {
 		p := testProgram()
@@ -89,7 +89,7 @@ func TestProgramValidate(t *testing.T) {
 			t.Errorf("case %d: invalid program accepted", i)
 		}
 	}
-	arith := &Program{Name: "a", Agg: Arith, InitValue: good.InitValue}
+	arith := &Program[float64]{Name: "a", Agg: Arith, InitValue: good.InitValue}
 	if err := arith.Validate(); err == nil {
 		t.Error("arith without Gather/Apply accepted")
 	}
@@ -104,7 +104,7 @@ func TestAggKindString(t *testing.T) {
 func TestRunOnSingleWorker(t *testing.T) {
 	g := gen.Path(50)
 	part, _ := partition.NewChunked(g, 1)
-	eng, err := New(Config{Graph: g, Comm: singleComm(t), Part: part})
+	eng, err := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestRunOnSingleWorker(t *testing.T) {
 func TestEmptyGraph(t *testing.T) {
 	g := graph.MustBuild(0, nil)
 	part, _ := partition.NewChunked(g, 1)
-	eng, err := New(Config{Graph: g, Comm: singleComm(t), Part: part})
+	eng, err := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestEmptyGraph(t *testing.T) {
 func TestRootOutOfRangeIgnored(t *testing.T) {
 	g := gen.Path(5)
 	part, _ := partition.NewChunked(g, 1)
-	eng, _ := New(Config{Graph: g, Comm: singleComm(t), Part: part})
+	eng, _ := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part})
 	p := testProgram()
 	p.Roots = []graph.VertexID{99} // silently out of range: no activity
 	p.InitValue = func(_ *graph.Graph, _ graph.VertexID) Value { return math.Inf(1) }
@@ -177,7 +177,7 @@ func TestCodecsProduceIdenticalResults(t *testing.T) {
 			go func(rank int) {
 				defer wg.Done()
 				defer transports[rank].Close()
-				eng, err := New(Config{Graph: g, Comm: comm.NewComm(transports[rank]), Part: part, Codec: c})
+				eng, err := New[float64](Config{Graph: g, Comm: comm.NewComm(transports[rank]), Part: part, Codec: c})
 				if err != nil {
 					t.Error(err)
 					return
@@ -229,8 +229,8 @@ func TestRRSuppressesWork(t *testing.T) {
 	part, _ := partition.NewChunked(g, 1)
 	gd := rrg.Generate(g, []graph.VertexID{0}, nil)
 
-	run := func(rr bool) *Result {
-		eng, err := New(Config{Graph: g, Comm: singleComm(t), Part: part, RR: rr, Guidance: gd,
+	run := func(rr bool) *Result[float64] {
+		eng, err := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part, RR: rr, Guidance: gd,
 			DenseDivisor: 1 << 20}) // force pull mode to exercise the RR path
 		if err != nil {
 			t.Fatal(err)
@@ -294,7 +294,7 @@ func TestRRWidestPathReducesComputations(t *testing.T) {
 	g := graph.MustBuild(k+1+m, edges)
 	part, _ := partition.NewChunked(g, 1)
 	gd := rrg.Generate(g, []graph.VertexID{0}, nil)
-	prog := &Program{
+	prog := &Program[float64]{
 		Name: "wp",
 		Agg:  MinMax,
 		InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
@@ -307,8 +307,8 @@ func TestRRWidestPathReducesComputations(t *testing.T) {
 		Relax:  func(src Value, w float32) Value { return math.Min(src, float64(w)) },
 		Better: func(a, b Value) bool { return a > b },
 	}
-	run := func(rr bool) *Result {
-		eng, err := New(Config{Graph: g, Comm: singleComm(t), Part: part, RR: rr, Guidance: gd,
+	run := func(rr bool) *Result[float64] {
+		eng, err := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part, RR: rr, Guidance: gd,
 			DenseDivisor: 1 << 20}) // force pull mode to exercise the RR path
 		if err != nil {
 			t.Fatal(err)
@@ -341,8 +341,8 @@ func TestRRWidestPathReducesComputations(t *testing.T) {
 func TestMaxItersBoundsArith(t *testing.T) {
 	g := gen.Uniform(100, 500, 1, 3)
 	part, _ := partition.NewChunked(g, 1)
-	eng, _ := New(Config{Graph: g, Comm: singleComm(t), Part: part})
-	p := &Program{
+	eng, _ := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part})
+	p := &Program[float64]{
 		Name:       "pr",
 		Agg:        Arith,
 		InitValue:  func(*graph.Graph, graph.VertexID) Value { return 1 },
@@ -363,8 +363,8 @@ func TestMaxItersBoundsArith(t *testing.T) {
 func TestEpsilonTerminatesArith(t *testing.T) {
 	g := gen.Uniform(100, 500, 1, 4)
 	part, _ := partition.NewChunked(g, 1)
-	eng, _ := New(Config{Graph: g, Comm: singleComm(t), Part: part})
-	p := &Program{
+	eng, _ := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part})
+	p := &Program[float64]{
 		Name:       "decay",
 		Agg:        Arith,
 		InitValue:  func(*graph.Graph, graph.VertexID) Value { return 1 },
@@ -386,7 +386,7 @@ func TestEpsilonTerminatesArith(t *testing.T) {
 func TestTrackLastChange(t *testing.T) {
 	g := gen.Path(6)
 	part, _ := partition.NewChunked(g, 1)
-	eng, _ := New(Config{Graph: g, Comm: singleComm(t), Part: part, TrackLastChange: true})
+	eng, _ := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part, TrackLastChange: true})
 	res, err := eng.Run(testProgram())
 	if err != nil {
 		t.Fatal(err)
@@ -402,5 +402,25 @@ func TestTrackLastChange(t *testing.T) {
 	}
 	if res.LastChange[0] != 0 {
 		t.Fatalf("root LastChange = %d", res.LastChange[0])
+	}
+}
+
+// A partially-built custom domain (hooks set, no Name) must be rejected,
+// not silently replaced by the built-in default (which would drop the
+// custom hooks).
+func TestValidateRejectsPartialDomain(t *testing.T) {
+	p := testProgram()
+	p.Dom.Delta = func(a, b Value) float64 { return 1 }
+	if err := p.Validate(); err == nil {
+		t.Fatal("program with nameless partial domain accepted")
+	}
+	// WidthOf is the single name -> width source of truth.
+	for name, want := range map[string]int{"f64": 8, "f32": 4, "u32": 4, "dist32": 8} {
+		if w, ok := WidthOf(name); !ok || w != want {
+			t.Fatalf("WidthOf(%q) = %d, %v; want %d", name, w, ok, want)
+		}
+	}
+	if _, ok := WidthOf("f16"); ok {
+		t.Fatal("WidthOf accepted an unknown domain")
 	}
 }

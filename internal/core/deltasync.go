@@ -63,7 +63,7 @@ func ParseSyncStrategy(s string) (SyncStrategy, error) {
 // sparseSync reports whether the sparse exchange can occur this run, which
 // is what decides whether frontier statistics must be computed collectively
 // (a rank then only holds the frontier bits it needs, not the global set).
-func (e *Engine) sparseSync() bool { return e.cfg.Sync != SyncDense }
+func (e *Engine[V]) sparseSync() bool { return e.cfg.Sync != SyncDense }
 
 // frameSegEntries is the delta-batch segmentation granularity: batches are
 // framed as independent codec segments of this many entries so the
@@ -72,25 +72,27 @@ func (e *Engine) sparseSync() bool { return e.cfg.Sync != SyncDense }
 // deterministic.
 const frameSegEntries = 4096
 
-// frameEncode serialises a delta batch as a framed codec stream: uvarint
-// segment count, then per segment a uvarint byte length and the codec
-// payload. With a nil scheduler (callers already inside a scheduler task)
-// segments are encoded serially. The returned map counts encoded segments
-// per codec name — the adaptive codec spreads them over its candidates.
-func frameEncode(sched *ws.Scheduler, codec compress.Codec, ids []uint32, vals []float64) ([]byte, map[string]int64) {
+// frameEncode serialises a delta batch of (id, wire-word) pairs as a framed
+// codec stream: uvarint segment count, then per segment a uvarint byte
+// length and the codec payload. With a nil scheduler (callers already
+// inside a scheduler task) segments are encoded serially. The returned map
+// counts encoded segments per codec name — the adaptive codec spreads them
+// over its candidates.
+func frameEncode(sched *ws.Scheduler, codec compress.Codec, ids []uint32, vals []uint64) ([]byte, map[string]int64) {
 	picks := make(map[string]int64)
 	nSeg := (len(ids) + frameSegEntries - 1) / frameSegEntries
 	if nSeg == 0 {
 		return binary.AppendUvarint(nil, 0), picks
 	}
 	_, adaptive := codec.(compress.Adaptive)
+	width := codec.Width()
 	parts := make([][]byte, nSeg)
 	names := make([]string, nSeg)
 	enc := func(s int) {
 		lo := s * frameSegEntries
 		hi := min(lo+frameSegEntries, len(ids))
 		if adaptive {
-			parts[s], names[s] = compress.EncodeBest(ids[lo:hi], vals[lo:hi])
+			parts[s], names[s] = compress.EncodeBest(width, ids[lo:hi], vals[lo:hi])
 		} else {
 			parts[s], names[s] = codec.Encode(ids[lo:hi], vals[lo:hi]), codec.Name()
 		}
@@ -117,7 +119,7 @@ func frameEncode(sched *ws.Scheduler, codec compress.Codec, ids []uint32, vals [
 
 // frameDecode walks a frameEncode stream, handing each segment to the
 // codec. Truncated or oversized frames are rejected before any slicing.
-func frameDecode(codec compress.Codec, buf []byte, fn func(id uint32, val float64) error) error {
+func frameDecode(codec compress.Codec, buf []byte, fn func(id uint32, val uint64) error) error {
 	nSeg, n := binary.Uvarint(buf)
 	if n <= 0 {
 		return errors.New("core: bad delta frame header")
@@ -147,7 +149,7 @@ func frameDecode(codec compress.Codec, buf []byte, fn func(id uint32, val float6
 }
 
 // foldPicks rolls per-batch codec choices into the run metrics.
-func (st *state) foldPicks(picks map[string]int64) {
+func (st *state[V]) foldPicks(picks map[string]int64) {
 	if len(picks) == 0 {
 		return
 	}
@@ -159,7 +161,7 @@ func (st *state) foldPicks(picks map[string]int64) {
 // picks returns the run's codec-choice counter map, created on first use
 // and reused for the rest of the run (incrementing an existing key does not
 // allocate).
-func (st *state) picks() map[string]int64 {
+func (st *state[V]) picks() map[string]int64 {
 	if st.run.CodecPicks == nil {
 		st.run.CodecPicks = make(map[string]int64)
 	}
@@ -173,8 +175,9 @@ func (st *state) picks() map[string]int64 {
 // format is identical to frameEncode's.
 type frameEnc struct {
 	ids      []graph.VertexID
-	vals     []Value
+	vals     []uint64
 	adaptive bool
+	width    int
 	codec    compress.Codec
 	appendC  compress.AppendCodec // nil when the codec has no append form
 	init     bool
@@ -190,13 +193,14 @@ type frameEnc struct {
 // scheduler and per-segment codec choices counted into picks (which must
 // not be nil). The returned blob is valid until the next pooled encode;
 // transports do not retain it past Send.
-func (e *Engine) frameEncodePooled(ids []graph.VertexID, vals []Value, picks map[string]int64) []byte {
+func (e *Engine[V]) frameEncodePooled(ids []graph.VertexID, vals []uint64, picks map[string]int64) []byte {
 	f := &e.frame
 	if !f.init {
 		f.init = true
-		f.codec = e.cfg.Codec
-		_, f.adaptive = e.cfg.Codec.(compress.Adaptive)
-		f.appendC, _ = e.cfg.Codec.(compress.AppendCodec)
+		f.codec = e.codec
+		f.width = e.codec.Width()
+		_, f.adaptive = e.codec.(compress.Adaptive)
+		f.appendC, _ = e.codec.(compress.AppendCodec)
 		f.body = e.frameSeg
 	}
 	nSeg := (len(ids) + frameSegEntries - 1) / frameSegEntries
@@ -227,14 +231,14 @@ func (e *Engine) frameEncodePooled(ids []graph.VertexID, vals []Value, picks map
 }
 
 // frameSeg encodes one segment into its reusable buffer.
-func (e *Engine) frameSeg(s int) {
+func (e *Engine[V]) frameSeg(s int) {
 	f := &e.frame
 	lo := s * frameSegEntries
 	hi := min(lo+frameSegEntries, len(f.ids))
 	ids, vals := f.ids[lo:hi], f.vals[lo:hi]
 	switch {
 	case f.adaptive:
-		f.parts[s], f.names[s] = compress.AppendEncodeBest(f.parts[s][:0], &f.scratch[s], ids, vals)
+		f.parts[s], f.names[s] = compress.AppendEncodeBest(f.parts[s][:0], &f.scratch[s], f.width, ids, vals)
 	case f.appendC != nil:
 		f.parts[s] = f.appendC.AppendEncode(f.parts[s][:0], ids, vals)
 		f.names[s] = f.codec.Name()
@@ -244,13 +248,13 @@ func (e *Engine) frameSeg(s int) {
 	}
 }
 
-// collectOwnedChanged lists the changed owned vertices and their values in
-// ascending id order. Chunks of the owned range are scanned in parallel
-// into engine-owned per-chunk buffers and concatenated in chunk order; all
-// storage (including the returned slices) is reused by the next superstep's
-// collection, which is safe because delta-sync consumes the batch before
-// returning.
-func (e *Engine) collectOwnedChanged(st *state, changed *bitset.Atomic) ([]graph.VertexID, []Value) {
+// collectOwnedChanged lists the changed owned vertices and their values —
+// already packed into wire words by the domain — in ascending id order.
+// Chunks of the owned range are scanned in parallel into engine-owned
+// per-chunk buffers and concatenated in chunk order; all storage (including
+// the returned slices) is reused by the next superstep's collection, which
+// is safe because delta-sync consumes the batch before returning.
+func (e *Engine[V]) collectOwnedChanged(st *state[V], changed *bitset.Atomic) ([]graph.VertexID, []uint64) {
 	lo, hi := uint32(e.lo), uint32(e.hi)
 	if hi <= lo {
 		return nil, nil
@@ -273,15 +277,15 @@ func (e *Engine) collectOwnedChanged(st *state, changed *bitset.Atomic) ([]graph
 }
 
 // collectChunk scans one chunk of the changed set into its per-chunk
-// buffer.
-func (e *Engine) collectChunk(clo, chi uint32, _ int) {
+// buffer, packing values into wire words on the way.
+func (e *Engine[V]) collectChunk(clo, chi uint32, _ int) {
 	cs := &e.collect
 	idx := int(clo-cs.lo) / ws.ChunkSize
 	ids, vals := cs.partIDs[idx][:0], cs.partVals[idx][:0]
 	it := cs.src.IterIn(int(clo), int(chi))
 	for i := it.Next(); i >= 0; i = it.Next() {
 		ids = append(ids, graph.VertexID(i))
-		vals = append(vals, cs.values[i])
+		vals = append(vals, e.dom.Bits(cs.values[i]))
 	}
 	cs.partIDs[idx], cs.partVals[idx] = ids, vals
 }
@@ -291,7 +295,7 @@ func (e *Engine) collectChunk(clo, chi uint32, _ int) {
 // exchange strategy per superstep. Returns the global number of changed
 // vertices (under pure dense sync, the decoded count — identical by
 // construction).
-func (e *Engine) syncOwned(st *state, changed *bitset.Atomic, frontier *bitset.Atomic, iter int, stat *metrics.IterStat) (int64, error) {
+func (e *Engine[V]) syncOwned(st *state[V], changed *bitset.Atomic, frontier *bitset.Atomic, iter int, stat *metrics.IterStat) (int64, error) {
 	bytes0 := e.comm.T.Stats().BytesSent
 	ids, vals := e.collectOwnedChanged(st, changed)
 	sparse := false
@@ -334,7 +338,7 @@ func (e *Engine) syncOwned(st *state, changed *bitset.Atomic, frontier *bitset.A
 // path) with parallel segmented encoding into pooled wire buffers and a
 // pre-created decode callback, so a steady-state dense sync allocates
 // nothing beyond what the transport itself copies.
-func (e *Engine) syncDense(st *state, frontier *bitset.Atomic, iter int, ids []graph.VertexID, vals []Value) (int64, error) {
+func (e *Engine[V]) syncDense(st *state[V], frontier *bitset.Atomic, iter int, ids []graph.VertexID, vals []uint64) (int64, error) {
 	blob := e.frameEncodePooled(ids, vals, st.picks())
 	blobs, err := e.comm.AllGather(blob)
 	if err != nil {
@@ -343,7 +347,7 @@ func (e *Engine) syncDense(st *state, frontier *bitset.Atomic, iter int, ids []g
 	e.decFrontier, e.decIter, e.decTotal = frontier, iter, 0
 	for rank, b := range blobs {
 		e.decRank = rank
-		if err := frameDecode(e.cfg.Codec, b, e.denseDecode); err != nil {
+		if err := frameDecode(e.codec, b, e.denseDecode); err != nil {
 			return 0, err
 		}
 	}
@@ -359,12 +363,12 @@ func (e *Engine) syncDense(st *state, frontier *bitset.Atomic, iter int, ids []g
 }
 
 // applyDenseDelta is the pre-created decode callback of syncDense.
-func (e *Engine) applyDenseDelta(id uint32, val float64) error {
+func (e *Engine[V]) applyDenseDelta(id uint32, bits uint64) error {
 	if int(id) >= e.g.NumVertices() {
 		return fmt.Errorf("core: delta for out-of-range vertex %d", id)
 	}
 	if e.decRank != e.comm.Rank() {
-		e.curState.values[id] = val
+		e.curState.values[id] = e.dom.FromBits(bits)
 	}
 	if e.decFrontier != nil {
 		e.decFrontier.Set(int(id))
@@ -381,7 +385,7 @@ func (e *Engine) applyDenseDelta(id uint32, val float64) error {
 // exchanged point-to-point; the global changed count was already agreed by
 // the caller's AllReduce, so termination and mode switches stay in
 // lockstep even though no rank holds the full frontier.
-func (e *Engine) syncSparse(st *state, frontier *bitset.Atomic, iter int, ids []graph.VertexID, vals []Value, global int64) (int64, error) {
+func (e *Engine[V]) syncSparse(st *state[V], frontier *bitset.Atomic, iter int, ids []graph.VertexID, vals []uint64, global int64) (int64, error) {
 	for _, id := range ids {
 		if frontier != nil {
 			frontier.Set(int(id))
@@ -396,7 +400,7 @@ func (e *Engine) syncSparse(st *state, frontier *bitset.Atomic, iter int, ids []
 	me := e.comm.Rank()
 	type batch struct {
 		ids  []graph.VertexID
-		vals []Value
+		vals []uint64
 	}
 	dests := make([]batch, size)
 	for i, id := range ids {
@@ -419,7 +423,7 @@ func (e *Engine) syncSparse(st *state, frontier *bitset.Atomic, iter int, ids []
 		if r == me || len(dests[r].ids) == 0 {
 			return
 		}
-		blobs[r], destPicks[r] = frameEncode(nil, e.cfg.Codec, dests[r].ids, dests[r].vals)
+		blobs[r], destPicks[r] = frameEncode(nil, e.codec, dests[r].ids, dests[r].vals)
 	})
 	for _, p := range destPicks {
 		st.foldPicks(p)
@@ -433,14 +437,14 @@ func (e *Engine) syncSparse(st *state, frontier *bitset.Atomic, iter int, ids []
 		if from == me || blob == nil {
 			continue
 		}
-		err := frameDecode(e.cfg.Codec, blob, func(id uint32, val float64) error {
+		err := frameDecode(e.codec, blob, func(id uint32, bits uint64) error {
 			if int(id) >= n {
 				return fmt.Errorf("core: sparse delta for out-of-range vertex %d", id)
 			}
 			if graph.VertexID(id) >= e.lo && graph.VertexID(id) < e.hi {
 				return fmt.Errorf("core: rank %d sent a delta for vertex %d owned here", from, id)
 			}
-			st.values[id] = val
+			st.values[id] = e.dom.FromBits(bits)
 			if frontier != nil {
 				frontier.Set(int(id))
 			}
@@ -458,35 +462,36 @@ func (e *Engine) syncSparse(st *state, frontier *bitset.Atomic, iter int, ids []
 // every superstep: each owned value whose latest update travelled only the
 // sparse exchange is re-broadcast once at termination, so every worker
 // returns identical results. With TrackLastChange the per-vertex
-// last-change iterations are flushed the same way (as float64 payloads).
-// The flush is a collective, entered by all ranks whenever sparse sync is
-// configured, even if no superstep actually went sparse.
-func (e *Engine) flushSparse(st *state) error {
+// last-change iterations are flushed the same way (as uint32 wire words,
+// which fit either width). The flush is a collective, entered by all ranks
+// whenever sparse sync is configured, even if no superstep actually went
+// sparse.
+func (e *Engine[V]) flushSparse(st *state[V]) error {
 	if e.dirty == nil {
 		return nil
 	}
 	start := time.Now()
 	bytes0 := e.comm.T.Stats().BytesSent
 	var ids []graph.VertexID
-	var vals []Value
+	var vals []uint64
 	e.dirty.RangeIn(int(e.lo), int(e.hi), func(i int) bool {
 		ids = append(ids, graph.VertexID(i))
-		vals = append(vals, st.values[i])
+		vals = append(vals, e.dom.Bits(st.values[i]))
 		return true
 	})
-	err := e.flushGather(st, ids, vals, func(id uint32, val float64) {
-		st.values[id] = val
+	err := e.flushGather(st, ids, vals, func(id uint32, bits uint64) {
+		st.values[id] = e.dom.FromBits(bits)
 	})
 	if err != nil {
 		return err
 	}
 	if st.lastChange != nil {
-		lc := make([]Value, len(ids))
+		lc := make([]uint64, len(ids))
 		for i, id := range ids {
-			lc[i] = Value(st.lastChange[id])
+			lc[i] = uint64(uint32(st.lastChange[id]))
 		}
-		err := e.flushGather(st, ids, lc, func(id uint32, val float64) {
-			st.lastChange[id] = int32(val)
+		err := e.flushGather(st, ids, lc, func(id uint32, bits uint64) {
+			st.lastChange[id] = int32(uint32(bits))
 		})
 		if err != nil {
 			return err
@@ -498,9 +503,9 @@ func (e *Engine) flushSparse(st *state) error {
 	return nil
 }
 
-// flushGather broadcasts one owned (id, value) batch and applies every
+// flushGather broadcasts one owned (id, wire-word) batch and applies every
 // remote rank's batch through apply.
-func (e *Engine) flushGather(st *state, ids []graph.VertexID, vals []Value, apply func(id uint32, val float64)) error {
+func (e *Engine[V]) flushGather(st *state[V], ids []graph.VertexID, vals []uint64, apply func(id uint32, bits uint64)) error {
 	blob := e.frameEncodePooled(ids, vals, st.picks())
 	blobs, err := e.comm.AllGather(blob)
 	if err != nil {
@@ -511,11 +516,11 @@ func (e *Engine) flushGather(st *state, ids []graph.VertexID, vals []Value, appl
 		if rank == e.comm.Rank() {
 			continue
 		}
-		err := frameDecode(e.cfg.Codec, b, func(id uint32, val float64) error {
+		err := frameDecode(e.codec, b, func(id uint32, bits uint64) error {
 			if int(id) >= n {
 				return fmt.Errorf("core: flush delta for out-of-range vertex %d", id)
 			}
-			apply(id, val)
+			apply(id, bits)
 			return nil
 		})
 		if err != nil {

@@ -36,13 +36,13 @@ func TestParseSyncStrategy(t *testing.T) {
 func TestSyncStrategyValidation(t *testing.T) {
 	g := gen.Path(10)
 	part, _ := partition.NewChunked(g, 1)
-	if _, err := New(Config{Graph: g, Comm: singleComm(t), Part: part, Sync: SyncSparse, Rebalance: true}); err == nil {
+	if _, err := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part, Sync: SyncSparse, Rebalance: true}); err == nil {
 		t.Error("sparse sync with rebalancing accepted")
 	}
-	if _, err := New(Config{Graph: g, Comm: singleComm(t), Part: part, Sync: SyncStrategy(42)}); err == nil {
+	if _, err := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part, Sync: SyncStrategy(42)}); err == nil {
 		t.Error("invalid sync strategy accepted")
 	}
-	if _, err := New(Config{Graph: g, Comm: singleComm(t), Part: part, Sync: SyncAdaptive}); err != nil {
+	if _, err := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part, Sync: SyncAdaptive}); err != nil {
 		t.Errorf("adaptive sync rejected: %v", err)
 	}
 }
@@ -52,10 +52,10 @@ func TestFrameRoundTrip(t *testing.T) {
 	for _, codec := range []compress.Codec{compress.Raw{}, compress.Adaptive{}} {
 		for _, n := range []int{0, 1, frameSegEntries, frameSegEntries + 1, 3*frameSegEntries + 17} {
 			ids := make([]uint32, n)
-			vals := make([]float64, n)
+			vals := make([]uint64, n)
 			for i := range ids {
 				ids[i] = uint32(2 * i)
-				vals[i] = float64(i % 5)
+				vals[i] = math.Float64bits(float64(i % 5))
 			}
 			blob, picks := frameEncode(sched, codec, ids, vals)
 			wantSegs := (n + frameSegEntries - 1) / frameSegEntries
@@ -67,7 +67,7 @@ func TestFrameRoundTrip(t *testing.T) {
 				t.Fatalf("%s n=%d: %d pick entries, want %d segments", codec.Name(), n, gotSegs, wantSegs)
 			}
 			i := 0
-			err := frameDecode(codec, blob, func(id uint32, val float64) error {
+			err := frameDecode(codec, blob, func(id uint32, val uint64) error {
 				if id != ids[i] || val != vals[i] {
 					t.Fatalf("%s n=%d: entry %d = (%d,%v), want (%d,%v)", codec.Name(), n, i, id, val, ids[i], vals[i])
 				}
@@ -93,9 +93,9 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameDecodeRejectsCorruptFrames(t *testing.T) {
 	codec := compress.Raw{}
 	ids := []uint32{1, 2, 3}
-	vals := []float64{4, 5, 6}
+	vals := []uint64{4, 5, 6}
 	blob, _ := frameEncode(nil, codec, ids, vals)
-	nop := func(uint32, float64) error { return nil }
+	nop := func(uint32, uint64) error { return nil }
 	if err := frameDecode(codec, nil, nop); err == nil {
 		t.Error("nil frame accepted")
 	}
@@ -114,7 +114,7 @@ func TestFrameDecodeRejectsCorruptFrames(t *testing.T) {
 
 // runClusterAll executes p on a fresh in-process cluster and returns every
 // worker's result.
-func runClusterAll(t *testing.T, g *graph.Graph, p *Program, nodes int, mutate func(rank int, cfg *Config)) []*Result {
+func runClusterAll(t *testing.T, g *graph.Graph, p *Program[float64], nodes int, mutate func(rank int, cfg *Config)) []*Result[float64] {
 	t.Helper()
 	part, err := partition.NewChunked(g, nodes)
 	if err != nil {
@@ -124,7 +124,7 @@ func runClusterAll(t *testing.T, g *graph.Graph, p *Program, nodes int, mutate f
 	if err != nil {
 		t.Fatal(err)
 	}
-	results := make([]*Result, nodes)
+	results := make([]*Result[float64], nodes)
 	errs := make([]error, nodes)
 	var wg sync.WaitGroup
 	for rank := 0; rank < nodes; rank++ {
@@ -136,7 +136,7 @@ func runClusterAll(t *testing.T, g *graph.Graph, p *Program, nodes int, mutate f
 			if mutate != nil {
 				mutate(rank, &cfg)
 			}
-			eng, err := New(cfg)
+			eng, err := New[float64](cfg)
 			if err != nil {
 				errs[rank] = err
 				comm.Abort(transports[rank])
@@ -172,7 +172,7 @@ func sameValues(a, b []Value) bool {
 func TestSyncStrategiesBitIdentical(t *testing.T) {
 	const nodes = 4
 	g := gen.RMAT(1024, 8192, gen.DefaultRMAT, 8, 21)
-	for _, prog := range []*Program{testProgram(), testArith()} {
+	for _, prog := range []*Program[float64]{testProgram(), testArith()} {
 		ref := runClusterAll(t, g, prog, nodes, func(_ int, cfg *Config) {
 			cfg.TrackLastChange = true
 		})
@@ -213,7 +213,7 @@ func TestAdaptiveSparseTailBytes(t *testing.T) {
 	g := gen.RMAT(2048, 16384, gen.DefaultRMAT, 8, 5)
 	prog := testProgram()
 
-	perSuperstep := func(sync SyncStrategy) (*metrics.Run, *Result) {
+	perSuperstep := func(sync SyncStrategy) (*metrics.Run, *Result[float64]) {
 		results := runClusterAll(t, g, prog, nodes, func(_ int, cfg *Config) { cfg.Sync = sync })
 		runs := make([]*metrics.Run, len(results))
 		for i, r := range results {

@@ -26,12 +26,12 @@ import (
 // graph analytics — triangles, MST, clique, diameter — are compositions of
 // these and run through the same engine).
 func diffApps(g *graph.Graph) map[string]struct {
-	prog *core.Program
+	prog *core.Program[float64]
 	g    *graph.Graph
 } {
 	sym := apps.Symmetrize(g)
 	return map[string]struct {
-		prog *core.Program
+		prog *core.Program[float64]
 		g    *graph.Graph
 	}{
 		"SSSP":     {apps.SSSP(0), g},
@@ -47,7 +47,7 @@ func diffApps(g *graph.Graph) map[string]struct {
 
 // runTCP executes the program over a freshly dialled localhost TCP mesh
 // and returns every rank's values.
-func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat core.SyncStrategy, serialSync bool, gd *rrg.Guidance) [][]core.Value {
+func runTCP(t *testing.T, g *graph.Graph, prog *core.Program[float64], nodes int, strat core.SyncStrategy, serialSync bool, gd *rrg.Guidance) [][]core.Value {
 	t.Helper()
 	part, err := partition.NewChunked(g, nodes)
 	if err != nil {
@@ -65,7 +65,7 @@ func runTCP(t *testing.T, g *graph.Graph, prog *core.Program, nodes int, strat c
 		go func(rank int) {
 			defer wg.Done()
 			tr := transports[rank]
-			eng, err := core.New(core.Config{
+			eng, err := core.New[float64](core.Config{
 				Graph: g, Comm: comm.NewComm(tr), Part: part,
 				RR: true, Guidance: gd, Sync: strat, SerialSync: serialSync,
 			})

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Domain describes one vertex-property type end to end: its identity (the
+// tag checkpoints and wire-format negotiation use), its wire width, the
+// bit-codec hooks that move values through the delta-sync/push/checkpoint
+// byte paths, and the change arithmetic the engine's |Δ|>0 tests and
+// Epsilon termination use.
+//
+// SLFE itself stores properties as float32 and leans on that hardware
+// precision for its "finish early" stability test (§2.2); the reproduction
+// originally hardwired float64, doubling every byte stored, checkpointed
+// and shipped. A Domain makes the property type pluggable: F64 keeps the
+// old behaviour (and serves as the differential oracle), F32 is the
+// paper-faithful half-width domain, U32 carries exact integer labels, and
+// composite value structs (e.g. DistParent) pack multiple fields into one
+// wire word.
+//
+// All hooks must be pure and total: Bits/FromBits must round-trip every
+// value the program can produce (Bits(v) fits in Width bytes), and
+// Delta(a, b) must be 0 exactly when a == b.
+type Domain[V comparable] struct {
+	// Name tags the domain in checkpoints and experiment tables
+	// ("f64", "f32", "u32", "dist32"). Checkpoints from one domain refuse
+	// to resume another.
+	Name string
+	// Width is the wire word width in bytes: 4 or 8. It must match the
+	// configured codec's width (Engine.Run validates).
+	Width int
+	// Bits packs a value into its wire word (a Width-byte pattern in the
+	// low bits of the uint64).
+	Bits func(V) uint64
+	// FromBits is the inverse of Bits.
+	FromBits func(uint64) V
+	// Delta is the magnitude of the change a -> b: exactly 0 when a == b,
+	// positive otherwise. Arith kernels use it for the changed test and
+	// the Epsilon termination reduce.
+	Delta func(a, b V) float64
+	// Float64 projects a value for reporting, analytics and the StableEps
+	// relative-equality tolerance (identity for F64).
+	Float64 func(V) float64
+}
+
+// valid reports the first structural problem with the domain.
+func (d Domain[V]) valid() error {
+	if d.Name == "" {
+		return fmt.Errorf("core: domain needs a name")
+	}
+	if d.Width != 4 && d.Width != 8 {
+		return fmt.Errorf("core: domain %s has width %d, want 4 or 8", d.Name, d.Width)
+	}
+	if d.Bits == nil || d.FromBits == nil || d.Delta == nil || d.Float64 == nil {
+		return fmt.Errorf("core: domain %s is missing hooks", d.Name)
+	}
+	return nil
+}
+
+// Float constrains the floating-point property types the generic app
+// constructors support.
+type Float interface {
+	~float32 | ~float64
+}
+
+// F64 is the 8-byte float domain — the original engine behaviour and the
+// differential oracle for the narrower domains.
+func F64() Domain[float64] {
+	return Domain[float64]{
+		Name:     "f64",
+		Width:    8,
+		Bits:     math.Float64bits,
+		FromBits: math.Float64frombits,
+		Delta:    func(a, b float64) float64 { return math.Abs(b - a) },
+		Float64:  func(v float64) float64 { return v },
+	}
+}
+
+// F32 is the paper-faithful 4-byte float domain (§2.2): half the memory,
+// checkpoint and wire bytes of F64, and successive stable ranks compare
+// exactly equal in hardware precision — so arith programs need no StableEps
+// tolerance.
+func F32() Domain[float32] {
+	return Domain[float32]{
+		Name:     "f32",
+		Width:    4,
+		Bits:     func(v float32) uint64 { return uint64(math.Float32bits(v)) },
+		FromBits: func(b uint64) float32 { return math.Float32frombits(uint32(b)) },
+		Delta: func(a, b float32) float64 {
+			return math.Abs(float64(b) - float64(a))
+		},
+		Float64: func(v float32) float64 { return float64(v) },
+	}
+}
+
+// U32 is the 4-byte unsigned integer domain for label-style properties
+// (component ids, BFS levels, path counts): exact integer semantics, no
+// rounding, and varint-friendly wire words. U32Unreached is the
+// conventional "not reached yet" sentinel (the analogue of +Inf).
+func U32() Domain[uint32] {
+	return Domain[uint32]{
+		Name:     "u32",
+		Width:    4,
+		Bits:     func(v uint32) uint64 { return uint64(v) },
+		FromBits: func(b uint64) uint32 { return uint32(b) },
+		Delta: func(a, b uint32) float64 {
+			if a == b {
+				return 0
+			}
+			if b > a {
+				return float64(b - a)
+			}
+			return float64(a - b)
+		},
+		Float64: func(v uint32) float64 { return float64(v) },
+	}
+}
+
+// U32Unreached is the "unreached" sentinel of U32 min-aggregations (the
+// largest label, so any real value beats it).
+const U32Unreached = math.MaxUint32
+
+// DistParent is the composite SSSP property: the shortest distance found so
+// far plus the predecessor it came through, packed into one 8-byte wire
+// word. Running SSSP over this domain yields an actual shortest-path tree,
+// not just distances.
+type DistParent struct {
+	// Dist is the path length (float32, +Inf when unreached).
+	Dist float32
+	// Parent is the predecessor on the best path (NoParent when unreached
+	// or at the root).
+	Parent uint32
+}
+
+// NoParent marks a vertex without a predecessor (unreached, or the root).
+const NoParent = math.MaxUint32
+
+// DistParentDomain packs DistParent as (dist bits << 32) | parent.
+func DistParentDomain() Domain[DistParent] {
+	return Domain[DistParent]{
+		Name:  "dist32",
+		Width: 8,
+		Bits: func(v DistParent) uint64 {
+			return uint64(math.Float32bits(v.Dist))<<32 | uint64(v.Parent)
+		},
+		FromBits: func(b uint64) DistParent {
+			return DistParent{
+				Dist:   math.Float32frombits(uint32(b >> 32)),
+				Parent: uint32(b),
+			}
+		},
+		Delta: func(a, b DistParent) float64 {
+			if a == b {
+				return 0
+			}
+			if d := math.Abs(float64(b.Dist) - float64(a.Dist)); d > 0 {
+				return d
+			}
+			// Same distance through a different parent: changed, but with
+			// no meaningful magnitude.
+			return math.SmallestNonzeroFloat64
+		},
+		Float64: func(v DistParent) float64 { return float64(v.Dist) },
+	}
+}
+
+// DefaultDomain returns the canonical domain of V for the built-in property
+// types (float64, float32, uint32, DistParent), so programs over those
+// types may leave Program.Dom unset. ok is false for other types.
+func DefaultDomain[V comparable]() (Domain[V], bool) {
+	var zero V
+	var d any
+	switch any(zero).(type) {
+	case float64:
+		d = F64()
+	case float32:
+		d = F32()
+	case uint32:
+		d = U32()
+	case DistParent:
+		d = DistParentDomain()
+	default:
+		return Domain[V]{}, false
+	}
+	return d.(Domain[V]), true
+}
+
+// builtinWidths is derived from the built-in domain constructors, so the
+// name → wire-width mapping has exactly one source of truth.
+var builtinWidths = map[string]int{
+	F64().Name:              F64().Width,
+	F32().Name:              F32().Width,
+	U32().Name:              U32().Width,
+	DistParentDomain().Name: DistParentDomain().Width,
+}
+
+// WidthOf returns the wire word width (bytes) of a built-in domain name —
+// the single place the name → width mapping lives, for callers (CLI flag
+// parsing, experiments) that only hold the domain's name.
+func WidthOf(name string) (int, bool) {
+	w, ok := builtinWidths[name]
+	return w, ok
+}
+
+// Float64s projects a value slice for reporting and reference comparison.
+func (d Domain[V]) Float64s(vals []V) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = d.Float64(v)
+	}
+	return out
+}

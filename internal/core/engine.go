@@ -21,6 +21,8 @@ import (
 
 // Config configures one worker's engine. Every worker of a cluster must use
 // an identical configuration apart from Comm (which carries the rank).
+// Config itself is domain-agnostic: the property type is fixed by the
+// Engine's type parameter and the Program's Domain.
 type Config struct {
 	Graph *graph.Graph
 	Comm  *comm.Comm         // communication group (required)
@@ -45,8 +47,9 @@ type Config struct {
 	TrackLastChange bool
 
 	// Codec serialises delta-sync and push-proposal messages (nil:
-	// compress.Raw; compress.Adaptive picks the smallest encoding per
-	// batch). All workers must agree.
+	// compress.Raw at the domain's width; compress.Adaptive picks the
+	// smallest encoding per batch). The codec's width must match the
+	// program domain's width — Run validates. All workers must agree.
 	Codec compress.Codec
 
 	// Sync selects the delta-sync strategy (§4.2's communication
@@ -103,8 +106,9 @@ type Config struct {
 
 // Result is returned by Run on every worker; Values are synchronised, so
 // all workers return identical values.
-type Result struct {
-	Values     []Value
+type Result[V comparable] struct {
+	Values     []V
+	Dom        Domain[V] // the domain the program ran over
 	Iterations int
 	Metrics    *metrics.Run
 	// LastChange[v] is the last iteration v's value changed (-1 if never);
@@ -115,8 +119,12 @@ type Result struct {
 	ECCount int64
 }
 
-// Engine executes Programs on one worker.
-type Engine struct {
+// Float64s projects the result values through the domain (identity for
+// F64) for analytics, sampling and reference comparison.
+func (r *Result[V]) Float64s() []float64 { return r.Dom.Float64s(r.Values) }
+
+// Engine executes Programs over property type V on one worker.
+type Engine[V comparable] struct {
 	cfg   Config
 	g     *graph.Graph
 	comm  *comm.Comm
@@ -124,6 +132,13 @@ type Engine struct {
 	lo    graph.VertexID // owned range
 	hi    graph.VertexID
 	reb   *rebalancer // nil unless Config.Rebalance
+
+	// dom and codec are resolved per Run from the program's domain (the
+	// codec width must match the domain width; an engine reused across
+	// runs keeps one codec).
+	dom   Domain[V]
+	codec compress.Codec
+
 	// dirty marks owned vertices whose latest value was distributed only
 	// through the sparse exchange and so is stale on uninterested ranks;
 	// flushSparse re-broadcasts them at termination. Nil under SyncDense.
@@ -138,14 +153,14 @@ type Engine struct {
 	// (the zero-allocation hot path). curState/changed point at the active
 	// run's state so the pre-created closures below need no per-superstep
 	// captures.
-	curState  *state
+	curState  *state[V]
 	changed   *bitset.Atomic
-	push      *pushState   // flat push-combining buffers (push.go)
-	collect   collectState // changed-owned-vertex gather buffers
-	bits      bitsCollect  // checkpoint bit-listing buffers
-	frame     frameEnc     // delta-sync wire framing buffers (deltasync.go)
-	stream    streamState  // overlapped delta-sync streaming state (overlap.go)
-	dirtySnap []uint32     // checkpoint shard's sparse-dirty listing
+	push      *pushState[V]   // flat push-combining buffers (push.go)
+	collect   collectState[V] // changed-owned-vertex gather buffers
+	bits      bitsCollect     // checkpoint bit-listing buffers
+	frame     frameEnc        // delta-sync wire framing buffers (deltasync.go)
+	stream    streamState[V]  // overlapped delta-sync streaming state (overlap.go)
+	dirtySnap []uint32        // checkpoint shard's sparse-dirty listing
 
 	// Frontier-statistic scan: the pre-created chunk body folds through
 	// the scheduler's own reusable reduction accumulators, so the
@@ -155,7 +170,7 @@ type Engine struct {
 
 	// Pre-created dense delta-sync decode callback and its per-batch
 	// context (deltasync.go).
-	denseDecode func(id uint32, val float64) error
+	denseDecode func(id uint32, bits uint64) error
 	decFrontier *bitset.Atomic
 	decIter     int
 	decRank     int
@@ -164,15 +179,18 @@ type Engine struct {
 
 // collectState is the reusable working set of collectOwnedChanged: one
 // append buffer per mini-chunk of the owned range (written in parallel,
-// concatenated in chunk order) plus the concatenated output.
-type collectState struct {
+// concatenated in chunk order) plus the concatenated output. Values are
+// collected directly as wire words (Domain.Bits applied at collection
+// time) so every downstream consumer — framing, sparse routing, flushing —
+// works width-agnostically on bit words.
+type collectState[V comparable] struct {
 	lo       uint32
 	src      *bitset.Atomic
-	values   []Value
+	values   []V
 	partIDs  [][]graph.VertexID
-	partVals [][]Value
+	partVals [][]uint64
 	ids      []graph.VertexID
-	vals     []Value
+	vals     []uint64
 	body     func(clo, chi uint32, thread int)
 }
 
@@ -195,8 +213,10 @@ type rebalancer struct {
 	damping float64
 }
 
-// New validates the configuration and builds a worker engine.
-func New(cfg Config) (*Engine, error) {
+// New validates the configuration and builds a worker engine over property
+// type V (e.g. New[float64] for the original engine, New[float32] for the
+// paper-faithful half-width domain).
+func New[V comparable](cfg Config) (*Engine[V], error) {
 	if cfg.Graph == nil {
 		return nil, errors.New("core: Config.Graph is required")
 	}
@@ -218,9 +238,6 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.DenseDivisor <= 0 {
 		cfg.DenseDivisor = 20
 	}
-	if cfg.Codec == nil {
-		cfg.Codec = compress.Raw{}
-	}
 	if cfg.Ckpt != nil && cfg.Rebalance {
 		return nil, errors.New("core: checkpointing with dynamic rebalancing is not supported (owned ranges are not part of the snapshot)")
 	}
@@ -233,7 +250,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.SparseDivisor <= 0 {
 		cfg.SparseDivisor = 16
 	}
-	e := &Engine{
+	e := &Engine[V]{
 		cfg:   cfg,
 		g:     cfg.Graph,
 		comm:  cfg.Comm,
@@ -243,7 +260,6 @@ func New(cfg Config) (*Engine, error) {
 	e.bits.body = e.collectBitsChunk
 	e.outBody = e.outEdgesChunk
 	e.denseDecode = e.applyDenseDelta
-	e.streamInit()
 	e.lo, e.hi = cfg.Part.Range(cfg.Comm.Rank())
 	if cfg.Sync != SyncDense {
 		e.dirty = bitset.NewAtomic(cfg.Graph.NumVertices())
@@ -273,13 +289,36 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// bindDomain resolves the run's domain and codec and validates that their
+// wire widths agree. Called by Run after Program.Validate filled the
+// domain in.
+func (e *Engine[V]) bindDomain(dom Domain[V]) error {
+	if e.dom.Name != "" && e.dom.Name != dom.Name {
+		return fmt.Errorf("core: engine already bound to domain %s, program uses %s", e.dom.Name, dom.Name)
+	}
+	e.dom = dom
+	if e.codec == nil {
+		if e.cfg.Codec != nil {
+			e.codec = e.cfg.Codec
+		} else {
+			e.codec = compress.Raw{W: dom.Width}
+		}
+		e.streamInit()
+	}
+	if e.codec.Width() != dom.Width {
+		return fmt.Errorf("core: codec %s has wire width %d but domain %s needs %d (build the codec with compress.ByNameW or a matching W field)",
+			e.codec.Name(), e.codec.Width(), dom.Name, dom.Width)
+	}
+	return nil
+}
+
 // Close releases the engine's persistent scheduler pool. The engine must
 // not be used afterwards; forgetting to call Close leaks only parked
 // goroutines (they die with the process).
-func (e *Engine) Close() { e.sched.Close() }
+func (e *Engine[V]) Close() { e.sched.Close() }
 
 // owner returns the worker currently owning v, honouring dynamic ranges.
-func (e *Engine) owner(v graph.VertexID) int {
+func (e *Engine[V]) owner(v graph.VertexID) int {
 	if e.reb != nil {
 		return e.reb.ranges.Owner(v)
 	}
@@ -287,7 +326,7 @@ func (e *Engine) owner(v graph.VertexID) int {
 }
 
 // rankRange returns rank r's owned range, honouring dynamic ranges.
-func (e *Engine) rankRange(r int) (lo, hi graph.VertexID) {
+func (e *Engine[V]) rankRange(r int) (lo, hi graph.VertexID) {
 	if e.reb != nil {
 		return e.reb.ranges.Range(r)
 	}
@@ -299,7 +338,7 @@ func (e *Engine) rankRange(r int) (lo, hi graph.VertexID) {
 // per-worker compute times. onAcquire is invoked for every vertex the
 // worker newly acquired, before the boundaries take effect, so loop-
 // specific state (e.g. "start late" catch-up debt) can be made safe.
-func (e *Engine) maybeRebalance(st *state, iterTime time.Duration, onAcquire func(v graph.VertexID)) error {
+func (e *Engine[V]) maybeRebalance(st *state[V], iterTime time.Duration, onAcquire func(v graph.VertexID)) error {
 	if e.reb == nil {
 		return nil
 	}
@@ -347,14 +386,21 @@ func (e *Engine) maybeRebalance(st *state, iterTime time.Duration, onAcquire fun
 // Run executes the program to convergence and returns the synchronised
 // result. Both aggregation modes run through the unified superstep
 // pipeline (superstep.go); only the kernel differs.
-func (e *Engine) Run(p *Program) (*Result, error) {
+func (e *Engine[V]) Run(p *Program[V]) (*Result[V], error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	dom, err := p.domain()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.bindDomain(dom); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	st := e.newState(p)
 	changed := bitset.NewAtomic(e.g.NumVertices())
-	var k kernel
+	var k kernel[V]
 	if p.Agg == MinMax {
 		k = newMinMaxKernel(e, p, st, changed)
 	} else {
@@ -369,16 +415,16 @@ func (e *Engine) Run(p *Program) (*Result, error) {
 }
 
 // state is the per-run mutable state shared by both loops.
-type state struct {
-	values     []Value
+type state[V comparable] struct {
+	values     []V
 	lastChange []int32
 	run        *metrics.Run
 }
 
-func (e *Engine) newState(p *Program) *state {
+func (e *Engine[V]) newState(p *Program[V]) *state[V] {
 	n := e.g.NumVertices()
-	st := &state{
-		values: make([]Value, n),
+	st := &state[V]{
+		values: make([]V, n),
 		run:    &metrics.Run{},
 	}
 	for v := 0; v < n; v++ {
@@ -394,7 +440,7 @@ func (e *Engine) newState(p *Program) *state {
 }
 
 // markChanged records a value change for Figure 2 tracking.
-func (st *state) markChanged(v graph.VertexID, iter int) {
+func (st *state[V]) markChanged(v graph.VertexID, iter int) {
 	if st.lastChange != nil {
 		st.lastChange[v] = int32(iter)
 	}
@@ -416,11 +462,11 @@ func hasActiveIn(frontier *bitset.Atomic, ins []graph.VertexID) bool {
 // computes the same value locally. The scan is a chunked ReduceI64 over
 // the scheduler with a pre-created chunk body, so the per-superstep scan
 // allocates nothing (the scheduler owns the reduction accumulators).
-func (e *Engine) frontierOutEdges(frontier *bitset.Atomic) int64 {
+func (e *Engine[V]) frontierOutEdges(frontier *bitset.Atomic) int64 {
 	return e.sumFrontierOutEdges(frontier, 0, uint32(frontier.Len()))
 }
 
-func (e *Engine) sumFrontierOutEdges(frontier *bitset.Atomic, lo, hi uint32) int64 {
+func (e *Engine[V]) sumFrontierOutEdges(frontier *bitset.Atomic, lo, hi uint32) int64 {
 	e.statFrontier = frontier
 	sum, _ := e.sched.ReduceI64(lo, hi, e.outBody)
 	e.statFrontier = nil
@@ -428,7 +474,7 @@ func (e *Engine) sumFrontierOutEdges(frontier *bitset.Atomic, lo, hi uint32) int
 }
 
 // outEdgesChunk sums one chunk's frontier out-degrees.
-func (e *Engine) outEdgesChunk(clo, chi uint32, _ int) int64 {
+func (e *Engine[V]) outEdgesChunk(clo, chi uint32, _ int) int64 {
 	it := e.statFrontier.IterIn(int(clo), int(chi))
 	var s int64
 	for i := it.Next(); i >= 0; i = it.Next() {
@@ -441,7 +487,7 @@ func (e *Engine) outEdgesChunk(clo, chi uint32, _ int) int64 {
 // dense sync every worker holds the full frontier and computes it locally;
 // once sparse sync is possible a worker only holds the bits it needs, so
 // the owned spans are summed with an AllReduce instead.
-func (e *Engine) frontierOutEdgesGlobal(frontier *bitset.Atomic) (int64, error) {
+func (e *Engine[V]) frontierOutEdgesGlobal(frontier *bitset.Atomic) (int64, error) {
 	if !e.sparseSync() {
 		return e.frontierOutEdges(frontier), nil
 	}
@@ -454,7 +500,7 @@ func (e *Engine) frontierOutEdgesGlobal(frontier *bitset.Atomic) (int64, error) 
 // across calls) and concatenated in chunk order, preserving the ascending
 // order serial Range produced. Callers own dst; the checkpoint path hands in
 // a retained slice re-sliced to zero length each tick.
-func (e *Engine) collectBitsInto(dst []uint32, b *bitset.Atomic) []uint32 {
+func (e *Engine[V]) collectBitsInto(dst []uint32, b *bitset.Atomic) []uint32 {
 	n := b.Len()
 	if n == 0 {
 		return dst
@@ -475,7 +521,7 @@ func (e *Engine) collectBitsInto(dst []uint32, b *bitset.Atomic) []uint32 {
 
 // collectBitsChunk scans one chunk of the source bitset into its per-chunk
 // buffer.
-func (e *Engine) collectBitsChunk(clo, chi uint32, _ int) {
+func (e *Engine[V]) collectBitsChunk(clo, chi uint32, _ int) {
 	bs := &e.bits
 	idx := int(clo) / ws.ChunkSize
 	ids := bs.parts[idx][:0]
@@ -498,8 +544,10 @@ func restoreBits(b *bitset.Atomic, ids []uint32) error {
 }
 
 // loadCheckpoint returns the worker's shard from the latest complete
-// checkpoint, or nil if resuming is off or no checkpoint exists.
-func (e *Engine) loadCheckpoint(p *Program, kind ckpt.Kind) (*ckpt.State, error) {
+// checkpoint, or nil if resuming is off or no checkpoint exists. The shard
+// must carry this run's domain tag: a value array is meaningless bits in
+// any other domain.
+func (e *Engine[V]) loadCheckpoint(p *Program[V], kind ckpt.Kind) (*ckpt.State, error) {
 	m := e.cfg.Ckpt
 	if m == nil || !m.Resume {
 		return nil, nil
@@ -521,8 +569,28 @@ func (e *Engine) loadCheckpoint(p *Program, kind ckpt.Kind) (*ckpt.State, error)
 	if s.Kind != kind {
 		return nil, fmt.Errorf("core: checkpoint kind %d does not match loop %d", s.Kind, kind)
 	}
+	if s.Domain != e.dom.Name || int(s.Width) != e.dom.Width {
+		return nil, fmt.Errorf("core: checkpoint carries domain %q (width %d) but the program runs domain %q (width %d); resume with the original domain or delete the checkpoint directory",
+			s.Domain, s.Width, e.dom.Name, e.dom.Width)
+	}
 	if len(s.Values) != e.g.NumVertices() {
 		return nil, fmt.Errorf("core: checkpoint has %d values for a graph of %d vertices", len(s.Values), e.g.NumVertices())
 	}
 	return s, nil
+}
+
+// decodeValues converts a checkpoint bit-word array back into dst.
+func (e *Engine[V]) decodeValues(dst []V, words []uint64) {
+	for i, w := range words {
+		dst[i] = e.dom.FromBits(w)
+	}
+}
+
+// encodeValues converts a value array into checkpoint bit words.
+func (e *Engine[V]) encodeValues(vals []V) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = e.dom.Bits(v)
+	}
+	return out
 }

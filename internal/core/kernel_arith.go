@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"slfe/internal/bitset"
 	"slfe/internal/ckpt"
@@ -14,16 +13,16 @@ import (
 // arithKernel is the all-vertex pull kernel for arithmetic aggregations
 // with the "finish early" rule of Algorithm 5 (multi Ruler: the per-vertex
 // stability counter), plugged into the shared superstep driver.
-type arithKernel struct {
-	e  *Engine
-	p  *Program
-	st *state
+type arithKernel[V comparable] struct {
+	e  *Engine[V]
+	p  *Program[V]
+	st *state[V]
 
 	changed *bitset.Atomic
 	// RulerS of Algorithm 2 / stableCnt of Algorithm 5.
 	stableCnt []uint32
-	stableVal []Value
-	scratch   []Value
+	stableVal []V
+	scratch   []V
 	slack     uint32
 	maxIters  int
 
@@ -36,15 +35,15 @@ type arithKernel struct {
 	gatherBody func(clo, chi uint32, thread int)
 }
 
-func newArithKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *arithKernel {
+func newArithKernel[V comparable](e *Engine[V], p *Program[V], st *state[V], changed *bitset.Atomic) *arithKernel[V] {
 	n := e.g.NumVertices()
 	threads := e.sched.Threads()
-	k := &arithKernel{
+	k := &arithKernel[V]{
 		e: e, p: p, st: st,
 		changed:    changed,
 		stableCnt:  make([]uint32, n),
-		stableVal:  make([]Value, n),
-		scratch:    make([]Value, n),
+		stableVal:  make([]V, n),
+		scratch:    make([]V, n),
 		maxIters:   p.maxItersOrDefault(),
 		comps:      make([]int64, threads),
 		suppressed: make([]int64, threads),
@@ -66,31 +65,31 @@ func newArithKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *a
 }
 
 // ecFrozen reports whether v's stability streak has outlived its guidance.
-func (k *arithKernel) ecFrozen(v graph.VertexID) bool {
+func (k *arithKernel[V]) ecFrozen(v graph.VertexID) bool {
 	return k.stableCnt[v] >= k.e.cfg.Guidance.LastIter[v]+k.slack
 }
 
-func (k *arithKernel) kind() ckpt.Kind          { return ckpt.Arith }
-func (k *arithKernel) superstepCap() int        { return k.maxIters + 1 }
-func (k *arithKernel) frontier() *bitset.Atomic { return nil }
+func (k *arithKernel[V]) kind() ckpt.Kind          { return ckpt.Arith }
+func (k *arithKernel[V]) superstepCap() int        { return k.maxIters + 1 }
+func (k *arithKernel[V]) frontier() *bitset.Atomic { return nil }
 
-func (k *arithKernel) restore(snap *ckpt.State) error {
+func (k *arithKernel[V]) restore(snap *ckpt.State) error {
 	n := k.e.g.NumVertices()
 	if len(snap.StableCnt) != n || len(snap.StableVal) != n {
 		return fmt.Errorf("core: checkpoint stability arrays sized %d/%d for %d vertices",
 			len(snap.StableCnt), len(snap.StableVal), n)
 	}
 	copy(k.stableCnt, snap.StableCnt)
-	copy(k.stableVal, snap.StableVal)
+	k.e.decodeValues(k.stableVal, snap.StableVal)
 	return nil
 }
 
-func (k *arithKernel) snapshot(snap *ckpt.State) {
+func (k *arithKernel[V]) snapshot(snap *ckpt.State) {
 	snap.StableCnt = k.stableCnt
-	snap.StableVal = k.stableVal
+	snap.StableVal = k.e.encodeValues(k.stableVal)
 }
 
-func (k *arithKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error) {
+func (k *arithKernel[V]) stepBegin(iter *int, stat *metrics.IterStat) (bool, error) {
 	if *iter >= k.maxIters {
 		return true, nil
 	}
@@ -106,9 +105,9 @@ func (k *arithKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error)
 
 // stagedCompute implements kernel: the gather/apply compute always stages
 // into scratch chunk-locally, so every arith superstep may stream.
-func (k *arithKernel) stagedCompute() ([]Value, bool) { return k.scratch, true }
+func (k *arithKernel[V]) stagedCompute() ([]V, bool) { return k.scratch, true }
 
-func (k *arithKernel) compute(_ int, _ *metrics.IterStat) error {
+func (k *arithKernel[V]) compute(_ int, _ *metrics.IterStat) error {
 	wsStats := k.e.computeOwned(k.gatherBody)
 	k.st.run.Steals += wsStats.Steals
 	return nil
@@ -116,7 +115,7 @@ func (k *arithKernel) compute(_ int, _ *metrics.IterStat) error {
 
 // computeChunk gathers and applies one chunk of the owned range into
 // scratch (BSP-pure).
-func (k *arithKernel) computeChunk(clo, chi uint32, th int) {
+func (k *arithKernel[V]) computeChunk(clo, chi uint32, th int) {
 	e, p, st := k.e, k.p, k.st
 	for v := clo; v < chi; v++ {
 		vid := graph.VertexID(v)
@@ -140,7 +139,7 @@ func (k *arithKernel) computeChunk(clo, chi uint32, th int) {
 		// Mark the change at compute time (the same |Δ| > 0 test commit
 		// applies), so the overlapped pipeline can emit this chunk's deltas
 		// before the commit barrier. Commit's own Set is then idempotent.
-		if d := math.Abs(k.scratch[v] - st.values[v]); d > 0 {
+		if e.dom.Delta(st.values[v], k.scratch[v]) > 0 {
 			k.changed.Set(int(v))
 		}
 	}
@@ -148,20 +147,20 @@ func (k *arithKernel) computeChunk(clo, chi uint32, th int) {
 
 // commit is vertexUpdate (Algorithm 5 lines 13-18): stability bookkeeping
 // and committing new values, single-threaded over the owned range.
-func (k *arithKernel) commit(_ int, stat *metrics.IterStat) error {
+func (k *arithKernel[V]) commit(_ int, stat *metrics.IterStat) error {
 	e, p, st := k.e, k.p, k.st
 	for v := e.lo; v < e.hi; v++ {
 		if e.cfg.RR && k.ecFrozen(graph.VertexID(v)) {
 			continue
 		}
 		newVal := k.scratch[v]
-		if p.stable(newVal, k.stableVal[v]) {
+		if p.stable(e.dom, newVal, k.stableVal[v]) {
 			k.stableCnt[v]++
 		} else {
 			k.stableCnt[v] = 0
 			k.stableVal[v] = newVal
 		}
-		if d := math.Abs(newVal - st.values[v]); d > 0 {
+		if d := e.dom.Delta(st.values[v], newVal); d > 0 {
 			if d > k.maxLocalDelta {
 				k.maxLocalDelta = d
 			}
@@ -177,7 +176,7 @@ func (k *arithKernel) commit(_ int, stat *metrics.IterStat) error {
 	return nil
 }
 
-func (k *arithKernel) stepEnd(_ int, stat *metrics.IterStat) (bool, error) {
+func (k *arithKernel[V]) stepEnd(_ int, stat *metrics.IterStat) (bool, error) {
 	e, p := k.e, k.p
 	// Global termination checks.
 	maxDelta, err := e.comm.AllReduceF64(k.maxLocalDelta, comm.OpMax)
@@ -209,6 +208,6 @@ func (k *arithKernel) stepEnd(_ int, stat *metrics.IterStat) (bool, error) {
 // onAcquire is a no-op: acquired vertices start with a zeroed local
 // stability streak, so they simply recompute until they stabilise again —
 // no transfer of stableCnt is needed for correctness.
-func (k *arithKernel) onAcquire(graph.VertexID) {}
+func (k *arithKernel[V]) onAcquire(graph.VertexID) {}
 
-func (k *arithKernel) finish(res *Result) { res.ECCount = k.ecCount }
+func (k *arithKernel[V]) finish(res *Result[V]) { res.ECCount = k.ecCount }

@@ -17,10 +17,13 @@ import (
 // per-thread counters, push buffers) is allocated once here or on the
 // engine and reused; the compute/commit bodies are pre-created closures so
 // dispatching a superstep performs no heap allocations.
-type minmaxKernel struct {
-	e  *Engine
-	p  *Program
-	st *state
+type minmaxKernel[V comparable] struct {
+	e  *Engine[V]
+	p  *Program[V]
+	st *state[V]
+
+	// relax is the program's resolved relaxation hook (edge-aware).
+	relax func(src graph.VertexID, srcVal V, w float32) V
 
 	front   *bitset.Atomic
 	changed *bitset.Atomic
@@ -29,14 +32,14 @@ type minmaxKernel struct {
 	// caught up.
 	caughtUp *bitset.Atomic
 	debt     *bitset.Atomic
-	scratch  []Value
+	scratch  []V
 
 	// Per-superstep mode decision, made in stepBegin and consumed by
 	// compute/commit.
 	pullMode   bool
 	globalDebt int64
-	ruler      uint32                     // current iteration, read by pullBody
-	props      []map[graph.VertexID]Value // Config.MapPush thread-local proposals
+	ruler      uint32                 // current iteration, read by pullBody
+	props      []map[graph.VertexID]V // Config.MapPush thread-local proposals
 
 	comps, updates, suppressed, catchups []int64 // per-thread counters
 
@@ -49,14 +52,15 @@ type minmaxKernel struct {
 	snapFrontier, snapCaught, snapDebt []uint32
 }
 
-func newMinMaxKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *minmaxKernel {
+func newMinMaxKernel[V comparable](e *Engine[V], p *Program[V], st *state[V], changed *bitset.Atomic) *minmaxKernel[V] {
 	n := e.g.NumVertices()
 	threads := e.sched.Threads()
-	k := &minmaxKernel{
+	k := &minmaxKernel[V]{
 		e: e, p: p, st: st,
+		relax:      p.relax(),
 		front:      bitset.NewAtomic(n),
 		changed:    changed,
-		scratch:    make([]Value, n),
+		scratch:    make([]V, n),
 		comps:      make([]int64, threads),
 		updates:    make([]int64, threads),
 		suppressed: make([]int64, threads),
@@ -78,11 +82,11 @@ func newMinMaxKernel(e *Engine, p *Program, st *state, changed *bitset.Atomic) *
 	return k
 }
 
-func (k *minmaxKernel) kind() ckpt.Kind          { return ckpt.MinMax }
-func (k *minmaxKernel) superstepCap() int        { return 4*k.e.g.NumVertices() + 16 }
-func (k *minmaxKernel) frontier() *bitset.Atomic { return k.front }
+func (k *minmaxKernel[V]) kind() ckpt.Kind          { return ckpt.MinMax }
+func (k *minmaxKernel[V]) superstepCap() int        { return 4*k.e.g.NumVertices() + 16 }
+func (k *minmaxKernel[V]) frontier() *bitset.Atomic { return k.front }
 
-func (k *minmaxKernel) restore(snap *ckpt.State) error {
+func (k *minmaxKernel[V]) restore(snap *ckpt.State) error {
 	k.front.Reset()
 	if err := restoreBits(k.front, snap.Sets["frontier"]); err != nil {
 		return err
@@ -98,7 +102,7 @@ func (k *minmaxKernel) restore(snap *ckpt.State) error {
 	return nil
 }
 
-func (k *minmaxKernel) snapshot(snap *ckpt.State) {
+func (k *minmaxKernel[V]) snapshot(snap *ckpt.State) {
 	k.snapFrontier = k.e.collectBitsInto(k.snapFrontier[:0], k.front)
 	snap.Sets = map[string][]uint32{"frontier": k.snapFrontier}
 	if k.e.cfg.RR {
@@ -109,7 +113,7 @@ func (k *minmaxKernel) snapshot(snap *ckpt.State) {
 	}
 }
 
-func (k *minmaxKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error) {
+func (k *minmaxKernel[V]) stepBegin(iter *int, stat *metrics.IterStat) (bool, error) {
 	e := k.e
 	// The global active count drives termination and the mode switch, so
 	// every worker must agree on it. Under dense sync the local frontier IS
@@ -197,14 +201,14 @@ func (k *minmaxKernel) stepBegin(iter *int, stat *metrics.IterStat) (bool, error
 
 // stagedCompute implements kernel: pull supersteps stage final values into
 // scratch chunk-locally and may stream; push supersteps may not.
-func (k *minmaxKernel) stagedCompute() ([]Value, bool) {
+func (k *minmaxKernel[V]) stagedCompute() ([]V, bool) {
 	if k.pullMode {
 		return k.scratch, true
 	}
 	return nil, false
 }
 
-func (k *minmaxKernel) compute(iter int, _ *metrics.IterStat) error {
+func (k *minmaxKernel[V]) compute(iter int, _ *metrics.IterStat) error {
 	if k.pullMode {
 		k.ruler = uint32(iter)
 		wsStats := k.e.computeOwned(k.pullBody)
@@ -223,7 +227,7 @@ func (k *minmaxKernel) compute(iter int, _ *metrics.IterStat) error {
 
 // computePullChunk stages improvements in scratch (BSP-pure, race-free) for
 // one chunk of the owned range; commit applies them.
-func (k *minmaxKernel) computePullChunk(clo, chi uint32, th int) {
+func (k *minmaxKernel[V]) computePullChunk(clo, chi uint32, th int) {
 	e, p, st := k.e, k.p, k.st
 	ruler := k.ruler
 	for v := clo; v < chi; v++ {
@@ -256,7 +260,7 @@ func (k *minmaxKernel) computePullChunk(clo, chi uint32, th int) {
 				best := st.values[vid]
 				for i, u := range ins {
 					k.comps[th]++
-					cand := p.Relax(st.values[u], iws[i])
+					cand := k.relax(u, st.values[u], iws[i])
 					if p.Better(cand, best) {
 						best = cand
 					}
@@ -286,7 +290,7 @@ func (k *minmaxKernel) computePullChunk(clo, chi uint32, th int) {
 				continue
 			}
 			k.comps[th]++
-			cand := p.Relax(st.values[u], iws[i])
+			cand := k.relax(u, st.values[u], iws[i])
 			if p.Better(cand, best) {
 				best = cand
 			}
@@ -301,7 +305,7 @@ func (k *minmaxKernel) computePullChunk(clo, chi uint32, th int) {
 // computePush is source-side push with sender-side combining. The default
 // flat path appends into engine-owned per-thread per-rank buffers
 // (push.go); Config.MapPush keeps the seed's thread-local proposal maps.
-func (k *minmaxKernel) computePush() {
+func (k *minmaxKernel[V]) computePush() {
 	e := k.e
 	if e.cfg.MapPush {
 		k.computePushMap()
@@ -316,7 +320,7 @@ func (k *minmaxKernel) computePush() {
 // per-rank append buffers. Ownership lookups are amortised with a cursor
 // over the rank ranges: adjacency lists are ascending, so the owner changes
 // at most once per rank per source vertex.
-func (k *minmaxKernel) computePushChunk(clo, chi uint32, th int) {
+func (k *minmaxKernel[V]) computePushChunk(clo, chi uint32, th int) {
 	e, p, st := k.e, k.p, k.st
 	bufs := e.push.bufs[th]
 	comps := int64(0)
@@ -328,7 +332,7 @@ func (k *minmaxKernel) computePushChunk(clo, chi uint32, th int) {
 		curR := -1
 		var curLo, curHi graph.VertexID
 		for i, u := range outs {
-			cand := p.Relax(srcVal, ows[i])
+			cand := k.relax(vid, srcVal, ows[i])
 			comps++
 			if curR < 0 || u < curLo || u >= curHi {
 				curR = e.owner(u)
@@ -351,11 +355,11 @@ func (k *minmaxKernel) computePushChunk(clo, chi uint32, th int) {
 }
 
 // computePushMap is the seed's map-based push compute (Config.MapPush).
-func (k *minmaxKernel) computePushMap() {
+func (k *minmaxKernel[V]) computePushMap() {
 	e, p, st := k.e, k.p, k.st
-	k.props = make([]map[graph.VertexID]Value, e.sched.Threads())
+	k.props = make([]map[graph.VertexID]V, e.sched.Threads())
 	for i := range k.props {
-		k.props[i] = make(map[graph.VertexID]Value)
+		k.props[i] = make(map[graph.VertexID]V)
 	}
 	wsStats := e.sched.Run(uint32(e.lo), uint32(e.hi), func(clo, chi uint32, th int) {
 		pm := k.props[th]
@@ -366,7 +370,7 @@ func (k *minmaxKernel) computePushMap() {
 			vid := graph.VertexID(v)
 			outs, ows := e.g.OutNeighbors(vid), e.g.OutWeights(vid)
 			for i, u := range outs {
-				cand := p.Relax(st.values[vid], ows[i])
+				cand := k.relax(vid, st.values[vid], ows[i])
 				k.comps[th]++
 				if prev, ok := pm[u]; !ok || p.Better(cand, prev) {
 					pm[u] = cand
@@ -379,7 +383,7 @@ func (k *minmaxKernel) computePushMap() {
 
 // commitPullChunk applies one chunk's staged improvements to the owned
 // range; each committed value change is one "update" (the Table 2 metric).
-func (k *minmaxKernel) commitPullChunk(clo, chi uint32, th int) {
+func (k *minmaxKernel[V]) commitPullChunk(clo, chi uint32, th int) {
 	it := k.changed.IterIn(int(clo), int(chi))
 	for v := it.Next(); v >= 0; v = it.Next() {
 		k.st.values[v] = k.scratch[v]
@@ -387,7 +391,7 @@ func (k *minmaxKernel) commitPullChunk(clo, chi uint32, th int) {
 	}
 }
 
-func (k *minmaxKernel) commit(_ int, stat *metrics.IterStat) error {
+func (k *minmaxKernel[V]) commit(_ int, stat *metrics.IterStat) error {
 	e := k.e
 	if k.pullMode {
 		e.sched.Run(uint32(e.lo), uint32(e.hi), k.commitBody)
@@ -408,7 +412,7 @@ func (k *minmaxKernel) commit(_ int, stat *metrics.IterStat) error {
 	return nil
 }
 
-func (k *minmaxKernel) stepEnd(int, *metrics.IterStat) (bool, error) {
+func (k *minmaxKernel[V]) stepEnd(int, *metrics.IterStat) (bool, error) {
 	return false, nil // termination is decided in stepBegin
 }
 
@@ -416,10 +420,10 @@ func (k *minmaxKernel) stepEnd(int, *metrics.IterStat) (bool, error) {
 // may carry unknown "start late" suppression history from its previous
 // owner, and the catch-up scan re-pulls every in-edge, repairing any
 // update that owner suppressed.
-func (k *minmaxKernel) onAcquire(v graph.VertexID) {
+func (k *minmaxKernel[V]) onAcquire(v graph.VertexID) {
 	if k.e.cfg.RR && !k.caughtUp.Get(int(v)) {
 		k.debt.Set(int(v))
 	}
 }
 
-func (k *minmaxKernel) finish(*Result) {}
+func (k *minmaxKernel[V]) finish(*Result[V]) {}

@@ -25,7 +25,8 @@ import (
 //   - ws.RunOverlap hands each finished chunk, in ascending vertex order,
 //     to the engine's drain on the dispatching goroutine while workers
 //     compute the rest. The drain batches changed (id, scratch value)
-//     pairs, encodes each batch with per-chunk codec selection
+//     pairs — packed into the domain's wire words as they are collected —
+//     encodes each batch with per-chunk codec selection
 //     (compress.StreamEncoder) and ships it through the comm layer's
 //     streaming exchange — all of it hidden behind the remaining compute.
 //   - After commit, the sync phase only walks the owned changed set for
@@ -63,40 +64,41 @@ const (
 
 // streamState is the engine-owned working set of the overlapped delta-sync,
 // allocated once and reused every superstep.
-type streamState struct {
+type streamState[V comparable] struct {
 	active   bool
 	sparse   bool // this superstep's strategy (dense broadcast vs routed)
 	iter     int
-	batchCap int     // per-superstep flush threshold (streamBegin)
-	staged   []Value // kernel scratch the emission reads
-	err      error   // first send failure, surfaced by streamFlush
+	batchCap int   // per-superstep flush threshold (streamBegin)
+	staged   []V   // kernel scratch the emission reads
+	err      error // first send failure, surfaced by streamFlush
 
 	ex     *comm.Exchange
 	enc    compress.StreamEncoder
 	bytes0 int64 // transport BytesSent when the stream opened
 	hidden int64 // bytes sent while compute was still running
 
-	// Dense batch: pending (id, value) pairs for the broadcast.
+	// Dense batch: pending (id, wire-word) pairs for the broadcast.
 	ids  []graph.VertexID
-	vals []Value
+	vals []uint64
 	// Sparse batches: pending pairs per destination rank, plus the last
 	// vertex routed to each rank this superstep (-1: none) — duplicate
 	// suppression must survive a mid-vertex batch flush, so it cannot key
 	// off the (reset) buffer tail.
 	destIDs  [][]graph.VertexID
-	destVals [][]Value
+	destVals [][]uint64
 	destLast []int64
 
 	drainBody func(clo, chi uint32)
 	applyBody func(from int, chunk []byte) error
-	decodeCB  func(id uint32, val float64) error
+	decodeCB  func(id uint32, bits uint64) error
 }
 
 // streamInit binds the pre-created stream bodies (no per-superstep
-// closures) and the per-chunk encoder.
-func (e *Engine) streamInit() {
+// closures) and the per-chunk encoder. Called once the run's codec is
+// resolved (bindDomain).
+func (e *Engine[V]) streamInit() {
 	s := &e.stream
-	s.enc = compress.NewStreamEncoder(e.cfg.Codec)
+	s.enc = compress.NewStreamEncoder(e.codec)
 	s.drainBody = e.streamDrain
 	s.applyBody = e.streamApply
 	s.decodeCB = e.applyStreamDelta
@@ -105,14 +107,14 @@ func (e *Engine) streamInit() {
 // overlapSync reports whether this run streams delta-sync during compute.
 // Single-worker runs have nothing to stream and keep the serial path (one
 // rank's sync is pure local bookkeeping either way).
-func (e *Engine) overlapSync() bool {
+func (e *Engine[V]) overlapSync() bool {
 	return !e.cfg.SerialSync && e.comm.Size() > 1
 }
 
 // streamBegin opens the superstep's streaming exchange. Called between the
 // changed-set reset and compute dispatch, only when overlapSync() holds and
 // the kernel's superstep is pull-style (staged is its scratch array).
-func (e *Engine) streamBegin(staged []Value, iter int) {
+func (e *Engine[V]) streamBegin(staged []V, iter int) {
 	s := &e.stream
 	s.active = true
 	s.staged = staged
@@ -153,7 +155,7 @@ func (e *Engine) streamBegin(staged []Value, iter int) {
 
 // computeOwned dispatches a pull-style compute body over the owned range,
 // through the overlap phase when this superstep is streaming.
-func (e *Engine) computeOwned(body func(clo, chi uint32, thread int)) ws.Stats {
+func (e *Engine[V]) computeOwned(body func(clo, chi uint32, thread int)) ws.Stats {
 	if e.stream.active {
 		return e.sched.RunOverlap(uint32(e.lo), uint32(e.hi), body, e.stream.drainBody)
 	}
@@ -163,7 +165,7 @@ func (e *Engine) computeOwned(body func(clo, chi uint32, thread int)) ws.Stats {
 // streamDrain is the per-finished-chunk emission, running on the
 // dispatching goroutine while other chunks still compute: collect the
 // chunk's changed (id, staged value) pairs and ship full batches.
-func (e *Engine) streamDrain(clo, chi uint32) {
+func (e *Engine[V]) streamDrain(clo, chi uint32) {
 	s := &e.stream
 	if s.err != nil {
 		return
@@ -175,7 +177,7 @@ func (e *Engine) streamDrain(clo, chi uint32) {
 	it := e.changed.IterIn(int(clo), int(chi))
 	for i := it.Next(); i >= 0; i = it.Next() {
 		s.ids = append(s.ids, graph.VertexID(i))
-		s.vals = append(s.vals, s.staged[i])
+		s.vals = append(s.vals, e.dom.Bits(s.staged[i]))
 	}
 	if len(s.ids) >= s.batchCap {
 		e.streamSendDense(false)
@@ -186,13 +188,13 @@ func (e *Engine) streamDrain(clo, chi uint32) {
 // one of their out-neighbours — the same destination rule as syncSparse,
 // with the same consecutive-duplicate suppression over the ascending
 // adjacency list.
-func (e *Engine) streamDrainSparse(clo, chi uint32) {
+func (e *Engine[V]) streamDrainSparse(clo, chi uint32) {
 	s := &e.stream
 	me := e.comm.Rank()
 	it := e.changed.IterIn(int(clo), int(chi))
 	for i := it.Next(); i >= 0; i = it.Next() {
 		id := graph.VertexID(i)
-		val := s.staged[i]
+		val := e.dom.Bits(s.staged[i])
 		for _, u := range e.g.OutNeighbors(id) {
 			r := e.owner(u)
 			if r == me {
@@ -218,7 +220,7 @@ func (e *Engine) streamDrainSparse(clo, chi uint32) {
 // final batch doubles as each peer's end marker (SendFinalChunk), so the
 // common single-batch superstep pays one message per peer — the serial
 // AllGather's count — while still leaving during compute.
-func (e *Engine) streamSendDense(final bool) {
+func (e *Engine[V]) streamSendDense(final bool) {
 	s := &e.stream
 	if len(s.ids) == 0 {
 		return
@@ -245,7 +247,7 @@ func (e *Engine) streamSendDense(final bool) {
 }
 
 // streamSendDest encodes and sends rank r's pending routed batch.
-func (e *Engine) streamSendDest(r int, final bool) {
+func (e *Engine[V]) streamSendDest(r int, final bool) {
 	s := &e.stream
 	if len(s.destIDs[r]) == 0 {
 		return
@@ -270,7 +272,7 @@ func (e *Engine) streamSendDest(r int, final bool) {
 // The hidden-bytes count is taken before the tail leaves: only bytes the
 // drain sent while compute was actually running are overlap — the tail
 // flush is merely early, not hidden.
-func (e *Engine) streamFlush() error {
+func (e *Engine[V]) streamFlush() error {
 	s := &e.stream
 	s.hidden = s.ex.SentBytes()
 	if s.err == nil {
@@ -293,7 +295,7 @@ func (e *Engine) streamFlush() error {
 // drain applying every remote chunk (already buffered by the transport
 // while compute ran), then the changed-count AllReduce the sparse modes
 // need for termination and the next superstep's strategy choice.
-func (e *Engine) syncStreamed(st *state, changed *bitset.Atomic, frontier *bitset.Atomic, iter int, stat *metrics.IterStat) error {
+func (e *Engine[V]) syncStreamed(st *state[V], changed *bitset.Atomic, frontier *bitset.Atomic, iter int, stat *metrics.IterStat) error {
 	s := &e.stream
 	defer func() {
 		s.active = false
@@ -353,15 +355,15 @@ func (e *Engine) syncStreamed(st *state, changed *bitset.Atomic, frontier *bitse
 }
 
 // streamApply decodes one remote chunk during the exchange drain.
-func (e *Engine) streamApply(_ int, chunk []byte) error {
-	return e.cfg.Codec.Decode(chunk, e.stream.decodeCB)
+func (e *Engine[V]) streamApply(_ int, chunk []byte) error {
+	return e.codec.Decode(chunk, e.stream.decodeCB)
 }
 
 // applyStreamDelta applies one remote delta: every sender streams only
 // vertices it owns, so an owned id in a remote chunk is a protocol error
 // under the sparse routing (the serial sparse path enforces the same) and
 // impossible under dense ownership partitioning.
-func (e *Engine) applyStreamDelta(id uint32, val float64) error {
+func (e *Engine[V]) applyStreamDelta(id uint32, bits uint64) error {
 	if int(id) >= e.g.NumVertices() {
 		return fmt.Errorf("core: streamed delta for out-of-range vertex %d", id)
 	}
@@ -371,7 +373,7 @@ func (e *Engine) applyStreamDelta(id uint32, val float64) error {
 			return fmt.Errorf("core: peer streamed a delta for vertex %d owned here", id)
 		}
 	} else {
-		e.curState.values[id] = val
+		e.curState.values[id] = e.dom.FromBits(bits)
 	}
 	if e.decFrontier != nil {
 		e.decFrontier.Set(int(id))

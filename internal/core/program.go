@@ -9,6 +9,11 @@
 // Applications are expressed as a declarative Program: the engine owns the
 // edgeProc traversal (Table 3's APIs) and calls the program's relaxation /
 // gather / apply hooks, which keeps user code as small as Algorithms 4-5.
+//
+// The engine stack is generic over the vertex property type: a Program[V]
+// picks a value Domain (F64, F32, U32, or a composite like DistParent) and
+// every layer below — kernels, push combining, delta-sync, overlapped
+// streaming, checkpoints, wire codecs — works in that domain's width.
 package core
 
 import (
@@ -19,7 +24,8 @@ import (
 	"slfe/internal/graph"
 )
 
-// Value is the vertex property type shared by all applications.
+// Value is the property type of the original float64 engine; the f64
+// domain remains the differential oracle for the narrower domains.
 type Value = float64
 
 // AggKind classifies a program by its core aggregation function (Table 1).
@@ -42,16 +48,22 @@ func (k AggKind) String() string {
 	return "min/max"
 }
 
-// Program declares one graph application.
-type Program struct {
+// Program declares one graph application over property type V.
+type Program[V comparable] struct {
 	// Name identifies the program in logs and experiment tables.
 	Name string
 	// Agg selects the aggregation class.
 	Agg AggKind
 
+	// Dom is the value domain (identity, wire width, bit codec, change
+	// arithmetic). Programs over the built-in property types (float64,
+	// float32, uint32, DistParent) may leave it zero: Validate fills in
+	// DefaultDomain.
+	Dom Domain[V]
+
 	// InitValue returns the initial property of v (e.g. 0 for roots, +Inf
 	// elsewhere in SSSP). Must be deterministic: every worker calls it.
-	InitValue func(g *graph.Graph, v graph.VertexID) Value
+	InitValue func(g *graph.Graph, v graph.VertexID) V
 
 	// Roots are the initially active vertices (MinMax programs).
 	Roots []graph.VertexID
@@ -60,31 +72,40 @@ type Program struct {
 
 	// Relax proposes a value for the destination of an edge carrying the
 	// source's value (SSSP: src+w; WidestPath: min(src, w); CC: src).
-	Relax func(srcVal Value, w float32) Value
+	Relax func(srcVal V, w float32) V
+	// RelaxE is the edge-aware form of Relax: it also receives the source
+	// vertex id, which composite domains need (DistParent records the
+	// predecessor). When set it takes precedence over Relax.
+	RelaxE func(src graph.VertexID, srcVal V, w float32) V
 	// Better reports whether a beats b under the aggregation order
-	// (SSSP/CC: a < b; WidestPath: a > b).
-	Better func(a, b Value) bool
+	// (SSSP/CC: a < b; WidestPath: a > b). It must be a strict total-order
+	// test so push combining is order-insensitive.
+	Better func(a, b V) bool
 
 	// --- Arith hooks ---
 
 	// GatherInit is the accumulator's identity value (0 for sum).
-	GatherInit Value
+	GatherInit V
 	// Gather folds one in-edge into the accumulator (PR: acc + srcVal).
-	Gather func(acc Value, srcVal Value, w float32) Value
+	Gather func(acc V, srcVal V, w float32) V
 	// Apply is the vertexUpdate vOp: combines the accumulator and the
 	// vertex's previous property into its next property
 	// (PR: (0.15+0.85*acc)/outdeg, ignoring prev).
-	Apply func(g *graph.Graph, v graph.VertexID, acc, prev Value) Value
+	Apply func(g *graph.Graph, v graph.VertexID, acc, prev V) V
 	// MaxIters bounds arith iterations (0 means the engine default of 100).
 	MaxIters int
-	// Epsilon terminates when the largest property change of an iteration
-	// falls below it (0 keeps iterating until MaxIters or all-EC).
+	// Epsilon terminates when the largest property change (Dom.Delta) of
+	// an iteration falls below it (0 keeps iterating until MaxIters or
+	// all-EC).
 	Epsilon float64
 	// StableEps is the relative equality tolerance for the stability
 	// counter of Algorithm 5 (0 means exact equality). The paper relies on
 	// float32 hardware precision to make successive ranks compare equal
-	// (§2.2); with float64 properties an explicit tolerance plays that
-	// role.
+	// (§2.2), so F32 programs should leave it 0 — exact equality is the
+	// paper-faithful test and it converges because float32 rounding
+	// saturates. Only F64 programs need a tolerance: with 52 mantissa bits
+	// the last few ulps keep twitching long after the ranks are stable,
+	// and without StableEps "finish early" would never fire.
 	StableEps float64
 	// ECSlack is the number of stable rounds beyond lastIter required
 	// before a vertex is declared early-converged (values <= 1 mean 1,
@@ -93,18 +114,23 @@ type Program struct {
 	ECSlack int
 }
 
-// Validate reports the first structural problem with the program.
-func (p *Program) Validate() error {
+// Validate reports the first structural problem with the program. It
+// never mutates the program: one Program value is routinely shared by
+// every worker goroutine of a cluster.
+func (p *Program[V]) Validate() error {
 	if p.Name == "" {
 		return errors.New("core: program needs a name")
+	}
+	if _, err := p.domain(); err != nil {
+		return err
 	}
 	if p.InitValue == nil {
 		return fmt.Errorf("core: program %s needs InitValue", p.Name)
 	}
 	switch p.Agg {
 	case MinMax:
-		if p.Relax == nil || p.Better == nil {
-			return fmt.Errorf("core: min/max program %s needs Relax and Better", p.Name)
+		if (p.Relax == nil && p.RelaxE == nil) || p.Better == nil {
+			return fmt.Errorf("core: min/max program %s needs Relax (or RelaxE) and Better", p.Name)
 		}
 		if len(p.Roots) == 0 {
 			return fmt.Errorf("core: min/max program %s needs roots", p.Name)
@@ -119,8 +145,40 @@ func (p *Program) Validate() error {
 	return nil
 }
 
+// domain resolves the program's effective value domain — Dom when set,
+// else the built-in default for V — without mutating the (shared) program.
+func (p *Program[V]) domain() (Domain[V], error) {
+	dom := p.Dom
+	if dom.Name == "" {
+		if dom.Width != 0 || dom.Bits != nil || dom.FromBits != nil || dom.Delta != nil || dom.Float64 != nil {
+			// A partially-built custom domain must not be silently
+			// replaced by the default — the custom hooks would be dropped.
+			return dom, fmt.Errorf("core: program %s sets Domain hooks but no Name; name the domain or leave Dom entirely zero for the built-in default", p.Name)
+		}
+		var ok bool
+		dom, ok = DefaultDomain[V]()
+		if !ok {
+			return dom, fmt.Errorf("core: program %s needs an explicit Dom (no default domain for its property type)", p.Name)
+		}
+	}
+	if err := dom.valid(); err != nil {
+		return dom, fmt.Errorf("core: program %s: %w", p.Name, err)
+	}
+	return dom, nil
+}
+
+// relax resolves the relaxation hook: RelaxE when set, else Relax lifted
+// over the ignored source id. Called once per run (not per edge).
+func (p *Program[V]) relax() func(src graph.VertexID, srcVal V, w float32) V {
+	if p.RelaxE != nil {
+		return p.RelaxE
+	}
+	rx := p.Relax
+	return func(_ graph.VertexID, srcVal V, w float32) V { return rx(srcVal, w) }
+}
+
 // maxItersOrDefault returns the iteration bound.
-func (p *Program) maxItersOrDefault() int {
+func (p *Program[V]) maxItersOrDefault() int {
 	if p.MaxIters > 0 {
 		return p.MaxIters
 	}
@@ -128,10 +186,14 @@ func (p *Program) maxItersOrDefault() int {
 }
 
 // stable reports whether two successive values are equal under the
-// relative tolerance StableEps.
-func (p *Program) stable(a, b Value) bool {
+// relative tolerance StableEps, projecting through dom (the engine's
+// resolved domain — p.Dom may be unset). With StableEps == 0 the test is
+// exact equality — the paper-faithful rule every non-F64 domain should
+// use.
+func (p *Program[V]) stable(dom Domain[V], a, b V) bool {
 	if p.StableEps == 0 {
 		return a == b
 	}
-	return math.Abs(a-b) <= p.StableEps*math.Max(math.Abs(a), math.Abs(b))
+	fa, fb := dom.Float64(a), dom.Float64(b)
+	return math.Abs(fa-fb) <= p.StableEps*math.Max(math.Abs(fa), math.Abs(fb))
 }

@@ -36,32 +36,34 @@ import (
 //     density. Both emit orders are identical, so the wire format does not
 //     depend on the heuristic. The scanned words are cleared on the way
 //     out, restoring the all-clear invariant the next superstep relies on.
+//     Values leave the emit already packed into the domain's wire words.
 //  4. encode + AllToAll: each rank's batch is append-encoded into its
 //     reusable wire buffer (transports do not retain payloads after Send).
 
 // pairBuf is one thread's append buffer of proposals for one destination
 // rank. Length resets every push superstep; capacity is retained.
-type pairBuf struct {
+type pairBuf[V comparable] struct {
 	ids  []graph.VertexID
-	vals []Value
+	vals []V
 }
 
 // rankCombiner merges every thread's proposals for one destination rank.
 // All storage is indexed relative to the rank's owned range and reused
 // across supersteps; seen and blocks are all-clear between supersteps.
-type rankCombiner struct {
+type rankCombiner[V comparable] struct {
 	lo, hi  graph.VertexID // owned range the arrays are sized for
-	vals    []Value        // dense candidate per local index
+	vals    []V            // dense candidate per local index
 	seen    []uint64       // bit per local index: vals[li] is live
 	blocks  []uint64       // bit per seen-word: word has live bits
+	bits    func(V) uint64 // the domain's wire packing
 	outIDs  []graph.VertexID
-	outVals []Value
+	outVals []uint64 // emitted proposals, packed as wire words
 }
 
 // ensure sizes the combiner for the rank's current owned range (which can
 // drift under dynamic rebalancing). Growth re-allocates; the all-clear
 // invariant makes plain reslicing safe otherwise.
-func (cb *rankCombiner) ensure(lo, hi graph.VertexID) {
+func (cb *rankCombiner[V]) ensure(lo, hi graph.VertexID) {
 	cb.lo, cb.hi = lo, hi
 	n := int(hi) - int(lo)
 	if n < 0 {
@@ -70,7 +72,7 @@ func (cb *rankCombiner) ensure(lo, hi graph.VertexID) {
 	if cap(cb.vals) >= n {
 		cb.vals = cb.vals[:n]
 	} else {
-		cb.vals = make([]Value, n)
+		cb.vals = make([]V, n)
 	}
 	words := (n + 63) / 64
 	if cap(cb.seen) >= words {
@@ -89,34 +91,37 @@ func (cb *rankCombiner) ensure(lo, hi graph.VertexID) {
 // pushState is the engine-owned working set of the flat push exchange,
 // allocated on the first push superstep and reused for the rest of the
 // engine's lifetime.
-type pushState struct {
-	bufs  [][]pairBuf // [thread][rank] append buffers
-	comb  []rankCombiner
+type pushState[V comparable] struct {
+	bufs  [][]pairBuf[V] // [thread][rank] append buffers
+	comb  []rankCombiner[V]
 	blobs [][]byte // per-rank wire buffers (reused; transports copy)
 	encSc []compress.EncodeScratch
 
 	// Per-superstep context for the pre-created task/decode closures.
-	prog    *Program
+	prog    *Program[V]
 	updates int64
 
 	combineFn func(r int)
-	decodeFn  func(id uint32, val float64) error
+	decodeFn  func(id uint32, bits uint64) error
 }
 
 // pushInit lazily builds the push working set and resets it for a new
 // superstep.
-func (e *Engine) pushInit(p *Program) *pushState {
+func (e *Engine[V]) pushInit(p *Program[V]) *pushState[V] {
 	if e.push == nil {
 		threads := e.sched.Threads()
 		size := e.comm.Size()
-		ps := &pushState{
-			bufs:  make([][]pairBuf, threads),
-			comb:  make([]rankCombiner, size),
+		ps := &pushState[V]{
+			bufs:  make([][]pairBuf[V], threads),
+			comb:  make([]rankCombiner[V], size),
 			blobs: make([][]byte, size),
 			encSc: make([]compress.EncodeScratch, size),
 		}
 		for t := range ps.bufs {
-			ps.bufs[t] = make([]pairBuf, size)
+			ps.bufs[t] = make([]pairBuf[V], size)
+		}
+		for r := range ps.comb {
+			ps.comb[r].bits = e.dom.Bits
 		}
 		ps.combineFn = e.combineRank
 		ps.decodeFn = e.applyPushDelta
@@ -136,7 +141,7 @@ func (e *Engine) pushInit(p *Program) *pushState {
 
 // combineRank is the per-destination-rank scheduler task: fold, emit in
 // ascending order, clear, encode.
-func (e *Engine) combineRank(r int) {
+func (e *Engine[V]) combineRank(r int) {
 	ps := e.push
 	p := ps.prog
 	lo, hi := e.rankRange(r)
@@ -182,18 +187,18 @@ func (e *Engine) combineRank(r int) {
 		}
 	}
 	ids, vals := cb.outIDs, cb.outVals
-	if _, ok := e.cfg.Codec.(compress.Adaptive); ok {
-		ps.blobs[r], _ = compress.AppendEncodeBest(ps.blobs[r][:0], &ps.encSc[r], ids, vals)
-	} else if ac, ok := e.cfg.Codec.(compress.AppendCodec); ok {
+	if _, ok := e.codec.(compress.Adaptive); ok {
+		ps.blobs[r], _ = compress.AppendEncodeBest(ps.blobs[r][:0], &ps.encSc[r], e.dom.Width, ids, vals)
+	} else if ac, ok := e.codec.(compress.AppendCodec); ok {
 		ps.blobs[r] = ac.AppendEncode(ps.blobs[r][:0], ids, vals)
 	} else {
-		ps.blobs[r] = e.cfg.Codec.Encode(ids, vals)
+		ps.blobs[r] = e.codec.Encode(ids, vals)
 	}
 }
 
-// emitWord appends seen word wi's live (id, value) pairs in ascending order
-// and clears the word.
-func (cb *rankCombiner) emitWord(wi int) {
+// emitWord appends seen word wi's live (id, wire-word) pairs in ascending
+// order and clears the word.
+func (cb *rankCombiner[V]) emitWord(wi int) {
 	w := cb.seen[wi]
 	if w == 0 {
 		return
@@ -203,14 +208,14 @@ func (cb *rankCombiner) emitWord(wi int) {
 		li := wi<<6 + bits.TrailingZeros64(w)
 		w &= w - 1
 		cb.outIDs = append(cb.outIDs, cb.lo+graph.VertexID(li))
-		cb.outVals = append(cb.outVals, cb.vals[li])
+		cb.outVals = append(cb.outVals, cb.bits(cb.vals[li]))
 	}
 }
 
 // exchangePushFlat combines, exchanges and applies push proposals through
 // the flat path. The per-rank combine tasks run on the scheduler; decode
 // applies remote proposals to the owned range.
-func (e *Engine) exchangePushFlat(updates *int64) error {
+func (e *Engine[V]) exchangePushFlat(updates *int64) error {
 	ps := e.push
 	e.sched.Tasks(e.comm.Size(), ps.combineFn)
 	got, err := e.comm.AllToAll(ps.blobs)
@@ -218,7 +223,7 @@ func (e *Engine) exchangePushFlat(updates *int64) error {
 		return err
 	}
 	for _, blob := range got {
-		if err := e.cfg.Codec.Decode(blob, ps.decodeFn); err != nil {
+		if err := e.codec.Decode(blob, ps.decodeFn); err != nil {
 			return err
 		}
 	}
@@ -227,12 +232,13 @@ func (e *Engine) exchangePushFlat(updates *int64) error {
 }
 
 // applyPushDelta is the pre-created decode callback of the flat exchange.
-func (e *Engine) applyPushDelta(id uint32, val float64) error {
+func (e *Engine[V]) applyPushDelta(id uint32, bits uint64) error {
 	if graph.VertexID(id) < e.lo || graph.VertexID(id) >= e.hi {
 		return fmt.Errorf("core: proposal for non-owned vertex %d", id)
 	}
 	ps := e.push
 	st := e.curState
+	val := e.dom.FromBits(bits)
 	if ps.prog.Better(val, st.values[id]) {
 		st.values[id] = val
 		e.changed.Set(int(id))
@@ -245,16 +251,16 @@ func (e *Engine) applyPushDelta(id uint32, val float64) error {
 // Config.MapPush as the flat path's differential oracle and hotpath
 // baseline: thread-local proposal maps are split by destination owner, then
 // one task per destination rank merges, sorts and encodes its wire blob.
-func (e *Engine) exchangeProposalsMap(p *Program, st *state, props []map[graph.VertexID]Value, changed *bitset.Atomic, updates *int64) error {
+func (e *Engine[V]) exchangeProposalsMap(p *Program[V], st *state[V], props []map[graph.VertexID]V, changed *bitset.Atomic, updates *int64) error {
 	size := e.comm.Size()
-	split := make([][]map[graph.VertexID]Value, len(props))
+	split := make([][]map[graph.VertexID]V, len(props))
 	e.sched.Tasks(len(props), func(th int) {
-		byOwner := make([]map[graph.VertexID]Value, size)
+		byOwner := make([]map[graph.VertexID]V, size)
 		for dst, val := range props[th] {
 			o := e.owner(dst)
 			m := byOwner[o]
 			if m == nil {
-				m = make(map[graph.VertexID]Value)
+				m = make(map[graph.VertexID]V)
 				byOwner[o] = m
 			}
 			m[dst] = val
@@ -263,7 +269,7 @@ func (e *Engine) exchangeProposalsMap(p *Program, st *state, props []map[graph.V
 	})
 	blobs := make([][]byte, size)
 	e.sched.Tasks(size, func(r int) {
-		merged := make(map[graph.VertexID]Value)
+		merged := make(map[graph.VertexID]V)
 		for th := range split {
 			for id, val := range split[th][r] {
 				if prev, ok := merged[id]; !ok || p.Better(val, prev) {
@@ -278,21 +284,22 @@ func (e *Engine) exchangeProposalsMap(p *Program, st *state, props []map[graph.V
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		vals := make([]Value, len(ids))
+		vals := make([]uint64, len(ids))
 		for i, id := range ids {
-			vals[i] = merged[id]
+			vals[i] = e.dom.Bits(merged[id])
 		}
-		blobs[r] = e.cfg.Codec.Encode(ids, vals)
+		blobs[r] = e.codec.Encode(ids, vals)
 	})
 	got, err := e.comm.AllToAll(blobs)
 	if err != nil {
 		return err
 	}
 	for _, blob := range got {
-		err := e.cfg.Codec.Decode(blob, func(id graph.VertexID, val Value) error {
+		err := e.codec.Decode(blob, func(id graph.VertexID, bits uint64) error {
 			if id < e.lo || id >= e.hi {
 				return fmt.Errorf("core: proposal for non-owned vertex %d", id)
 			}
+			val := e.dom.FromBits(bits)
 			if p.Better(val, st.values[id]) {
 				st.values[id] = val
 				changed.Set(int(id))

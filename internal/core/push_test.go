@@ -20,7 +20,7 @@ import (
 func TestFlatPushMatchesMapPush(t *testing.T) {
 	const nodes = 3
 	g := gen.RMAT(768, 6144, gen.DefaultRMAT, 8, 29)
-	maxProg := &Program{
+	maxProg := &Program[float64]{
 		Name: "widest-test",
 		Agg:  MinMax,
 		InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
@@ -33,7 +33,7 @@ func TestFlatPushMatchesMapPush(t *testing.T) {
 		Relax:  func(srcVal Value, w float32) Value { return math.Min(srcVal, float64(w)) },
 		Better: func(a, b Value) bool { return a > b },
 	}
-	for _, prog := range []*Program{testProgram(), maxProg} {
+	for _, prog := range []*Program[float64]{testProgram(), maxProg} {
 		for _, threads := range []int{1, 4} {
 			for _, codec := range []compress.Codec{nil, compress.Adaptive{}} {
 				mutate := func(mapPush bool) func(int, *Config) {
@@ -81,6 +81,13 @@ func poisonVals(s []float64) {
 	}
 }
 
+func poisonWords(s []uint64) {
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = 0xDEADBEEFDEADBEEF
+	}
+}
+
 func poisonBytes(s []byte) {
 	s = s[:cap(s)]
 	for i := range s {
@@ -100,8 +107,8 @@ func TestPooledBuffersSurvivePoisoning(t *testing.T) {
 		t.Fatal(err)
 	}
 	prog := testProgram()
-	mk := func() *Engine {
-		eng, err := New(Config{
+	mk := func() *Engine[float64] {
+		eng, err := New[float64](Config{
 			Graph: g, Comm: singleComm(t), Part: part,
 			Threads: 2, Stealing: true,
 			DenseDivisor: 1, // force push supersteps
@@ -136,7 +143,7 @@ func TestPooledBuffersSurvivePoisoning(t *testing.T) {
 		cb := &eng.push.comb[r]
 		poisonVals(cb.vals[:0])
 		poisonIDs(cb.outIDs)
-		poisonVals(cb.outVals)
+		poisonWords(cb.outVals)
 	}
 	for r := range eng.push.blobs {
 		poisonBytes(eng.push.blobs[r])
@@ -147,10 +154,10 @@ func TestPooledBuffersSurvivePoisoning(t *testing.T) {
 	}
 	for i := range eng.collect.partIDs {
 		poisonIDs(eng.collect.partIDs[i])
-		poisonVals(eng.collect.partVals[i])
+		poisonWords(eng.collect.partVals[i])
 	}
 	poisonIDs(eng.collect.ids)
-	poisonVals(eng.collect.vals)
+	poisonWords(eng.collect.vals)
 	for i := range eng.bits.parts {
 		poisonIDs(eng.bits.parts[i])
 	}
@@ -168,7 +175,8 @@ func TestPooledBuffersSurvivePoisoning(t *testing.T) {
 // superstep's fold relies on), in both the dense-scan and the
 // bucketed-sparse emit paths.
 func TestCombinerClearsAfterEmit(t *testing.T) {
-	var cb rankCombiner
+	var cb rankCombiner[float64]
+	cb.bits = F64().Bits
 	cb.ensure(100, 1700) // 1600 ids: 25 seen words, 1 blocks word
 	better := func(a, b Value) bool { return a < b }
 	fold := func(ids []uint32, vals []float64) {

@@ -15,7 +15,7 @@ import (
 
 // runCluster executes p on a fresh in-process cluster and returns worker
 // 0's result.
-func runCluster(t *testing.T, g *graph.Graph, p *Program, nodes int, mutate func(rank int, cfg *Config)) *Result {
+func runCluster(t *testing.T, g *graph.Graph, p *Program[float64], nodes int, mutate func(rank int, cfg *Config)) *Result[float64] {
 	t.Helper()
 	part, err := partition.NewChunked(g, nodes)
 	if err != nil {
@@ -25,7 +25,7 @@ func runCluster(t *testing.T, g *graph.Graph, p *Program, nodes int, mutate func
 	if err != nil {
 		t.Fatal(err)
 	}
-	results := make([]*Result, nodes)
+	results := make([]*Result[float64], nodes)
 	errs := make([]error, nodes)
 	done := make(chan int, nodes)
 	for rank := 0; rank < nodes; rank++ {
@@ -36,7 +36,7 @@ func runCluster(t *testing.T, g *graph.Graph, p *Program, nodes int, mutate func
 			if mutate != nil {
 				mutate(rank, &cfg)
 			}
-			eng, err := New(cfg)
+			eng, err := New[float64](cfg)
 			if err != nil {
 				errs[rank] = err
 				return
@@ -55,8 +55,8 @@ func runCluster(t *testing.T, g *graph.Graph, p *Program, nodes int, mutate func
 	return results[0]
 }
 
-func testArith() *Program {
-	return &Program{
+func testArith() *Program[float64] {
+	return &Program[float64]{
 		Name: "test-pr",
 		Agg:  Arith,
 		InitValue: func(g *graph.Graph, v graph.VertexID) Value {
@@ -78,7 +78,7 @@ func testArith() *Program {
 	}
 }
 
-func withGuidance(t *testing.T, g *graph.Graph, p *Program) func(int, *Config) {
+func withGuidance(t *testing.T, g *graph.Graph, p *Program[float64]) func(int, *Config) {
 	t.Helper()
 	roots := p.Roots
 	if len(roots) == 0 {

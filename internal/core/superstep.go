@@ -17,7 +17,7 @@ import (
 // mode-specific compute: frontier-driven relaxation with "start late"
 // scheduling (minmaxKernel) or all-vertex gather/apply with "finish
 // early" detection (arithKernel).
-type kernel interface {
+type kernel[V comparable] interface {
 	// kind tags checkpoint shards; a shard from one kernel must not
 	// resume the other.
 	kind() ckpt.Kind
@@ -42,7 +42,7 @@ type kernel interface {
 	// deltas while compute runs. Push supersteps return (nil, false): an
 	// owned vertex's value is only known after the proposal exchange.
 	// Valid after stepBegin (which fixes the superstep's mode).
-	stagedCompute() ([]Value, bool)
+	stagedCompute() ([]V, bool)
 	// compute stages this superstep's proposals in parallel; it must not
 	// mutate the value array (BSP purity). Pull-style bodies dispatch
 	// through Engine.computeOwned so they join the overlap phase when the
@@ -58,7 +58,7 @@ type kernel interface {
 	// for this kernel.
 	onAcquire(v graph.VertexID)
 	// finish fills kernel-specific result fields.
-	finish(res *Result)
+	finish(res *Result[V])
 }
 
 // runSupersteps is the unified superstep pipeline: one iteration loop
@@ -68,7 +68,7 @@ type kernel interface {
 //	          -> rebalance window -> checkpoint tick
 //
 // with per-phase timings recorded in the run metrics.
-func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.Atomic) (*Result, error) {
+func (e *Engine[V]) runSupersteps(p *Program[V], k kernel[V], st *state[V], changed *bitset.Atomic) (*Result[V], error) {
 	iter := 0
 	e.lastGlobalChanged = -1
 	// The run's state and changed set are pinned on the engine so the
@@ -79,7 +79,7 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 	if snap, err := e.loadCheckpoint(p, k.kind()); err != nil {
 		return nil, err
 	} else if snap != nil {
-		copy(st.values, snap.Values)
+		e.decodeValues(st.values, snap.Values)
 		if err := k.restore(snap); err != nil {
 			return nil, err
 		}
@@ -172,7 +172,14 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 		}
 		if e.cfg.Ckpt != nil && e.cfg.Ckpt.ShouldSave(iter) {
 			ckptStart := time.Now()
-			snap := &ckpt.State{Program: p.Name, Kind: k.kind(), Iter: uint32(iter), Values: st.values}
+			snap := &ckpt.State{
+				Program: p.Name,
+				Kind:    k.kind(),
+				Iter:    uint32(iter),
+				Domain:  e.dom.Name,
+				Width:   uint8(e.dom.Width),
+				Values:  e.encodeValues(st.values),
+			}
 			k.snapshot(snap)
 			if e.dirty != nil {
 				// The sparse-only distribution state must survive a resume,
@@ -202,8 +209,9 @@ func (e *Engine) runSupersteps(p *Program, k kernel, st *state, changed *bitset.
 		return nil, err
 	}
 
-	res := &Result{
+	res := &Result[V]{
 		Values:     st.values,
+		Dom:        e.dom,
 		Iterations: len(st.run.Iters),
 		Metrics:    st.run,
 		LastChange: st.lastChange,

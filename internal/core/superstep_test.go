@@ -16,7 +16,7 @@ import (
 func TestCkptRebalanceIncompatibilityError(t *testing.T) {
 	g := gen.Path(16)
 	part, _ := partition.NewChunked(g, 1)
-	_, err := New(Config{
+	_, err := New[float64](Config{
 		Graph: g, Comm: singleComm(t), Part: part,
 		Ckpt: &ckpt.Manager{Dir: t.TempDir()}, Rebalance: true,
 	})
@@ -38,7 +38,7 @@ func TestDriverCheckpointResumeBothKernels(t *testing.T) {
 	g := gen.RMAT(1024, 8192, gen.DefaultRMAT, 8, 7)
 	for _, tc := range []struct {
 		name string
-		prog func() *Program
+		prog func() *Program[float64]
 	}{
 		{"minmax", testProgram},
 		{"arith", testArith},
@@ -88,7 +88,7 @@ func TestDriverRebalanceParallelBothKernels(t *testing.T) {
 	g := gen.RMAT(1024, 8192, gen.DefaultRMAT, 8, 11)
 	for _, tc := range []struct {
 		name string
-		prog func() *Program
+		prog func() *Program[float64]
 	}{
 		{"minmax", testProgram},
 		{"arith", testArith},
@@ -157,7 +157,7 @@ func TestParallelFrontierHelpersMatchSerial(t *testing.T) {
 	g := gen.RMAT(4096, 32768, gen.DefaultRMAT, 1, 17)
 	part, _ := partition.NewChunked(g, 1)
 	for _, threads := range []int{1, 2, 7} {
-		eng, err := New(Config{Graph: g, Comm: singleComm(t), Part: part, Threads: threads, Stealing: true})
+		eng, err := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part, Threads: threads, Stealing: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -37,7 +37,7 @@ func TestEngineOverTCP(t *testing.T) {
 		l.Close()
 	}
 
-	results := make([]*Result, nodes)
+	results := make([]*Result[float64], nodes)
 	errs := make([]error, nodes)
 	transports := make([]comm.Transport, nodes)
 	var wg sync.WaitGroup
@@ -51,7 +51,7 @@ func TestEngineOverTCP(t *testing.T) {
 				return
 			}
 			transports[rank] = tr
-			eng, err := New(Config{
+			eng, err := New[float64](Config{
 				Graph: g, Comm: comm.NewComm(tr), Part: part,
 				RR: true, Guidance: gd,
 			})
@@ -91,7 +91,7 @@ func TestEngineOverTCP(t *testing.T) {
 	}
 	// ... and with a single-worker in-process run.
 	soloPart, _ := partition.NewChunked(g, 1)
-	eng, err := New(Config{Graph: g, Comm: singleComm(t), Part: soloPart, RR: true, Guidance: gd})
+	eng, err := New[float64](Config{Graph: g, Comm: singleComm(t), Part: soloPart, RR: true, Guidance: gd})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,8 +22,8 @@ import (
 // original procedure for monotone min/max programs, and the "finish early"
 // procedure only skips computations whose results would repeat.
 
-func testWP(root graph.VertexID) *Program {
-	return &Program{
+func testWP(root graph.VertexID) *Program[float64] {
+	return &Program[float64]{
 		Name: "test-wp",
 		Agg:  MinMax,
 		InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
@@ -38,12 +38,12 @@ func testWP(root graph.VertexID) *Program {
 	}
 }
 
-func testCC(n int) *Program {
+func testCC(n int) *Program[float64] {
 	roots := make([]graph.VertexID, n)
 	for v := range roots {
 		roots[v] = graph.VertexID(v)
 	}
-	return &Program{
+	return &Program[float64]{
 		Name:      "test-cc",
 		Agg:       MinMax,
 		InitValue: func(_ *graph.Graph, v graph.VertexID) Value { return float64(v) },
@@ -62,7 +62,7 @@ func TestTheorem1MinMaxDelayedEqualsOriginal(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 30 + rng.Intn(200)
 		g := gen.Uniform(n, int64(rng.Intn(8*n)), 32, seed)
-		var p *Program
+		var p *Program[float64]
 		switch progRaw % 3 {
 		case 0:
 			p = testProgram() // SSSP-shaped
@@ -99,7 +99,7 @@ func TestFinishEarlyOnlySkipsRepeats(t *testing.T) {
 		g := gen.Uniform(n, int64(rng.Intn(6*n)), 4, seed)
 		// NumPaths-like program that reaches an exact fixed point once the
 		// frontier drains (integral values, no rounding drift).
-		p := &Program{
+		p := &Program[float64]{
 			Name: "test-numpaths",
 			Agg:  Arith,
 			InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
@@ -182,7 +182,7 @@ func TestEngineSurvivesTransportFailure(t *testing.T) {
 				if rank == 1 {
 					tr = &flakyTransport{Transport: tr, remaining: failAfter}
 				}
-				eng, err := New(Config{Graph: g, Comm: comm.NewComm(tr), Part: part})
+				eng, err := New[float64](Config{Graph: g, Comm: comm.NewComm(tr), Part: part})
 				if err != nil {
 					errs[rank] = err
 					return
