@@ -1,0 +1,149 @@
+// Command slfe-serve hosts a graph as a resident service: the graph stays
+// in memory across mutation batches, redundancy-reduction guidance is
+// maintained incrementally, and registered applications re-execute
+// warm-started from their previous results instead of from scratch.
+//
+// Usage:
+//
+//	slfe-serve -addr :8080 -dataset PK -scale 4000 -apps sssp:f64,pr:f64
+//	slfe-serve -graph graph.slfg -apps cc:u32 -nodes 4 -threads 2
+//
+// Endpoints:
+//
+//	GET  /healthz                       liveness + current graph version
+//	GET  /stats                         graph, program and mutation stats
+//	GET  /result?app=&domain=&vertex=   one value at one vertex
+//	POST /mutate                        {"add_vertices":N,"add":[...],"del":[...]}
+//	POST /register                      {"app":"sssp","domain":"f64","root":0}
+//
+// SIGINT/SIGTERM drain the listener and shut the resident cluster down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"slfe/internal/core"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/loader"
+	"slfe/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	path := flag.String("graph", "", "graph file (text or .slfg)")
+	dataset := flag.String("dataset", "", "Table 4 dataset code instead of -graph (PK OK LJ WK DI ST FS RMAT)")
+	scale := flag.Int("scale", 1000, "dataset down-scale factor")
+	appsFlag := flag.String("apps", "", "programs to register at startup, comma-separated key:domain pairs (e.g. sssp:f64,cc:u32)")
+	root := flag.Uint("root", 0, "root vertex for rooted programs")
+	iters := flag.Int("iters", 10, "iterations for arithmetic programs")
+	nodes := flag.Int("nodes", 1, "resident cluster size")
+	threads := flag.Int("threads", 0, "threads per node (0 = GOMAXPROCS)")
+	rr := flag.Bool("rr", true, "enable redundancy reduction (incrementally maintained)")
+	stealing := flag.Bool("stealing", true, "enable work stealing")
+	syncName := flag.String("sync", "dense", "delta-sync strategy: dense | sparse | adaptive")
+	flag.Parse()
+
+	if err := run(*addr, *path, *dataset, *scale, *appsFlag, *root, *iters, *nodes, *threads, *rr, *stealing, *syncName); err != nil {
+		fmt.Fprintf(os.Stderr, "slfe-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, path, dataset string, scale int, appsFlag string, root uint, iters, nodes, threads int, rr, stealing bool, syncName string) error {
+	if nodes < 1 {
+		return fmt.Errorf("-nodes must be at least 1 (got %d)", nodes)
+	}
+	sync, err := core.ParseSyncStrategy(syncName)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(path, dataset, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %v\n", g)
+
+	svc, err := service.New(g, service.Config{
+		Nodes: nodes, Threads: threads, Stealing: stealing, RR: rr, Sync: sync,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	for _, spec := range splitApps(appsFlag) {
+		key, domain, ok := strings.Cut(spec, ":")
+		if !ok {
+			return fmt.Errorf("-apps entry %q is not key:domain", spec)
+		}
+		start := time.Now()
+		snap, err := svc.Register(key, domain, graph.VertexID(root), iters)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("registered %s (version %d, %v)\n", service.ProgramID(key, domain), snap.Version, time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.Handler(svc)}
+	fmt.Printf("slfe-serve: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("slfe-serve: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return svc.Close()
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+func splitApps(spec string) []string {
+	var out []string
+	for _, s := range strings.Split(spec, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func loadGraph(path, dataset string, scale int) (*graph.Graph, error) {
+	if path != "" {
+		return loader.LoadFile(path)
+	}
+	if dataset != "" {
+		d, err := gen.ByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Proxy(scale), nil
+	}
+	return nil, fmt.Errorf("one of -graph or -dataset is required")
+}

@@ -1,0 +1,193 @@
+package apps
+
+import (
+	"fmt"
+
+	"slfe/internal/cluster"
+	"slfe/internal/core"
+	"slfe/internal/graph"
+	"slfe/internal/metrics"
+	"slfe/internal/rrg"
+)
+
+// Incremental is the capability a resident service needs from a runnable:
+// execution over a long-lived cluster session, the guidance root set to
+// maintain, and warm-start re-execution after edge insertions. Every
+// registered runnable in this package implements it.
+type Incremental interface {
+	Runnable
+	// GuidanceRoots returns the root set redundancy-reduction guidance
+	// must describe for this program on g — the same choice
+	// cluster.ExecuteOver makes (program roots for min/max, the reusable
+	// default set for arith).
+	GuidanceRoots(g *graph.Graph) []graph.VertexID
+	// ExecuteIn runs the program cold on a resident session and returns
+	// the outcome plus resumable warm-start state.
+	ExecuteIn(s *cluster.Session, g *graph.Graph, opt cluster.Options) (*Outcome, *Resume, error)
+}
+
+// Resume is the opaque warm-start state of a prior execution: the typed
+// prior values live behind a closure so heterogeneous domains share one
+// service-side type, and no lossy float64 projection sits on the resume
+// path (a dist32 value would not survive one).
+type Resume struct {
+	warm func(s *cluster.Session, g *graph.Graph, added []graph.Edge, opt cluster.Options) (*Outcome, *Resume, error)
+}
+
+// ExecuteWarm re-executes the program on g (the prior graph plus the added
+// edges, possibly with appended vertices) starting from the prior result:
+//
+//   - Min/max programs run a monotone re-relaxation wave seeded at the
+//     added edges' sources with prior values as initial state — edge
+//     insertions can only improve values, so the wave converges to the
+//     same fixed point (bit-identical values) as a cold run on g, usually
+//     in a handful of supersteps. The wave runs without RR: "start late"
+//     levels are root-relative and do not describe a warm frontier.
+//   - Arith programs (fixed-iteration-count semantics: a warm start would
+//     change the answer) re-run cold, which still profits from the
+//     session's resident pools and the incrementally-updated guidance in
+//     opt.Guidance.
+func (r *Resume) ExecuteWarm(s *cluster.Session, g *graph.Graph, added []graph.Edge, opt cluster.Options) (*Outcome, *Resume, error) {
+	return r.warm(s, g, added, opt)
+}
+
+// outcomeFrom converts a cluster result into the domain-erased Outcome.
+func outcomeFrom[V comparable](res *cluster.RunResult[V]) *Outcome {
+	return &Outcome{
+		Values:     res.Result.Float64s(),
+		Iterations: res.Result.Iterations,
+		Run:        res.Result.Metrics,
+		PerWorker:  res.PerWorker,
+		Elapsed:    res.Elapsed,
+		Preprocess: res.PreprocessTime,
+		Comm:       res.Comm,
+	}
+}
+
+// domainOf resolves a program's effective value domain without mutating it
+// (mirrors the engine's resolution: explicit Dom, else the built-in
+// default for V).
+func domainOf[V comparable](p *core.Program[V]) (core.Domain[V], error) {
+	if p.Dom.Name != "" {
+		return p.Dom, nil
+	}
+	dom, ok := core.DefaultDomain[V]()
+	if !ok {
+		return dom, fmt.Errorf("apps: program %s has no default domain", p.Name)
+	}
+	return dom, nil
+}
+
+// executeCold runs p on the session and wraps the result as (outcome,
+// resume), with the resume capturing the typed values and the program
+// builder for the next warm round.
+func executeCold[V comparable](s *cluster.Session, g *graph.Graph, build func(*graph.Graph) *core.Program[V], p *core.Program[V], opt cluster.Options) (*Outcome, *Resume, error) {
+	res, err := cluster.ExecuteSession(s, g, p, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outcomeFrom(res), newResume(build, res.Result.Values), nil
+}
+
+// newResume builds the warm-start continuation over typed prior values.
+func newResume[V comparable](build func(*graph.Graph) *core.Program[V], prior []V) *Resume {
+	r := &Resume{}
+	r.warm = func(s *cluster.Session, g *graph.Graph, added []graph.Edge, opt cluster.Options) (*Outcome, *Resume, error) {
+		p := build(g)
+		if p.Agg == core.Arith {
+			return executeCold(s, g, build, p, opt)
+		}
+		return warmMinMax(s, g, build, p, prior, added, opt)
+	}
+	return r
+}
+
+// warmMinMax runs the monotone incremental wave for a min/max program.
+func warmMinMax[V comparable](s *cluster.Session, g *graph.Graph, build func(*graph.Graph) *core.Program[V], p *core.Program[V], prior []V, added []graph.Edge, opt cluster.Options) (*Outcome, *Resume, error) {
+	n := g.NumVertices()
+	if len(prior) > n {
+		return nil, nil, fmt.Errorf("apps: warm state covers %d vertices but graph has %d; graphs cannot shrink incrementally", len(prior), n)
+	}
+
+	// Any improvement chain must begin with a relaxation across an added
+	// edge, so the sources of the added edges are the complete seed set.
+	seen := make(map[graph.VertexID]bool, len(added))
+	var roots []graph.VertexID
+	for _, e := range added {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return nil, nil, fmt.Errorf("%w: added edge (%d -> %d) with n=%d", graph.ErrVertexOutOfRange, e.Src, e.Dst, n)
+		}
+		if !seen[e.Src] {
+			seen[e.Src] = true
+			roots = append(roots, e.Src)
+		}
+	}
+
+	if len(roots) == 0 {
+		// Pure vertex growth (or an empty batch): nothing can improve —
+		// extend the prior values with cold initial state for the
+		// appended, isolated vertices and skip the engine entirely.
+		dom, err := domainOf(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		values := make([]V, n)
+		copy(values, prior)
+		for v := len(prior); v < n; v++ {
+			values[v] = p.InitValue(g, graph.VertexID(v))
+		}
+		out := &Outcome{Values: dom.Float64s(values), Run: &metrics.Run{}}
+		return out, newResume(build, values), nil
+	}
+
+	warm := *p // shallow copy: the original program is shared state
+	warm.InitValue = func(gg *graph.Graph, v graph.VertexID) V {
+		if int(v) < len(prior) {
+			return prior[v]
+		}
+		return p.InitValue(gg, v)
+	}
+	warm.Roots = roots
+	// "Start late" guidance is defined by BFS levels from the program's
+	// roots; the warm frontier is the mutation's sources, so the levels do
+	// not describe this wave — run it unguided (the maintained guidance
+	// still serves full re-runs and arith re-executions).
+	opt.RR = false
+	opt.Guidance = nil
+	opt.GuidanceRoots = nil
+	return executeCold(s, g, build, &warm, opt)
+}
+
+// GuidanceRoots for a fixed program: its own roots (min/max), else the
+// reusable default set.
+func (r progRunner[V]) GuidanceRoots(g *graph.Graph) []graph.VertexID {
+	if len(r.p.Roots) > 0 {
+		return r.p.Roots
+	}
+	return rrg.DefaultRoots(g)
+}
+
+func (r progRunner[V]) ExecuteIn(s *cluster.Session, g *graph.Graph, opt cluster.Options) (*Outcome, *Resume, error) {
+	build := func(*graph.Graph) *core.Program[V] { return r.p }
+	return executeCold(s, g, build, r.p, opt)
+}
+
+// CC builds its program from the (symmetrised) execution graph, so its
+// runners rebuild per graph version.
+func (ccRunner[V]) GuidanceRoots(g *graph.Graph) []graph.VertexID {
+	return CCIn[V](g).Roots
+}
+
+func (ccRunner[V]) ExecuteIn(s *cluster.Session, g *graph.Graph, opt cluster.Options) (*Outcome, *Resume, error) {
+	build := func(gg *graph.Graph) *core.Program[V] { return CCIn[V](gg) }
+	return executeCold(s, g, build, build(g), opt)
+}
+
+func (ccU32Runner) GuidanceRoots(g *graph.Graph) []graph.VertexID {
+	return CCU32(g).Roots
+}
+
+func (ccU32Runner) ExecuteIn(s *cluster.Session, g *graph.Graph, opt cluster.Options) (*Outcome, *Resume, error) {
+	build := func(gg *graph.Graph) *core.Program[uint32] { return CCU32(gg) }
+	return executeCold(s, g, build, build(g), opt)
+}

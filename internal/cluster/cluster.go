@@ -107,12 +107,21 @@ func Execute[V comparable](g *graph.Graph, p *core.Program[V], opt Options) (*Ru
 // premature close can reset connections still carrying a slower peer's
 // final collective results.
 func ExecuteOver[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transports []comm.Transport) (*RunResult[V], error) {
-	opt.Nodes = len(transports)
 	defer func() {
 		for _, t := range transports {
 			t.Close()
 		}
 	}()
+	return run(g, p, opt, transports, nil, nil)
+}
+
+// run is the shared execution body of ExecuteOver and ExecuteSession:
+// partition, optional guidance generation, one engine goroutine per rank.
+// comms/scheds, when non-nil, supply persistent per-rank communicators and
+// scheduler pools (session mode); when nil each run builds fresh ones and
+// the engines own their pools.
+func run[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transports []comm.Transport, comms []*comm.Comm, scheds []*ws.Scheduler) (*RunResult[V], error) {
+	opt.Nodes = len(transports)
 	if opt.Nodes == 0 {
 		return nil, fmt.Errorf("cluster: no transports")
 	}
@@ -138,9 +147,13 @@ func ExecuteOver[V comparable](g *graph.Graph, p *core.Program[V], opt Options, 
 					roots = rrg.DefaultRoots(g)
 				}
 			}
-			sched := ws.New(opt.Threads, opt.Stealing)
-			guidance = rrg.Generate(g, roots, sched)
-			sched.Close()
+			if scheds != nil {
+				guidance = rrg.Generate(g, roots, scheds[0])
+			} else {
+				sched := ws.New(opt.Threads, opt.Stealing)
+				guidance = rrg.Generate(g, roots, sched)
+				sched.Close()
+			}
 			out.PreprocessTime = guidance.GenTime
 		}
 		out.Guidance = guidance
@@ -148,20 +161,35 @@ func ExecuteOver[V comparable](g *graph.Graph, p *core.Program[V], opt Options, 
 
 	results := make([]*core.Result[V], opt.Nodes)
 	errs := make([]error, opt.Nodes)
+	// Transport counters are cumulative over the transport's lifetime;
+	// session runs reuse transports, so report this run's delta.
+	before := make([]comm.Stats, opt.Nodes)
+	for i, t := range transports {
+		before[i] = t.Stats()
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for rank := 0; rank < opt.Nodes; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			cm := comm.NewComm(transports[rank])
+			if comms != nil {
+				cm = comms[rank]
+			}
+			var sched *ws.Scheduler
+			if scheds != nil {
+				sched = scheds[rank]
+			}
 			eng, err := core.New[V](core.Config{
 				Graph:            g,
-				Comm:             comm.NewComm(transports[rank]),
+				Comm:             cm,
 				Part:             part,
 				RR:               opt.RR,
 				Guidance:         guidance,
 				Threads:          opt.Threads,
 				Stealing:         opt.Stealing,
+				Sched:            sched,
 				DenseDivisor:     opt.DenseDivisor,
 				TrackLastChange:  opt.TrackLastChange,
 				Codec:            opt.Codec,
@@ -200,10 +228,10 @@ func ExecuteOver[V comparable](g *graph.Graph, p *core.Program[V], opt Options, 
 	for rank, r := range results {
 		out.PerWorker[rank] = r.Metrics
 	}
-	for _, t := range transports {
+	for i, t := range transports {
 		s := t.Stats()
-		out.Comm.MessagesSent += s.MessagesSent
-		out.Comm.BytesSent += s.BytesSent
+		out.Comm.MessagesSent += s.MessagesSent - before[i].MessagesSent
+		out.Comm.BytesSent += s.BytesSent - before[i].BytesSent
 	}
 	return out, nil
 }

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"slfe/internal/comm"
+	"slfe/internal/core"
+	"slfe/internal/graph"
+	"slfe/internal/ws"
+)
+
+// Session is a re-entrant execution context for a resident process: the
+// transports, per-rank communicators and per-rank scheduler pools stay open
+// across runs, so repeated ExecuteSession calls pay none of the
+// per-invocation setup Execute does (fresh transport group, fresh worker
+// pool spawn per engine). This is what lets slfe-serve re-execute programs
+// after every mutation batch without owning the whole process per run.
+//
+// Runs on one session are serialised: the communicators' collective
+// sequence numbers and the scheduler pools are single-flight state. A
+// session is safe for concurrent ExecuteSession calls (they queue), but a
+// failed run aborts the transport group and poisons the session — callers
+// should Close it and build a fresh one (see Healthy).
+type Session struct {
+	mu         sync.Mutex
+	transports []comm.Transport
+	comms      []*comm.Comm
+	scheds     []*ws.Scheduler
+	threads    int
+	stealing   bool
+	closed     bool
+	poisoned   bool
+}
+
+// NewSession builds a session over a fresh in-process transport group of
+// the given size (nodes <= 0 means 1). Threads and stealing configure each
+// rank's persistent scheduler pool, like Options.Threads/Stealing.
+func NewSession(nodes, threads int, stealing bool) (*Session, error) {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	transports, err := comm.NewLocalGroup(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return NewSessionOver(transports, threads, stealing)
+}
+
+// NewSessionOver builds a session over caller-provided transports (e.g. a
+// loopback TCP mesh). The session takes ownership: Close closes them.
+func NewSessionOver(transports []comm.Transport, threads int, stealing bool) (*Session, error) {
+	if len(transports) == 0 {
+		return nil, errors.New("cluster: session needs at least one transport")
+	}
+	s := &Session{
+		transports: transports,
+		comms:      make([]*comm.Comm, len(transports)),
+		scheds:     make([]*ws.Scheduler, len(transports)),
+		threads:    threads,
+		stealing:   stealing,
+	}
+	for i, t := range transports {
+		s.comms[i] = comm.NewComm(t)
+		s.scheds[i] = ws.New(threads, stealing)
+	}
+	return s, nil
+}
+
+// Nodes returns the session's cluster size.
+func (s *Session) Nodes() int { return len(s.transports) }
+
+// Healthy reports whether the session can still execute runs: false once
+// closed or after a run error aborted the transport group.
+func (s *Session) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && !s.poisoned
+}
+
+// Close shuts the session's scheduler pools and transports down. Idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, sc := range s.scheds {
+		sc.Close()
+	}
+	var first error
+	for _, t := range s.transports {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ExecuteSession runs the program on the session's resident cluster with
+// the same orchestration as Execute, reusing the open transports,
+// communicators and scheduler pools. Nodes/Threads/Stealing in opt are
+// overridden by the session's fixed topology.
+func ExecuteSession[V comparable](s *Session, g *graph.Graph, p *core.Program[V], opt Options) (*RunResult[V], error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("cluster: session is closed")
+	}
+	if s.poisoned {
+		return nil, errors.New("cluster: session was poisoned by an earlier failed run; close it and build a fresh one")
+	}
+	opt.Threads = s.threads
+	opt.Stealing = s.stealing
+	res, err := run(g, p, opt, s.transports, s.comms, s.scheds)
+	if err != nil {
+		// A failing rank aborts the whole transport group to unblock its
+		// peers, which leaves the group unusable for further runs.
+		s.poisoned = true
+		return nil, fmt.Errorf("cluster: session run failed: %w", err)
+	}
+	return res, nil
+}

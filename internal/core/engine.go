@@ -37,6 +37,13 @@ type Config struct {
 	Threads  int
 	Stealing bool
 
+	// Sched is an externally-owned scheduler pool to compute on (nil: the
+	// engine creates one from Threads/Stealing and owns it). A resident
+	// service passes one persistent pool per rank so successive runs reuse
+	// the parked workers instead of spawning a fresh pool; Close then
+	// leaves the pool running for the next run.
+	Sched *ws.Scheduler
+
 	// DenseDivisor sets the push/pull switch: pull when the frontier's
 	// outgoing edges exceed |E|/DenseDivisor (default 20, Gemini's
 	// heuristic).
@@ -125,13 +132,14 @@ func (r *Result[V]) Float64s() []float64 { return r.Dom.Float64s(r.Values) }
 
 // Engine executes Programs over property type V on one worker.
 type Engine[V comparable] struct {
-	cfg   Config
-	g     *graph.Graph
-	comm  *comm.Comm
-	sched *ws.Scheduler
-	lo    graph.VertexID // owned range
-	hi    graph.VertexID
-	reb   *rebalancer // nil unless Config.Rebalance
+	cfg      Config
+	g        *graph.Graph
+	comm     *comm.Comm
+	sched    *ws.Scheduler
+	ownSched bool           // Close tears the pool down only when the engine built it
+	lo       graph.VertexID // owned range
+	hi       graph.VertexID
+	reb      *rebalancer // nil unless Config.Rebalance
 
 	// dom and codec are resolved per Run from the program's domain (the
 	// codec width must match the domain width; an engine reused across
@@ -251,10 +259,15 @@ func New[V comparable](cfg Config) (*Engine[V], error) {
 		cfg.SparseDivisor = 16
 	}
 	e := &Engine[V]{
-		cfg:   cfg,
-		g:     cfg.Graph,
-		comm:  cfg.Comm,
-		sched: ws.New(cfg.Threads, cfg.Stealing),
+		cfg:  cfg,
+		g:    cfg.Graph,
+		comm: cfg.Comm,
+	}
+	if cfg.Sched != nil {
+		e.sched = cfg.Sched
+	} else {
+		e.sched = ws.New(cfg.Threads, cfg.Stealing)
+		e.ownSched = true
 	}
 	e.collect.body = e.collectChunk
 	e.bits.body = e.collectBitsChunk
@@ -312,10 +325,15 @@ func (e *Engine[V]) bindDomain(dom Domain[V]) error {
 	return nil
 }
 
-// Close releases the engine's persistent scheduler pool. The engine must
-// not be used afterwards; forgetting to call Close leaks only parked
+// Close releases the engine's persistent scheduler pool (externally-owned
+// pools from Config.Sched are left running for their owner). The engine
+// must not be used afterwards; forgetting to call Close leaks only parked
 // goroutines (they die with the process).
-func (e *Engine[V]) Close() { e.sched.Close() }
+func (e *Engine[V]) Close() {
+	if e.ownSched {
+		e.sched.Close()
+	}
+}
 
 // owner returns the worker currently owning v, honouring dynamic ranges.
 func (e *Engine[V]) owner(v graph.VertexID) int {

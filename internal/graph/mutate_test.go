@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// assertSameGraph compares the full CSR+CSC structure of two graphs.
+func assertSameGraph(t *testing.T, got, want *Graph, label string) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: size |V|=%d |E|=%d, want |V|=%d |E|=%d", label,
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	check := func(side string, gOff, wOff []int64, gIDs, wIDs []VertexID, gW, wW []float32) {
+		for v := range wOff {
+			if gOff[v] != wOff[v] {
+				t.Fatalf("%s: %s offset mismatch at %d: %d vs %d", label, side, v, gOff[v], wOff[v])
+			}
+		}
+		for i := range wIDs {
+			if gIDs[i] != wIDs[i] || gW[i] != wW[i] {
+				t.Fatalf("%s: %s edge %d: (%d, %g) vs (%d, %g)", label, side, i, gIDs[i], gW[i], wIDs[i], wW[i])
+			}
+		}
+	}
+	check("out", got.OutOff, want.OutOff, got.OutDst, want.OutDst, got.OutW, want.OutW)
+	check("in", got.InOff, want.InOff, got.InSrc, want.InSrc, got.InW, want.InW)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("%s: invalid result: %v", label, err)
+	}
+}
+
+// Property: the merge path of WithEdges is structurally identical to a
+// from-scratch Build over the concatenated edge list, including new
+// vertices, parallel edges, self-loops and duplicate batch entries.
+func TestWithEdgesMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		base := randomEdges(rng, n, rng.Intn(4*n))
+		g := MustBuild(n, base)
+
+		grow := rng.Intn(5)
+		total := n + grow
+		added := randomEdges(rng, total, 1+rng.Intn(30))
+		if rng.Intn(2) == 0 { // force a duplicate and a self-loop
+			added = append(added, added[0], Edge{Src: 0, Dst: 0, Weight: 1})
+		}
+
+		got, err := WithEdges(g, added, total)
+		if err != nil {
+			return false
+		}
+		want := MustBuild(total, append(append([]Edge(nil), base...), added...))
+		if got.NumEdges() != want.NumEdges() || got.NumVertices() != want.NumVertices() {
+			return false
+		}
+		for v := range want.OutOff {
+			if got.OutOff[v] != want.OutOff[v] || got.InOff[v] != want.InOff[v] {
+				return false
+			}
+		}
+		for i := range want.OutDst {
+			if got.OutDst[i] != want.OutDst[i] || got.OutW[i] != want.OutW[i] ||
+				got.InSrc[i] != want.InSrc[i] || got.InW[i] != want.InW[i] {
+				return false
+			}
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithEdgesLeavesOriginalUntouched(t *testing.T) {
+	base := []Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 2}}
+	g := MustBuild(3, base)
+	if _, err := WithEdges(g, []Edge{{Src: 2, Dst: 3, Weight: 1}, {Src: 0, Dst: 2, Weight: 5}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, MustBuild(3, base), "original")
+}
+
+func TestWithEdgesRejectsBadInput(t *testing.T) {
+	g := MustBuild(3, []Edge{{Src: 0, Dst: 1}})
+	if _, err := WithEdges(g, nil, 2); err == nil {
+		t.Fatal("shrinking vertex set accepted")
+	}
+	if _, err := WithEdges(g, []Edge{{Src: 0, Dst: 5}}, 4); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+func TestWithEdgesEmptyBatchGrowsVertices(t *testing.T) {
+	base := []Edge{{Src: 0, Dst: 1, Weight: 1}}
+	g := MustBuild(2, base)
+	got, err := WithEdges(g, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, got, MustBuild(5, base), "grown")
+}
+
+func TestWithoutEdgesRemovesAllParallelInstances(t *testing.T) {
+	g := MustBuild(3, []Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 0, Dst: 1, Weight: 2}, // parallel pair
+		{Src: 1, Dst: 2, Weight: 3}, {Src: 2, Dst: 2, Weight: 4}, // self-loop survives
+	})
+	got, removed, err := WithoutEdges(g, []Edge{{Src: 0, Dst: 1, Weight: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed %d edges, want 2 (both parallel instances)", removed)
+	}
+	want := MustBuild(3, []Edge{{Src: 1, Dst: 2, Weight: 3}, {Src: 2, Dst: 2, Weight: 4}})
+	assertSameGraph(t, got, want, "after delete")
+}
+
+func TestWithoutEdgesMissingPairIsNoOp(t *testing.T) {
+	g := MustBuild(3, []Edge{{Src: 0, Dst: 1, Weight: 1}})
+	got, removed, err := WithoutEdges(g, []Edge{{Src: 1, Dst: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 || got.NumEdges() != 1 {
+		t.Fatalf("removed=%d |E|=%d, want 0 and 1", removed, got.NumEdges())
+	}
+}
+
+func TestWithoutEdgesRejectsOutOfRange(t *testing.T) {
+	g := MustBuild(2, []Edge{{Src: 0, Dst: 1}})
+	if _, _, err := WithoutEdges(g, []Edge{{Src: 0, Dst: 9}}); err == nil {
+		t.Fatal("out-of-range removal accepted")
+	}
+}
+
+// Property: WithoutEdges equals a filtered rebuild.
+func TestWithoutEdgesMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		base := randomEdges(rng, n, 1+rng.Intn(4*n))
+		g := MustBuild(n, base)
+		del := randomEdges(rng, n, 1+rng.Intn(6))
+
+		got, removed, err := WithoutEdges(g, del)
+		if err != nil {
+			return false
+		}
+		kill := map[[2]VertexID]bool{}
+		for _, e := range del {
+			kill[[2]VertexID{e.Src, e.Dst}] = true
+		}
+		var kept []Edge
+		for _, e := range base {
+			if !kill[[2]VertexID{e.Src, e.Dst}] {
+				kept = append(kept, e)
+			}
+		}
+		if removed != int64(len(base)-len(kept)) {
+			return false
+		}
+		want := MustBuild(n, kept)
+		if got.NumEdges() != want.NumEdges() {
+			return false
+		}
+		for i := range want.OutDst {
+			if got.OutDst[i] != want.OutDst[i] || got.OutW[i] != want.OutW[i] {
+				return false
+			}
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

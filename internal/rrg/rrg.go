@@ -151,6 +151,17 @@ func DefaultRoots(g *graph.Graph) []graph.VertexID {
 // Reached reports whether v was reached during preprocessing.
 func (gd *Guidance) Reached(v graph.VertexID) bool { return gd.Level[v] != Unreached }
 
+// Clone returns a deep copy sharing no storage with gd. Update mutates the
+// guidance in place, so a resident service clones the current snapshot's
+// guidance before applying a mutation batch — readers pinned to the old
+// snapshot keep an unchanging view.
+func (gd *Guidance) Clone() *Guidance {
+	cp := *gd
+	cp.LastIter = append([]uint32(nil), gd.LastIter...)
+	cp.Level = append([]uint32(nil), gd.Level...)
+	return &cp
+}
+
 const guidanceMagic = "SLRR"
 
 // WriteTo serialises the guidance (magic, u32 n, u32 rounds, then LastIter

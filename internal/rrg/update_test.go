@@ -126,6 +126,61 @@ func TestUpdateNoOpOnEmptyBatch(t *testing.T) {
 	assertGuidanceEqual(t, gd, want, "no-op")
 }
 
+func TestUpdateDuplicateAndSelfLoopBatch(t *testing.T) {
+	// Duplicate entries and self-loops are legitimate batch content
+	// (parallel edges and self-loops are preserved by graph.Build); the
+	// wave must stay idempotent over them.
+	g := gen.Path(5)
+	gd := Generate(g, []graph.VertexID{0}, nil)
+	extra := []graph.Edge{
+		{Src: 0, Dst: 3, Weight: 1},
+		{Src: 0, Dst: 3, Weight: 1}, // exact duplicate
+		{Src: 2, Dst: 2, Weight: 1}, // self-loop
+	}
+	g2 := addEdges(g, extra, 5)
+	if _, err := gd.Update(g2, extra); err != nil {
+		t.Fatal(err)
+	}
+	assertGuidanceEqual(t, gd, Generate(g2, []graph.VertexID{0}, nil), "dup+loop")
+}
+
+func TestUpdateNewVertexAsSource(t *testing.T) {
+	// An edge whose source is a brand-new (hence unreached) vertex cannot
+	// relax anything, but it still changes the destination's LastIter
+	// candidates and must not be dropped or panic.
+	g := gen.Path(3)
+	gd := Generate(g, []graph.VertexID{0}, nil)
+	extra := []graph.Edge{{Src: 3, Dst: 1, Weight: 1}}
+	g2 := addEdges(g, extra, 4)
+	stats, err := gd.Update(g2, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LevelsChanged != 0 {
+		t.Fatalf("unreached source changed levels: %+v", stats)
+	}
+	assertGuidanceEqual(t, gd, Generate(g2, []graph.VertexID{0}, nil), "new source")
+	if gd.Reached(3) {
+		t.Fatal("new vertex must stay unreached")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := gen.Path(5)
+	gd := Generate(g, []graph.VertexID{0}, nil)
+	orig := Generate(g, []graph.VertexID{0}, nil)
+	cp := gd.Clone()
+
+	extra := []graph.Edge{{Src: 0, Dst: 4, Weight: 1}}
+	g2 := addEdges(g, extra, 5)
+	if _, err := cp.Update(g2, extra); err != nil {
+		t.Fatal(err)
+	}
+	// The clone moved to the new graph; the original must be untouched.
+	assertGuidanceEqual(t, gd, orig, "original after clone update")
+	assertGuidanceEqual(t, cp, Generate(g2, []graph.VertexID{0}, nil), "updated clone")
+}
+
 // Property: incremental update equals full regeneration, for any base
 // graph, any batch of added edges, and any (fixed) root set.
 func TestUpdateMatchesRegeneration(t *testing.T) {

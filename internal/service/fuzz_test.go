@@ -1,0 +1,67 @@
+package service
+
+import (
+	"testing"
+)
+
+// FuzzDecodeBatch hammers the mutation-request decoder with arbitrary
+// bytes: it must never panic, and every accepted batch must satisfy the
+// invariants Apply depends on (endpoints in range, finite weights,
+// non-empty, growth within limits).
+func FuzzDecodeBatch(f *testing.F) {
+	seeds := []string{
+		`{"add":[{"src":0,"dst":1,"weight":2}]}`,
+		`{"add_vertices":3,"add":[{"src":9,"dst":11}]}`,
+		`{"del":[{"src":0,"dst":1}]}`,
+		`{"add":[{"src":0,"dst":1},{"src":0,"dst":1}]}`, // duplicate edges
+		`{"add":[{"src":-1,"dst":1}]}`,                  // negative id
+		`{"add":[{"src":0,"dst":4294967296}]}`,          // out of range
+		`{"add":[{"dst":1}]}`,                           // missing src
+		`{"add":[{"src":0,"dst":1,"weight":1e400}]}`,    // overflow weight
+		`{"add":[{"src":0,"dst":1,"weight":null}]}`,
+		`{"add_vertices":-5}`,
+		`{"add_vertices":1099511627776}`,
+		`{"unknown":true}`,
+		`{"add":[{"src":0,"dst":1}]}{"add":[]}`, // trailing value
+		`{`, `null`, `[]`, `""`, `123`, ``,
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), 10)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, curVertices int) {
+		if curVertices < 0 || curVertices > 1<<24 {
+			curVertices %= 1 << 24
+			if curVertices < 0 {
+				curVertices = -curVertices
+			}
+		}
+		b, err := DecodeBatch(data, curVertices)
+		if err != nil {
+			if b != nil {
+				t.Fatal("non-nil batch alongside an error")
+			}
+			return
+		}
+		if b.AddVertices == 0 && len(b.Adds) == 0 && len(b.Deletes) == 0 {
+			t.Fatal("decoder accepted an empty batch")
+		}
+		if b.AddVertices < 0 || b.AddVertices > MaxAddVertices {
+			t.Fatalf("add_vertices %d outside limits", b.AddVertices)
+		}
+		if len(b.Adds)+len(b.Deletes) > MaxBatchEdges {
+			t.Fatalf("batch of %d edges over the limit", len(b.Adds)+len(b.Deletes))
+		}
+		newN := curVertices + b.AddVertices
+		for _, e := range b.Adds {
+			if int(e.Src) >= newN || int(e.Dst) >= newN {
+				t.Fatalf("accepted add (%d -> %d) outside [0, %d)", e.Src, e.Dst, newN)
+			}
+		}
+		for _, e := range b.Deletes {
+			if int(e.Src) >= curVertices || int(e.Dst) >= curVertices {
+				t.Fatalf("accepted del (%d -> %d) outside [0, %d)", e.Src, e.Dst, curVertices)
+			}
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"slfe/internal/graph"
+)
+
+// maxBodyBytes bounds mutation/registration request bodies.
+const maxBodyBytes = 8 << 20
+
+// Handler serves the service's HTTP surface:
+//
+//	GET  /healthz                           liveness + current version
+//	GET  /stats                             graph/program/mutation statistics
+//	GET  /result?app=&domain=&vertex=       one program value at one vertex
+//	POST /mutate                            apply one mutation batch (JSON)
+//	POST /register                          register an (app, domain) program
+//
+// Every read pins one snapshot for its whole request, so a concurrent
+// mutation can never tear a response across versions.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !get(w, r) {
+			return
+		}
+		snap := s.Snapshot()
+		status := "ok"
+		code := http.StatusOK
+		if !s.Healthy() {
+			status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]any{"status": status, "version": snap.Version})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !get(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, statsOf(s.Snapshot()))
+	})
+	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
+		if !get(w, r) {
+			return
+		}
+		handleResult(s, w, r)
+	})
+	mux.HandleFunc("/mutate", func(w http.ResponseWriter, r *http.Request) {
+		if !post(w, r) {
+			return
+		}
+		handleMutate(s, w, r)
+	})
+	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+		if !post(w, r) {
+			return
+		}
+		handleRegister(s, w, r)
+	})
+	return mux
+}
+
+func handleResult(s *Service, w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	q := r.URL.Query()
+	id := ProgramID(q.Get("app"), q.Get("domain"))
+	p, ok := snap.Programs[id]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("program %s is not registered", id))
+		return
+	}
+	vertex, err := strconv.ParseInt(q.Get("vertex"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid vertex: %v", err))
+		return
+	}
+	if vertex < 0 || vertex >= int64(len(p.Outcome.Values)) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("vertex %d outside [0, %d)", vertex, len(p.Outcome.Values)))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"app":     q.Get("app"),
+		"domain":  q.Get("domain"),
+		"vertex":  vertex,
+		"value":   p.Outcome.Values[vertex],
+		"version": snap.Version,
+		"warm":    p.Warm,
+	})
+}
+
+func handleMutate(s *Service, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("mutation body over %d bytes", maxBodyBytes))
+		return
+	}
+	// Validated against the version the batch will apply to: Apply holds
+	// the writer lock, and decode-then-apply races only with other writers
+	// (growth-only), so a decoded batch stays in range.
+	b, err := DecodeBatch(body, s.Snapshot().Graph.NumVertices())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap, err := s.Apply(b)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":  snap.Version,
+		"vertices": snap.Graph.NumVertices(),
+		"edges":    snap.Graph.NumEdges(),
+		"added":    len(b.Adds),
+		"removed":  len(b.Deletes),
+		"full":     len(b.Deletes) > 0,
+	})
+}
+
+// registerRequest is the JSON surface of POST /register.
+type registerRequest struct {
+	App    string `json:"app"`
+	Domain string `json:"domain"`
+	Root   int64  `json:"root"`
+	Iters  int    `json:"iters"`
+}
+
+func handleRegister(s *Service, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil || len(body) > maxBodyBytes {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad registration body"))
+		return
+	}
+	var req registerRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Root < 0 || req.Root > int64(^uint32(0)) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("root %d out of range", req.Root))
+		return
+	}
+	if req.Iters <= 0 {
+		req.Iters = 10
+	}
+	snap, err := s.Register(req.App, req.Domain, graph.VertexID(req.Root), req.Iters)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":  snap.Version,
+		"program":  ProgramID(req.App, req.Domain),
+		"programs": len(snap.Programs),
+	})
+}
+
+// statsOf flattens one snapshot for /stats.
+func statsOf(snap *Snapshot) map[string]any {
+	programs := make([]map[string]any, 0, len(snap.Programs))
+	ids := make([]string, 0, len(snap.Programs))
+	for id := range snap.Programs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := snap.Programs[id]
+		programs = append(programs, map[string]any{
+			"id":         id,
+			"sym":        p.NeedsSym,
+			"iterations": p.Outcome.Iterations,
+			"warm":       p.Warm,
+		})
+	}
+	out := map[string]any{
+		"version":  snap.Version,
+		"vertices": snap.Graph.NumVertices(),
+		"edges":    snap.Graph.NumEdges(),
+		"programs": programs,
+		"mutations": map[string]any{
+			"batches":       snap.Stats.Batches,
+			"edges_added":   snap.Stats.EdgesAdded,
+			"edges_removed": snap.Stats.EdgesRemoved,
+			"incremental":   snap.Stats.Incremental,
+			"full_rebuilds": snap.Stats.FullRebuilds,
+		},
+	}
+	if snap.Sym != nil {
+		out["sym_edges"] = snap.Sym.NumEdges()
+	}
+	return out
+}
+
+func get(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return false
+	}
+	return true
+}
+
+func post(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,139 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"slfe/internal/gen"
+	"slfe/internal/service"
+)
+
+func newTestServer(t *testing.T) (*service.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := service.New(gen.Uniform(120, 500, 4, 19), service.Config{Nodes: 1, Threads: 2, RR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.Handler(svc))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return svc, ts
+}
+
+func getJSON(t *testing.T, url string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url, body string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	health := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if health["status"] != "ok" {
+		t.Fatalf("health: %v", health)
+	}
+	v0 := health["version"].(float64)
+
+	reg := postJSON(t, ts.URL+"/register", `{"app":"sssp","domain":"f64","root":0}`, http.StatusOK)
+	if reg["version"].(float64) != v0+1 {
+		t.Fatalf("register did not bump version: %v", reg)
+	}
+
+	res := getJSON(t, ts.URL+"/result?app=sssp&domain=f64&vertex=0", http.StatusOK)
+	if res["value"].(float64) != 0 {
+		t.Fatalf("sssp root distance: %v", res)
+	}
+
+	mut := postJSON(t, ts.URL+"/mutate",
+		`{"add_vertices":1,"add":[{"src":0,"dst":120,"weight":2.5},{"src":120,"dst":1}]}`,
+		http.StatusOK)
+	if mut["version"].(float64) != v0+2 {
+		t.Fatalf("mutate did not bump version: %v", mut)
+	}
+	if mut["vertices"].(float64) != 121 {
+		t.Fatalf("vertex growth lost: %v", mut)
+	}
+
+	res = getJSON(t, ts.URL+"/result?app=sssp&domain=f64&vertex=120", http.StatusOK)
+	if res["value"].(float64) != 2.5 {
+		t.Fatalf("new vertex distance: %v", res)
+	}
+	if res["warm"] != true {
+		t.Fatalf("mutation result not marked warm: %v", res)
+	}
+
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if stats["version"].(float64) != v0+2 || stats["vertices"].(float64) != 121 {
+		t.Fatalf("stats: %v", stats)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/register", `{"app":"sssp","domain":"f64"}`, http.StatusOK)
+
+	// Malformed and invalid mutations: decode-level 400s.
+	postJSON(t, ts.URL+"/mutate", `{`, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/mutate", `{"add":[{"dst":3}]}`, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/mutate", `{"add":[{"src":0,"dst":99999}]}`, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/mutate", `{"unknown_field":1}`, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/mutate", `{}`, http.StatusBadRequest)
+
+	// Reads of unknown programs / bad vertices.
+	getJSON(t, ts.URL+"/result?app=pr&domain=f64&vertex=0", http.StatusNotFound)
+	getJSON(t, ts.URL+"/result?app=sssp&domain=f64&vertex=banana", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/result?app=sssp&domain=f64&vertex=-1", http.StatusBadRequest)
+
+	// Registration errors surface as 422.
+	postJSON(t, ts.URL+"/register", `{"app":"sssp","domain":"f64"}`, http.StatusUnprocessableEntity)
+	postJSON(t, ts.URL+"/register", `{"app":"nope","domain":"f64"}`, http.StatusUnprocessableEntity)
+
+	// Method confusion.
+	resp, err := http.Get(ts.URL + "/mutate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /mutate: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,372 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"slfe/internal/apps"
+	"slfe/internal/cluster"
+	"slfe/internal/compress"
+	"slfe/internal/core"
+	"slfe/internal/graph"
+	"slfe/internal/rrg"
+	"slfe/internal/ws"
+)
+
+// Config fixes the resident cluster's topology and execution options. The
+// topology cannot change after New: sessions pin their transport group.
+type Config struct {
+	// Nodes is the resident cluster size (default 1).
+	Nodes int
+	// Threads per node (<=0: GOMAXPROCS).
+	Threads int
+	// Stealing enables the work-stealing scheduler.
+	Stealing bool
+	// RR enables redundancy reduction; guidance is then maintained
+	// incrementally across mutation batches.
+	RR bool
+	// Codec selects the delta-sync wire codec (nil: raw).
+	Codec compress.Codec
+	// Sync selects the delta-sync strategy.
+	Sync core.SyncStrategy
+}
+
+// Program is one registered (application, domain) pairing resident in a
+// snapshot, together with its latest result and warm-start state.
+type Program struct {
+	// Key / Domain identify the registry pairing ("sssp", "f64").
+	Key    string
+	Domain string
+	// NeedsSym marks programs executing on the symmetrised graph.
+	NeedsSym bool
+	// Outcome is the latest execution result on the snapshot's graph.
+	Outcome *apps.Outcome
+	// Warm reports whether the latest result came from the incremental
+	// path (guidance update + ExecuteWarm) rather than a cold registration
+	// or full-fallback run.
+	Warm bool
+
+	runner apps.Incremental
+	// roots is the guidance root set pinned at registration: the default
+	// root heuristic drifts as edges arrive, and guidance can only be
+	// updated incrementally over a fixed root set.
+	roots    []graph.VertexID
+	guidance *rrg.Guidance
+	resume   *apps.Resume
+}
+
+// Stats are cumulative mutation counters, snapshotted per version.
+type Stats struct {
+	// Batches counts applied mutation batches.
+	Batches int64
+	// EdgesAdded / EdgesRemoved count applied edge mutations.
+	EdgesAdded   int64
+	EdgesRemoved int64
+	// FullRebuilds counts batches that took the deletion fallback (full
+	// guidance regeneration + cold re-runs).
+	FullRebuilds int64
+	// Incremental counts batches applied via guidance update + warm
+	// re-execution.
+	Incremental int64
+}
+
+// Snapshot is one immutable graph version with its program results. Readers
+// load a snapshot once and serve every field from it; a concurrent Apply
+// swaps in a successor without disturbing them.
+type Snapshot struct {
+	// Version increments with every applied mutation batch and every
+	// registration.
+	Version uint64
+	// Graph is the base directed graph at this version.
+	Graph *graph.Graph
+	// Sym is the symmetrised graph (nil until a NeedsSym program
+	// registers; then maintained in lockstep with Graph).
+	Sym *graph.Graph
+	// Programs maps "key:domain" to the resident program state.
+	Programs map[string]*Program
+	// Stats are the cumulative mutation counters as of this version.
+	Stats Stats
+}
+
+// Service is the resident graph engine: one long-lived cluster session, an
+// atomically swapped snapshot chain, and a writer lock serialising
+// mutations and registrations.
+type Service struct {
+	mu      sync.Mutex
+	cfg     Config
+	session *cluster.Session
+	snap    atomic.Pointer[Snapshot]
+	closed  bool
+}
+
+// New builds a service hosting g.
+func New(g *graph.Graph, cfg Config) (*Service, error) {
+	if g == nil {
+		return nil, errors.New("service: nil graph")
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	sess, err := cluster.NewSession(cfg.Nodes, cfg.Threads, cfg.Stealing)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{cfg: cfg, session: sess}
+	s.snap.Store(&Snapshot{Version: 1, Graph: g, Programs: map[string]*Program{}})
+	return s, nil
+}
+
+// Snapshot returns the current immutable version. Callers may hold it as
+// long as they like; it never mutates.
+func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Healthy reports whether the resident session can execute runs.
+func (s *Service) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && s.session.Healthy()
+}
+
+// Close shuts the resident session down. Idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.session.Close()
+}
+
+// runOptions is the per-run option base derived from the fixed config.
+func (s *Service) runOptions() cluster.Options {
+	return cluster.Options{
+		Nodes:    s.cfg.Nodes,
+		Threads:  s.cfg.Threads,
+		Stealing: s.cfg.Stealing,
+		RR:       s.cfg.RR,
+		Codec:    s.cfg.Codec,
+		Sync:     s.cfg.Sync,
+	}
+}
+
+// generate builds guidance for roots on g with a transient pool (nil when
+// RR is off: no guidance is maintained then).
+func (s *Service) generate(g *graph.Graph, roots []graph.VertexID) *rrg.Guidance {
+	if !s.cfg.RR {
+		return nil
+	}
+	sched := ws.New(s.cfg.Threads, s.cfg.Stealing)
+	defer sched.Close()
+	return rrg.Generate(g, roots, sched)
+}
+
+// recoverSession replaces a poisoned session so one failed run does not
+// take the daemon down with it.
+func (s *Service) recoverSession() {
+	if s.session.Healthy() {
+		return
+	}
+	s.session.Close()
+	if sess, err := cluster.NewSession(s.cfg.Nodes, s.cfg.Threads, s.cfg.Stealing); err == nil {
+		s.session = sess
+	}
+}
+
+// ProgramID names a (key, domain) pairing in a snapshot's program map.
+func ProgramID(key, domain string) string { return key + ":" + domain }
+
+// Register adds a registry (key, domain) pairing to the service, runs it
+// cold on the current graph, and publishes a new version carrying its
+// result and warm-start state. root/iters parameterise the program like the
+// CLI flags of the same names.
+func (s *Service) Register(key, domain string, root graph.VertexID, iters int) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("service: closed")
+	}
+	cur := s.snap.Load()
+	id := ProgramID(key, domain)
+	if _, ok := cur.Programs[id]; ok {
+		return nil, fmt.Errorf("service: %s is already registered", id)
+	}
+	entry, ok := apps.LookupRunnable(key, domain)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown application %q for domain %q", key, domain)
+	}
+	inc, ok := entry.Build(root, iters).(apps.Incremental)
+	if !ok {
+		return nil, fmt.Errorf("service: %s does not support incremental re-execution", id)
+	}
+	if root != 0 && int(root) >= cur.Graph.NumVertices() {
+		return nil, fmt.Errorf("service: root %d outside [0, %d)", root, cur.Graph.NumVertices())
+	}
+
+	sym := cur.Sym
+	execG := cur.Graph
+	if entry.NeedsSym {
+		if sym == nil {
+			sym = apps.Symmetrize(cur.Graph)
+		}
+		execG = sym
+	}
+	roots := append([]graph.VertexID(nil), inc.GuidanceRoots(execG)...)
+	gd := s.generate(execG, roots)
+	opt := s.runOptions()
+	opt.Guidance = gd
+	opt.GuidanceRoots = roots
+	out, resume, err := inc.ExecuteIn(s.session, execG, opt)
+	if err != nil {
+		s.recoverSession()
+		return nil, fmt.Errorf("service: registration run for %s failed: %w", id, err)
+	}
+
+	next := s.successor(cur)
+	next.Sym = sym
+	next.Programs[id] = &Program{
+		Key: key, Domain: domain, NeedsSym: entry.NeedsSym,
+		Outcome: out, runner: inc, roots: roots, guidance: gd, resume: resume,
+	}
+	s.snap.Store(next)
+	return next, nil
+}
+
+// successor starts the next version as a copy of cur with a fresh program
+// map (entries are shared until replaced).
+func (s *Service) successor(cur *Snapshot) *Snapshot {
+	next := &Snapshot{
+		Version:  cur.Version + 1,
+		Graph:    cur.Graph,
+		Sym:      cur.Sym,
+		Programs: make(map[string]*Program, len(cur.Programs)+1),
+		Stats:    cur.Stats,
+	}
+	for id, p := range cur.Programs {
+		next.Programs[id] = p
+	}
+	return next
+}
+
+// Apply executes one mutation batch: the graph (and symmetrised twin) move
+// to the next version, guidance is updated incrementally, and every
+// registered program re-executes — warm for min/max insertions, cold
+// otherwise. The snapshot swaps only after every program re-ran, so readers
+// never observe a version whose results lag its graph. Deletions take the
+// fallback path: full guidance regeneration and cold re-runs.
+func (s *Service) Apply(b *Batch) (*Snapshot, error) {
+	if b == nil || (b.AddVertices == 0 && len(b.Adds) == 0 && len(b.Deletes) == 0) {
+		return nil, errors.New("service: empty mutation batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("service: closed")
+	}
+	cur := s.snap.Load()
+	newN := cur.Graph.NumVertices() + b.AddVertices
+
+	full := len(b.Deletes) > 0
+	var g2 *graph.Graph
+	var removed int64
+	var err error
+	if full {
+		g2, removed, err = graph.WithoutEdges(cur.Graph, b.Deletes)
+		if err != nil {
+			return nil, err
+		}
+		g2, err = graph.WithEdges(g2, b.Adds, newN)
+	} else {
+		g2, err = graph.WithEdges(cur.Graph, b.Adds, newN)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Maintain the symmetrised twin: mirrored adds keep it bit-identical
+	// to Symmetrize(g2) (both builders sort adjacency); deletions rebuild.
+	var sym2 *graph.Graph
+	var symAdds []graph.Edge
+	if cur.Sym != nil {
+		if full {
+			sym2 = apps.Symmetrize(g2)
+		} else {
+			symAdds = make([]graph.Edge, 0, 2*len(b.Adds))
+			for _, e := range b.Adds {
+				symAdds = append(symAdds, e, graph.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+			}
+			sym2, err = graph.WithEdges(cur.Sym, symAdds, newN)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	next := s.successor(cur)
+	next.Graph = g2
+	next.Sym = sym2
+	next.Stats.Batches++
+	next.Stats.EdgesAdded += int64(len(b.Adds))
+	next.Stats.EdgesRemoved += removed
+	if full {
+		next.Stats.FullRebuilds++
+	} else {
+		next.Stats.Incremental++
+	}
+
+	for id, p := range cur.Programs {
+		np, err := s.reexecute(p, g2, sym2, symAdds, b.Adds, full)
+		if err != nil {
+			s.recoverSession()
+			return nil, fmt.Errorf("service: re-execution of %s at version %d failed: %w", id, next.Version, err)
+		}
+		next.Programs[id] = np
+	}
+
+	s.snap.Store(next)
+	return next, nil
+}
+
+// reexecute moves one program to the mutated graph.
+func (s *Service) reexecute(p *Program, g2, sym2 *graph.Graph, symAdds, adds []graph.Edge, full bool) (*Program, error) {
+	execG, execAdds := g2, adds
+	if p.NeedsSym {
+		execG, execAdds = sym2, symAdds
+	}
+	np := &Program{
+		Key: p.Key, Domain: p.Domain, NeedsSym: p.NeedsSym,
+		runner: p.runner, roots: p.roots,
+	}
+	opt := s.runOptions()
+	opt.GuidanceRoots = p.roots
+	if full {
+		// Deletions can grow distances: incremental guidance maintenance
+		// and monotone warm-starts both lose their correctness argument,
+		// so regenerate and re-run cold.
+		np.guidance = s.generate(execG, p.roots)
+		opt.Guidance = np.guidance
+		out, resume, err := p.runner.ExecuteIn(s.session, execG, opt)
+		if err != nil {
+			return nil, err
+		}
+		np.Outcome, np.resume = out, resume
+		return np, nil
+	}
+	if p.guidance != nil {
+		// Clone before Update: the prior snapshot's guidance is published
+		// state and must stay frozen.
+		np.guidance = p.guidance.Clone()
+		if _, err := np.guidance.Update(execG, execAdds); err != nil {
+			return nil, err
+		}
+		opt.Guidance = np.guidance
+	}
+	out, resume, err := p.resume.ExecuteWarm(s.session, execG, execAdds, opt)
+	if err != nil {
+		return nil, err
+	}
+	np.Outcome, np.resume, np.Warm = out, resume, true
+	return np, nil
+}

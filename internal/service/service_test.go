@@ -1,0 +1,324 @@
+package service_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"slfe/internal/apps"
+	"slfe/internal/cluster"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+	"slfe/internal/service"
+)
+
+// registered is the program matrix the differential tests run: min/max and
+// arith, all three wire widths, plus the symmetrised-graph app.
+var registered = []struct {
+	key, domain string
+	root        graph.VertexID
+	iters       int
+}{
+	{"sssp", "f64", 0, 0},
+	{"sssp", "f32", 0, 0},
+	{"bfs", "u32", 0, 0},
+	{"cc", "u32", 0, 0},
+	{"pr", "f64", 0, 10},
+	{"pr", "f32", 0, 10},
+}
+
+// newTestService builds a 2-node resident service with every matrix program
+// registered.
+func newTestService(t *testing.T, g *graph.Graph) *service.Service {
+	t.Helper()
+	svc, err := service.New(g, service.Config{Nodes: 2, Threads: 2, Stealing: true, RR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	for _, reg := range registered {
+		if _, err := svc.Register(reg.key, reg.domain, reg.root, reg.iters); err != nil {
+			t.Fatalf("register %s:%s: %v", reg.key, reg.domain, err)
+		}
+	}
+	return svc
+}
+
+// pinnedRoots reproduces the guidance root set the service froze at
+// registration time: the program's own choice on the registration graph.
+func pinnedRoots(t *testing.T, key, domain string, root graph.VertexID, iters int, regG *graph.Graph) []graph.VertexID {
+	t.Helper()
+	entry, ok := apps.LookupRunnable(key, domain)
+	if !ok {
+		t.Fatalf("%s:%s not registered", key, domain)
+	}
+	runG := regG
+	if entry.NeedsSym {
+		runG = apps.Symmetrize(regG)
+	}
+	inc, ok := entry.Build(root, iters).(apps.Incremental)
+	if !ok {
+		t.Fatalf("%s:%s is not Incremental", key, domain)
+	}
+	return inc.GuidanceRoots(runG)
+}
+
+// coldOracle runs the program from scratch on an independently rebuilt
+// graph with the service's pinned guidance roots.
+func coldOracle(t *testing.T, key, domain string, root graph.VertexID, iters int, g *graph.Graph, roots []graph.VertexID) []float64 {
+	t.Helper()
+	entry, _ := apps.LookupRunnable(key, domain)
+	runG := g
+	if entry.NeedsSym {
+		runG = apps.Symmetrize(g)
+	}
+	out, err := entry.Build(root, iters).Execute(runG, cluster.Options{
+		Nodes: 2, Threads: 2, Stealing: true, RR: true, GuidanceRoots: roots,
+	})
+	if err != nil {
+		t.Fatalf("cold %s:%s: %v", key, domain, err)
+	}
+	return out.Values
+}
+
+// equalValues compares per the acceptance contract: f64/u32 bit-identical,
+// f32 within floating-point rounding.
+func equalValues(domain string, got, want float64) bool {
+	if got == want {
+		return true
+	}
+	if math.IsInf(got, 1) && math.IsInf(want, 1) {
+		return true
+	}
+	if domain == "f32" {
+		return math.Abs(got-want) <= 1e-5*math.Max(math.Abs(got), math.Abs(want))
+	}
+	return false
+}
+
+// TestIncrementalMatchesCold is the differential oracle of the resident
+// service: after N mutation batches (duplicates, self-loops, vertex growth
+// included), every registered program's incremental result must match a
+// cold full run on the final graph — rebuilt independently from the
+// concatenated edge list, not via the service's merge path.
+func TestIncrementalMatchesCold(t *testing.T) {
+	g0 := gen.Uniform(300, 1200, 4, 17)
+	allEdges := g0.Edges(nil)
+	svc := newTestService(t, g0)
+
+	rng := rand.New(rand.NewSource(41))
+	n := g0.NumVertices()
+	for batchNo := 0; batchNo < 4; batchNo++ {
+		b := &service.Batch{}
+		if batchNo == 2 {
+			b.AddVertices = 4 // growth mid-sequence, edges landing on new ids below
+		}
+		newN := n + b.AddVertices
+		for i := 0; i < 50; i++ {
+			b.Adds = append(b.Adds, graph.Edge{
+				Src:    graph.VertexID(rng.Intn(newN)),
+				Dst:    graph.VertexID(rng.Intn(newN)),
+				Weight: 1 + float32(rng.Intn(7)),
+			})
+		}
+		b.Adds = append(b.Adds, b.Adds[0])                             // duplicate
+		b.Adds = append(b.Adds, graph.Edge{Src: 5, Dst: 5, Weight: 2}) // self-loop
+		snap, err := svc.Apply(b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batchNo, err)
+		}
+		n = newN
+		allEdges = append(allEdges, b.Adds...)
+		if snap.Graph.NumVertices() != n {
+			t.Fatalf("batch %d: %d vertices, want %d", batchNo, snap.Graph.NumVertices(), n)
+		}
+
+		coldG := graph.MustBuild(n, allEdges)
+		for _, reg := range registered {
+			id := service.ProgramID(reg.key, reg.domain)
+			p := snap.Programs[id]
+			if p == nil {
+				t.Fatalf("batch %d: %s missing from snapshot", batchNo, id)
+			}
+			if !p.Warm {
+				t.Fatalf("batch %d: %s did not take the incremental path", batchNo, id)
+			}
+			roots := pinnedRoots(t, reg.key, reg.domain, reg.root, reg.iters, g0)
+			want := coldOracle(t, reg.key, reg.domain, reg.root, reg.iters, coldG, roots)
+			if len(p.Outcome.Values) != len(want) {
+				t.Fatalf("batch %d: %s: %d values, want %d", batchNo, id, len(p.Outcome.Values), len(want))
+			}
+			for v := range want {
+				if !equalValues(reg.domain, p.Outcome.Values[v], want[v]) {
+					t.Fatalf("batch %d: %s: vertex %d: incremental %g vs cold %g",
+						batchNo, id, v, p.Outcome.Values[v], want[v])
+				}
+			}
+		}
+	}
+	if snap := svc.Snapshot(); snap.Stats.Incremental != 4 || snap.Stats.FullRebuilds != 0 {
+		t.Fatalf("stats: %+v, want 4 incremental, 0 full", snap.Stats)
+	}
+}
+
+// Deletions take the full-fallback path (regenerated guidance, cold
+// re-runs) and must equally match the oracle.
+func TestDeletionFallbackMatchesCold(t *testing.T) {
+	g0 := gen.Uniform(250, 1000, 4, 23)
+	allEdges := g0.Edges(nil)
+	svc := newTestService(t, g0)
+
+	// Delete a handful of existing (src, dst) pairs and add a few edges in
+	// the same batch.
+	kill := map[uint64]bool{}
+	b := &service.Batch{}
+	for _, e := range allEdges[:5] {
+		key := uint64(e.Src)<<32 | uint64(e.Dst)
+		if kill[key] {
+			continue
+		}
+		kill[key] = true
+		b.Deletes = append(b.Deletes, graph.Edge{Src: e.Src, Dst: e.Dst})
+	}
+	b.Adds = []graph.Edge{{Src: 1, Dst: 2, Weight: 1}, {Src: 7, Dst: 3, Weight: 2}}
+	snap, err := svc.Apply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stats.FullRebuilds != 1 {
+		t.Fatalf("stats: %+v, want one full rebuild", snap.Stats)
+	}
+
+	var kept []graph.Edge
+	for _, e := range allEdges {
+		if !kill[uint64(e.Src)<<32|uint64(e.Dst)] {
+			kept = append(kept, e)
+		}
+	}
+	kept = append(kept, b.Adds...)
+	coldG := graph.MustBuild(g0.NumVertices(), kept)
+	for _, reg := range registered {
+		id := service.ProgramID(reg.key, reg.domain)
+		p := snap.Programs[id]
+		if p.Warm {
+			t.Fatalf("%s took the incremental path through a deletion batch", id)
+		}
+		roots := pinnedRoots(t, reg.key, reg.domain, reg.root, reg.iters, g0)
+		want := coldOracle(t, reg.key, reg.domain, reg.root, reg.iters, coldG, roots)
+		for v := range want {
+			if !equalValues(reg.domain, p.Outcome.Values[v], want[v]) {
+				t.Fatalf("%s: vertex %d: fallback %g vs cold %g", id, v, p.Outcome.Values[v], want[v])
+			}
+		}
+	}
+}
+
+// Readers pin immutable snapshots: under concurrent mutation every loaded
+// snapshot must stay internally consistent (program values sized to its
+// graph, version monotonic from a reader's view).
+func TestSnapshotIsolationUnderMutation(t *testing.T) {
+	g0 := gen.Uniform(150, 600, 4, 29)
+	svc, err := service.New(g0, service.Config{Nodes: 1, Threads: 2, Stealing: true, RR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Register("sssp", "f64", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("cc", "u32", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := svc.Snapshot()
+				if snap.Version < lastVersion {
+					t.Errorf("version went backwards: %d after %d", snap.Version, lastVersion)
+					return
+				}
+				lastVersion = snap.Version
+				for id, p := range snap.Programs {
+					if len(p.Outcome.Values) != snap.Graph.NumVertices() {
+						t.Errorf("%s at version %d: %d values for %d vertices",
+							id, snap.Version, len(p.Outcome.Values), snap.Graph.NumVertices())
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	n := g0.NumVertices()
+	for batchNo := 0; batchNo < 6; batchNo++ {
+		b := &service.Batch{AddVertices: 1}
+		n++
+		for i := 0; i < 20; i++ {
+			b.Adds = append(b.Adds, graph.Edge{
+				Src:    graph.VertexID(rng.Intn(n)),
+				Dst:    graph.VertexID(rng.Intn(n)),
+				Weight: 1,
+			})
+		}
+		if _, err := svc.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if v := svc.Snapshot().Version; v != 1+2+6 {
+		t.Fatalf("final version %d, want %d", v, 1+2+6)
+	}
+}
+
+// A failed run must not corrupt the published snapshot, and the service
+// must recover its session for subsequent batches.
+func TestApplyRejectsBadBatchAndStaysServing(t *testing.T) {
+	g0 := gen.Uniform(100, 400, 4, 31)
+	svc, err := service.New(g0, service.Config{Nodes: 1, RR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Register("sssp", "f64", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	v0 := svc.Snapshot().Version
+
+	if _, err := svc.Apply(&service.Batch{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := svc.Apply(&service.Batch{Adds: []graph.Edge{{Src: 0, Dst: 10_000}}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if svc.Snapshot().Version != v0 {
+		t.Fatal("failed batches must not publish versions")
+	}
+	if _, err := svc.Apply(&service.Batch{Adds: []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}}); err != nil {
+		t.Fatalf("service stopped serving after rejected batches: %v", err)
+	}
+	if svc.Snapshot().Version != v0+1 {
+		t.Fatal("valid batch did not bump the version")
+	}
+
+	if _, err := svc.Register("sssp", "f64", 0, 0); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := svc.Register("nope", "f64", 0, 0); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
