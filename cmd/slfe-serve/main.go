@@ -1,18 +1,21 @@
 // Command slfe-serve hosts a graph as a resident service: the graph stays
 // in memory across mutation batches, redundancy-reduction guidance is
 // maintained incrementally, and registered applications re-execute
-// warm-started from their previous results instead of from scratch.
+// warm-started from their previous results instead of from scratch —
+// concurrently, over a bounded session pool.
 //
 // Usage:
 //
 //	slfe-serve -addr :8080 -dataset PK -scale 4000 -apps sssp:f64,pr:f64
-//	slfe-serve -graph graph.slfg -apps cc:u32 -nodes 4 -threads 2
+//	slfe-serve -graph graph.slfg -apps cc:u32 -nodes 4 -threads 2 -sessions 4
 //
 // Endpoints:
 //
 //	GET  /healthz                       liveness + current graph version
-//	GET  /stats                         graph, program and mutation stats
+//	GET  /stats                         graph, program, mutation, cache and admission stats
 //	GET  /result?app=&domain=&vertex=   one value at one vertex
+//	GET  /topk?app=&domain=&k=&order=   k best vertices by value (version-cached)
+//	GET  /route?app=&domain=&from=&to=  shortest path from a dist32 parent tree (version-cached)
 //	POST /mutate                        {"add_vertices":N,"add":[...],"del":[...]}
 //	POST /register                      {"app":"sssp","domain":"f64","root":0}
 //
@@ -39,68 +42,113 @@ import (
 	"slfe/internal/service"
 )
 
+// serveConfig collects the daemon's flag surface.
+type serveConfig struct {
+	addr    string
+	path    string
+	dataset string
+	scale   int
+	apps    string
+	root    uint
+	iters   int
+
+	nodes    int
+	threads  int
+	rr       bool
+	stealing bool
+	syncName string
+
+	sessions      int
+	cacheCapacity int
+	mutationQueue int
+	readInflight  int
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	path := flag.String("graph", "", "graph file (text or .slfg)")
-	dataset := flag.String("dataset", "", "Table 4 dataset code instead of -graph (PK OK LJ WK DI ST FS RMAT)")
-	scale := flag.Int("scale", 1000, "dataset down-scale factor")
-	appsFlag := flag.String("apps", "", "programs to register at startup, comma-separated key:domain pairs (e.g. sssp:f64,cc:u32)")
-	root := flag.Uint("root", 0, "root vertex for rooted programs")
-	iters := flag.Int("iters", 10, "iterations for arithmetic programs")
-	nodes := flag.Int("nodes", 1, "resident cluster size")
-	threads := flag.Int("threads", 0, "threads per node (0 = GOMAXPROCS)")
-	rr := flag.Bool("rr", true, "enable redundancy reduction (incrementally maintained)")
-	stealing := flag.Bool("stealing", true, "enable work stealing")
-	syncName := flag.String("sync", "dense", "delta-sync strategy: dense | sparse | adaptive")
+	var c serveConfig
+	flag.StringVar(&c.addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.StringVar(&c.path, "graph", "", "graph file (text or .slfg)")
+	flag.StringVar(&c.dataset, "dataset", "", "Table 4 dataset code instead of -graph (PK OK LJ WK DI ST FS RMAT)")
+	flag.IntVar(&c.scale, "scale", 1000, "dataset down-scale factor")
+	flag.StringVar(&c.apps, "apps", "", "programs to register at startup, comma-separated key:domain pairs (e.g. sssp:f64,cc:u32)")
+	flag.UintVar(&c.root, "root", 0, "root vertex for rooted programs")
+	flag.IntVar(&c.iters, "iters", 10, "iterations for arithmetic programs")
+	flag.IntVar(&c.nodes, "nodes", 1, "resident cluster size")
+	flag.IntVar(&c.threads, "threads", 0, "threads per node (0 = GOMAXPROCS)")
+	flag.BoolVar(&c.rr, "rr", true, "enable redundancy reduction (incrementally maintained)")
+	flag.BoolVar(&c.stealing, "stealing", true, "enable work stealing")
+	flag.StringVar(&c.syncName, "sync", "dense", "delta-sync strategy: dense | sparse | adaptive")
+	flag.IntVar(&c.sessions, "sessions", 2, "session pool size (concurrent program executions)")
+	flag.IntVar(&c.cacheCapacity, "cache", 4096, "read-cache capacity in entries (negative disables)")
+	flag.IntVar(&c.mutationQueue, "mutation-queue", 4, "bounded mutation queue depth before 429")
+	flag.IntVar(&c.readInflight, "read-inflight", 256, "per-endpoint in-flight read bound before 429")
 	flag.Parse()
 
-	if err := run(*addr, *path, *dataset, *scale, *appsFlag, *root, *iters, *nodes, *threads, *rr, *stealing, *syncName); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintf(os.Stderr, "slfe-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path, dataset string, scale int, appsFlag string, root uint, iters, nodes, threads int, rr, stealing bool, syncName string) error {
-	if nodes < 1 {
-		return fmt.Errorf("-nodes must be at least 1 (got %d)", nodes)
+// newServer builds the daemon's http.Server with the connection hygiene a
+// public listener needs: header/body read deadlines and an idle timeout, so
+// one slow client (slowloris) cannot pin a connection forever. There is
+// deliberately no WriteTimeout — a mutation batch legitimately re-executes
+// programs for seconds before its response starts.
+func newServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	sync, err := core.ParseSyncStrategy(syncName)
+}
+
+func run(c serveConfig) error {
+	if c.nodes < 1 {
+		return fmt.Errorf("-nodes must be at least 1 (got %d)", c.nodes)
+	}
+	sync, err := core.ParseSyncStrategy(c.syncName)
 	if err != nil {
 		return err
 	}
-	g, err := loadGraph(path, dataset, scale)
+	g, err := loadGraph(c.path, c.dataset, c.scale)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %v\n", g)
 
 	svc, err := service.New(g, service.Config{
-		Nodes: nodes, Threads: threads, Stealing: stealing, RR: rr, Sync: sync,
+		Nodes: c.nodes, Threads: c.threads, Stealing: c.stealing, RR: c.rr, Sync: sync,
+		Sessions:      c.sessions,
+		CacheCapacity: c.cacheCapacity,
+		MutationQueue: c.mutationQueue,
+		ReadInflight:  c.readInflight,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 
-	for _, spec := range splitApps(appsFlag) {
+	for _, spec := range splitApps(c.apps) {
 		key, domain, ok := strings.Cut(spec, ":")
 		if !ok {
 			return fmt.Errorf("-apps entry %q is not key:domain", spec)
 		}
 		start := time.Now()
-		snap, err := svc.Register(key, domain, graph.VertexID(root), iters)
+		snap, err := svc.Register(key, domain, graph.VertexID(c.root), c.iters)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("registered %s (version %d, %v)\n", service.ProgramID(key, domain), snap.Version, time.Since(start).Round(time.Millisecond))
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", c.addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: service.Handler(svc)}
-	fmt.Printf("slfe-serve: listening on %s\n", ln.Addr())
+	srv := newServer(service.Handler(svc))
+	fmt.Printf("slfe-serve: listening on %s (sessions=%d cache=%d)\n", ln.Addr(), c.sessions, c.cacheCapacity)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -55,6 +55,12 @@ func Lookup(name string) (Entry, bool) {
 type Outcome struct {
 	// Values are the domain-projected result values (Domain.Float64).
 	Values []float64
+	// Parents is the per-vertex predecessor tree when the program's domain
+	// carries one (dist32; core.NoParent marks roots and unreached
+	// vertices), nil otherwise. The float64 projection drops the parent
+	// half of the composite value, so it is surfaced here for route
+	// queries.
+	Parents []uint32
 	// Iterations is the superstep count.
 	Iterations int
 	// Run is worker 0's metrics; PerWorker holds every worker's.
@@ -90,6 +96,7 @@ func (r progRunner[V]) Execute(g *graph.Graph, opt cluster.Options) (*Outcome, e
 	}
 	return &Outcome{
 		Values:     res.Result.Float64s(),
+		Parents:    parentsOf(res.Result.Values),
 		Iterations: res.Result.Iterations,
 		Run:        res.Result.Metrics,
 		PerWorker:  res.PerWorker,
@@ -97,6 +104,20 @@ func (r progRunner[V]) Execute(g *graph.Graph, opt cluster.Options) (*Outcome, e
 		Preprocess: res.PreprocessTime,
 		Comm:       res.Comm,
 	}, nil
+}
+
+// parentsOf extracts the predecessor tree from composite dist32 values
+// (nil for every other property type).
+func parentsOf[V comparable](values []V) []uint32 {
+	dp, ok := any(values).([]core.DistParent)
+	if !ok {
+		return nil
+	}
+	parents := make([]uint32, len(dp))
+	for i, v := range dp {
+		parents[i] = v.Parent
+	}
+	return parents
 }
 
 // RunnableApp is one registered (application key, value domain) pairing the

@@ -55,6 +55,7 @@ func (r *Resume) ExecuteWarm(s *cluster.Session, g *graph.Graph, added []graph.E
 func outcomeFrom[V comparable](res *cluster.RunResult[V]) *Outcome {
 	return &Outcome{
 		Values:     res.Result.Float64s(),
+		Parents:    parentsOf(res.Result.Values),
 		Iterations: res.Result.Iterations,
 		Run:        res.Result.Metrics,
 		PerWorker:  res.PerWorker,
@@ -136,7 +137,7 @@ func warmMinMax[V comparable](s *cluster.Session, g *graph.Graph, build func(*gr
 		for v := len(prior); v < n; v++ {
 			values[v] = p.InitValue(g, graph.VertexID(v))
 		}
-		out := &Outcome{Values: dom.Float64s(values), Run: &metrics.Run{}}
+		out := &Outcome{Values: dom.Float64s(values), Parents: parentsOf(values), Run: &metrics.Run{}}
 		return out, newResume(build, values), nil
 	}
 

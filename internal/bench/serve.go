@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"slfe/internal/graph"
+	"slfe/internal/service"
+)
+
+// servePhase configures one measured phase of the serving benchmark.
+type servePhase struct {
+	Name          string
+	CacheCapacity int // negative disables the read cache
+	Requests      int // total read requests across all readers
+	Readers       int
+	MutateEvery   time.Duration // mutator pause between batches
+	BatchSize     int           // edge insertions per mutation batch
+}
+
+// serveResult is one phase's raw measurement.
+type serveResult struct {
+	Phase        string
+	Requests     int
+	Elapsed      time.Duration
+	All          []time.Duration // every read request
+	TopK         []time.Duration // the /topk subset (the cacheable hot path)
+	Hits, Misses int64
+	Batches      int
+}
+
+// runServePhase drives the service's HTTP handler in-process (no sockets,
+// so the numbers measure the serving layer, not the loopback stack): a
+// mutator goroutine applies edge batches on a cadence while reader
+// goroutines issue a fixed /topk + /result + /route mix against pinned
+// snapshots, timing every request.
+func runServePhase(c *Config, ph servePhase) (*serveResult, error) {
+	g, err := c.Graph("PK")
+	if err != nil {
+		return nil, err
+	}
+	svc, err := service.New(g, service.Config{
+		Nodes: 2, Threads: c.Threads, Stealing: true, RR: true,
+		Sessions: 2, CacheCapacity: ph.CacheCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	if _, err := svc.Register("sssp", "dist32", 0, 0); err != nil {
+		return nil, err
+	}
+	h := service.Handler(svc)
+	n := g.NumVertices()
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	stop := make(chan struct{})
+	var mutator sync.WaitGroup
+	batches := 0
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := &service.Batch{}
+			for i := 0; i < ph.BatchSize; i++ {
+				b.Adds = append(b.Adds, graph.Edge{
+					Src:    graph.VertexID(rng.Intn(n)),
+					Dst:    graph.VertexID(rng.Intn(n)),
+					Weight: 1 + float32(rng.Intn(4)),
+				})
+			}
+			if _, err := svc.Apply(b); err != nil {
+				fail(fmt.Errorf("serve mutator: %w", err))
+				return
+			}
+			batches++
+			time.Sleep(ph.MutateEvery)
+		}
+	}()
+
+	perReader := ph.Requests / ph.Readers
+	allLat := make([][]time.Duration, ph.Readers)
+	topkLat := make([][]time.Duration, ph.Readers)
+	var readers sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < ph.Readers; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + r)))
+			for i := 0; i < perReader; i++ {
+				var path string
+				topk := false
+				switch i % 3 {
+				case 0:
+					path = "/topk?app=sssp&domain=dist32&k=16&order=asc"
+					topk = true
+				case 1:
+					path = fmt.Sprintf("/result?app=sssp&domain=dist32&vertex=%d", rng.Intn(n))
+				default:
+					path = fmt.Sprintf("/route?app=sssp&domain=dist32&from=0&to=%d", rng.Intn(n))
+				}
+				req := httptest.NewRequest("GET", path, nil)
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				h.ServeHTTP(rec, req)
+				d := time.Since(t0)
+				switch rec.Code {
+				case 200, 404: // 404: unreached /route targets
+				default:
+					fail(fmt.Errorf("serve reader: GET %s: status %d: %s", path, rec.Code, rec.Body.String()))
+					return
+				}
+				allLat[r] = append(allLat[r], d)
+				if topk {
+					topkLat[r] = append(topkLat[r], d)
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	mutator.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &serveResult{Phase: ph.Name, Elapsed: elapsed, Batches: batches}
+	for r := 0; r < ph.Readers; r++ {
+		res.All = append(res.All, allLat[r]...)
+		res.TopK = append(res.TopK, topkLat[r]...)
+	}
+	res.Requests = len(res.All)
+	cs := svc.Cache().Stats()
+	res.Hits, res.Misses = cs.Hits, cs.Misses
+	return res, nil
+}
+
+// serveQuantile returns the q-quantile (0..1) of ds by nearest rank.
+func serveQuantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q*float64(len(s)-1) + 0.5)
+	return s[i]
+}
+
+// hitRate is hits/(hits+misses), 0 when the cache never engaged.
+func (r *serveResult) hitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// Serve measures the concurrent serving layer: read-lookup p50/p99 latency
+// and QPS under live mutation traffic, with the versioned result cache
+// disabled (every /topk re-ranks, every /route re-walks) versus enabled
+// (version-pinned entries serve repeat lookups until the next Apply
+// invalidates them). The cached phase's hit rate and the mutation batch
+// count are reported alongside so the numbers are interpretable: a cache
+// only wins while snapshots live longer than one lookup. With a trace
+// exporter configured the table is exported as the "serve" TSV series.
+func Serve(c Config) error {
+	c.defaults()
+	phases := []servePhase{
+		{Name: "uncached", CacheCapacity: -1, Requests: 4200, Readers: 4, MutateEvery: 2 * time.Millisecond, BatchSize: 8},
+		{Name: "cached", CacheCapacity: 4096, Requests: 4200, Readers: 4, MutateEvery: 2 * time.Millisecond, BatchSize: 8},
+	}
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Serve: read latency and QPS under concurrent mutation traffic (sssp:dist32 on PK)")
+	fmt.Fprintln(tw, "phase\treqs\tqps\tp50\tp99\ttopk-p50\ttopk-p99\thit-rate\tbatches")
+	var rows [][]string
+	for _, ph := range phases {
+		res, err := runServePhase(&c, ph)
+		if err != nil {
+			return fmt.Errorf("serve %s: %w", ph.Name, err)
+		}
+		qps := float64(res.Requests) / res.Elapsed.Seconds()
+		p50, p99 := serveQuantile(res.All, 0.50), serveQuantile(res.All, 0.99)
+		t50, t99 := serveQuantile(res.TopK, 0.50), serveQuantile(res.TopK, 0.99)
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%v\t%v\t%v\t%v\t%.2f\t%d\n",
+			res.Phase, res.Requests, qps, p50, p99, t50, t99, res.hitRate(), res.Batches)
+		rows = append(rows, []string{
+			res.Phase,
+			fmt.Sprintf("%d", res.Requests),
+			fmt.Sprintf("%.1f", qps),
+			fmt.Sprintf("%d", p50.Microseconds()),
+			fmt.Sprintf("%d", p99.Microseconds()),
+			fmt.Sprintf("%d", t50.Microseconds()),
+			fmt.Sprintf("%d", t99.Microseconds()),
+			fmt.Sprintf("%.4f", res.hitRate()),
+			fmt.Sprintf("%d", res.Batches),
+		})
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if c.Trace.Enabled() {
+		header := []string{"phase", "requests", "qps", "p50_us", "p99_us", "topk_p50_us", "topk_p99_us", "hit_rate", "batches"}
+		if err := c.Trace.Table("serve", header, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

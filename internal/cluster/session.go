@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"slfe/internal/comm"
 	"slfe/internal/core"
@@ -30,8 +31,11 @@ type Session struct {
 	scheds     []*ws.Scheduler
 	threads    int
 	stealing   bool
-	closed     bool
-	poisoned   bool
+	// closed / poisoned are atomics so Healthy never waits on mu — a run in
+	// flight holds mu for its whole duration, and liveness probes must not
+	// queue behind it.
+	closed   atomic.Bool
+	poisoned atomic.Bool
 }
 
 // NewSession builds a session over a fresh in-process transport group of
@@ -72,21 +76,20 @@ func NewSessionOver(transports []comm.Transport, threads int, stealing bool) (*S
 func (s *Session) Nodes() int { return len(s.transports) }
 
 // Healthy reports whether the session can still execute runs: false once
-// closed or after a run error aborted the transport group.
+// closed or after a run error aborted the transport group. Lock-free: safe
+// to call while a run holds the session.
 func (s *Session) Healthy() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return !s.closed && !s.poisoned
+	return !s.closed.Load() && !s.poisoned.Load()
 }
 
-// Close shuts the session's scheduler pools and transports down. Idempotent.
+// Close shuts the session's scheduler pools and transports down, waiting
+// for an in-flight run to finish first. Idempotent.
 func (s *Session) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.closed = true
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, sc := range s.scheds {
 		sc.Close()
 	}
@@ -106,10 +109,10 @@ func (s *Session) Close() error {
 func ExecuteSession[V comparable](s *Session, g *graph.Graph, p *core.Program[V], opt Options) (*RunResult[V], error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, errors.New("cluster: session is closed")
 	}
-	if s.poisoned {
+	if s.poisoned.Load() {
 		return nil, errors.New("cluster: session was poisoned by an earlier failed run; close it and build a fresh one")
 	}
 	opt.Threads = s.threads
@@ -118,7 +121,7 @@ func ExecuteSession[V comparable](s *Session, g *graph.Graph, p *core.Program[V]
 	if err != nil {
 		// A failing rank aborts the whole transport group to unblock its
 		// peers, which leaves the group unusable for further runs.
-		s.poisoned = true
+		s.poisoned.Store(true)
 		return nil, fmt.Errorf("cluster: session run failed: %w", err)
 	}
 	return res, nil

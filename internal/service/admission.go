@@ -1,0 +1,82 @@
+package service
+
+import "sync/atomic"
+
+// AdmissionStats snapshots the throttling counters for /stats.
+type AdmissionStats struct {
+	// MutationQueue / ReadInflight are the configured bounds.
+	MutationQueue int
+	ReadInflight  int
+	// ThrottledMutations / ThrottledReads count requests rejected with 429.
+	ThrottledMutations int64
+	ThrottledReads     int64
+}
+
+// Admission is the service's backpressure valve. Writers (mutate, register)
+// pass through a bounded queue: at most MutationQueue requests may hold a
+// token — one executing under the writer lock, the rest waiting — and any
+// further writer is rejected immediately instead of piling onto the lock.
+// Readers pass through a per-endpoint in-flight bound sized for the cheap
+// snapshot-pinned read path. Rejections are cheap and counted; the HTTP
+// layer maps them to 429 + Retry-After.
+type Admission struct {
+	mutations chan struct{}
+	reads     chan struct{}
+
+	throttledMutations atomic.Int64
+	throttledReads     atomic.Int64
+}
+
+// NewAdmission builds the valve (bounds <= 0 fall back to 1).
+func NewAdmission(mutationQueue, readInflight int) *Admission {
+	if mutationQueue <= 0 {
+		mutationQueue = 1
+	}
+	if readInflight <= 0 {
+		readInflight = 1
+	}
+	return &Admission{
+		mutations: make(chan struct{}, mutationQueue),
+		reads:     make(chan struct{}, readInflight),
+	}
+}
+
+// AdmitMutation claims a writer-queue slot; false means saturated (429).
+// A true return must be paired with DoneMutation.
+func (a *Admission) AdmitMutation() bool {
+	select {
+	case a.mutations <- struct{}{}:
+		return true
+	default:
+		a.throttledMutations.Add(1)
+		return false
+	}
+}
+
+// DoneMutation releases a writer-queue slot.
+func (a *Admission) DoneMutation() { <-a.mutations }
+
+// AdmitRead claims a read in-flight slot; false means saturated (429).
+// A true return must be paired with DoneRead.
+func (a *Admission) AdmitRead() bool {
+	select {
+	case a.reads <- struct{}{}:
+		return true
+	default:
+		a.throttledReads.Add(1)
+		return false
+	}
+}
+
+// DoneRead releases a read in-flight slot.
+func (a *Admission) DoneRead() { <-a.reads }
+
+// Stats snapshots the counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		MutationQueue:      cap(a.mutations),
+		ReadInflight:       cap(a.reads),
+		ThrottledMutations: a.throttledMutations.Load(),
+		ThrottledReads:     a.throttledReads.Load(),
+	}
+}

@@ -4,32 +4,44 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
 
+	"slfe/internal/core"
 	"slfe/internal/graph"
 )
 
 // maxBodyBytes bounds mutation/registration request bodies.
 const maxBodyBytes = 8 << 20
 
+// maxTopK bounds one /topk response.
+const maxTopK = 1000
+
 // Handler serves the service's HTTP surface:
 //
-//	GET  /healthz                           liveness + current version
-//	GET  /stats                             graph/program/mutation statistics
+//	GET  /healthz                           liveness + current version (never gated, never locked)
+//	GET  /stats                             graph/program/mutation/cache/admission statistics
 //	GET  /result?app=&domain=&vertex=       one program value at one vertex
+//	GET  /topk?app=&domain=&k=&order=       k best vertices by value (cached per version)
+//	GET  /route?app=&domain=&from=&to=      shortest path from a dist32 parent tree (cached per version)
 //	POST /mutate                            apply one mutation batch (JSON)
 //	POST /register                          register an (app, domain) program
 //
 // Every read pins one snapshot for its whole request, so a concurrent
-// mutation can never tear a response across versions.
+// mutation can never tear a response across versions, and no read path
+// takes the writer lock. Writers pass a bounded admission queue; saturation
+// answers 429 with Retry-After instead of queueing without bound.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !get(w, r) {
 			return
 		}
+		// Liveness is deliberately ungated and lock-free: it must answer
+		// while the writer re-executes a batch and while readers saturate
+		// their in-flight bound.
 		snap := s.Snapshot()
 		status := "ok"
 		code := http.StatusOK
@@ -39,40 +51,87 @@ func Handler(s *Service) http.Handler {
 		}
 		writeJSON(w, code, map[string]any{"status": status, "version": snap.Version})
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		if !get(w, r) {
-			return
-		}
-		writeJSON(w, http.StatusOK, statsOf(s.Snapshot()))
-	})
-	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
-		if !get(w, r) {
-			return
-		}
+	mux.HandleFunc("/stats", readEndpoint(s, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsOf(s))
+	}))
+	mux.HandleFunc("/result", readEndpoint(s, func(w http.ResponseWriter, r *http.Request) {
 		handleResult(s, w, r)
-	})
-	mux.HandleFunc("/mutate", func(w http.ResponseWriter, r *http.Request) {
-		if !post(w, r) {
-			return
-		}
+	}))
+	mux.HandleFunc("/topk", readEndpoint(s, func(w http.ResponseWriter, r *http.Request) {
+		handleTopK(s, w, r)
+	}))
+	mux.HandleFunc("/route", readEndpoint(s, func(w http.ResponseWriter, r *http.Request) {
+		handleRoute(s, w, r)
+	}))
+	mux.HandleFunc("/mutate", writeEndpoint(s, func(w http.ResponseWriter, r *http.Request) {
 		handleMutate(s, w, r)
-	})
-	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/register", writeEndpoint(s, func(w http.ResponseWriter, r *http.Request) {
+		handleRegister(s, w, r)
+	}))
+	return mux
+}
+
+// readEndpoint gates a GET handler behind the read in-flight bound.
+func readEndpoint(s *Service, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !get(w, r) {
+			return
+		}
+		if !s.adm.AdmitRead() {
+			throttled(w)
+			return
+		}
+		defer s.adm.DoneRead()
+		h(w, r)
+	}
+}
+
+// writeEndpoint gates a POST handler behind the bounded mutation queue.
+func writeEndpoint(s *Service, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		if !post(w, r) {
 			return
 		}
-		handleRegister(s, w, r)
-	})
-	return mux
+		if !s.adm.AdmitMutation() {
+			throttled(w)
+			return
+		}
+		defer s.adm.DoneMutation()
+		h(w, r)
+	}
+}
+
+// throttled answers an admission rejection: 429 plus a Retry-After hint.
+func throttled(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests, fmt.Errorf("server saturated; retry later"))
+}
+
+// program resolves the app/domain query pair against one pinned snapshot.
+func program(snap *Snapshot, w http.ResponseWriter, q map[string][]string) (*Program, string, bool) {
+	app, domain := first(q, "app"), first(q, "domain")
+	id := ProgramID(app, domain)
+	p, ok := snap.Programs[id]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("program %s is not registered", id))
+		return nil, id, false
+	}
+	return p, id, true
+}
+
+func first(q map[string][]string, key string) string {
+	if vs := q[key]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
 }
 
 func handleResult(s *Service, w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
 	q := r.URL.Query()
-	id := ProgramID(q.Get("app"), q.Get("domain"))
-	p, ok := snap.Programs[id]
+	p, _, ok := program(snap, w, q)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("program %s is not registered", id))
 		return
 	}
 	vertex, err := strconv.ParseInt(q.Get("vertex"), 10, 64)
@@ -92,6 +151,164 @@ func handleResult(s *Service, w http.ResponseWriter, r *http.Request) {
 		"version": snap.Version,
 		"warm":    p.Warm,
 	})
+}
+
+// topKEntry is one /topk row.
+type topKEntry struct {
+	Vertex uint32  `json:"vertex"`
+	Value  float64 `json:"value"`
+}
+
+func handleTopK(s *Service, w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	q := r.URL.Query()
+	p, id, ok := program(snap, w, q)
+	if !ok {
+		return
+	}
+	k := 10
+	if ks := q.Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 || v > maxTopK {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("k must be in [1, %d]", maxTopK))
+			return
+		}
+		k = v
+	}
+	order := q.Get("order")
+	switch order {
+	case "":
+		order = "desc"
+	case "asc", "desc":
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("order must be asc or desc"))
+		return
+	}
+
+	key := fmt.Sprintf("topk:%s:%d:%s", id, k, order)
+	if v, ok := s.cache.Get(key, snap.Version); ok {
+		writeJSON(w, http.StatusOK, withCached(v.(map[string]any), true))
+		return
+	}
+	payload := map[string]any{
+		"app":     q.Get("app"),
+		"domain":  q.Get("domain"),
+		"k":       k,
+		"order":   order,
+		"version": snap.Version,
+		"top":     topK(p.Outcome.Values, k, order == "asc"),
+	}
+	s.cache.Put(key, snap.Version, payload)
+	writeJSON(w, http.StatusOK, withCached(payload, false))
+}
+
+// topK ranks finite values (the +Inf unreached sentinel is skipped; integer
+// domains' MaxUint32 sentinel is a value like any other and sorts to the
+// far end of its order). Ties break on the lower vertex id so rankings are
+// deterministic.
+func topK(values []float64, k int, asc bool) []topKEntry {
+	idx := make([]uint32, 0, len(values))
+	for v, x := range values {
+		if !math.IsInf(x, 0) && !math.IsNaN(x) {
+			idx = append(idx, uint32(v))
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := values[idx[i]], values[idx[j]]
+		if a != b {
+			if asc {
+				return a < b
+			}
+			return a > b
+		}
+		return idx[i] < idx[j]
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	out := make([]topKEntry, len(idx))
+	for i, v := range idx {
+		out[i] = topKEntry{Vertex: v, Value: values[v]}
+	}
+	return out
+}
+
+// withCached annotates a (possibly shared, cached) payload without mutating
+// it: cached payloads are published values, so the flag goes on a copy.
+func withCached(payload map[string]any, hit bool) map[string]any {
+	out := make(map[string]any, len(payload)+1)
+	for k, v := range payload {
+		out[k] = v
+	}
+	out["cached"] = hit
+	return out
+}
+
+func handleRoute(s *Service, w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	q := r.URL.Query()
+	p, id, ok := program(snap, w, q)
+	if !ok {
+		return
+	}
+	if p.Outcome.Parents == nil {
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("program %s carries no parent tree; register a dist32 program for routes", id))
+		return
+	}
+	from, err1 := strconv.ParseUint(q.Get("from"), 10, 32)
+	to, err2 := strconv.ParseUint(q.Get("to"), 10, 32)
+	n := uint64(len(p.Outcome.Values))
+	if err1 != nil || err2 != nil || from >= n || to >= n {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("from and to must be vertices in [0, %d)", n))
+		return
+	}
+
+	key := fmt.Sprintf("route:%s:%d:%d", id, from, to)
+	if v, ok := s.cache.Get(key, snap.Version); ok {
+		writeJSON(w, http.StatusOK, withCached(v.(map[string]any), true))
+		return
+	}
+	path, ok := walkParents(p.Outcome.Parents, uint32(from), uint32(to))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no route from %d to %d in %s's shortest-path tree", from, to, id))
+		return
+	}
+	payload := map[string]any{
+		"app":      q.Get("app"),
+		"domain":   q.Get("domain"),
+		"from":     from,
+		"to":       to,
+		"version":  snap.Version,
+		"hops":     len(path) - 1,
+		"path":     path,
+		"distance": p.Outcome.Values[to] - p.Outcome.Values[from],
+	}
+	s.cache.Put(key, snap.Version, payload)
+	writeJSON(w, http.StatusOK, withCached(payload, false))
+}
+
+// walkParents climbs the predecessor tree from `to` until it meets `from`
+// (or the tree root), returning the from→to path in travel order. ok is
+// false when `to` is unreached or `from` does not lie on to's root path.
+// The step bound makes a (theoretically impossible, but wire-adjacent)
+// parent cycle terminate as "no route" instead of hanging the handler.
+func walkParents(parents []uint32, from, to uint32) ([]uint32, bool) {
+	path := []uint32{to}
+	v := to
+	for steps := 0; v != from; steps++ {
+		p := parents[v]
+		if p == core.NoParent || steps >= len(parents) {
+			return nil, false
+		}
+		path = append(path, p)
+		v = p
+	}
+	// Reverse into travel order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, true
 }
 
 func handleMutate(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -165,8 +382,10 @@ func handleRegister(s *Service, w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statsOf flattens one snapshot for /stats.
-func statsOf(snap *Snapshot) map[string]any {
+// statsOf flattens the current snapshot plus the service-level counters
+// (cache, admission, session pool) for /stats.
+func statsOf(s *Service) map[string]any {
+	snap := s.Snapshot()
 	programs := make([]map[string]any, 0, len(snap.Programs))
 	ids := make([]string, 0, len(snap.Programs))
 	for id := range snap.Programs {
@@ -180,8 +399,12 @@ func statsOf(snap *Snapshot) map[string]any {
 			"sym":        p.NeedsSym,
 			"iterations": p.Outcome.Iterations,
 			"warm":       p.Warm,
+			"routes":     p.Outcome.Parents != nil,
 		})
 	}
+	cs := s.cache.Stats()
+	as := s.adm.Stats()
+	ps := s.PoolStats()
 	out := map[string]any{
 		"version":  snap.Version,
 		"vertices": snap.Graph.NumVertices(),
@@ -193,6 +416,25 @@ func statsOf(snap *Snapshot) map[string]any {
 			"edges_removed": snap.Stats.EdgesRemoved,
 			"incremental":   snap.Stats.Incremental,
 			"full_rebuilds": snap.Stats.FullRebuilds,
+		},
+		"cache": map[string]any{
+			"capacity":      cs.Capacity,
+			"entries":       cs.Entries,
+			"hits":          cs.Hits,
+			"misses":        cs.Misses,
+			"evictions":     cs.Evictions,
+			"invalidations": cs.Invalidations,
+		},
+		"admission": map[string]any{
+			"mutation_queue":      as.MutationQueue,
+			"read_inflight":       as.ReadInflight,
+			"throttled_mutations": as.ThrottledMutations,
+			"throttled_reads":     as.ThrottledReads,
+		},
+		"sessions": map[string]any{
+			"size":             ps.Size,
+			"rebuilds":         ps.Rebuilds,
+			"rebuild_failures": ps.RebuildFailures,
 		},
 	}
 	if snap.Sym != nil {

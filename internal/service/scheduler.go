@@ -1,0 +1,66 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"slfe/internal/graph"
+)
+
+// reexecuteAll is the mutation batch's job scheduler: every registered
+// program moves to the mutated graph concurrently, one pooled session per
+// in-flight program, with the pool's size as the concurrency bound
+// (Acquire blocks once every session is running a program).
+//
+// Concurrency is free of cross-program state: each program owns its runner,
+// resume values and guidance clone; the mutated graphs are immutable; and a
+// session executes exactly one program at a time. Results are therefore
+// bit-identical to the serial pre-pool path — regression-proved by
+// TestConcurrentMatchesSerial — and the batch's wall-clock cost drops from
+// the sum of the programs' runtimes toward the maximum.
+//
+// Errors abort the batch: the caller publishes no snapshot unless every
+// program re-ran. The first error in program-id order is returned so
+// failure messages are deterministic.
+func (s *Service) reexecuteAll(cur *Snapshot, g2, sym2 *graph.Graph, symAdds, adds []graph.Edge, full bool) (map[string]*Program, error) {
+	out := make(map[string]*Program, len(cur.Programs))
+	errs := make(map[string]error, len(cur.Programs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id, p := range cur.Programs {
+		wg.Add(1)
+		go func(id string, p *Program) {
+			defer wg.Done()
+			np, err := s.reexecuteOne(p, g2, sym2, symAdds, adds, full)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			out[id] = np
+		}(id, p)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		ids := make([]string, 0, len(errs))
+		for id := range errs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("%s: %w", ids[0], errs[ids[0]])
+	}
+	return out, nil
+}
+
+// reexecuteOne runs one program's re-execution on a session acquired for
+// exactly its duration; Release heals the session if the run poisoned it.
+func (s *Service) reexecuteOne(p *Program, g2, sym2 *graph.Graph, symAdds, adds []graph.Edge, full bool) (*Program, error) {
+	sess, err := s.pool.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.Release(sess)
+	return s.reexecute(sess, p, g2, sym2, symAdds, adds, full)
+}

@@ -31,6 +31,37 @@ type Config struct {
 	Codec compress.Codec
 	// Sync selects the delta-sync strategy.
 	Sync core.SyncStrategy
+	// Sessions bounds how many programs execute concurrently: the resident
+	// session pool's size (default 1, the pre-pool serial behaviour).
+	Sessions int
+	// CacheCapacity bounds the version-keyed read cache (entries; default
+	// 1024, <0 disables caching).
+	CacheCapacity int
+	// MutationQueue bounds how many mutation/registration requests may wait
+	// for the writer before the HTTP layer answers 429 (default 4).
+	MutationQueue int
+	// ReadInflight bounds concurrent read requests per endpoint before the
+	// HTTP layer answers 429 (default 256).
+	ReadInflight int
+}
+
+// defaults resolves the zero-value knobs.
+func (c *Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 1
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 1024
+	}
+	if c.MutationQueue <= 0 {
+		c.MutationQueue = 4
+	}
+	if c.ReadInflight <= 0 {
+		c.ReadInflight = 256
+	}
 }
 
 // Program is one registered (application, domain) pairing resident in a
@@ -90,15 +121,19 @@ type Snapshot struct {
 	Stats Stats
 }
 
-// Service is the resident graph engine: one long-lived cluster session, an
-// atomically swapped snapshot chain, and a writer lock serialising
-// mutations and registrations.
+// Service is the resident graph engine: a pool of long-lived cluster
+// sessions executing registered programs concurrently, an atomically
+// swapped snapshot chain, a writer lock serialising mutations and
+// registrations, and a version-keyed read cache. Liveness (Healthy) and
+// reads (Snapshot, the cache) never touch the writer lock.
 type Service struct {
-	mu      sync.Mutex
-	cfg     Config
-	session *cluster.Session
-	snap    atomic.Pointer[Snapshot]
-	closed  bool
+	mu     sync.Mutex // writer lock: Apply/Register snapshot succession
+	cfg    Config
+	pool   *cluster.SessionPool
+	snap   atomic.Pointer[Snapshot]
+	closed atomic.Bool
+	cache  *Cache
+	adm    *Admission
 }
 
 // New builds a service hosting g.
@@ -106,14 +141,17 @@ func New(g *graph.Graph, cfg Config) (*Service, error) {
 	if g == nil {
 		return nil, errors.New("service: nil graph")
 	}
-	if cfg.Nodes <= 0 {
-		cfg.Nodes = 1
-	}
-	sess, err := cluster.NewSession(cfg.Nodes, cfg.Threads, cfg.Stealing)
+	cfg.defaults()
+	pool, err := cluster.NewSessionPool(cfg.Sessions, cfg.Nodes, cfg.Threads, cfg.Stealing)
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{cfg: cfg, session: sess}
+	s := &Service{
+		cfg:   cfg,
+		pool:  pool,
+		cache: NewCache(cfg.CacheCapacity),
+		adm:   NewAdmission(cfg.MutationQueue, cfg.ReadInflight),
+	}
 	s.snap.Store(&Snapshot{Version: 1, Graph: g, Programs: map[string]*Program{}})
 	return s, nil
 }
@@ -122,22 +160,28 @@ func New(g *graph.Graph, cfg Config) (*Service, error) {
 // long as they like; it never mutates.
 func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
 
-// Healthy reports whether the resident session can execute runs.
+// Healthy reports whether the resident pool can execute runs. Served from
+// atomics: liveness never waits on the writer lock, so an orchestrator's
+// probe cannot time out behind a multi-second mutation batch.
 func (s *Service) Healthy() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return !s.closed && s.session.Healthy()
+	return !s.closed.Load() && s.pool.Healthy()
 }
 
-// Close shuts the resident session down. Idempotent.
+// Cache returns the version-keyed read cache (never nil).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Admission returns the admission controller (never nil).
+func (s *Service) Admission() *Admission { return s.adm }
+
+// PoolStats snapshots the session pool's lifecycle counters.
+func (s *Service) PoolStats() cluster.PoolStats { return s.pool.Stats() }
+
+// Close shuts the session pool down, waiting for in-flight runs. Idempotent.
 func (s *Service) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.closed = true
-	return s.session.Close()
+	return s.pool.Close()
 }
 
 // runOptions is the per-run option base derived from the fixed config.
@@ -163,18 +207,6 @@ func (s *Service) generate(g *graph.Graph, roots []graph.VertexID) *rrg.Guidance
 	return rrg.Generate(g, roots, sched)
 }
 
-// recoverSession replaces a poisoned session so one failed run does not
-// take the daemon down with it.
-func (s *Service) recoverSession() {
-	if s.session.Healthy() {
-		return
-	}
-	s.session.Close()
-	if sess, err := cluster.NewSession(s.cfg.Nodes, s.cfg.Threads, s.cfg.Stealing); err == nil {
-		s.session = sess
-	}
-}
-
 // ProgramID names a (key, domain) pairing in a snapshot's program map.
 func ProgramID(key, domain string) string { return key + ":" + domain }
 
@@ -185,13 +217,19 @@ func ProgramID(key, domain string) string { return key + ":" + domain }
 func (s *Service) Register(key, domain string, root graph.VertexID, iters int) (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, errors.New("service: closed")
 	}
 	cur := s.snap.Load()
 	id := ProgramID(key, domain)
 	if _, ok := cur.Programs[id]; ok {
 		return nil, fmt.Errorf("service: %s is already registered", id)
+	}
+	// Validate the root unconditionally, before any runner is built: root 0
+	// is a real root like any other (it is out of range on an empty graph),
+	// and a runner must never be constructed over an invalid one.
+	if int(root) >= cur.Graph.NumVertices() {
+		return nil, fmt.Errorf("service: root %d outside [0, %d)", root, cur.Graph.NumVertices())
 	}
 	entry, ok := apps.LookupRunnable(key, domain)
 	if !ok {
@@ -200,9 +238,6 @@ func (s *Service) Register(key, domain string, root graph.VertexID, iters int) (
 	inc, ok := entry.Build(root, iters).(apps.Incremental)
 	if !ok {
 		return nil, fmt.Errorf("service: %s does not support incremental re-execution", id)
-	}
-	if root != 0 && int(root) >= cur.Graph.NumVertices() {
-		return nil, fmt.Errorf("service: root %d outside [0, %d)", root, cur.Graph.NumVertices())
 	}
 
 	sym := cur.Sym
@@ -218,9 +253,13 @@ func (s *Service) Register(key, domain string, root graph.VertexID, iters int) (
 	opt := s.runOptions()
 	opt.Guidance = gd
 	opt.GuidanceRoots = roots
-	out, resume, err := inc.ExecuteIn(s.session, execG, opt)
+	sess, err := s.pool.Acquire()
 	if err != nil {
-		s.recoverSession()
+		return nil, fmt.Errorf("service: registration run for %s: %w", id, err)
+	}
+	out, resume, err := inc.ExecuteIn(sess, execG, opt)
+	s.pool.Release(sess) // heals the session if the run poisoned it
+	if err != nil {
 		return nil, fmt.Errorf("service: registration run for %s failed: %w", id, err)
 	}
 
@@ -231,6 +270,7 @@ func (s *Service) Register(key, domain string, root graph.VertexID, iters int) (
 		Outcome: out, runner: inc, roots: roots, guidance: gd, resume: resume,
 	}
 	s.snap.Store(next)
+	s.cache.InvalidateBelow(next.Version)
 	return next, nil
 }
 
@@ -253,16 +293,17 @@ func (s *Service) successor(cur *Snapshot) *Snapshot {
 // Apply executes one mutation batch: the graph (and symmetrised twin) move
 // to the next version, guidance is updated incrementally, and every
 // registered program re-executes — warm for min/max insertions, cold
-// otherwise. The snapshot swaps only after every program re-ran, so readers
-// never observe a version whose results lag its graph. Deletions take the
-// fallback path: full guidance regeneration and cold re-runs.
+// otherwise. Programs re-execute concurrently over the session pool (see
+// reexecuteAll); the snapshot swaps only after every program re-ran, so
+// readers never observe a version whose results lag its graph. Deletions
+// take the fallback path: full guidance regeneration and cold re-runs.
 func (s *Service) Apply(b *Batch) (*Snapshot, error) {
 	if b == nil || (b.AddVertices == 0 && len(b.Adds) == 0 && len(b.Deletes) == 0) {
 		return nil, errors.New("service: empty mutation batch")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, errors.New("service: closed")
 	}
 	cur := s.snap.Load()
@@ -316,21 +357,21 @@ func (s *Service) Apply(b *Batch) (*Snapshot, error) {
 		next.Stats.Incremental++
 	}
 
-	for id, p := range cur.Programs {
-		np, err := s.reexecute(p, g2, sym2, symAdds, b.Adds, full)
-		if err != nil {
-			s.recoverSession()
-			return nil, fmt.Errorf("service: re-execution of %s at version %d failed: %w", id, next.Version, err)
-		}
+	reexecuted, err := s.reexecuteAll(cur, g2, sym2, symAdds, b.Adds, full)
+	if err != nil {
+		return nil, fmt.Errorf("service: re-execution at version %d failed: %w", next.Version, err)
+	}
+	for id, np := range reexecuted {
 		next.Programs[id] = np
 	}
 
 	s.snap.Store(next)
+	s.cache.InvalidateBelow(next.Version)
 	return next, nil
 }
 
-// reexecute moves one program to the mutated graph.
-func (s *Service) reexecute(p *Program, g2, sym2 *graph.Graph, symAdds, adds []graph.Edge, full bool) (*Program, error) {
+// reexecute moves one program to the mutated graph on the given session.
+func (s *Service) reexecute(sess *cluster.Session, p *Program, g2, sym2 *graph.Graph, symAdds, adds []graph.Edge, full bool) (*Program, error) {
 	execG, execAdds := g2, adds
 	if p.NeedsSym {
 		execG, execAdds = sym2, symAdds
@@ -347,7 +388,7 @@ func (s *Service) reexecute(p *Program, g2, sym2 *graph.Graph, symAdds, adds []g
 		// so regenerate and re-run cold.
 		np.guidance = s.generate(execG, p.roots)
 		opt.Guidance = np.guidance
-		out, resume, err := p.runner.ExecuteIn(s.session, execG, opt)
+		out, resume, err := p.runner.ExecuteIn(sess, execG, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -363,7 +404,7 @@ func (s *Service) reexecute(p *Program, g2, sym2 *graph.Graph, symAdds, adds []g
 		}
 		opt.Guidance = np.guidance
 	}
-	out, resume, err := p.resume.ExecuteWarm(s.session, execG, execAdds, opt)
+	out, resume, err := p.resume.ExecuteWarm(sess, execG, execAdds, opt)
 	if err != nil {
 		return nil, err
 	}
