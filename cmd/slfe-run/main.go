@@ -60,6 +60,11 @@ func main() {
 	rebalance := flag.Bool("rebalance", false, "enable dynamic inter-node rebalancing (slfe)")
 	root := flag.Uint("root", 0, "root vertex for sssp/bfs/wp/numpaths")
 	iters := flag.Int("iters", 30, "iterations for arithmetic apps")
+	ft := flag.Bool("ft", false, "enable rank-failure tolerance: heartbeat detection, buddy-replicated checkpoints, automatic recovery (slfe)")
+	ftDir := flag.String("ft-dir", "", "base directory for per-rank checkpoint shards (default: a temporary directory)")
+	ftEvery := flag.Int("ft-every", 8, "checkpoint interval in supersteps under -ft")
+	ftInterval := flag.Duration("ft-interval", 0, "heartbeat probe period under -ft (0 = 25ms)")
+	ftDead := flag.Duration("ft-dead", 0, "silence after which a rank is declared dead under -ft (0 = 10x the probe period)")
 	verbose := flag.Bool("v", false, "print per-iteration statistics")
 	flag.Usage = usage
 	flag.Parse()
@@ -100,6 +105,23 @@ func main() {
 	}
 	opt := cluster.Options{Nodes: *nodes, Threads: *threads, Stealing: *stealing, RR: *rr,
 		Codec: codec, Sync: sync, SparseDivisor: *sparseDiv, SerialSync: *serialSync, Rebalance: *rebalance}
+	if *ft {
+		dir := *ftDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "slfe-ft-*")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		opt.FT = &cluster.FTOptions{
+			HeartbeatInterval: *ftInterval,
+			DeadAfter:         *ftDead,
+			CkptDir:           dir,
+			CkptEvery:         *ftEvery,
+		}
+	}
 	appKey := strings.ToLower(*app)
 	if runAnalytics(appKey, g, graph.VertexID(*root), opt) {
 		return
@@ -130,6 +152,14 @@ func main() {
 		run = metrics.Merge(out.PerWorker)
 		fmt.Printf("system: SLFE (rr=%v domain=%s width=%dB) nodes=%d elapsed=%v preprocess=%v comm=%d msgs / %d bytes\n",
 			*rr, *domain, width, *nodes, out.Elapsed, out.Preprocess, out.Comm.MessagesSent, out.Comm.BytesSent)
+		if rep := out.Recovery; rep != nil {
+			if len(rep.Deaths) == 0 {
+				fmt.Printf("fault-tolerance: epochs=%d no failures detected\n", rep.Epochs)
+			} else {
+				fmt.Printf("fault-tolerance: epochs=%d deaths=%v resume-iter=%d replayed=%d recover=%v replica=%v\n",
+					rep.Epochs, rep.Deaths, rep.ResumeIter, rep.ReplayedSupersteps, rep.RecoverTime, rep.RestoredFromReplica)
+			}
+		}
 		fmt.Printf("delta-sync: strategy=%v supersteps dense=%d sparse=%d overlapped=%d flush=%dB codec-picks=%s\n",
 			sync, run.DenseSyncs, run.SparseSyncs, run.OverlappedSyncs, run.FlushBytes, formatPicks(run.CodecPicks))
 		var streamed, syncB int64

@@ -70,6 +70,9 @@ type Outcome struct {
 	Elapsed    time.Duration
 	Preprocess time.Duration
 	Comm       comm.Stats
+	// Recovery describes failure detection and recovery when the run used
+	// cluster.Options.FT (nil otherwise).
+	Recovery *cluster.RecoveryReport
 }
 
 // Runnable is a domain-erased executable program: the typed Program[V] and
@@ -103,6 +106,7 @@ func (r progRunner[V]) Execute(g *graph.Graph, opt cluster.Options) (*Outcome, e
 		Elapsed:    res.Elapsed,
 		Preprocess: res.PreprocessTime,
 		Comm:       res.Comm,
+		Recovery:   res.Recovery,
 	}, nil
 }
 

@@ -62,6 +62,7 @@ func outcomeFrom[V comparable](res *cluster.RunResult[V]) *Outcome {
 		Elapsed:    res.Elapsed,
 		Preprocess: res.PreprocessTime,
 		Comm:       res.Comm,
+		Recovery:   res.Recovery,
 	}
 }
 

@@ -76,6 +76,47 @@ func (r *Ranges) String() string {
 	return fmt.Sprintf("ranges%v", r.bounds)
 }
 
+// Shrink removes the given dead workers from r, folding each dead worker's
+// range into its nearest surviving predecessor; leading dead workers'
+// ranges fold into the first survivor. Survivor order is preserved: the
+// i-th returned range belongs to the i-th surviving worker of r. The
+// recovery layer uses this to rebalance a dead rank's vertices onto the
+// remaining membership without moving any survivor's existing range start.
+// At least one worker must survive.
+func Shrink(r *Ranges, dead []int) (*Ranges, error) {
+	k := r.Workers()
+	isDead := make([]bool, k)
+	for _, d := range dead {
+		if d < 0 || d >= k {
+			return nil, fmt.Errorf("balance: dead worker %d outside [0,%d)", d, k)
+		}
+		isDead[d] = true
+	}
+	survivors := 0
+	for i := 0; i < k; i++ {
+		if !isDead[i] {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return nil, errors.New("balance: no surviving workers")
+	}
+	nb := make([]uint32, 0, survivors+1)
+	nb = append(nb, 0)
+	first := true
+	for i := 0; i < k; i++ {
+		if isDead[i] {
+			continue
+		}
+		if !first {
+			nb = append(nb, r.bounds[i])
+		}
+		first = false
+	}
+	nb = append(nb, r.bounds[k])
+	return NewRanges(nb)
+}
+
 // Spread is the imbalance statistic the paper reports in Figure 10b: the
 // relative gap between the slowest and fastest worker,
 // (max-min)/max. Zero times yield zero spread.

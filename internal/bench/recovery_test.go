@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"slfe/internal/cluster"
+	"slfe/internal/comm"
+)
+
+// TestRecoveryWithinBound is the CI regression guard for the recovery path:
+// detection must land within a small multiple of the configured DeadAfter
+// and the recovery turnaround (shard scan, merge, membership shrink) must
+// stay well under a second at test scale. The bounds are deliberately
+// generous — they trip on structural regressions (detection waiting on a
+// stuck collective, recovery rescanning per shard), never on CI jitter.
+func TestRecoveryWithinBound(t *testing.T) {
+	c := Config{Scale: 4000, Nodes: 3, Threads: 1, PRIters: 8}
+	c.defaults()
+	g, err := c.Graph("PK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Program("SSSP", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cluster.Options{Nodes: 3, Threads: 1}
+	base, err := cluster.Execute(g, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := comm.NewFaults()
+	f.KillAfterSends(2, base.Comm.MessagesSent/2)
+	const deadAfter = 400 * time.Millisecond
+	fopt := opt
+	fopt.FT = &cluster.FTOptions{
+		HeartbeatInterval: 5 * time.Millisecond,
+		SuspectAfter:      150 * time.Millisecond,
+		DeadAfter:         deadAfter,
+		CkptDir:           t.TempDir(),
+		CkptEvery:         2,
+		Faults:            f,
+	}
+	fp, err := c.Program("SSSP", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.Execute(g, fp, fopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := got.Recovery
+	if rep == nil || rep.Epochs != 2 {
+		t.Fatalf("recovery report = %+v, want one recovery epoch", rep)
+	}
+	// Detection = silence threshold + at most a few probe/monitor periods.
+	if maxDetect := 4 * deadAfter; rep.DetectTime <= 0 || rep.DetectTime > maxDetect {
+		t.Errorf("time-to-detect = %v, want (0, %v]", rep.DetectTime, maxDetect)
+	}
+	if maxRecover := 2 * time.Second; rep.RecoverTime <= 0 || rep.RecoverTime > maxRecover {
+		t.Errorf("time-to-recover = %v, want (0, %v]", rep.RecoverTime, maxRecover)
+	}
+	for i := range base.Result.Values {
+		if got.Result.Values[i] != base.Result.Values[i] {
+			t.Fatalf("vertex %d: recovered %v != undisturbed %v", i, got.Result.Values[i], base.Result.Values[i])
+		}
+	}
+}
+
+// TestRecoveryExperimentRuns smoke-tests the full experiment table at tiny
+// scale, including its internal bit-identity verification.
+func TestRecoveryExperimentRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Recovery(Config{Scale: 4000, Nodes: 3, Threads: 1, PRIters: 6, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Recovery:", "SSSP", "PR", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 package ckpt
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -51,6 +52,15 @@ type State struct {
 	// Width is the domain's wire word width in bytes (4 or 8). Values are
 	// stored at this width.
 	Width uint8
+	// Rank is the writing worker's rank within its epoch (format v3). The
+	// replication/recovery path uses it to identify a shard independent of
+	// the file name it travelled under.
+	Rank uint32
+	// Bounds are the partition boundaries of the epoch that wrote the shard
+	// (nodes+1 entries; format v3). Recovery groups shards by identical
+	// bounds and folds dead ranks' ranges using them. Nil on shards read
+	// from the v2 format.
+	Bounds []uint32
 	// Values is the (globally synchronised) property array as the
 	// domain's wire words.
 	Values []uint64
@@ -66,8 +76,11 @@ type State struct {
 const magic = "SLCK"
 
 // version is the current shard format: 2 introduced domain-tagged,
-// width-aware value arrays.
-const version = 2
+// width-aware value arrays; 3 added the writing rank and the epoch's
+// partition bounds, which the replication/recovery path needs to merge
+// shards from a dead epoch. Version-2 shards still load (rank 0, nil
+// bounds).
+const version = 3
 
 // width normalises the shard's word width (0 from a zero-value State means
 // the legacy 8 bytes).
@@ -89,6 +102,11 @@ func (s *State) WriteTo(w io.Writer) (int64, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, s.Iter)
 	buf = appendString(buf, s.Domain)
 	buf = append(buf, byte(width))
+	buf = binary.LittleEndian.AppendUint32(buf, s.Rank)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.Bounds)))
+	for _, b := range s.Bounds {
+		buf = binary.LittleEndian.AppendUint32(buf, b)
+	}
 	buf = appendWords(buf, s.Values, width)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.StableCnt)))
 	for _, c := range s.StableCnt {
@@ -152,8 +170,10 @@ func ReadState(r io.Reader) (*State, error) {
 	if string(d.bytes(4)) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
+	var ver uint16
 	switch v := d.u16(); v {
-	case version:
+	case version, 2:
+		ver = v
 	case 1:
 		return nil, ErrUntagged
 	default:
@@ -169,6 +189,10 @@ func ReadState(r io.Reader) (*State, error) {
 		return nil, fmt.Errorf("%w: value width %d", ErrCorrupt, s.Width)
 	}
 	width := int(s.Width)
+	if ver >= 3 {
+		s.Rank = d.u32()
+		s.Bounds = d.u32s()
+	}
 	s.Values = d.words(width)
 	s.StableCnt = d.u32s()
 	s.StableVal = d.words(width)
@@ -273,6 +297,11 @@ type Manager struct {
 	Every int
 	// Resume makes the engine restart from the latest complete checkpoint.
 	Resume bool
+	// Replicate makes the engine stream every saved shard to its ring buddy
+	// ((rank+1) mod size), who stores it via SaveReplica. Recovery can then
+	// fetch a dead rank's shard from the buddy's directory instead of
+	// requiring a shared filesystem.
+	Replicate bool
 }
 
 // Interval returns the effective checkpoint interval.
@@ -293,8 +322,38 @@ func (m *Manager) shardPath(iter uint32, rank int) string {
 	return filepath.Join(m.Dir, fmt.Sprintf("ckpt-%08d-rank%03d.slck", iter, rank))
 }
 
-// Save writes rank's shard atomically (temp file + rename).
+// Save writes rank's shard atomically and durably: temp file, fsync,
+// rename, directory fsync. Without the syncs a crash shortly after Save
+// could surface the renamed file empty or torn (the rename can reach disk
+// before the data), which recovery would then mistake for corruption of an
+// otherwise complete checkpoint.
 func (m *Manager) Save(rank int, s *State) error {
+	return m.writeAtomic(m.shardPath(s.Iter, rank), func(w io.Writer) error {
+		_, err := s.WriteTo(w)
+		return err
+	})
+}
+
+// syncFile and syncDir are indirection points so tests can inject write
+// errors on the durability path.
+var (
+	syncFile = func(f *os.File) error { return f.Sync() }
+	syncDir  = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		err = d.Sync()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+)
+
+// writeAtomic writes path via temp file + fsync + rename + directory fsync.
+// On error no file appears at path (a stale previous version may remain).
+func (m *Manager) writeAtomic(path string, write func(io.Writer) error) error {
 	if err := os.MkdirAll(m.Dir, 0o755); err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
@@ -303,17 +362,83 @@ func (m *Manager) Save(rank int, s *State) error {
 		return fmt.Errorf("ckpt: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := s.WriteTo(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := syncFile(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), m.shardPath(s.Iter, rank)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
+	if err := syncDir(m.Dir); err != nil {
+		return fmt.Errorf("ckpt: sync dir: %w", err)
+	}
 	return nil
+}
+
+// SaveReplica stores a buddy rank's serialised shard, validating it
+// (checksum and structure) before trusting anything it claims about
+// itself. The replica keeps its own rank/iter identity under a distinct
+// file-name prefix so LatestComplete never counts it as a local shard.
+func (m *Manager) SaveReplica(data []byte) error {
+	s, err := ReadState(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("ckpt: replica rejected: %w", err)
+	}
+	return m.writeAtomic(m.replicaPath(s.Iter, int(s.Rank)), func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+func (m *Manager) replicaPath(iter uint32, rank int) string {
+	return filepath.Join(m.Dir, fmt.Sprintf("replica-%08d-rank%03d.slck", iter, rank))
+}
+
+// Stored is one parsed shard file from a manager's directory.
+type Stored struct {
+	State *State
+	// Replica marks shards received from a ring buddy rather than written
+	// by this manager's own rank.
+	Replica bool
+}
+
+// States parses every shard and replica in the directory, silently
+// skipping unreadable or corrupt files: recovery wants whatever is still
+// valid, not an error about what isn't.
+func (m *Manager) States() ([]Stored, error) {
+	entries, err := os.ReadDir(m.Dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	var out []Stored
+	for _, e := range entries {
+		name := e.Name()
+		replica := strings.HasPrefix(name, "replica-")
+		if !strings.HasSuffix(name, ".slck") || (!replica && !strings.HasPrefix(name, "ckpt-")) {
+			continue
+		}
+		f, err := os.Open(filepath.Join(m.Dir, name))
+		if err != nil {
+			continue
+		}
+		s, err := ReadState(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		out = append(out, Stored{State: s, Replica: replica})
+	}
+	return out, nil
 }
 
 // LatestComplete returns the highest iteration for which all size ranks

@@ -68,6 +68,20 @@ type Options struct {
 	RebalanceDamping float64
 	// Ckpt enables superstep checkpointing; see core.Config.Ckpt.
 	Ckpt *ckpt.Manager
+	// FT enables rank-failure tolerance: heartbeat failure detection,
+	// buddy-replicated checkpoints and automatic recovery onto the
+	// surviving ranks. Execute routes to the recovery driver when set (see
+	// ExecuteFT); sessions and caller-provided transports cannot host it.
+	// Incompatible with Ckpt (the driver owns one private checkpoint
+	// manager per rank) and with Rebalance.
+	FT *FTOptions
+
+	// Recovery-epoch plumbing, set only by the FT driver when it re-enters
+	// run for each membership epoch.
+	perRankCkpt []*ckpt.Manager // private checkpoint manager per rank
+	restore     *ckpt.State     // pre-merged restore state for every rank
+	bounds      []uint32        // explicit partition boundaries
+	progress    func(iter int)  // per-superstep progress hook
 }
 
 // RunResult is the outcome of a cluster execution over property type V.
@@ -85,11 +99,17 @@ type RunResult[V comparable] struct {
 	Comm comm.Stats
 	// Elapsed is the wall-clock execution time (excluding preprocessing).
 	Elapsed time.Duration
+	// Recovery describes failure detection and recovery when the run used
+	// Options.FT (nil otherwise).
+	Recovery *RecoveryReport
 }
 
 // Execute partitions g, optionally generates RR guidance, and runs the
 // program on an in-process cluster.
 func Execute[V comparable](g *graph.Graph, p *core.Program[V], opt Options) (*RunResult[V], error) {
+	if opt.FT != nil {
+		return ExecuteFT(g, p, opt)
+	}
 	if opt.Nodes <= 0 {
 		opt.Nodes = 1
 	}
@@ -125,7 +145,18 @@ func run[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transpor
 	if opt.Nodes == 0 {
 		return nil, fmt.Errorf("cluster: no transports")
 	}
-	part, err := partition.NewChunked(g, opt.Nodes)
+	if opt.FT != nil {
+		return nil, fmt.Errorf("cluster: FT recovery runs only through Execute (the driver owns the transport group); sessions and caller-provided transports cannot host it")
+	}
+	var part *partition.Chunked
+	var err error
+	if opt.bounds != nil {
+		// A recovery epoch installs the shrunk ownership map derived from
+		// the dead epoch's checkpoint bounds instead of re-chunking.
+		part, err = partition.FromBounds(opt.bounds)
+	} else {
+		part, err = partition.NewChunked(g, opt.Nodes)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +212,10 @@ func run[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transpor
 			if scheds != nil {
 				sched = scheds[rank]
 			}
+			ck := opt.Ckpt
+			if opt.perRankCkpt != nil {
+				ck = opt.perRankCkpt[rank]
+			}
 			eng, err := core.New[V](core.Config{
 				Graph:            g,
 				Comm:             cm,
@@ -201,7 +236,9 @@ func run[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transpor
 				Rebalance:        opt.Rebalance,
 				RebalanceEvery:   opt.RebalanceEvery,
 				RebalanceDamping: opt.RebalanceDamping,
-				Ckpt:             opt.Ckpt,
+				Ckpt:             ck,
+				Restore:          opt.restore,
+				Progress:         opt.progress,
 			})
 			if err != nil {
 				errs[rank] = err

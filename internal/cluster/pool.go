@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"log"
 	"sync/atomic"
@@ -97,10 +98,21 @@ func (p *SessionPool) Stats() PoolStats {
 // slot — a prior release whose rebuild failed — is retried here, so one
 // failed rebuild degrades the pool only until a later attempt succeeds.
 func (p *SessionPool) Acquire() (*Session, error) {
+	return p.AcquireCtx(context.Background())
+}
+
+// AcquireCtx is Acquire with a deadline: it additionally gives up with the
+// context's error when ctx is cancelled first. This is what keeps one
+// wedged or long run from pinning every caller behind it forever — request
+// handlers pass their request context and fail fast instead of queueing
+// without bound.
+func (p *SessionPool) AcquireCtx(ctx context.Context) (*Session, error) {
 	if p.closed.Load() {
 		return nil, ErrPoolClosed
 	}
 	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-p.done:
 		return nil, ErrPoolClosed
 	case s := <-p.slots:

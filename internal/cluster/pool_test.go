@@ -1,6 +1,8 @@
 package cluster_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -50,6 +52,36 @@ func TestSessionPoolAcquireRelease(t *testing.T) {
 		t.Fatal("release did not unblock a waiting acquire")
 	}
 	p.Release(b)
+}
+
+func TestSessionPoolAcquireCtxCancelled(t *testing.T) {
+	p, err := cluster.NewSessionPool(1, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	s, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pool is exhausted: a context-bound acquire must give up with the
+	// context's error instead of queueing forever behind the held session.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.AcquireCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("acquire on exhausted pool with expired context: %v, want DeadlineExceeded", err)
+	}
+
+	// After a release the same pool serves context-bound acquires normally.
+	p.Release(s)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	ns, err := p.AcquireCtx(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(ns)
 }
 
 func TestSessionPoolHealsPoisonedSessions(t *testing.T) {

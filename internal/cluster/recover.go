@@ -1,0 +1,375 @@
+// Rank-failure recovery: heartbeat detection, buddy-replicated checkpoint
+// fetch, membership shrink, and deterministic re-execution. The driver runs
+// the program in membership epochs. Epoch 0 is the full group; when a death
+// is detected mid-run the survivors abort the in-flight superstep at a
+// collective boundary, agree post-mortem on who died, fold the dead ranks'
+// vertex ranges onto the survivors, merge the newest complete checkpoint —
+// fetching dead ranks' shards from their ring buddies' replicas, never from
+// the dead ranks' own storage — and resume as a smaller epoch.
+//
+// Recovered results are bit-identical to an undisturbed run because (a) the
+// merged checkpoint is the exact global state at the checkpointed superstep
+// (each vertex's words come from its owner, whose copy is authoritative
+// under every sync strategy), and (b) the engine's superstep trajectory is
+// invariant to partitioning and worker count: its reductions are max/
+// integer-sum (order-independent) and per-vertex gathers run in in-neighbor
+// order. Work after the restored checkpoint is simply re-executed, landing
+// on the same values.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"slfe/internal/balance"
+	"slfe/internal/ckpt"
+	"slfe/internal/comm"
+	"slfe/internal/core"
+	"slfe/internal/graph"
+)
+
+// FTOptions configures rank-failure tolerance (Options.FT).
+type FTOptions struct {
+	// HeartbeatInterval is the failure-detector probe period (default 25ms).
+	HeartbeatInterval time.Duration
+	// SuspectAfter / DeadAfter are the silence thresholds of the
+	// suspect -> dead FSM (defaults 4x / 10x the interval).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// CkptDir is the base checkpoint directory. Every rank writes only to
+	// its own private subdirectory rank-<original id> — the failure model
+	// assumes no shared storage, which is why shards are replicated to ring
+	// buddies. Required.
+	CkptDir string
+	// CkptEvery is the checkpoint interval in supersteps (default 8).
+	CkptEvery int
+	// MaxEpochs bounds how many membership epochs (initial run + recoveries)
+	// the driver attempts (default: the initial rank count).
+	MaxEpochs int
+	// Faults, when set, wraps the initial epoch's transports for fault
+	// injection (tests and the recovery benchmark). Recovery epochs run
+	// unwrapped: injected faults are one-shot.
+	Faults *comm.Faults
+	// OnDeath is invoked after each death verdict with the original ids of
+	// the ranks just declared dead, before any shard is read. A test/ops
+	// hook: the differential tests delete dead ranks' directories here to
+	// prove recovery never touches them.
+	OnDeath func(dead []int)
+}
+
+// RecoveryReport describes what the recovery driver observed and did.
+type RecoveryReport struct {
+	// Epochs is the number of membership epochs run (1 = no failure).
+	Epochs int
+	// Deaths lists the original rank ids declared dead, in verdict order.
+	Deaths []int
+	// DetectTime is the fault-trip -> group-abort latency of the last
+	// recovery. Only measurable with an injected fault (real failures have
+	// no observable start time); zero otherwise.
+	DetectTime time.Duration
+	// RecoverTime is the verdict -> new-epoch-start latency of the last
+	// recovery: shard scan, merge, membership shrink.
+	RecoverTime time.Duration
+	// ResumeIter is the superstep the last recovery resumed from (-1: cold
+	// restart, no usable checkpoint existed yet).
+	ResumeIter int
+	// ReplayedSupersteps counts supersteps the failed epoch had completed
+	// beyond the restore point — the work re-executed after recovery.
+	ReplayedSupersteps int
+	// RestoredFromReplica reports whether at least one merged shard came
+	// from a ring buddy's replica rather than the writing rank's own
+	// directory (true whenever a dead rank had checkpointed).
+	RestoredFromReplica bool
+}
+
+// ExecuteFT is Execute with rank-failure tolerance; Execute routes here
+// when Options.FT is set. The returned result carries a RecoveryReport.
+func ExecuteFT[V comparable](g *graph.Graph, p *core.Program[V], opt Options) (*RunResult[V], error) {
+	ft := opt.FT
+	if ft == nil {
+		return nil, errors.New("cluster: ExecuteFT requires Options.FT")
+	}
+	if ft.CkptDir == "" {
+		return nil, errors.New("cluster: Options.FT.CkptDir is required")
+	}
+	if opt.Ckpt != nil {
+		return nil, errors.New("cluster: FT mode owns its checkpoint managers; leave Options.Ckpt nil")
+	}
+	if opt.Rebalance {
+		return nil, errors.New("cluster: FT mode needs a static partition per epoch; disable Rebalance")
+	}
+	if opt.Nodes <= 0 {
+		opt.Nodes = 1
+	}
+	nodes := opt.Nodes
+	maxEpochs := ft.MaxEpochs
+	if maxEpochs <= 0 {
+		maxEpochs = nodes
+	}
+
+	// members holds the surviving original rank ids; epoch rank i is
+	// members[i]. Every original rank keeps one private checkpoint manager
+	// for the whole run, so a recovery epoch's shards land in the same
+	// per-rank directories later recoveries will scan.
+	members := make([]int, nodes)
+	managers := make([]*ckpt.Manager, nodes)
+	for i := range members {
+		members[i] = i
+		managers[i] = &ckpt.Manager{
+			Dir:       filepath.Join(ft.CkptDir, fmt.Sprintf("rank-%03d", i)),
+			Every:     ft.CkptEvery,
+			Replicate: true,
+		}
+	}
+
+	report := &RecoveryReport{ResumeIter: -1}
+	var restore *ckpt.State
+	var bounds []uint32
+	var lastErr error
+	for epoch := 0; epoch < maxEpochs; epoch++ {
+		report.Epochs = epoch + 1
+		k := len(members)
+		transports, err := comm.NewLocalGroup(k)
+		if err != nil {
+			return nil, err
+		}
+		if epoch == 0 && ft.Faults != nil {
+			transports = ft.Faults.Wrap(transports)
+		}
+
+		// One failure detector per rank. The first dead verdict anywhere
+		// aborts the whole group: a BSP superstep cannot proceed without
+		// the dead rank, so survivors stop cleanly at a collective boundary
+		// instead of waiting forever.
+		var detectAt atomic.Int64
+		hbs := make([]*comm.Heartbeater, k)
+		for i := range transports {
+			t := transports[i]
+			hbs[i] = comm.StartHeartbeat(t, comm.HeartbeatConfig{
+				Interval:     ft.HeartbeatInterval,
+				SuspectAfter: ft.SuspectAfter,
+				DeadAfter:    ft.DeadAfter,
+				OnDead: func(int) {
+					detectAt.CompareAndSwap(0, time.Now().UnixNano())
+					comm.Abort(t)
+				},
+			})
+		}
+
+		// Track the furthest completed superstep so a failure's rollback
+		// cost (supersteps to replay) can be reported.
+		var crashIter atomic.Int64
+		crashIter.Store(-1)
+		ropt := opt
+		ropt.FT = nil
+		ropt.Nodes = k
+		ropt.perRankCkpt = pickManagers(managers, members)
+		ropt.restore = restore
+		ropt.bounds = bounds
+		ropt.progress = func(iter int) {
+			for {
+				cur := crashIter.Load()
+				if int64(iter) <= cur || crashIter.CompareAndSwap(cur, int64(iter)) {
+					return
+				}
+			}
+		}
+
+		res, runErr := run(g, p, ropt, transports, nil, nil)
+		for _, h := range hbs {
+			h.Stop()
+		}
+		for _, t := range transports {
+			t.Close()
+		}
+		if runErr == nil {
+			res.Recovery = report
+			return res, nil
+		}
+		lastErr = runErr
+
+		deadRanks := deathVerdict(hbs)
+		if len(deadRanks) == 0 || len(deadRanks) >= k {
+			// No death to explain the failure (or nobody left): a genuine
+			// engine error, not something recovery can fix.
+			return nil, runErr
+		}
+		if ft.Faults != nil {
+			if trip, det := ft.Faults.TripTime(), detectAt.Load(); !trip.IsZero() && det != 0 {
+				report.DetectTime = time.Unix(0, det).Sub(trip)
+			}
+		}
+		recoverStart := time.Now()
+		deadOrig := make([]int, len(deadRanks))
+		for i, r := range deadRanks {
+			deadOrig[i] = members[r]
+		}
+		report.Deaths = append(report.Deaths, deadOrig...)
+		if ft.OnDeath != nil {
+			ft.OnDeath(deadOrig)
+		}
+
+		// Shrink the membership, preserving survivor order.
+		survivors := members[:0]
+		deadSet := make(map[int]bool, len(deadRanks))
+		for _, r := range deadRanks {
+			deadSet[r] = true
+		}
+		for i, id := range members {
+			if !deadSet[i] {
+				survivors = append(survivors, id)
+			}
+		}
+		members = survivors
+
+		// Fetch the newest complete checkpoint of the failed epoch from the
+		// survivors' directories (own shards + buddy replicas), merge it
+		// into one global restore state, and fold the dead ranks' ranges
+		// onto the survivors. With no complete checkpoint the new epoch
+		// cold-starts — still bit-identical, just replaying from iter 0.
+		restore, bounds = nil, nil
+		report.ResumeIter = -1
+		report.RestoredFromReplica = false
+		shards, fromReplica := bestCheckpoint(managers, members, p.Name, k)
+		if shards != nil {
+			if merged, err := ckpt.Merge(shards); err == nil {
+				if r, err := balance.NewRanges(shards[0].Bounds); err == nil {
+					if shrunk, err := balance.Shrink(r, deadRanks); err == nil {
+						restore = merged
+						bounds = shrunk.Bounds()
+						report.ResumeIter = int(merged.Iter)
+						report.RestoredFromReplica = fromReplica
+					}
+				}
+			}
+		}
+		if crashed := crashIter.Load(); restore != nil && crashed > int64(restore.Iter) {
+			report.ReplayedSupersteps = int(crashed) - report.ResumeIter
+		} else if restore == nil {
+			report.ReplayedSupersteps = int(crashed) + 1
+		} else {
+			report.ReplayedSupersteps = 0
+		}
+		report.RecoverTime = time.Since(recoverStart)
+	}
+	return nil, fmt.Errorf("cluster: recovery epoch limit (%d) exhausted: %w", maxEpochs, lastErr)
+}
+
+func pickManagers(managers []*ckpt.Manager, members []int) []*ckpt.Manager {
+	out := make([]*ckpt.Manager, len(members))
+	for i, id := range members {
+		out[i] = managers[id]
+	}
+	return out
+}
+
+// deathVerdict aggregates the per-rank failure detectors into one group
+// verdict: ranks are grouped by identical dead-sets and the largest class
+// wins (ties: the class containing the smallest rank). A clean death
+// yields one big accusing class; a network partition yields two classes
+// each accusing the other, and the majority side — or the low-rank side of
+// an even split — survives, mirroring quorum rules in consensus systems.
+func deathVerdict(hbs []*comm.Heartbeater) []int {
+	type class struct {
+		members []int
+		dead    []int
+	}
+	classes := make(map[string]*class)
+	for r, h := range hbs {
+		d := h.Dead()
+		sort.Ints(d)
+		key := fmt.Sprint(d)
+		c := classes[key]
+		if c == nil {
+			c = &class{dead: d}
+			classes[key] = c
+		}
+		c.members = append(c.members, r)
+	}
+	var best *class
+	for _, c := range classes {
+		if best == nil || len(c.members) > len(best.members) ||
+			(len(c.members) == len(best.members) && c.members[0] < best.members[0]) {
+			best = c
+		}
+	}
+	return best.dead
+}
+
+// bestCheckpoint scans the surviving ranks' private directories for the
+// newest checkpoint of the failed epoch (k workers) with a complete shard
+// set: every epoch rank's shard present, from the owner's own directory or
+// a buddy replica held by a survivor. Dead ranks' directories are never
+// read — that is the point of replication. Returns the shards indexed by
+// writing rank (nil if no complete set exists) and whether any shard was
+// fetched from a replica.
+func bestCheckpoint(managers []*ckpt.Manager, members []int, program string, k int) ([]*ckpt.State, bool) {
+	type slot struct {
+		state   *ckpt.State
+		replica bool
+	}
+	byIter := make(map[uint32][]slot)
+	for _, id := range members {
+		stored, err := managers[id].States()
+		if err != nil {
+			continue
+		}
+		for _, st := range stored {
+			s := st.State
+			if s.Program != program || len(s.Bounds) != k+1 || int(s.Rank) >= k {
+				continue
+			}
+			slots := byIter[s.Iter]
+			if slots == nil {
+				slots = make([]slot, k)
+				byIter[s.Iter] = slots
+			}
+			cur := &slots[s.Rank]
+			// Prefer the owner's original over a replica (they are
+			// byte-identical; the preference just keeps reporting honest).
+			if cur.state == nil || (cur.replica && !st.Replica) {
+				*cur = slot{state: s, replica: st.Replica}
+			}
+		}
+	}
+	bestIter := int64(-1)
+	for iter, slots := range byIter {
+		complete := true
+		for _, sl := range slots {
+			if sl.state == nil || !sameBounds(sl.state.Bounds, slots[0].state.Bounds) {
+				complete = false
+				break
+			}
+		}
+		if complete && int64(iter) > bestIter {
+			bestIter = int64(iter)
+		}
+	}
+	if bestIter < 0 {
+		return nil, false
+	}
+	slots := byIter[uint32(bestIter)]
+	shards := make([]*ckpt.State, k)
+	fromReplica := false
+	for i, sl := range slots {
+		shards[i] = sl.state
+		fromReplica = fromReplica || sl.replica
+	}
+	return shards, fromReplica
+}
+
+func sameBounds(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

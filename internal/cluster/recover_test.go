@@ -1,0 +1,229 @@
+package cluster_test
+
+// Fault-injection differential tests: kill a rank (and separately partition
+// the group) mid-run, let the recovery driver detect the failure over
+// heartbeats, fetch the dead ranks' checkpoint shards from their ring
+// buddies' replicas, shrink the membership, and finish — then require the
+// result to be bit-identical to an undisturbed run. OnDeath deletes the
+// dead ranks' private checkpoint directories before recovery reads
+// anything, proving the restore never touches dead storage.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"slfe/internal/apps"
+	"slfe/internal/cluster"
+	"slfe/internal/comm"
+	"slfe/internal/core"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+)
+
+func ftGraph() *graph.Graph {
+	return gen.RMAT(2048, 16384, gen.DefaultRMAT, 8, 4)
+}
+
+// ftDiff runs mk's program undisturbed, then again with fault injection and
+// the recovery driver, and requires bit-identical values plus a recovery
+// report matching wantDead. inject receives the undisturbed run's message
+// count so triggers can fire mid-run regardless of program or scale.
+func ftDiff[V comparable](t *testing.T, g *graph.Graph, mk func() *core.Program[V], opt cluster.Options, inject func(f *comm.Faults, total int64), wantDead []int) *cluster.RecoveryReport {
+	t.Helper()
+	base, err := cluster.Execute(g, mk(), opt)
+	if err != nil {
+		t.Fatalf("undisturbed run: %v", err)
+	}
+
+	dir := t.TempDir()
+	f := comm.NewFaults()
+	inject(f, base.Comm.MessagesSent)
+	fopt := opt
+	fopt.FT = &cluster.FTOptions{
+		HeartbeatInterval: 5 * time.Millisecond,
+		// A wide suspect->dead gap keeps post-abort verdicts unanimous even
+		// when -race scheduling stalls a goroutine for tens of milliseconds.
+		SuspectAfter: 150 * time.Millisecond,
+		DeadAfter:    400 * time.Millisecond,
+		CkptDir:      dir,
+		CkptEvery:    1,
+		Faults:       f,
+		OnDeath: func(dead []int) {
+			for _, d := range dead {
+				if err := os.RemoveAll(filepath.Join(dir, fmt.Sprintf("rank-%03d", d))); err != nil {
+					t.Errorf("deleting dead rank %d's storage: %v", d, err)
+				}
+			}
+		},
+	}
+	got, err := cluster.Execute(g, mk(), fopt)
+	if err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+	rep := got.Recovery
+	if rep == nil {
+		t.Fatal("faulted run returned no recovery report")
+	}
+	if rep.Epochs != 2 {
+		t.Errorf("epochs = %d, want 2 (one failure, one recovery)", rep.Epochs)
+	}
+	if !reflect.DeepEqual(rep.Deaths, wantDead) {
+		t.Errorf("deaths = %v, want %v", rep.Deaths, wantDead)
+	}
+	if len(got.Result.Values) != len(base.Result.Values) {
+		t.Fatalf("value count %d != undisturbed %d", len(got.Result.Values), len(base.Result.Values))
+	}
+	diff := 0
+	for i := range base.Result.Values {
+		if got.Result.Values[i] != base.Result.Values[i] {
+			if diff == 0 {
+				t.Errorf("vertex %d: recovered %v != undisturbed %v", i, got.Result.Values[i], base.Result.Values[i])
+			}
+			diff++
+		}
+	}
+	if diff > 0 {
+		t.Fatalf("%d of %d vertices differ from the undisturbed run", diff, len(base.Result.Values))
+	}
+	return rep
+}
+
+// killMidRun kills rank victim once roughly half the undisturbed run's
+// traffic has flowed.
+func killMidRun(victim int) func(f *comm.Faults, total int64) {
+	return func(f *comm.Faults, total int64) {
+		f.KillAfterSends(victim, total/2)
+	}
+}
+
+// partitionMidRun splits 4 ranks into interleaved islands {0,2} | {1,3}
+// mid-run. Interleaving matters: ring buddies are (r+1)%4, so each dead
+// rank's replica lives on a survivor.
+func partitionMidRun(f *comm.Faults, total int64) {
+	f.PartitionAfterSends(total/2, []int{0, 2}, []int{1, 3})
+}
+
+func requireWarmRestore(t *testing.T, rep *cluster.RecoveryReport) {
+	t.Helper()
+	if rep.ResumeIter < 0 {
+		t.Errorf("resume iter = %d, want a checkpointed superstep (warm restore)", rep.ResumeIter)
+	}
+	if !rep.RestoredFromReplica {
+		t.Error("restore used no buddy replica, but the dead ranks' directories were deleted")
+	}
+	if rep.DetectTime <= 0 {
+		t.Errorf("detect time = %v, want > 0 (injected faults stamp the trip)", rep.DetectTime)
+	}
+}
+
+func TestFTKillMinMaxF64(t *testing.T) {
+	g := ftGraph()
+	rep := ftDiff(t, g, func() *core.Program[float64] { return apps.SSSP(0) },
+		cluster.Options{Nodes: 3}, killMidRun(2), []int{2})
+	requireWarmRestore(t, rep)
+}
+
+func TestFTKillMinMaxU32(t *testing.T) {
+	g := ftGraph()
+	rep := ftDiff(t, g, func() *core.Program[uint32] { return apps.BFSU32(0) },
+		cluster.Options{Nodes: 3}, killMidRun(2), []int{2})
+	requireWarmRestore(t, rep)
+}
+
+func TestFTKillArithF64(t *testing.T) {
+	g := ftGraph()
+	rep := ftDiff(t, g, func() *core.Program[float64] { return apps.PageRank(12) },
+		cluster.Options{Nodes: 3}, killMidRun(1), []int{1})
+	requireWarmRestore(t, rep)
+}
+
+func TestFTKillArithU32(t *testing.T) {
+	g := ftGraph()
+	rep := ftDiff(t, g, func() *core.Program[uint32] { return apps.NumPathsU32(0, 12) },
+		cluster.Options{Nodes: 3}, killMidRun(2), []int{2})
+	requireWarmRestore(t, rep)
+}
+
+func TestFTPartitionMinMaxF64(t *testing.T) {
+	g := ftGraph()
+	rep := ftDiff(t, g, func() *core.Program[float64] { return apps.SSSP(0) },
+		cluster.Options{Nodes: 4}, partitionMidRun, []int{1, 3})
+	requireWarmRestore(t, rep)
+}
+
+func TestFTPartitionArithF64(t *testing.T) {
+	g := ftGraph()
+	rep := ftDiff(t, g, func() *core.Program[float64] { return apps.PageRank(12) },
+		cluster.Options{Nodes: 4}, partitionMidRun, []int{1, 3})
+	requireWarmRestore(t, rep)
+}
+
+// TestFTKillSparseAdaptive exercises recovery while the adaptive sparse
+// sync path is live, so the merged checkpoint must carry the caught-up /
+// debt / sparse-dirty bookkeeping across the membership change.
+func TestFTKillSparseAdaptive(t *testing.T) {
+	g := ftGraph()
+	rep := ftDiff(t, g, func() *core.Program[float64] { return apps.SSSP(0) },
+		cluster.Options{Nodes: 3, RR: true, Sync: core.SyncAdaptive}, killMidRun(2), []int{2})
+	requireWarmRestore(t, rep)
+}
+
+// TestFTKillBeforeFirstCheckpoint kills a rank before any checkpoint
+// completes: recovery must fall back to a cold restart of the shrunk group
+// and still produce bit-identical results.
+func TestFTKillBeforeFirstCheckpoint(t *testing.T) {
+	g := ftGraph()
+	rep := ftDiff(t, g, func() *core.Program[float64] { return apps.SSSP(0) },
+		cluster.Options{Nodes: 3}, func(f *comm.Faults, total int64) {
+			f.KillAfterSends(2, 3)
+		}, []int{2})
+	if rep.ResumeIter != -1 {
+		t.Errorf("resume iter = %d, want -1 (cold restart: no checkpoint existed)", rep.ResumeIter)
+	}
+	if rep.RestoredFromReplica {
+		t.Error("cold restart cannot have used a replica")
+	}
+}
+
+// TestFTCleanRunNoFalseDetection runs the FT driver with no injected fault:
+// one epoch, no deaths, values identical to a plain run.
+func TestFTCleanRunNoFalseDetection(t *testing.T) {
+	g := ftGraph()
+	p := func() *core.Program[float64] { return apps.SSSP(0) }
+	base, err := cluster.Execute(g, p(), cluster.Options{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.Execute(g, p(), cluster.Options{Nodes: 3, FT: &cluster.FTOptions{
+		HeartbeatInterval: 5 * time.Millisecond,
+		DeadAfter:         400 * time.Millisecond,
+		CkptDir:           t.TempDir(),
+		CkptEvery:         2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Recovery == nil || got.Recovery.Epochs != 1 || len(got.Recovery.Deaths) != 0 {
+		t.Fatalf("recovery report = %+v, want 1 epoch and no deaths", got.Recovery)
+	}
+	if !reflect.DeepEqual(got.Result.Values, base.Result.Values) {
+		t.Fatal("clean FT run's values differ from a plain run")
+	}
+}
+
+func TestFTOptionValidation(t *testing.T) {
+	g := gen.RMAT(256, 1024, gen.DefaultRMAT, 8, 4)
+	if _, err := cluster.Execute(g, apps.SSSP(0), cluster.Options{Nodes: 2, FT: &cluster.FTOptions{}}); err == nil {
+		t.Error("missing CkptDir: want error")
+	}
+	if _, err := cluster.Execute(g, apps.SSSP(0), cluster.Options{
+		Nodes: 2, Rebalance: true,
+		FT: &cluster.FTOptions{CkptDir: t.TempDir()},
+	}); err == nil {
+		t.Error("FT with Rebalance: want error")
+	}
+}

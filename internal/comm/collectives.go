@@ -29,6 +29,7 @@ type Comm struct {
 	gatherSeq   uint64
 	allToAllSeq uint64
 	sparseSeq   uint64
+	ringSeq     uint64
 	pending     map[pendKey][]byte
 
 	// Streaming-exchange state (stream.go): the round counter, messages of
@@ -341,6 +342,34 @@ func (c *Comm) SparseExchange(blobs [][]byte) ([][]byte, error) {
 		out[from] = payload
 	}
 	return out, nil
+}
+
+// RingExchange sends blob to the next rank on the ring ((rank+1) mod size)
+// and returns the payload received from the previous rank. The checkpoint
+// replication path uses it to hand every rank's shard to a buddy, so any
+// single rank's state survives the loss of that rank's disk and process.
+// It is a collective: every rank must call it at the same point (the
+// engine's superstep loop is barrier-aligned, so checkpoint ticks qualify).
+// With a single rank the blob is passed through.
+func (c *Comm) RingExchange(blob []byte) ([]byte, error) {
+	if c.Size() == 1 {
+		return blob, nil
+	}
+	seq := c.ringSeq
+	c.ringSeq++
+	next := (c.Rank() + 1) % c.Size()
+	prev := (c.Rank() + c.Size() - 1) % c.Size()
+	if err := c.sendSeq(next, typeReplica, seq, blob); err != nil {
+		return nil, err
+	}
+	from, payload, err := c.recvSeq(typeReplica, seq)
+	if err != nil {
+		return nil, err
+	}
+	if from != prev {
+		return nil, fmt.Errorf("comm: ring payload from rank %d, want %d", from, prev)
+	}
+	return payload, nil
 }
 
 func reduceI64(a, b int64, op ReduceOp) int64 {

@@ -1,0 +1,262 @@
+package comm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is a shared fault-injection controller for one transport group.
+// Wrap a group with WithFaults (or Faults.Wrap) and then kill ranks,
+// partition the network, cut individual links or delay deliveries — at a
+// chosen moment or after a chosen number of group-wide sends, which gives
+// tests a deterministic-enough "mid-run" trigger without wall-clock races.
+//
+// Failure model: a killed rank's endpoint closes (its own operations return
+// ErrClosed) and everything addressed to it vanishes silently, like frames
+// to a powered-off host; crucially its Abort becomes a no-op, because a
+// dead process cannot tear down the group — survivors must detect the
+// death themselves (heartbeat timeout), which is exactly what the recovery
+// layer's tests need to exercise. A partition silently drops messages
+// between islands in both directions while intra-island traffic flows.
+type Faults struct {
+	mu     sync.Mutex
+	size   int
+	inner  []Transport
+	killed []bool
+	island []int // partition island per rank; -1 = pre-partition (all connected)
+	cut    map[[2]int]bool
+	delay  time.Duration
+
+	killAt   []killTrigger
+	partAt   int64
+	partWait [][]int
+
+	tripped time.Time
+
+	sends   atomic.Int64
+	dropped atomic.Int64
+}
+
+type killTrigger struct {
+	rank int
+	at   int64
+}
+
+// NewFaults returns an empty controller; call Wrap to attach it to a group.
+func NewFaults() *Faults {
+	return &Faults{cut: make(map[[2]int]bool), partAt: -1}
+}
+
+// WithFaults wraps a transport group for fault injection under a fresh
+// controller, returning the wrapped group and the controller.
+func WithFaults(ts []Transport) ([]Transport, *Faults) {
+	f := NewFaults()
+	return f.Wrap(ts), f
+}
+
+// Wrap attaches the controller to a transport group and returns the
+// wrapped transports (index = rank). Call it once per controller.
+func (f *Faults) Wrap(ts []Transport) []Transport {
+	f.mu.Lock()
+	f.size = len(ts)
+	f.inner = ts
+	f.killed = make([]bool, len(ts))
+	f.island = make([]int, len(ts))
+	for i := range f.island {
+		f.island[i] = -1
+	}
+	f.mu.Unlock()
+	out := make([]Transport, len(ts))
+	for i, t := range ts {
+		out[i] = &faultTransport{f: f, rank: i, Transport: t}
+	}
+	return out
+}
+
+// Kill marks rank dead and closes its endpoint: its own operations fail
+// with ErrClosed, messages addressed to it are dropped, and its Abort is
+// suppressed. Kills are permanent — Heal does not revive.
+func (f *Faults) Kill(rank int) {
+	f.mu.Lock()
+	if rank < 0 || rank >= f.size || f.killed[rank] {
+		f.mu.Unlock()
+		return
+	}
+	f.killed[rank] = true
+	f.trip()
+	t := f.inner[rank]
+	f.mu.Unlock()
+	t.Close()
+}
+
+// KillAfterSends arms Kill(rank) to fire once the group-wide send count
+// reaches n.
+func (f *Faults) KillAfterSends(rank int, n int64) {
+	f.mu.Lock()
+	f.killAt = append(f.killAt, killTrigger{rank: rank, at: n})
+	f.mu.Unlock()
+}
+
+// Partition splits the group into the given islands: traffic within an
+// island flows, traffic between islands is silently dropped. Ranks not
+// listed in any group become singleton islands. Heal undoes it.
+func (f *Faults) Partition(groups ...[]int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitionLocked(groups)
+}
+
+func (f *Faults) partitionLocked(groups [][]int) {
+	// Unlisted ranks get unique island ids after the listed groups.
+	for i := range f.island {
+		f.island[i] = len(groups) + i
+	}
+	for g, ranks := range groups {
+		for _, r := range ranks {
+			if r >= 0 && r < f.size {
+				f.island[r] = g
+			}
+		}
+	}
+	f.trip()
+}
+
+// PartitionAfterSends arms Partition(groups...) to fire once the group-wide
+// send count reaches n.
+func (f *Faults) PartitionAfterSends(n int64, groups ...[]int) {
+	f.mu.Lock()
+	f.partAt = n
+	f.partWait = groups
+	f.mu.Unlock()
+}
+
+// DropLink silently drops messages from rank `from` to rank `to`
+// (one-directional). Heal undoes it.
+func (f *Faults) DropLink(from, to int) {
+	f.mu.Lock()
+	f.cut[[2]int{from, to}] = true
+	f.trip()
+	f.mu.Unlock()
+}
+
+// Delay makes every subsequent send sleep d before delivery (0 disables).
+func (f *Faults) Delay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// Heal removes partitions, cut links and delays. Killed ranks stay dead.
+func (f *Faults) Heal() {
+	f.mu.Lock()
+	for i := range f.island {
+		f.island[i] = -1
+	}
+	f.cut = make(map[[2]int]bool)
+	f.delay = 0
+	f.mu.Unlock()
+}
+
+// Dropped reports how many messages the controller has swallowed.
+func (f *Faults) Dropped() int64 { return f.dropped.Load() }
+
+// TripTime reports when the first fault fired (zero if none has).
+func (f *Faults) TripTime() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// trip records the first fault activation; callers hold f.mu.
+func (f *Faults) trip() {
+	if f.tripped.IsZero() {
+		f.tripped = time.Now()
+	}
+}
+
+// fire runs any send-count triggers that n has reached.
+func (f *Faults) fire(n int64) {
+	f.mu.Lock()
+	var kills []int
+	kept := f.killAt[:0]
+	for _, k := range f.killAt {
+		if n >= k.at {
+			kills = append(kills, k.rank)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	f.killAt = kept
+	if f.partWait != nil && f.partAt >= 0 && n >= f.partAt {
+		f.partitionLocked(f.partWait)
+		f.partWait = nil
+	}
+	f.mu.Unlock()
+	for _, r := range kills {
+		f.Kill(r)
+	}
+}
+
+// blocked reports (holding no lock) whether a message from -> to should be
+// swallowed, and whether the sender itself is dead.
+func (f *Faults) verdict(from, to int) (drop, senderDead bool, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed[from] {
+		return false, true, 0
+	}
+	switch {
+	case f.killed[to]:
+		drop = true
+	case f.island[from] != f.island[to]:
+		// A partition assigns every rank an island; before any partition
+		// exists both sides are -1 and therefore connected.
+		drop = true
+	case f.cut[[2]int{from, to}]:
+		drop = true
+	}
+	return drop, false, f.delay
+}
+
+// faultTransport is the per-rank wrapper; all policy lives in the shared
+// controller.
+type faultTransport struct {
+	Transport
+	f    *Faults
+	rank int
+}
+
+func (t *faultTransport) Send(to int, typ uint16, payload []byte) error {
+	// Heartbeat probes are excluded from the trigger counter: their volume
+	// scales with wall-clock, not with run progress, so counting them would
+	// make "after N sends" fire at a machine-speed-dependent point in the
+	// computation instead of a reproducible one.
+	if typ != typeHeartbeat {
+		t.f.fire(t.f.sends.Add(1))
+	}
+	drop, dead, delay := t.f.verdict(t.rank, to)
+	if dead {
+		return ErrClosed
+	}
+	if drop {
+		t.f.dropped.Add(1)
+		return nil
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return t.Transport.Send(to, typ, payload)
+}
+
+// Abort is suppressed for killed ranks: a dead process cannot tear down
+// the group, so survivors must detect the death via heartbeat timeout.
+func (t *faultTransport) Abort() {
+	t.f.mu.Lock()
+	dead := t.f.killed[t.rank]
+	t.f.mu.Unlock()
+	if dead {
+		return
+	}
+	Abort(t.Transport)
+}

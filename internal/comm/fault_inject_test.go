@@ -1,0 +1,156 @@
+package comm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func wrappedGroup(t *testing.T, size int) ([]Transport, *Faults) {
+	t.Helper()
+	inner, err := NewLocalGroup(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, f := WithFaults(inner)
+	t.Cleanup(func() {
+		for _, tr := range ts {
+			tr.Close()
+		}
+	})
+	return ts, f
+}
+
+func mustDeliver(t *testing.T, ts []Transport, from, to int) {
+	t.Helper()
+	if err := ts[from].Send(to, TypeUser, []byte{byte(from)}); err != nil {
+		t.Fatalf("send %d->%d: %v", from, to, err)
+	}
+	m, err := ts[to].Recv(TypeUser)
+	if err != nil {
+		t.Fatalf("recv at %d: %v", to, err)
+	}
+	if m.From != from {
+		t.Fatalf("recv at %d: from %d, want %d", to, m.From, from)
+	}
+}
+
+func TestFaultsKill(t *testing.T) {
+	ts, f := wrappedGroup(t, 3)
+	mustDeliver(t, ts, 0, 1)
+	f.Kill(1)
+	if f.TripTime().IsZero() {
+		t.Error("TripTime not recorded")
+	}
+	if err := ts[1].Send(0, TypeUser, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("killed rank's Send err = %v, want ErrClosed", err)
+	}
+	if _, err := ts[1].Recv(TypeUser); !errors.Is(err, ErrClosed) {
+		t.Errorf("killed rank's Recv err = %v, want ErrClosed", err)
+	}
+	// Messages to the dead rank vanish silently, like frames to a dead host.
+	if err := ts[0].Send(1, TypeUser, nil); err != nil {
+		t.Errorf("send to dead rank should drop silently, got %v", err)
+	}
+	if f.Dropped() == 0 {
+		t.Error("drop not counted")
+	}
+	// A dead process cannot tear down the group: its Abort is a no-op and
+	// the survivors keep exchanging messages.
+	Abort(ts[1])
+	mustDeliver(t, ts, 0, 2)
+	// A survivor's Abort still works.
+	Abort(ts[0])
+	if _, err := ts[2].Recv(TypeUser); !errors.Is(err, ErrClosed) {
+		t.Errorf("after survivor abort, Recv err = %v, want ErrClosed", err)
+	}
+}
+
+func TestFaultsPartitionAndHeal(t *testing.T) {
+	ts, f := wrappedGroup(t, 4)
+	f.Partition([]int{0, 2}, []int{1, 3})
+	mustDeliver(t, ts, 0, 2)
+	mustDeliver(t, ts, 1, 3)
+	before := f.Dropped()
+	if err := ts[0].Send(1, TypeUser, nil); err != nil {
+		t.Fatalf("cross-island send should drop silently, got %v", err)
+	}
+	if err := ts[3].Send(2, TypeUser, nil); err != nil {
+		t.Fatalf("cross-island send should drop silently, got %v", err)
+	}
+	if got := f.Dropped(); got != before+2 {
+		t.Errorf("Dropped = %d, want %d", got, before+2)
+	}
+	f.Heal()
+	mustDeliver(t, ts, 0, 1)
+	mustDeliver(t, ts, 3, 2)
+}
+
+func TestFaultsKillAfterSends(t *testing.T) {
+	ts, f := wrappedGroup(t, 2)
+	f.KillAfterSends(1, 3)
+	mustDeliver(t, ts, 0, 1) // send 1
+	mustDeliver(t, ts, 1, 0) // send 2
+	// Send 3 trips the trigger before delivery policy is evaluated: rank 1
+	// is dead by the time its own message would go out.
+	if err := ts[1].Send(0, TypeUser, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("triggering send err = %v, want ErrClosed", err)
+	}
+	if err := ts[0].Send(1, TypeUser, nil); err != nil {
+		t.Errorf("post-kill send to dead rank: %v, want silent drop", err)
+	}
+}
+
+func TestFaultsDropLink(t *testing.T) {
+	ts, f := wrappedGroup(t, 2)
+	f.DropLink(0, 1)
+	if err := ts[0].Send(1, TypeUser, nil); err != nil {
+		t.Fatalf("cut link send should drop silently, got %v", err)
+	}
+	mustDeliver(t, ts, 1, 0) // reverse direction still flows
+	f.Heal()
+	mustDeliver(t, ts, 0, 1)
+}
+
+func TestFaultsDelay(t *testing.T) {
+	ts, f := wrappedGroup(t, 2)
+	f.Delay(20 * time.Millisecond)
+	start := time.Now()
+	mustDeliver(t, ts, 0, 1)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("delivery took %v, want >= 20ms", d)
+	}
+}
+
+func TestRingExchange(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5} {
+		ts, err := NewLocalGroup(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for r := range ts {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				c := NewComm(ts[r])
+				for round := 0; round < 3; round++ {
+					got, err := c.RingExchange([]byte{byte(r), byte(round)})
+					if err != nil {
+						t.Errorf("size %d rank %d: %v", size, r, err)
+						return
+					}
+					prev := (r + size - 1) % size
+					if len(got) != 2 || got[0] != byte(prev) || got[1] != byte(round) {
+						t.Errorf("size %d rank %d round %d: got %v, want [%d %d]", size, r, round, got, prev, round)
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package comm
+
+import (
+	"sync"
+	"time"
+)
+
+// PeerState is the failure-detector verdict for one peer rank.
+type PeerState int32
+
+const (
+	// PeerAlive: heartbeats are arriving within SuspectAfter.
+	PeerAlive PeerState = iota
+	// PeerSuspect: silent longer than SuspectAfter but shorter than
+	// DeadAfter. Suspects recover to alive when a heartbeat arrives.
+	PeerSuspect
+	// PeerDead: silent longer than DeadAfter. Dead is sticky — a rank once
+	// declared dead stays dead for this Heartbeater's lifetime, so the
+	// recovery layer never sees a verdict flap mid-epoch.
+	PeerDead
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// HeartbeatConfig tunes the failure detector.
+type HeartbeatConfig struct {
+	// Interval is the probe period (default 25ms).
+	Interval time.Duration
+	// SuspectAfter is the silence after which a peer turns suspect
+	// (default 4x Interval).
+	SuspectAfter time.Duration
+	// DeadAfter is the silence after which a peer is declared dead
+	// (default 10x Interval; clamped to at least SuspectAfter).
+	DeadAfter time.Duration
+	// OnChange, when set, is invoked on every state transition. Called
+	// from the monitor goroutine without internal locks held, so it may
+	// call back into the Heartbeater.
+	OnChange func(peer int, state PeerState)
+	// OnDead, when set, is invoked once per peer when it is declared dead
+	// (after OnChange). The cluster recovery driver uses it to abort the
+	// transport group so survivors stop at a collective boundary.
+	OnDead func(peer int)
+}
+
+// Heartbeater is a heartbeat-based failure detector over a Transport. It
+// runs its own goroutines: a sender probing every peer each Interval, a
+// receiver recording arrival times, and a monitor advancing the
+// alive -> suspect -> dead FSM. Heartbeats use a dedicated message type, so
+// the detector can share a transport with collectives that are themselves
+// not concurrency-safe.
+//
+// The verdict clock freezes when the receiver loop exits (transport closed
+// or group aborted): from that moment this rank's view of the world stops
+// advancing, so a group teardown at time T never makes peers that were
+// provably alive at T look dead when the verdict is read later. This is
+// what lets every survivor of a failure agree on who died even though they
+// observe the abort at slightly different times.
+type Heartbeater struct {
+	t   Transport
+	cfg HeartbeatConfig
+
+	mu       sync.Mutex
+	lastSeen []time.Time
+	state    []PeerState
+	frozenAt time.Time // zero until the receiver loop exits
+
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup // sender + monitor (the receiver exits with the transport)
+}
+
+// StartHeartbeat starts a failure detector on t. Stop it with Stop; to also
+// release the receiver goroutine, close the transport (Stop alone cannot
+// unblock a Recv).
+func StartHeartbeat(t Transport, cfg HeartbeatConfig) *Heartbeater {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 25 * time.Millisecond
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 4 * cfg.Interval
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 10 * cfg.Interval
+	}
+	if cfg.DeadAfter < cfg.SuspectAfter {
+		cfg.DeadAfter = cfg.SuspectAfter
+	}
+	h := &Heartbeater{
+		t:        t,
+		cfg:      cfg,
+		lastSeen: make([]time.Time, t.Size()),
+		state:    make([]PeerState, t.Size()),
+		done:     make(chan struct{}),
+	}
+	now := time.Now()
+	for i := range h.lastSeen {
+		h.lastSeen[i] = now
+	}
+	h.wg.Add(2)
+	go h.send()
+	go h.monitor()
+	go h.recv()
+	return h
+}
+
+// Stop halts probing and verdict updates. Idempotent. The receiver
+// goroutine is not waited for — it exits when the transport closes — but
+// once Stop returns no callbacks will fire and verdicts are stable except
+// for the elapsed-time pass Dead performs.
+func (h *Heartbeater) Stop() {
+	h.stopOnce.Do(func() { close(h.done) })
+	h.wg.Wait()
+}
+
+// State returns the current verdict for peer.
+func (h *Heartbeater) State(peer int) PeerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state[peer]
+}
+
+// Dead returns every peer this rank would declare dead as of now: ranks
+// already marked dead plus ranks whose silence exceeds DeadAfter at call
+// time (evaluated against the frozen clock if the receiver has exited).
+// This final elapsed-time pass makes post-mortem verdicts independent of
+// whether the monitor goroutine happened to tick before the group was torn
+// down. It does not mutate state or fire callbacks.
+//
+// Once the clock is frozen the effective threshold drops to SuspectAfter:
+// a group teardown only happens because somebody crossed DeadAfter
+// somewhere, and every rank silenced by the same underlying fault shows
+// near-identical silence — but ranks freeze at slightly different moments,
+// so a strict DeadAfter test would let a verdict land just short of the
+// threshold on some survivors and split the group's post-mortem. Lumping
+// frozen suspects with the dead makes all survivors of one fault agree. A
+// live peer cannot be falsely accused this way as long as the gap between
+// SuspectAfter and DeadAfter comfortably exceeds the probe interval.
+func (h *Heartbeater) Dead() []int {
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	threshold := h.cfg.DeadAfter
+	if !h.frozenAt.IsZero() {
+		if h.frozenAt.Before(now) {
+			now = h.frozenAt
+		}
+		threshold = h.cfg.SuspectAfter
+	}
+	var dead []int
+	for p := range h.state {
+		if p == h.t.Rank() {
+			continue
+		}
+		if h.state[p] == PeerDead || now.Sub(h.lastSeen[p]) > threshold {
+			dead = append(dead, p)
+		}
+	}
+	return dead
+}
+
+func (h *Heartbeater) send() {
+	defer h.wg.Done()
+	tick := time.NewTicker(h.cfg.Interval)
+	defer tick.Stop()
+	for {
+		for p := 0; p < h.t.Size(); p++ {
+			if p == h.t.Rank() {
+				continue
+			}
+			// Errors are expected — the peer or this endpoint may be gone.
+			_ = h.t.Send(p, typeHeartbeat, nil)
+		}
+		select {
+		case <-h.done:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (h *Heartbeater) recv() {
+	for {
+		m, err := h.t.Recv(typeHeartbeat)
+		if err != nil {
+			// Transport closed or group aborted: freeze the verdict clock at
+			// this instant (see the type comment).
+			h.mu.Lock()
+			if h.frozenAt.IsZero() {
+				h.frozenAt = time.Now()
+			}
+			h.mu.Unlock()
+			return
+		}
+		h.mu.Lock()
+		h.lastSeen[m.From] = time.Now()
+		h.mu.Unlock()
+	}
+}
+
+func (h *Heartbeater) monitor() {
+	defer h.wg.Done()
+	tick := time.NewTicker(h.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case now := <-tick.C:
+			h.check(now)
+		}
+	}
+}
+
+// check advances the per-peer FSM to now and fires callbacks for any
+// transitions, outside the lock.
+func (h *Heartbeater) check(now time.Time) {
+	type change struct {
+		peer  int
+		state PeerState
+	}
+	var changes []change
+	h.mu.Lock()
+	if !h.frozenAt.IsZero() && h.frozenAt.Before(now) {
+		now = h.frozenAt
+	}
+	for p := range h.state {
+		if p == h.t.Rank() || h.state[p] == PeerDead {
+			continue
+		}
+		elapsed := now.Sub(h.lastSeen[p])
+		next := PeerAlive
+		switch {
+		case elapsed > h.cfg.DeadAfter:
+			next = PeerDead
+		case elapsed > h.cfg.SuspectAfter:
+			next = PeerSuspect
+		}
+		if next != h.state[p] {
+			h.state[p] = next
+			changes = append(changes, change{p, next})
+		}
+	}
+	h.mu.Unlock()
+	for _, c := range changes {
+		if h.cfg.OnChange != nil {
+			h.cfg.OnChange(c.peer, c.state)
+		}
+		if c.state == PeerDead && h.cfg.OnDead != nil {
+			h.cfg.OnDead(c.peer)
+		}
+	}
+}

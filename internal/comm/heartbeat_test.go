@@ -1,0 +1,159 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func startGroupHeartbeats(t *testing.T, ts []Transport, cfg HeartbeatConfig) []*Heartbeater {
+	t.Helper()
+	hbs := make([]*Heartbeater, len(ts))
+	for i, tr := range ts {
+		hbs[i] = StartHeartbeat(tr, cfg)
+	}
+	t.Cleanup(func() {
+		for _, h := range hbs {
+			h.Stop()
+		}
+		for _, tr := range ts {
+			tr.Close()
+		}
+	})
+	return hbs
+}
+
+func TestHeartbeatAllAlive(t *testing.T) {
+	ts, err := NewLocalGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HeartbeatConfig{Interval: 5 * time.Millisecond, DeadAfter: 250 * time.Millisecond}
+	hbs := startGroupHeartbeats(t, ts, cfg)
+	time.Sleep(300 * time.Millisecond) // past DeadAfter: liveness must come from heartbeats, not slack
+	for r, h := range hbs {
+		if dead := h.Dead(); len(dead) != 0 {
+			t.Errorf("rank %d declares %v dead in a healthy group", r, dead)
+		}
+		for p := range ts {
+			if p != r && h.State(p) != PeerAlive {
+				t.Errorf("rank %d sees peer %d as %v, want alive", r, p, h.State(p))
+			}
+		}
+	}
+}
+
+func TestHeartbeatDetectsDeadPeer(t *testing.T) {
+	ts, err := NewLocalGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	transitions := make(map[PeerState]int)
+	deadCalls := 0
+	cfg := HeartbeatConfig{
+		Interval: 5 * time.Millisecond,
+		OnChange: func(peer int, s PeerState) {
+			mu.Lock()
+			transitions[s]++
+			mu.Unlock()
+			if peer != 2 {
+				t.Errorf("transition for peer %d, only rank 2 dies", peer)
+			}
+		},
+		OnDead: func(peer int) {
+			mu.Lock()
+			deadCalls++
+			mu.Unlock()
+			if peer != 2 {
+				t.Errorf("OnDead(%d), want 2", peer)
+			}
+		},
+	}
+	h0 := StartHeartbeat(ts[0], cfg)
+	h1 := StartHeartbeat(ts[1], HeartbeatConfig{Interval: cfg.Interval})
+	defer func() {
+		h0.Stop()
+		h1.Stop()
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}()
+
+	ts[2].Close() // rank 2 dies silently; no heartbeater ever ran there
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d0, d1 := h0.Dead(), h1.Dead()
+		if len(d0) == 1 && d0[0] == 2 && len(d1) == 1 && d1[0] == 2 &&
+			h0.State(2) == PeerDead {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("death not detected: rank0 sees %v, rank1 sees %v", d0, d1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if deadCalls != 1 {
+		t.Errorf("OnDead fired %d times, want 1", deadCalls)
+	}
+	if transitions[PeerSuspect] == 0 || transitions[PeerDead] != 1 {
+		t.Errorf("transitions %v, want suspect then exactly one dead", transitions)
+	}
+}
+
+// TestHeartbeatVerdictFrozenByAbort is the post-mortem agreement property
+// the recovery layer depends on: after a group abort tears every inbox
+// down, survivors' verdicts must keep accusing exactly the rank that died
+// before the abort — never each other — no matter how late Dead() is read.
+func TestHeartbeatVerdictFrozenByAbort(t *testing.T) {
+	ts, err := NewLocalGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HeartbeatConfig{Interval: 2 * time.Millisecond}
+	h0 := StartHeartbeat(ts[0], cfg)
+	h1 := StartHeartbeat(ts[1], cfg)
+	defer func() {
+		h0.Stop()
+		h1.Stop()
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}()
+	ts[2].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(h0.Dead()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("death of rank 2 never detected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	Abort(ts[0]) // survivors tear the group down to recover
+	h0.Stop()
+	h1.Stop()
+	// Sleep far past DeadAfter: without the frozen clock, 0 and 1 would now
+	// accuse each other because no heartbeats flow after the abort.
+	time.Sleep(15 * cfg.Interval)
+	for r, h := range []*Heartbeater{h0, h1} {
+		d := h.Dead()
+		if len(d) != 1 || d[0] != 2 {
+			t.Errorf("rank %d verdict after abort = %v, want [2]", r, d)
+		}
+	}
+}
+
+func TestHeartbeatStopIdempotent(t *testing.T) {
+	ts, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := StartHeartbeat(ts[0], HeartbeatConfig{Interval: time.Millisecond})
+	h.Stop()
+	h.Stop()
+	for _, tr := range ts {
+		tr.Close()
+	}
+}

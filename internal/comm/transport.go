@@ -38,6 +38,8 @@ const (
 	typeAllToAll
 	typeSparse
 	typeStream
+	typeHeartbeat
+	typeReplica
 	// TypeUser is the first type available to applications.
 	TypeUser uint16 = 64
 )

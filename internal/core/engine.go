@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -74,6 +75,20 @@ type Config struct {
 	// Incompatible with Rebalance (owned ranges are not part of the
 	// snapshot).
 	Ckpt *ckpt.Manager
+
+	// Restore seeds the run from a pre-merged checkpoint state instead of
+	// scanning Ckpt's directory: the cluster recovery driver merges a dead
+	// epoch's surviving shards into one global State and hands it to every
+	// new-epoch worker. Validated like a loaded shard; wins over
+	// Ckpt.Resume. Incompatible with Rebalance for the same reason as Ckpt.
+	Restore *ckpt.State
+
+	// Progress, when set, is invoked after every completed superstep with
+	// the iteration just finished. The recovery driver uses it to measure
+	// how many supersteps a failure rolls back. It runs on the superstep
+	// path of every worker concurrently, so it must be cheap and
+	// goroutine-safe.
+	Progress func(iter int)
 
 	// MapPush selects the seed's map-based push-proposal combining instead
 	// of the default flat combiner. The two produce bit-identical results;
@@ -246,7 +261,7 @@ func New[V comparable](cfg Config) (*Engine[V], error) {
 	if cfg.DenseDivisor <= 0 {
 		cfg.DenseDivisor = 20
 	}
-	if cfg.Ckpt != nil && cfg.Rebalance {
+	if (cfg.Ckpt != nil || cfg.Restore != nil) && cfg.Rebalance {
 		return nil, errors.New("core: checkpointing with dynamic rebalancing is not supported (owned ranges are not part of the snapshot)")
 	}
 	if cfg.Sync < SyncDense || cfg.Sync > SyncAdaptive {
@@ -561,11 +576,17 @@ func restoreBits(b *bitset.Atomic, ids []uint32) error {
 	return nil
 }
 
-// loadCheckpoint returns the worker's shard from the latest complete
-// checkpoint, or nil if resuming is off or no checkpoint exists. The shard
-// must carry this run's domain tag: a value array is meaningless bits in
-// any other domain.
+// loadCheckpoint returns the state to resume from: the pre-merged Restore
+// state when the recovery driver supplied one, else the worker's shard from
+// the latest complete checkpoint, else nil. Either source must carry this
+// run's domain tag: a value array is meaningless bits in any other domain.
 func (e *Engine[V]) loadCheckpoint(p *Program[V], kind ckpt.Kind) (*ckpt.State, error) {
+	if s := e.cfg.Restore; s != nil {
+		if err := e.validateSnap(s, p, kind); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
 	m := e.cfg.Ckpt
 	if m == nil || !m.Resume {
 		return nil, nil
@@ -581,20 +602,66 @@ func (e *Engine[V]) loadCheckpoint(p *Program[V], kind ckpt.Kind) (*ckpt.State, 
 	if err != nil {
 		return nil, err
 	}
+	if err := e.validateSnap(s, p, kind); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validateSnap checks that a checkpoint state matches the running program,
+// loop kind, domain and graph.
+func (e *Engine[V]) validateSnap(s *ckpt.State, p *Program[V], kind ckpt.Kind) error {
 	if s.Program != p.Name {
-		return nil, fmt.Errorf("core: checkpoint is for program %q, running %q", s.Program, p.Name)
+		return fmt.Errorf("core: checkpoint is for program %q, running %q", s.Program, p.Name)
 	}
 	if s.Kind != kind {
-		return nil, fmt.Errorf("core: checkpoint kind %d does not match loop %d", s.Kind, kind)
+		return fmt.Errorf("core: checkpoint kind %d does not match loop %d", s.Kind, kind)
 	}
 	if s.Domain != e.dom.Name || int(s.Width) != e.dom.Width {
-		return nil, fmt.Errorf("core: checkpoint carries domain %q (width %d) but the program runs domain %q (width %d); resume with the original domain or delete the checkpoint directory",
+		return fmt.Errorf("core: checkpoint carries domain %q (width %d) but the program runs domain %q (width %d); resume with the original domain or delete the checkpoint directory",
 			s.Domain, s.Width, e.dom.Name, e.dom.Width)
 	}
 	if len(s.Values) != e.g.NumVertices() {
-		return nil, fmt.Errorf("core: checkpoint has %d values for a graph of %d vertices", len(s.Values), e.g.NumVertices())
+		return fmt.Errorf("core: checkpoint has %d values for a graph of %d vertices", len(s.Values), e.g.NumVertices())
 	}
-	return s, nil
+	return nil
+}
+
+// partBounds returns the partition's boundary array for checkpoint
+// tagging. Checkpointing is incompatible with rebalancing, so the
+// partition is the epoch's fixed ownership map.
+func (e *Engine[V]) partBounds() []uint32 {
+	k := e.cfg.Part.Nodes()
+	bounds := make([]uint32, k+1)
+	for i := 0; i < k; i++ {
+		lo, _ := e.cfg.Part.Range(i)
+		bounds[i] = uint32(lo)
+	}
+	_, hi := e.cfg.Part.Range(k - 1)
+	bounds[k] = uint32(hi)
+	return bounds
+}
+
+// replicateShard streams the just-saved shard to the ring buddy
+// ((rank+1) mod size) and stores the buddy's shard as a replica, so every
+// checkpoint survives the loss of any single rank's process and disk
+// without a shared filesystem. The exchange is collective: every rank
+// reaches the checkpoint tick at the same iteration (the superstep loop is
+// barrier-aligned), so the ring pairs off deterministically.
+func (e *Engine[V]) replicateShard(snap *ckpt.State) error {
+	m := e.cfg.Ckpt
+	if !m.Replicate || e.comm.Size() == 1 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		return err
+	}
+	got, err := e.comm.RingExchange(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	return m.SaveReplica(got)
 }
 
 // decodeValues converts a checkpoint bit-word array back into dst.

@@ -178,6 +178,8 @@ func (e *Engine[V]) runSupersteps(p *Program[V], k kernel[V], st *state[V], chan
 				Iter:    uint32(iter),
 				Domain:  e.dom.Name,
 				Width:   uint8(e.dom.Width),
+				Rank:    uint32(e.comm.Rank()),
+				Bounds:  e.partBounds(),
 				Values:  e.encodeValues(st.values),
 			}
 			k.snapshot(snap)
@@ -193,7 +195,13 @@ func (e *Engine[V]) runSupersteps(p *Program[V], k kernel[V], st *state[V], chan
 			if err := e.cfg.Ckpt.Save(e.comm.Rank(), snap); err != nil {
 				return nil, err
 			}
+			if err := e.replicateShard(snap); err != nil {
+				return nil, err
+			}
 			st.run.CkptTime += time.Since(ckptStart)
+		}
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(iter)
 		}
 		if done {
 			break

@@ -68,6 +68,27 @@ func NewChunked(g *graph.Graph, nodes int) (*Chunked, error) {
 	return &Chunked{boundaries: b}, nil
 }
 
+// FromBounds builds a contiguous partition from explicit boundaries:
+// bounds[0] must be 0 and the array non-decreasing; bounds[len-1] is the
+// vertex count. The recovery path uses it to install ownership ranges
+// produced by balance.Shrink after a rank death.
+func FromBounds(bounds []uint32) (*Chunked, error) {
+	if len(bounds) < 2 {
+		return nil, errors.New("partition: need at least two boundaries")
+	}
+	if bounds[0] != 0 {
+		return nil, errors.New("partition: boundaries must start at 0")
+	}
+	b := make([]graph.VertexID, len(bounds))
+	for i, x := range bounds {
+		if i > 0 && x < bounds[i-1] {
+			return nil, fmt.Errorf("partition: boundary %d decreases", i)
+		}
+		b[i] = graph.VertexID(x)
+	}
+	return &Chunked{boundaries: b}, nil
+}
+
 // NewChunkedUniform splits [0,n) into near-equal vertex-count ranges,
 // ignoring degrees. Used by tests and by the RMAT scale-out runs where the
 // generator already randomises degree placement.

@@ -1,0 +1,57 @@
+package service
+
+// Internal tests for the request-context plumbing: they reach the session
+// pool directly to pin its only session, simulating a wedged run, and
+// require context-bound mutations and registrations to fail fast instead of
+// queueing behind it forever.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+)
+
+func TestApplyCtxGivesUpWhenPoolIsPinned(t *testing.T) {
+	g := gen.Uniform(200, 800, 4, 7)
+	svc, err := New(g, Config{Nodes: 1, Sessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Register("sssp", "f64", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the pool's only session, as a wedged run would.
+	sess, err := svc.pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := &Batch{Adds: []graph.Edge{{Src: 0, Dst: 150, Weight: 1}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := svc.ApplyCtx(ctx, batch); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ApplyCtx behind a pinned pool: %v, want DeadlineExceeded", err)
+	}
+
+	rctx, rcancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer rcancel()
+	if _, err := svc.RegisterCtx(rctx, "bfs", "u32", 0, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RegisterCtx behind a pinned pool: %v, want DeadlineExceeded", err)
+	}
+
+	// Releasing the session restores normal service: the same batch applies.
+	svc.pool.Release(sess)
+	snap, err := svc.Apply(batch)
+	if err != nil {
+		t.Fatalf("Apply after release: %v", err)
+	}
+	if snap.Stats.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", snap.Stats.Batches)
+	}
+}

@@ -329,7 +329,10 @@ func handleMutate(s *Service, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	snap, err := s.Apply(b)
+	// The request context bounds the session-pool wait: a client that gives
+	// up (or a server shutting down) stops queueing for a session instead of
+	// pinning /mutate behind a wedged run.
+	snap, err := s.ApplyCtx(r.Context(), b)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -370,7 +373,7 @@ func handleRegister(s *Service, w http.ResponseWriter, r *http.Request) {
 	if req.Iters <= 0 {
 		req.Iters = 10
 	}
-	snap, err := s.Register(req.App, req.Domain, graph.VertexID(req.Root), req.Iters)
+	snap, err := s.RegisterCtx(r.Context(), req.App, req.Domain, graph.VertexID(req.Root), req.Iters)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,7 +24,7 @@ import (
 // Errors abort the batch: the caller publishes no snapshot unless every
 // program re-ran. The first error in program-id order is returned so
 // failure messages are deterministic.
-func (s *Service) reexecuteAll(cur *Snapshot, g2, sym2 *graph.Graph, symAdds, adds []graph.Edge, full bool) (map[string]*Program, error) {
+func (s *Service) reexecuteAll(ctx context.Context, cur *Snapshot, g2, sym2 *graph.Graph, symAdds, adds []graph.Edge, full bool) (map[string]*Program, error) {
 	out := make(map[string]*Program, len(cur.Programs))
 	errs := make(map[string]error, len(cur.Programs))
 	var mu sync.Mutex
@@ -32,7 +33,7 @@ func (s *Service) reexecuteAll(cur *Snapshot, g2, sym2 *graph.Graph, symAdds, ad
 		wg.Add(1)
 		go func(id string, p *Program) {
 			defer wg.Done()
-			np, err := s.reexecuteOne(p, g2, sym2, symAdds, adds, full)
+			np, err := s.reexecuteOne(ctx, p, g2, sym2, symAdds, adds, full)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -56,8 +57,10 @@ func (s *Service) reexecuteAll(cur *Snapshot, g2, sym2 *graph.Graph, symAdds, ad
 
 // reexecuteOne runs one program's re-execution on a session acquired for
 // exactly its duration; Release heals the session if the run poisoned it.
-func (s *Service) reexecuteOne(p *Program, g2, sym2 *graph.Graph, symAdds, adds []graph.Edge, full bool) (*Program, error) {
-	sess, err := s.pool.Acquire()
+// The acquire is context-bound: a cancelled request stops queueing instead
+// of waiting on a session a wedged run may never release.
+func (s *Service) reexecuteOne(ctx context.Context, p *Program, g2, sym2 *graph.Graph, symAdds, adds []graph.Edge, full bool) (*Program, error) {
+	sess, err := s.pool.AcquireCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -215,6 +216,14 @@ func ProgramID(key, domain string) string { return key + ":" + domain }
 // result and warm-start state. root/iters parameterise the program like the
 // CLI flags of the same names.
 func (s *Service) Register(key, domain string, root graph.VertexID, iters int) (*Snapshot, error) {
+	return s.RegisterCtx(context.Background(), key, domain, root, iters)
+}
+
+// RegisterCtx is Register bounded by ctx: a cancelled context releases the
+// caller while it is still queueing for a pooled session, so a wedged run
+// elsewhere cannot pin registrations forever. Cancellation is only observed
+// at the session-acquire point — once the cold run starts it completes.
+func (s *Service) RegisterCtx(ctx context.Context, key, domain string, root graph.VertexID, iters int) (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed.Load() {
@@ -253,7 +262,7 @@ func (s *Service) Register(key, domain string, root graph.VertexID, iters int) (
 	opt := s.runOptions()
 	opt.Guidance = gd
 	opt.GuidanceRoots = roots
-	sess, err := s.pool.Acquire()
+	sess, err := s.pool.AcquireCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("service: registration run for %s: %w", id, err)
 	}
@@ -298,6 +307,15 @@ func (s *Service) successor(cur *Snapshot) *Snapshot {
 // readers never observe a version whose results lag its graph. Deletions
 // take the fallback path: full guidance regeneration and cold re-runs.
 func (s *Service) Apply(b *Batch) (*Snapshot, error) {
+	return s.ApplyCtx(context.Background(), b)
+}
+
+// ApplyCtx is Apply bounded by ctx: re-executions queueing for a pooled
+// session give up with the context's error when it is cancelled first, so
+// one wedged run cannot pin every subsequent mutation. Cancellation is only
+// observed while queueing — an in-flight re-execution completes, and the
+// batch as a whole still publishes all-or-nothing.
+func (s *Service) ApplyCtx(ctx context.Context, b *Batch) (*Snapshot, error) {
 	if b == nil || (b.AddVertices == 0 && len(b.Adds) == 0 && len(b.Deletes) == 0) {
 		return nil, errors.New("service: empty mutation batch")
 	}
@@ -357,7 +375,7 @@ func (s *Service) Apply(b *Batch) (*Snapshot, error) {
 		next.Stats.Incremental++
 	}
 
-	reexecuted, err := s.reexecuteAll(cur, g2, sym2, symAdds, b.Adds, full)
+	reexecuted, err := s.reexecuteAll(ctx, cur, g2, sym2, symAdds, b.Adds, full)
 	if err != nil {
 		return nil, fmt.Errorf("service: re-execution at version %d failed: %w", next.Version, err)
 	}
