@@ -65,6 +65,9 @@ func main() {
 	ftEvery := flag.Int("ft-every", 8, "checkpoint interval in supersteps under -ft")
 	ftInterval := flag.Duration("ft-interval", 0, "heartbeat probe period under -ft (0 = 25ms)")
 	ftDead := flag.Duration("ft-dead", 0, "silence after which a rank is declared dead under -ft (0 = 10x the probe period)")
+	ftTCP := flag.Bool("ft-tcp", false, "run membership epochs over a real loopback TCP mesh under -ft")
+	ftRejoin := flag.Bool("ft-rejoin", false, "enable elastic re-expansion under -ft: restart dead ranks and grow them back into the next epoch (requires -ft-tcp)")
+	ftRejoinWindow := flag.Duration("ft-rejoin-window", 0, "how long a recovery transition waits for restarted ranks under -ft-rejoin (0 = 2s)")
 	verbose := flag.Bool("v", false, "print per-iteration statistics")
 	flag.Usage = usage
 	flag.Parse()
@@ -120,6 +123,9 @@ func main() {
 			DeadAfter:         *ftDead,
 			CkptDir:           dir,
 			CkptEvery:         *ftEvery,
+			TCPLoopback:       *ftTCP,
+			Rejoin:            *ftRejoin,
+			RejoinWindow:      *ftRejoinWindow,
 		}
 	}
 	appKey := strings.ToLower(*app)
@@ -158,6 +164,12 @@ func main() {
 			} else {
 				fmt.Printf("fault-tolerance: epochs=%d deaths=%v resume-iter=%d replayed=%d recover=%v replica=%v\n",
 					rep.Epochs, rep.Deaths, rep.ResumeIter, rep.ReplayedSupersteps, rep.RecoverTime, rep.RestoredFromReplica)
+				if len(rep.Rejoined) > 0 {
+					fmt.Printf("rejoin: ranks=%v rejoin=%v redistributed=%dB final-members=%d\n",
+						rep.Rejoined, rep.RejoinTime, rep.RedistributedBytes, rep.FinalMembers)
+				} else if rep.Degraded {
+					fmt.Printf("rejoin: degraded — no rank made the window; continuing with %d members\n", rep.FinalMembers)
+				}
 			}
 		}
 		fmt.Printf("delta-sync: strategy=%v supersteps dense=%d sparse=%d overlapped=%d flush=%dB codec-picks=%s\n",

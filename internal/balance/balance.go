@@ -117,6 +117,40 @@ func Shrink(r *Ranges, dead []int) (*Ranges, error) {
 	return NewRanges(nb)
 }
 
+// Grow is the inverse of Shrink for elastic re-expansion: given the
+// original epoch's ranges, the workers that died, and the subset of those
+// that have been readmitted, it returns the ownership map for the grown
+// membership — revived workers get their original ranges back, while
+// workers that stayed dead remain folded into their surviving
+// predecessors. Growing back every dead worker reproduces the original
+// ranges exactly (Grow(r, dead, dead) == r), which is what lets a rejoined
+// cluster resume bit-identical at full size. revived must be a subset of
+// dead.
+func Grow(original *Ranges, dead, revived []int) (*Ranges, error) {
+	k := original.Workers()
+	isDead := make([]bool, k)
+	for _, d := range dead {
+		if d < 0 || d >= k {
+			return nil, fmt.Errorf("balance: dead worker %d outside [0,%d)", d, k)
+		}
+		isDead[d] = true
+	}
+	stillDead := make([]int, 0, len(dead))
+	seen := make([]bool, k)
+	for _, r := range revived {
+		if r < 0 || r >= k || !isDead[r] {
+			return nil, fmt.Errorf("balance: revived worker %d was not among the dead", r)
+		}
+		seen[r] = true
+	}
+	for _, d := range dead {
+		if !seen[d] {
+			stillDead = append(stillDead, d)
+		}
+	}
+	return Shrink(original, stillDead)
+}
+
 // Spread is the imbalance statistic the paper reports in Figure 10b: the
 // relative gap between the slowest and fastest worker,
 // (max-min)/max. Zero times yield zero spread.

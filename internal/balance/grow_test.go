@@ -1,0 +1,69 @@
+package balance
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGrowInvertsShrink(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []uint32
+		dead    []int
+		revived []int
+		want    []uint32
+	}{
+		{"full revival restores the original", []uint32{0, 10, 20, 30}, []int{1}, []int{1}, []uint32{0, 10, 20, 30}},
+		{"revive one of two", []uint32{0, 10, 20, 30, 40}, []int{1, 3}, []int{3}, []uint32{0, 20, 30, 40}},
+		{"revive the other of two", []uint32{0, 10, 20, 30, 40}, []int{1, 3}, []int{1}, []uint32{0, 10, 20, 40}},
+		{"nobody revives equals shrink", []uint32{0, 10, 20, 30}, []int{2}, nil, []uint32{0, 10, 30}},
+		{"leading rank revives", []uint32{0, 10, 20, 30}, []int{0}, []int{0}, []uint32{0, 10, 20, 30}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Grow(mustRanges(t, tc.bounds), tc.dead, tc.revived)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Bounds(), tc.want) {
+				t.Fatalf("Grow(%v, %v, %v) = %v, want %v", tc.bounds, tc.dead, tc.revived, got.Bounds(), tc.want)
+			}
+		})
+	}
+}
+
+// TestGrowShrinkRoundTrip checks the elastic-membership identity on every
+// dead/revived combination of a 5-worker map: fully reviving the dead set
+// always reproduces the original ranges bit for bit.
+func TestGrowShrinkRoundTrip(t *testing.T) {
+	bounds := []uint32{0, 3, 3, 9, 14, 20}
+	for mask := 1; mask < 1<<5-1; mask++ {
+		var dead []int
+		for i := 0; i < 5; i++ {
+			if mask&(1<<i) != 0 {
+				dead = append(dead, i)
+			}
+		}
+		orig := mustRanges(t, bounds)
+		grown, err := Grow(orig, dead, dead)
+		if err != nil {
+			t.Fatalf("dead %v: %v", dead, err)
+		}
+		if !reflect.DeepEqual(grown.Bounds(), bounds) {
+			t.Fatalf("dead %v: Grow(r, dead, dead) = %v, want %v", dead, grown.Bounds(), bounds)
+		}
+	}
+}
+
+func TestGrowErrors(t *testing.T) {
+	r := mustRanges(t, []uint32{0, 10, 20, 30})
+	if _, err := Grow(r, []int{1}, []int{2}); err == nil {
+		t.Error("reviving a worker that never died: want error")
+	}
+	if _, err := Grow(r, []int{3}, nil); err == nil {
+		t.Error("dead id out of range: want error")
+	}
+	if _, err := Grow(r, []int{1}, []int{-1}); err == nil {
+		t.Error("negative revived id: want error")
+	}
+}

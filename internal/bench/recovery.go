@@ -8,6 +8,7 @@ import (
 
 	"slfe/internal/cluster"
 	"slfe/internal/comm"
+	"slfe/internal/graph"
 )
 
 // recoveryApps is the experiment's application matrix: one frontier-driven
@@ -26,6 +27,12 @@ var recoveryApps = []string{"SSSP", "PR"}
 // replica was used, and whether the recovered values are bit-identical to
 // the undisturbed run — the correctness claim the whole subsystem rests on.
 // With a trace exporter configured the table is exported as a TSV series.
+//
+// A second table measures elastic re-expansion over a real loopback TCP
+// mesh: the killed rank restarts, rejoins, and is grown back into the next
+// epoch. Reported per app: time-to-rejoin, checkpoint bytes redistributed
+// over the rejoin connection, and the grown epoch's superstep throughput
+// against both the undisturbed run and the shrunk (no-rejoin) recovery.
 func Recovery(c Config) error {
 	c.defaults()
 	nodes := c.Nodes
@@ -39,7 +46,7 @@ func Recovery(c Config) error {
 	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Recovery: kill 1 of %d ranks mid-run, restore from buddy-replicated checkpoints\n", nodes)
 	fmt.Fprintln(tw, "app\tbase_s\tfaulted_s\tdetect_ms\trecover_ms\tresume_iter\treplayed\tepochs\treplica\tbit-identical")
-	var rows [][]string
+	var rows, rejoinRows [][]string
 	for _, app := range recoveryApps {
 		p, err := c.Program(app, g)
 		if err != nil {
@@ -108,10 +115,150 @@ func Recovery(c Config) error {
 			fmt.Sprintf("%v", rep.RestoredFromReplica),
 			fmt.Sprintf("%v", match),
 		})
+
+		// Elastic re-expansion: same kill, but over a real TCP mesh with the
+		// dead rank restarted and grown back into the next epoch. The
+		// undisturbed reference runs over the same mesh and checkpoint
+		// cadence, so the throughput ratio isolates the membership effect
+		// from transport and checkpoint cost.
+		rrep, rthroughput, err := rejoinRun(c, app, g, nodes, base)
+		if err != nil {
+			return err
+		}
+		baseSteps, err := tcpBaseline(c, app, g, nodes)
+		if err != nil {
+			return err
+		}
+		shrunkSteps := lastEpochThroughput(rep)
+		rejoinRows = append(rejoinRows, []string{
+			app,
+			fmt.Sprintf("%.3f", float64(rrep.RejoinTime.Microseconds())/1000),
+			fmt.Sprintf("%d", rrep.RedistributedBytes),
+			fmt.Sprintf("%d", len(rrep.Rejoined)),
+			fmt.Sprintf("%v", rrep.Degraded),
+			fmt.Sprintf("%.3f", baseSteps),
+			fmt.Sprintf("%.3f", shrunkSteps),
+			fmt.Sprintf("%.3f", rthroughput),
+			fmt.Sprintf("%.3f", ratioOf(rthroughput, baseSteps)),
+		})
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintf(tw, "Rejoin: restart the killed rank over loopback TCP and grow it back into the next epoch\n")
+	fmt.Fprintln(tw, "app\trejoin_ms\tredist_bytes\trejoined\tdegraded\tbase_steps_s\tshrunk_steps_s\tgrown_steps_s\tgrown_vs_base")
+	for _, r := range rejoinRows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n", r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7], r[8])
 	}
 	if err := c.Trace.Table("recovery",
 		[]string{"app", "baseline_s", "faulted_s", "detect_ms", "recover_ms", "resume_iter", "replayed", "epochs", "replica", "match"}, rows); err != nil {
 		return err
 	}
+	if err := c.Trace.Table("rejoin",
+		[]string{"app", "rejoin_ms", "redist_bytes", "rejoined", "degraded", "base_steps_s", "shrunk_steps_s", "grown_steps_s", "grown_vs_base"}, rejoinRows); err != nil {
+		return err
+	}
 	return tw.Flush()
+}
+
+// rejoinRun executes one kill-restart-rejoin experiment over a loopback TCP
+// mesh and returns the recovery report plus the grown (final) epoch's
+// superstep throughput. The recovered values are verified bit-identical
+// against the undisturbed baseline before anything is reported.
+func rejoinRun(c Config, app string, g *graph.Graph, nodes int, base *cluster.RunResult[float64]) (*cluster.RecoveryReport, float64, error) {
+	p, err := c.Program(app, g)
+	if err != nil {
+		return nil, 0, err
+	}
+	dir, err := os.MkdirTemp("", "slfe-rejoin-*")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	f := comm.NewFaults()
+	f.KillAfterSends(nodes-1, base.Comm.MessagesSent/2)
+	opt := cluster.Options{Nodes: nodes, Threads: c.Threads, Stealing: true, RR: true}
+	opt.FT = &cluster.FTOptions{
+		HeartbeatInterval: 5 * time.Millisecond,
+		SuspectAfter:      150 * time.Millisecond,
+		DeadAfter:         400 * time.Millisecond,
+		CkptDir:           dir,
+		CkptEvery:         2,
+		Faults:            f,
+		TCPLoopback:       true,
+		Rejoin:            true,
+		RejoinWindow:      5 * time.Second,
+		RestartDelay:      30 * time.Millisecond,
+	}
+	got, err := cluster.Execute(g, p, opt)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rejoin %s faulted run: %w", app, err)
+	}
+	rep := got.Recovery
+	if rep == nil {
+		return nil, 0, fmt.Errorf("rejoin %s: faulted run returned no recovery report", app)
+	}
+	if len(got.Result.Values) != len(base.Result.Values) {
+		return nil, 0, fmt.Errorf("rejoin %s: value count diverged", app)
+	}
+	for i := range base.Result.Values {
+		if got.Result.Values[i] != base.Result.Values[i] {
+			return nil, 0, fmt.Errorf("rejoin %s: recovered values diverged from the undisturbed run", app)
+		}
+	}
+	return rep, lastEpochThroughput(rep), nil
+}
+
+// tcpBaseline measures the undisturbed superstep throughput over the same
+// loopback TCP mesh and checkpoint cadence the rejoin experiment uses: a
+// clean single-epoch FT run.
+func tcpBaseline(c Config, app string, g *graph.Graph, nodes int) (float64, error) {
+	p, err := c.Program(app, g)
+	if err != nil {
+		return 0, err
+	}
+	dir, err := os.MkdirTemp("", "slfe-rejoin-base-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	opt := cluster.Options{Nodes: nodes, Threads: c.Threads, Stealing: true, RR: true}
+	opt.FT = &cluster.FTOptions{
+		HeartbeatInterval: 5 * time.Millisecond,
+		SuspectAfter:      150 * time.Millisecond,
+		DeadAfter:         400 * time.Millisecond,
+		CkptDir:           dir,
+		CkptEvery:         2,
+		TCPLoopback:       true,
+	}
+	got, err := cluster.Execute(g, p, opt)
+	if err != nil {
+		return 0, fmt.Errorf("rejoin %s TCP baseline: %w", app, err)
+	}
+	if got.Recovery == nil || len(got.Recovery.EpochStats) == 0 {
+		return 0, fmt.Errorf("rejoin %s TCP baseline: no epoch stats", app)
+	}
+	return lastEpochThroughput(got.Recovery), nil
+}
+
+// lastEpochThroughput is the final membership epoch's supersteps per
+// second — the post-recovery (shrunk or grown) pace of the cluster.
+func lastEpochThroughput(rep *cluster.RecoveryReport) float64 {
+	if len(rep.EpochStats) == 0 {
+		return 0
+	}
+	last := rep.EpochStats[len(rep.EpochStats)-1]
+	return stepsPerSec(last.Supersteps, last.Elapsed)
+}
+
+func stepsPerSec(steps int, d time.Duration) float64 {
+	if steps <= 0 || d <= 0 {
+		return 0
+	}
+	return float64(steps) / d.Seconds()
+}
+
+func ratioOf(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
 }

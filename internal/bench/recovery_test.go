@@ -72,16 +72,67 @@ func TestRecoveryWithinBound(t *testing.T) {
 }
 
 // TestRecoveryExperimentRuns smoke-tests the full experiment table at tiny
-// scale, including its internal bit-identity verification.
+// scale, including its internal bit-identity verification and the rejoin
+// section.
 func TestRecoveryExperimentRuns(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Recovery(Config{Scale: 4000, Nodes: 3, Threads: 1, PRIters: 6, Out: &buf}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"Recovery:", "SSSP", "PR", "true"} {
+	for _, want := range []string{"Recovery:", "SSSP", "PR", "true", "Rejoin:", "grown_steps_s"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("experiment output missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// TestRejoinThroughputRecovers is the CI guard for elastic re-expansion:
+// after a killed rank rejoins, the grown epoch's superstep throughput must
+// recover to at least 90% of an undisturbed run over the same TCP mesh and
+// checkpoint cadence. PageRank is the probe — its per-superstep cost is
+// stable, so the ratio isolates membership effects from frontier shape.
+// Timing-sensitive, so the guard passes if any of three attempts meets the
+// bar; a structural regression (rejoined epoch stuck shrunk,
+// redistribution on the superstep path) fails all three.
+func TestRejoinThroughputRecovers(t *testing.T) {
+	c := Config{Scale: 1000, Nodes: 3, Threads: 1, PRIters: 24}
+	c.defaults()
+	g, err := c.Graph("PK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const attempts = 3
+	var lastRatio float64
+	for attempt := 0; attempt < attempts; attempt++ {
+		p, err := c.Program("PR", g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := cluster.Execute(g, p, cluster.Options{Nodes: 3, Threads: 1, Stealing: true, RR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, grown, err := rejoinRun(c, "PR", g, 3, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Degraded || len(rep.Rejoined) == 0 {
+			t.Logf("attempt %d: rejoin degraded (rejoined=%v); retrying", attempt, rep.Rejoined)
+			continue
+		}
+		if rep.FinalMembers != 3 {
+			t.Fatalf("final members = %d, want full size 3", rep.FinalMembers)
+		}
+		baseSteps, err := tcpBaseline(c, "PR", g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastRatio = ratioOf(grown, baseSteps)
+		if lastRatio >= 0.9 {
+			return
+		}
+		t.Logf("attempt %d: grown/base throughput = %.3f (< 0.9); retrying", attempt, lastRatio)
+	}
+	t.Fatalf("rejoined throughput never reached 90%% of undisturbed across %d attempts (last ratio %.3f)", attempts, lastRatio)
 }

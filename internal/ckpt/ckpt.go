@@ -132,6 +132,22 @@ func (s *State) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
+// Encode serialises the shard to a byte slice — the WriteTo format, used
+// when a state travels over a connection (replica streaming, rejoin
+// redistribution) rather than to a file.
+func (s *State) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState parses a shard from a byte slice written by Encode/WriteTo.
+func DecodeState(data []byte) (*State, error) {
+	return ReadState(bytes.NewReader(data))
+}
+
 // appendWords writes a length-prefixed word array at the given width.
 func appendWords(buf []byte, words []uint64, width int) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(words)))

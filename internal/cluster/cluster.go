@@ -80,8 +80,12 @@ type Options struct {
 	// run for each membership epoch.
 	perRankCkpt []*ckpt.Manager // private checkpoint manager per rank
 	restore     *ckpt.State     // pre-merged restore state for every rank
-	bounds      []uint32        // explicit partition boundaries
-	progress    func(iter int)  // per-superstep progress hook
+	// restorePerRank overrides restore for individual ranks: a rejoined
+	// rank resumes from the state shipped over its rejoin connection, not
+	// from the driver's in-memory merge.
+	restorePerRank []*ckpt.State
+	bounds         []uint32       // explicit partition boundaries
+	progress       func(iter int) // per-superstep progress hook
 }
 
 // RunResult is the outcome of a cluster execution over property type V.
@@ -216,6 +220,10 @@ func run[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transpor
 			if opt.perRankCkpt != nil {
 				ck = opt.perRankCkpt[rank]
 			}
+			restore := opt.restore
+			if opt.restorePerRank != nil && opt.restorePerRank[rank] != nil {
+				restore = opt.restorePerRank[rank]
+			}
 			eng, err := core.New[V](core.Config{
 				Graph:            g,
 				Comm:             cm,
@@ -237,7 +245,7 @@ func run[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transpor
 				RebalanceEvery:   opt.RebalanceEvery,
 				RebalanceDamping: opt.RebalanceDamping,
 				Ckpt:             ck,
-				Restore:          opt.restore,
+				Restore:          restore,
 				Progress:         opt.progress,
 			})
 			if err != nil {

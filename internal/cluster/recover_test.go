@@ -32,7 +32,7 @@ func ftGraph() *graph.Graph {
 // the recovery driver, and requires bit-identical values plus a recovery
 // report matching wantDead. inject receives the undisturbed run's message
 // count so triggers can fire mid-run regardless of program or scale.
-func ftDiff[V comparable](t *testing.T, g *graph.Graph, mk func() *core.Program[V], opt cluster.Options, inject func(f *comm.Faults, total int64), wantDead []int) *cluster.RecoveryReport {
+func ftDiff[V comparable](t *testing.T, g *graph.Graph, mk func() *core.Program[V], opt cluster.Options, inject func(f *comm.Faults, total int64), wantDead []int, mods ...func(*cluster.FTOptions)) *cluster.RecoveryReport {
 	t.Helper()
 	base, err := cluster.Execute(g, mk(), opt)
 	if err != nil {
@@ -59,6 +59,9 @@ func ftDiff[V comparable](t *testing.T, g *graph.Graph, mk func() *core.Program[
 				}
 			}
 		},
+	}
+	for _, mod := range mods {
+		mod(fopt.FT)
 	}
 	got, err := cluster.Execute(g, mk(), fopt)
 	if err != nil {

@@ -130,9 +130,7 @@ func TestTCPRejectsBogusHandshake(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], 99)
-	if _, err := conn.Write(buf[:]); err != nil {
+	if err := writeHello(conn, kindMesh, 0, 99, time.Now().Add(2*time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-done; err == nil {
@@ -169,10 +167,12 @@ func TestTCPGarbageStreamClosesInbox(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	var hs [4]byte
-	binary.LittleEndian.PutUint32(hs[:], 1) // legitimate handshake as rank 1
-	if _, err := conn.Write(hs[:]); err != nil {
+	// Legitimate handshake as rank 1.
+	if err := writeHello(conn, kindMesh, 0, 1, time.Now().Add(2*time.Second)); err != nil {
 		t.Fatal(err)
+	}
+	if st, err := readStatus(conn, time.Now().Add(2*time.Second)); err != nil || st != hsOK {
+		t.Fatalf("handshake status %d, err %v", st, err)
 	}
 	var tr Transport
 	select {

@@ -18,19 +18,114 @@ const frameHeaderLen = 4 + 2 + 4
 // the caller (the engine batches per-superstep updates well below this).
 const maxFrameLen = 1 << 30
 
+// Connection handshake. Every TCP connection between ranks opens with a
+// fixed-size hello — magic, connection kind, membership epoch, sender's
+// rank — and the acceptor answers with one status byte. The epoch tag is
+// what makes reconnection safe: a connection from a previous membership
+// epoch (a rank that died, restarted, and redialled with stale knowledge)
+// identifies itself as stale instead of silently joining the wrong mesh.
+const (
+	helloMagic = "SLFM"
+	helloLen   = 4 + 1 + 4 + 4 // magic | kind | epoch u32 | rank u32
+
+	// connection kinds
+	kindMesh   byte = 0 // mesh formation: part of a Join for the epoch
+	kindRejoin byte = 1 // rejoin announcement: a restarted rank asking back in
+
+	// handshake status replies
+	hsOK     byte = 0 // accepted
+	hsRetry  byte = 1 // not ready for this epoch yet (or rejoin queue full): back off and retry
+	hsStale  byte = 2 // epoch is in the past: give up, the mesh moved on
+	hsReject byte = 3 // refused (unknown rank, not a member, node closing)
+	hsAdmit  byte = 4 // rejoin admission follows (length-prefixed payload)
+)
+
+// handshakeTimeout bounds how long an accepted connection may sit half-open
+// before the hello must have arrived; connections that never complete the
+// handshake are reaped instead of pinning an accept slot forever.
+const handshakeTimeout = 2 * time.Second
+
 // tcpTransport is a full-mesh TCP Transport. Rank i listens on addrs[i];
 // every pair of ranks shares one connection (dialled by the lower rank).
+//
+// Two failure disciplines share the implementation. A strict transport
+// (DialTCP) treats any peer connection error as whole-group death: the
+// inbox closes and every pending operation returns ErrClosed — the right
+// model for run-to-completion jobs where membership never changes. A
+// resilient transport (MeshNode.Join) treats a peer connection error as
+// that peer's death only: the peer slot is cleared, later sends to it are
+// silently dropped (frames to a powered-off host vanish), and the
+// transport stays alive so the failure detector — not the socket layer —
+// decides when the group is broken.
 type tcpTransport struct {
-	rank   int
-	size   int
-	peers  []net.Conn // peers[rank] == nil
-	sendMu []sync.Mutex
-	inbox  *typedQueues
-	stats  statCounters
+	rank      int
+	size      int
+	resilient bool
+	peers     []net.Conn   // peers[rank] == nil; guarded by sendMu per slot
+	sendMu    []sync.Mutex // serialises writes and peer-slot access per peer
+	inbox     *typedQueues
+	stats     statCounters
 
 	closed    atomic.Bool
+	abortOnce sync.Once
 	closeOnce sync.Once
 	closeErr  error
+}
+
+func newTCPTransport(rank, size int, resilient bool) *tcpTransport {
+	return &tcpTransport{
+		rank:      rank,
+		size:      size,
+		resilient: resilient,
+		peers:     make([]net.Conn, size),
+		sendMu:    make([]sync.Mutex, size),
+		inbox:     newTypedQueues(),
+	}
+}
+
+// writeHello sends the connection-opening hello frame.
+func writeHello(conn net.Conn, kind byte, epoch uint32, rank int, deadline time.Time) error {
+	var buf [helloLen]byte
+	copy(buf[:4], helloMagic)
+	buf[4] = kind
+	binary.LittleEndian.PutUint32(buf[5:], epoch)
+	binary.LittleEndian.PutUint32(buf[9:], uint32(rank))
+	conn.SetWriteDeadline(deadline)
+	_, err := conn.Write(buf[:])
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// readHello reads and validates a hello frame, enforcing the half-open
+// reaping deadline.
+func readHello(conn net.Conn, deadline time.Time) (kind byte, epoch uint32, rank int, err error) {
+	var buf [helloLen]byte
+	conn.SetReadDeadline(deadline)
+	if _, err = io.ReadFull(conn, buf[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	if string(buf[:4]) != helloMagic {
+		return 0, 0, 0, errors.New("comm: bad handshake magic")
+	}
+	return buf[4], binary.LittleEndian.Uint32(buf[5:]), int(binary.LittleEndian.Uint32(buf[9:])), nil
+}
+
+func writeStatus(conn net.Conn, status byte) error {
+	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	_, err := conn.Write([]byte{status})
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+func readStatus(conn net.Conn, deadline time.Time) (byte, error) {
+	var b [1]byte
+	conn.SetReadDeadline(deadline)
+	if _, err := io.ReadFull(conn, b[:]); err != nil {
+		return 0, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	return b[0], nil
 }
 
 // DialTCP connects rank into a full mesh of size ranks; addrs lists every
@@ -43,30 +138,50 @@ func DialTCP(rank, size int, addrs []string, timeout time.Duration) (Transport, 
 	if len(addrs) != size {
 		return nil, fmt.Errorf("comm: need %d addresses, got %d", size, len(addrs))
 	}
-	t := &tcpTransport{
-		rank:   rank,
-		size:   size,
-		peers:  make([]net.Conn, size),
-		sendMu: make([]sync.Mutex, size),
-		inbox:  newTypedQueues(),
-	}
 	if size == 1 {
-		return t, nil
+		return newTCPTransport(rank, size, false), nil
 	}
-
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("comm: listen %s: %w", addrs[rank], err)
+	}
+	return DialTCPOn(rank, size, addrs, ln, timeout)
+}
+
+// DialTCPOn is DialTCP over a live listener the caller already holds for
+// addrs[rank]. Handing the listener in — instead of closing a probe
+// listener and re-listening — removes the port-claim gap in which another
+// process could steal the port. DialTCPOn takes ownership of ln and closes
+// it once mesh formation finishes (successfully or not).
+func DialTCPOn(rank, size int, addrs []string, ln net.Listener, timeout time.Duration) (Transport, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		ln.Close()
+		return nil, fmt.Errorf("comm: invalid rank %d of %d", rank, size)
+	}
+	if len(addrs) != size {
+		ln.Close()
+		return nil, fmt.Errorf("comm: need %d addresses, got %d", size, len(addrs))
+	}
+	t := newTCPTransport(rank, size, false)
+	if size == 1 {
+		ln.Close()
+		return t, nil
 	}
 	defer ln.Close()
 	deadline := time.Now().Add(timeout)
 
 	var mu sync.Mutex
 	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	var wg sync.WaitGroup
 
-	// Accept connections from lower-numbered... actually from higher ranks:
-	// rank i dials every rank j < i, so rank j accepts size-1-j connections.
+	// Rank i dials every rank j < i, so rank j accepts size-1-j connections.
 	expect := size - 1 - rank
 	wg.Add(1)
 	go func() {
@@ -77,34 +192,24 @@ func DialTCP(rank, size int, addrs []string, timeout time.Duration) (Transport, 
 			}
 			conn, err := ln.Accept()
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("comm: accept: %w", err)
-				}
-				mu.Unlock()
+				fail(fmt.Errorf("comm: accept: %w", err))
 				return
 			}
-			// Handshake: peer announces its rank as a u32.
-			var buf [4]byte
-			conn.SetReadDeadline(deadline)
-			if _, err := io.ReadFull(conn, buf[:]); err != nil {
+			kind, epoch, peer, err := readHello(conn, deadline)
+			if err != nil {
 				conn.Close()
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("comm: handshake read: %w", err)
-				}
-				mu.Unlock()
+				fail(fmt.Errorf("comm: handshake read: %w", err))
 				return
 			}
-			conn.SetReadDeadline(time.Time{})
-			peer := int(binary.LittleEndian.Uint32(buf[:]))
-			if peer <= rank || peer >= size {
+			if kind != kindMesh || epoch != 0 || peer <= rank || peer >= size {
+				writeStatus(conn, hsReject)
 				conn.Close()
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("comm: unexpected peer rank %d", peer)
-				}
-				mu.Unlock()
+				fail(fmt.Errorf("comm: unexpected peer rank %d", peer))
+				return
+			}
+			if err := writeStatus(conn, hsOK); err != nil {
+				conn.Close()
+				fail(fmt.Errorf("comm: handshake reply: %w", err))
 				return
 			}
 			mu.Lock()
@@ -127,24 +232,25 @@ func DialTCP(rank, size int, addrs []string, timeout time.Duration) (Transport, 
 					break
 				}
 				if time.Now().After(deadline) {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("comm: dial rank %d (%s): %w", peer, addrs[peer], err)
-					}
-					mu.Unlock()
+					fail(fmt.Errorf("comm: dial rank %d (%s): %w", peer, addrs[peer], err))
 					return
 				}
 				time.Sleep(10 * time.Millisecond)
 			}
-			var buf [4]byte
-			binary.LittleEndian.PutUint32(buf[:], uint32(rank))
-			if _, err := conn.Write(buf[:]); err != nil {
+			if err := writeHello(conn, kindMesh, 0, rank, deadline); err != nil {
 				conn.Close()
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("comm: handshake write: %w", err)
-				}
-				mu.Unlock()
+				fail(fmt.Errorf("comm: handshake write: %w", err))
+				return
+			}
+			status, err := readStatus(conn, deadline)
+			if err != nil {
+				conn.Close()
+				fail(fmt.Errorf("comm: handshake status: %w", err))
+				return
+			}
+			if status != hsOK {
+				conn.Close()
+				fail(fmt.Errorf("comm: rank %d refused handshake (status %d)", peer, status))
 				return
 			}
 			mu.Lock()
@@ -157,38 +263,68 @@ func DialTCP(rank, size int, addrs []string, timeout time.Duration) (Transport, 
 		t.Close()
 		return nil, firstErr
 	}
-	// Start one reader per peer.
+	t.startReaders()
+	return t, nil
+}
+
+// startReaders launches one reader goroutine per connected peer.
+func (t *tcpTransport) startReaders() {
 	for peer, conn := range t.peers {
 		if conn == nil {
 			continue
 		}
 		go t.readLoop(peer, conn)
 	}
-	return t, nil
 }
 
 func (t *tcpTransport) readLoop(peer int, conn net.Conn) {
+	// peerDown is how a broken connection surfaces: whole-group death for a
+	// strict transport, a single cleared peer slot for a resilient one.
+	peerDown := func() {
+		if t.resilient {
+			t.clearPeer(peer, conn)
+			return
+		}
+		t.inbox.close()
+	}
 	hdr := make([]byte, frameHeaderLen)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
-			// Connection closed (shutdown) or failed; wake any waiters.
-			t.inbox.close()
+			peerDown()
 			return
 		}
 		plen := binary.LittleEndian.Uint32(hdr[0:])
 		typ := binary.LittleEndian.Uint16(hdr[4:])
 		from := int(binary.LittleEndian.Uint32(hdr[6:]))
 		if plen > maxFrameLen || from != peer {
-			t.inbox.close()
+			peerDown()
 			return
 		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(conn, payload); err != nil {
-			t.inbox.close()
+			peerDown()
 			return
+		}
+		if typ == typeAbortCtl {
+			// In-band group-abort broadcast (resilient meshes): tear down the
+			// local queues so blocked collectives return ErrClosed, then keep
+			// draining the socket so peers' final writes never block.
+			t.inbox.close()
+			continue
 		}
 		t.inbox.push(Message{From: from, Type: typ, Payload: payload})
 	}
+}
+
+// clearPeer marks one peer's connection dead. Sends to a cleared peer are
+// silently dropped; the transport itself stays alive.
+func (t *tcpTransport) clearPeer(peer int, conn net.Conn) {
+	t.sendMu[peer].Lock()
+	if t.peers[peer] == conn {
+		t.peers[peer] = nil
+	}
+	t.sendMu[peer].Unlock()
+	conn.Close()
 }
 
 func (t *tcpTransport) Rank() int { return t.rank }
@@ -204,27 +340,57 @@ func (t *tcpTransport) Send(to int, typ uint16, payload []byte) error {
 	if len(payload) > maxFrameLen {
 		return fmt.Errorf("comm: payload %d exceeds frame limit", len(payload))
 	}
-	t.stats.record(len(payload))
 	if to == t.rank {
+		t.stats.record(len(payload))
 		p := make([]byte, len(payload))
 		copy(p, payload)
 		t.inbox.push(Message{From: t.rank, Type: typ, Payload: p})
 		return nil
 	}
-	conn := t.peers[to]
-	if conn == nil {
-		return errors.New("comm: no connection to peer")
+	err := t.writeFrame(to, typ, payload, time.Time{})
+	if err != nil && t.resilient {
+		// The peer died mid-write: like a frame to a powered-off host, the
+		// message vanishes. The failure detector owns the group verdict.
+		return nil
 	}
+	return err
+}
+
+// writeFrame writes one framed message to peer `to` under its send lock.
+// A cleared peer slot drops silently in resilient mode and errors in
+// strict mode. A non-zero deadline bounds the socket write (used by the
+// abort broadcast so it can never hang on a wedged peer).
+func (t *tcpTransport) writeFrame(to int, typ uint16, payload []byte, deadline time.Time) error {
 	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint16(hdr[4:], typ)
 	binary.LittleEndian.PutUint32(hdr[6:], uint32(t.rank))
 	t.sendMu[to].Lock()
 	defer t.sendMu[to].Unlock()
+	conn := t.peers[to]
+	if conn == nil {
+		if t.resilient {
+			return nil
+		}
+		return errors.New("comm: no connection to peer")
+	}
+	t.stats.record(len(payload))
+	if !deadline.IsZero() {
+		conn.SetWriteDeadline(deadline)
+		defer conn.SetWriteDeadline(time.Time{})
+	}
 	if _, err := conn.Write(hdr[:]); err != nil {
+		if t.resilient {
+			t.peers[to] = nil
+			conn.Close()
+		}
 		return fmt.Errorf("comm: send header: %w", err)
 	}
 	if _, err := conn.Write(payload); err != nil {
+		if t.resilient {
+			t.peers[to] = nil
+			conn.Close()
+		}
 		return fmt.Errorf("comm: send payload: %w", err)
 	}
 	return nil
@@ -242,7 +408,11 @@ func (t *tcpTransport) Close() error {
 	t.closeOnce.Do(func() {
 		t.closed.Store(true)
 		t.inbox.close()
-		for _, c := range t.peers {
+		for i := range t.peers {
+			t.sendMu[i].Lock()
+			c := t.peers[i]
+			t.peers[i] = nil
+			t.sendMu[i].Unlock()
 			if c != nil {
 				if err := c.Close(); err != nil && t.closeErr == nil {
 					t.closeErr = err
@@ -253,66 +423,78 @@ func (t *tcpTransport) Close() error {
 	return t.closeErr
 }
 
-// Abort implements Aborter. Closing the connections breaks every peer's
-// read loop, which closes their inboxes in turn — the TCP equivalent of the
-// local hub teardown.
-func (t *tcpTransport) Abort() { t.Close() }
+// Abort implements Aborter. A strict transport closes its connections,
+// which breaks every peer's read loop and closes their inboxes in turn —
+// the TCP equivalent of the local hub teardown. A resilient transport must
+// not let a socket close stand in for a group verdict, so it broadcasts an
+// explicit in-band abort frame (bounded by a write deadline), then closes
+// its own queues; peers that miss the frame still abort through their own
+// failure detectors, the broadcast just gets everyone there sooner.
+func (t *tcpTransport) Abort() {
+	if !t.resilient {
+		t.Close()
+		return
+	}
+	t.abortOnce.Do(func() {
+		deadline := time.Now().Add(time.Second)
+		for peer := range t.peers {
+			if peer == t.rank {
+				continue
+			}
+			// Best-effort: a dead or wedged peer is already being handled by
+			// its own detector.
+			_ = t.writeFrame(peer, typeAbortCtl, nil, deadline)
+		}
+		t.closed.Store(true)
+		t.inbox.close()
+	})
+}
 
 // LoopbackTCP dials a full TCP mesh of size ranks on 127.0.0.1 — the
 // loopback counterpart of NewLocalGroup, used by benchmarks and tests that
 // want real sockets (serialisation, kernel buffering, write syscalls) on
-// one machine. Ports are reserved by listening on :0 per rank and released
-// just before the concurrent DialTCP round claims them; that gap is an
-// inherent race (another process can snatch a released port), so a failed
-// mesh is retried with fresh ports a few times before giving up.
+// one machine. Each rank's listener is opened on :0 first and handed live
+// to DialTCPOn, so the port is owned continuously from allocation to mesh
+// formation — no reserve/release gap for another process to steal.
 func LoopbackTCP(size int, timeout time.Duration) ([]Transport, error) {
 	if size <= 0 {
 		return nil, errors.New("comm: group size must be positive")
 	}
-	var lastErr error
-	for attempt := 0; attempt < 3; attempt++ {
-		addrs := make([]string, size)
-		reserve := func() error {
-			for i := range addrs {
-				l, err := net.Listen("tcp", "127.0.0.1:0")
-				if err != nil {
-					return fmt.Errorf("comm: reserve loopback port: %w", err)
-				}
-				addrs[i] = l.Addr().String()
+	lns := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
 				l.Close()
 			}
-			return nil
+			return nil, fmt.Errorf("comm: listen loopback: %w", err)
 		}
-		if err := reserve(); err != nil {
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ts := make([]Transport, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for rank := 0; rank < size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ts[rank], errs[rank] = DialTCPOn(rank, size, addrs, lns[rank], timeout)
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, t := range ts {
+				if t != nil {
+					t.Close()
+				}
+			}
 			return nil, err
 		}
-		ts := make([]Transport, size)
-		errs := make([]error, size)
-		var wg sync.WaitGroup
-		for rank := 0; rank < size; rank++ {
-			wg.Add(1)
-			go func(rank int) {
-				defer wg.Done()
-				ts[rank], errs[rank] = DialTCP(rank, size, addrs, timeout)
-			}(rank)
-		}
-		wg.Wait()
-		lastErr = nil
-		for _, err := range errs {
-			if err != nil && lastErr == nil {
-				lastErr = err
-			}
-		}
-		if lastErr == nil {
-			return ts, nil
-		}
-		for _, t := range ts {
-			if t != nil {
-				t.Close()
-			}
-		}
 	}
-	return nil, lastErr
+	return ts, nil
 }
 
 func (t *tcpTransport) Stats() Stats { return t.stats.snapshot() }

@@ -40,6 +40,10 @@ const (
 	typeStream
 	typeHeartbeat
 	typeReplica
+	// typeAbortCtl is the resilient TCP mesh's in-band group-abort
+	// broadcast; it is consumed by the transport layer and never surfaces
+	// through Recv.
+	typeAbortCtl
 	// TypeUser is the first type available to applications.
 	TypeUser uint16 = 64
 )
