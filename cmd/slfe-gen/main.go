@@ -11,10 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"slfe/internal/gen"
 	"slfe/internal/graph"
 	"slfe/internal/loader"
+	"slfe/internal/store"
 )
 
 func main() {
@@ -29,7 +31,7 @@ func main() {
 	bridges := flag.Int("bridges", 8, "clustered: inter-cluster bridges")
 	name := flag.String("name", "PK", "dataset: short code from Table 4 (PK OK LJ WK DI ST FS RMAT)")
 	scale := flag.Int("scale", 100, "dataset: down-scale factor")
-	out := flag.String("o", "", "output path (.slfg = binary, otherwise text); default stdout text")
+	out := flag.String("o", "", "output path (.slfc = compressed CSR, .slfg = binary, otherwise text); default stdout text")
 	flag.Parse()
 
 	// Validate sizes up front: the generators index slices by these, so a
@@ -51,6 +53,51 @@ func main() {
 	}
 	if *scale < 1 {
 		fatal(fmt.Errorf("-scale must be at least 1 (got %d)", *scale))
+	}
+
+	// Streaming path: writing .slfc from a streamable generator never
+	// materialises the edge slice — edges flow through the store builder's
+	// spill file, so -m is bounded by disk, not RAM.
+	if strings.HasSuffix(*out, ".slfc") {
+		var streamN int
+		var stream func(emit func(src, dst graph.VertexID, w float32) error) error
+		switch *kind {
+		case "rmat":
+			streamN = *n
+			stream = func(emit func(graph.VertexID, graph.VertexID, float32) error) error {
+				return gen.RMATStream(*n, *m, gen.DefaultRMAT, *maxw, *seed, emit)
+			}
+		case "uniform":
+			streamN = *n
+			stream = func(emit func(graph.VertexID, graph.VertexID, float32) error) error {
+				return gen.UniformStream(*n, *m, *maxw, *seed, emit)
+			}
+		case "dataset":
+			d, err := gen.ByName(*name)
+			if err != nil {
+				fatal(err)
+			}
+			streamN, _ = d.ProxySize(*scale)
+			stream = func(emit func(graph.VertexID, graph.VertexID, float32) error) error {
+				return d.ProxyStream(*scale, emit)
+			}
+		}
+		if stream != nil {
+			b, err := store.NewBuilder(*out, streamN)
+			if err != nil {
+				fatal(err)
+			}
+			if err := stream(b.Add); err != nil {
+				b.Abort()
+				fatal(err)
+			}
+			if err := b.Finish(); err != nil {
+				fatal(err)
+			}
+			st, _ := os.Stat(*out)
+			fmt.Fprintf(os.Stderr, "streamed %d vertices to %s (%d bytes)\n", streamN, *out, st.Size())
+			return
+		}
 	}
 
 	var g *graph.Graph

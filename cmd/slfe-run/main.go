@@ -45,7 +45,8 @@ func domainWidth(domain string) (int, error) {
 func main() {
 	app := flag.String("app", "sssp", "application: see the registered-applications table in -help (plus triangles | kcore | clique | mst | diameter)")
 	domain := flag.String("domain", "f64", "value domain: f64 (original, 8-byte) | f32 (paper-faithful, 4-byte) | u32 (exact integer labels) | dist32 (SSSP distance+parent tree)")
-	path := flag.String("graph", "", "graph file (text or .slfg)")
+	path := flag.String("graph", "", "graph file (text, .slfg, or .slfc compressed CSR)")
+	memBudget := flag.Int64("mem-budget", 0, "memory budget in bytes for .slfc graphs: 0 mmaps the file; a positive budget smaller than the file switches to out-of-core supersteps (block streaming via pread)")
 	dataset := flag.String("dataset", "", "Table 4 dataset code instead of -graph (PK OK LJ WK DI ST FS RMAT)")
 	scale := flag.Int("scale", 1000, "dataset down-scale factor")
 	system := flag.String("system", "slfe", "engine: slfe | powergraph | powerlyra | graphchi | ligra | async (baselines run the f64 domain only)")
@@ -89,10 +90,14 @@ func main() {
 		fatal(err)
 	}
 
-	g, err := loadGraph(*path, *dataset, *scale)
+	if *memBudget < 0 {
+		fatal(fmt.Errorf("-mem-budget must be non-negative (got %d)", *memBudget))
+	}
+	g, closeG, err := loadGraph(*path, *dataset, *scale, *memBudget)
 	if err != nil {
 		fatal(err)
 	}
+	defer closeG()
 	fmt.Printf("graph: %v\n", g)
 
 	codec, err := compress.ByNameW(*codecName, width)
@@ -185,12 +190,13 @@ func main() {
 		}
 	case "powergraph", "powerlyra":
 		prog, runG := baselineProgram(appKey, g, graph.VertexID(*root), *iters, *domain)
-		g = runG
+		hg := heap(runG)
+		g = hg
 		mode := gas.PowerGraph
 		if strings.ToLower(*system) == "powerlyra" {
 			mode = gas.PowerLyra
 		}
-		res, _, stats, err := gas.Execute(g, prog, *nodes, mode, *threads)
+		res, _, stats, err := gas.Execute(hg, prog, *nodes, mode, *threads)
 		if err != nil {
 			fatal(err)
 		}
@@ -206,6 +212,7 @@ func main() {
 			fatal(err)
 		}
 		defer os.RemoveAll(dir)
+		// ooc shards from any View, so a disk-backed graph stays on disk.
 		eng, err := ooc.Build(g, dir, 8)
 		if err != nil {
 			fatal(err)
@@ -219,8 +226,9 @@ func main() {
 		fmt.Printf("system: GraphChi-proxy elapsed=%v diskIO=%d bytes\n", res.Metrics.Total, res.BytesRead)
 	case "ligra":
 		prog, runG := baselineProgram(appKey, g, graph.VertexID(*root), *iters, *domain)
-		g = runG
-		res, err := ligra.Execute(g, prog, *threads)
+		hg := heap(runG)
+		g = hg
+		res, err := ligra.Execute(hg, prog, *threads)
 		if err != nil {
 			fatal(err)
 		}
@@ -229,8 +237,9 @@ func main() {
 		fmt.Printf("system: Ligra-proxy elapsed=%v\n", res.Metrics.Total)
 	case "async":
 		prog, runG := baselineProgram(appKey, g, graph.VertexID(*root), *iters, *domain)
-		g = runG
-		res, _, err := async.Execute(g, prog, *nodes)
+		hg := heap(runG)
+		g = hg
+		res, _, err := async.Execute(hg, prog, *nodes)
 		if err != nil {
 			fatal(err)
 		}
@@ -276,24 +285,40 @@ func usage() {
 	fmt.Fprintln(flag.CommandLine.Output(), "  plus whole-graph analytics: triangles | kcore | clique | mst | diameter (f64)")
 }
 
-func loadGraph(path, dataset string, scale int) (*graph.Graph, error) {
+// loadGraph opens the input as a graph.View: .slfc files are served from
+// disk (mmap'd, or out-of-core under -mem-budget); everything else is
+// parsed onto the heap. The close function releases any file mapping.
+func loadGraph(path, dataset string, scale int, budget int64) (graph.View, func() error, error) {
 	if path != "" {
-		return loader.LoadFile(path)
+		return loader.OpenView(path, budget)
 	}
 	if dataset != "" {
 		d, err := gen.ByName(dataset)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return d.Proxy(scale), nil
+		return d.Proxy(scale), func() error { return nil }, nil
 	}
-	return nil, fmt.Errorf("one of -graph or -dataset is required")
+	return nil, nil, fmt.Errorf("one of -graph or -dataset is required")
+}
+
+// heap materialises a disk-backed view for the baselines that interpret the
+// in-memory CSR directly; a heap graph passes through untouched.
+func heap(g graph.View) *graph.Graph {
+	if hg, ok := g.(*graph.Graph); ok {
+		return hg
+	}
+	hg, err := graph.Materialize(g)
+	if err != nil {
+		fatal(err)
+	}
+	return hg
 }
 
 // baselineProgram builds the float64 program the proxy baselines run (they
 // interpret Program hooks directly and support only the f64 domain); for CC
 // it returns the symmetrised graph.
-func baselineProgram(app string, g *graph.Graph, root graph.VertexID, iters int, domain string) (*core.Program[float64], *graph.Graph) {
+func baselineProgram(app string, g graph.View, root graph.VertexID, iters int, domain string) (*core.Program[float64], graph.View) {
 	if domain != "f64" {
 		fatal(fmt.Errorf("baseline systems run the f64 domain only (got -domain %s)", domain))
 	}
@@ -319,7 +344,7 @@ func baselineProgram(app string, g *graph.Graph, root graph.VertexID, iters int,
 		return apps.HeatSimulation([]graph.VertexID{root}, iters), g
 	case "bp":
 		// Demo priors: the root holds positive evidence.
-		prior := func(_ *graph.Graph, v graph.VertexID) float64 {
+		prior := func(_ graph.View, v graph.VertexID) float64 {
 			if v == root {
 				return 2
 			}
@@ -333,7 +358,7 @@ func baselineProgram(app string, g *graph.Graph, root graph.VertexID, iters int,
 
 // runAnalytics handles the applications that are whole-graph analyses
 // rather than vertex-property programs. It reports whether app was handled.
-func runAnalytics(app string, g *graph.Graph, root graph.VertexID, opt cluster.Options) bool {
+func runAnalytics(app string, g graph.View, root graph.VertexID, opt cluster.Options) bool {
 	switch app {
 	case "triangles":
 		st, err := apps.TriangleCount(g, opt)
@@ -388,7 +413,7 @@ func runAnalytics(app string, g *graph.Graph, root graph.VertexID, opt cluster.O
 	return true
 }
 
-func printSample(app string, g *graph.Graph, values []float64) {
+func printSample(app string, g graph.View, values []float64) {
 	if len(values) == 0 {
 		return
 	}

@@ -35,7 +35,7 @@ func main() {
 	// Known labels: every 401st account is a confirmed fraudster, every
 	// 599th a verified good actor. Log-odds priors of +/-2.5 ~= 92%.
 	var evidence []graph.VertexID
-	prior := func(_ *graph.Graph, v graph.VertexID) core.Value {
+	prior := func(_ graph.View, v graph.VertexID) core.Value {
 		switch {
 		case v%401 == 0:
 			return 2.5

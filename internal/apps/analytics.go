@@ -46,9 +46,9 @@ const BeliefCoupling = 0.3
 // originates only at evidence vertices, so lastIter must measure
 // propagation depth from them — otherwise a vertex that is transiently
 // stable before evidence arrives would be frozen too early.
-func BeliefPropagation(prior func(g *graph.Graph, v graph.VertexID) core.Value, coupling float64, iters int) *core.Program[float64] {
+func BeliefPropagation(prior func(g graph.View, v graph.VertexID) core.Value, coupling float64, iters int) *core.Program[float64] {
 	if prior == nil {
-		prior = func(_ *graph.Graph, _ graph.VertexID) core.Value { return 0 }
+		prior = func(_ graph.View, _ graph.VertexID) core.Value { return 0 }
 	}
 	if coupling == 0 {
 		coupling = BeliefCoupling
@@ -61,7 +61,7 @@ func BeliefPropagation(prior func(g *graph.Graph, v graph.VertexID) core.Value, 
 		Gather: func(acc core.Value, src core.Value, w float32) core.Value {
 			return acc + float64(w)*math.Tanh(src)
 		},
-		Apply: func(g *graph.Graph, v graph.VertexID, acc, _ core.Value) core.Value {
+		Apply: func(g graph.View, v graph.VertexID, acc, _ core.Value) core.Value {
 			return prior(g, v) + coupling*acc
 		},
 		MaxIters:  iters,
@@ -73,7 +73,7 @@ func BeliefPropagation(prior func(g *graph.Graph, v graph.VertexID) core.Value, 
 // adjacency of g in CSR form. Triangle counting and core decomposition are
 // defined on this simple view; the paper's directed inputs are symmetrised
 // the same way before such analyses.
-func simpleUndirected(g *graph.Graph) (off []int64, adj []graph.VertexID) {
+func simpleUndirected(g graph.View) (off []int64, adj []graph.VertexID) {
 	n := g.NumVertices()
 	off = make([]int64, n+1)
 	scratch := make([]graph.VertexID, 0, 64)
@@ -121,7 +121,7 @@ type TriangleStats struct {
 // opt.Nodes workers by out-edge volume and each worker intersects the
 // forward lists of its owned vertices in parallel; a final AllReduce sums
 // the per-worker counts.
-func TriangleCount(g *graph.Graph, opt cluster.Options) (*TriangleStats, error) {
+func TriangleCount(g graph.View, opt cluster.Options) (*TriangleStats, error) {
 	if opt.Nodes <= 0 {
 		opt.Nodes = 1
 	}
@@ -223,7 +223,7 @@ func intersectCount(a, b []graph.VertexID) int64 {
 // values until no vertex changes. The fixed point is exactly the coreness.
 // Owned ranges iterate in parallel; changed values are exchanged with an
 // AllGather per round, mirroring the engine's delta synchronisation.
-func KCore(g *graph.Graph, opt cluster.Options) ([]uint32, error) {
+func KCore(g graph.View, opt cluster.Options) ([]uint32, error) {
 	if opt.Nodes <= 0 {
 		opt.Nodes = 1
 	}
@@ -353,7 +353,7 @@ type Clique struct {
 // greedy cliques from a disjoint subset of the top seeds, and the largest
 // clique found wins. The k-core bound certifies the gap: a clique of size k
 // needs vertices of coreness >= k-1, so max coreness + 1 bounds the optimum.
-func MaxCliqueApprox(g *graph.Graph, seeds int, opt cluster.Options) (*Clique, error) {
+func MaxCliqueApprox(g graph.View, seeds int, opt cluster.Options) (*Clique, error) {
 	if opt.Nodes <= 0 {
 		opt.Nodes = 1
 	}
@@ -474,7 +474,7 @@ type Forest struct {
 // tie-break (weight, then src, then dst), and every worker applies the same
 // merge list to its replica of the union-find, guaranteeing identical
 // component state without a coordinator. Rounds are O(log n).
-func MST(g *graph.Graph, opt cluster.Options) (*Forest, error) {
+func MST(g graph.View, opt cluster.Options) (*Forest, error) {
 	if opt.Nodes <= 0 {
 		opt.Nodes = 1
 	}
@@ -486,6 +486,7 @@ func MST(g *graph.Graph, opt cluster.Options) (*Forest, error) {
 	forest := &Forest{}
 	err = cluster.SPMD(opt.Nodes, func(rank int, cm *comm.Comm) error {
 		uf := newUnionFind(n)
+		cur := g.Cursor() // ranks run concurrently in-process: one adjacency reader each
 		lo, hi := part.Range(rank)
 		rounds := 0
 		var localEdges []graph.Edge
@@ -506,13 +507,13 @@ func MST(g *graph.Graph, opt cluster.Options) (*Forest, error) {
 				}
 			}
 			for v := lo; v < hi; v++ {
-				outs := g.OutNeighbors(v)
-				ws := g.OutWeights(v)
+				outs := cur.OutNeighbors(v)
+				ws := cur.OutWeights(v)
 				for i, u := range outs {
 					consider(v, u, ws[i])
 				}
-				ins := g.InNeighbors(v)
-				iw := g.InWeights(v)
+				ins := cur.InNeighbors(v)
+				iw := cur.InWeights(v)
 				for i, u := range ins {
 					consider(v, u, iw[i])
 				}

@@ -310,7 +310,7 @@ func TestMSTDeterministicAcrossNodeCounts(t *testing.T) {
 
 func TestBeliefPropagationMatchesReference(t *testing.T) {
 	g := gen.RMAT(512, 4096, gen.DefaultRMAT, 4, 13)
-	prior := func(_ *graph.Graph, v graph.VertexID) core.Value {
+	prior := func(_ graph.View, v graph.VertexID) core.Value {
 		if v%17 == 0 {
 			return 2.0 // observed "fraud" evidence
 		}
@@ -369,7 +369,7 @@ func TestBeliefPropagationBounded(t *testing.T) {
 	// tanh bounds each neighbour's vote by 1, so |belief| <= |prior| +
 	// coupling * weighted in-degree.
 	g := gen.Uniform(150, 600, 1, 21)
-	prior := func(_ *graph.Graph, v graph.VertexID) core.Value {
+	prior := func(_ graph.View, v graph.VertexID) core.Value {
 		return float64(int(v%5)) - 2
 	}
 	const coupling = 0.3

@@ -33,7 +33,7 @@ func SSSPIn[V core.Float](root graph.VertexID) *core.Program[V] {
 	return &core.Program[V]{
 		Name: "SSSP",
 		Agg:  core.MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) V {
+		InitValue: func(_ graph.View, v graph.VertexID) V {
 			if v == root {
 				return 0
 			}
@@ -73,7 +73,7 @@ func BFSU32(root graph.VertexID) *core.Program[uint32] {
 	return &core.Program[uint32]{
 		Name: "BFS",
 		Agg:  core.MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) uint32 {
+		InitValue: func(_ graph.View, v graph.VertexID) uint32 {
 			if v == root {
 				return 0
 			}
@@ -95,7 +95,7 @@ func BFSU32(root graph.VertexID) *core.Program[uint32] {
 // flow against edge directions, yielding weakly connected components.
 // Float labels are exact only below 2^24 vertices (the float32 integer
 // range); CCU32 is the exact variant at any scale.
-func CCIn[V core.Float](g *graph.Graph) *core.Program[V] {
+func CCIn[V core.Float](g graph.View) *core.Program[V] {
 	n := g.NumVertices()
 	roots := make([]graph.VertexID, n)
 	for v := range roots {
@@ -104,7 +104,7 @@ func CCIn[V core.Float](g *graph.Graph) *core.Program[V] {
 	return &core.Program[V]{
 		Name: "CC",
 		Agg:  core.MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) V {
+		InitValue: func(_ graph.View, v graph.VertexID) V {
 			return V(v)
 		},
 		Roots:  roots,
@@ -114,16 +114,16 @@ func CCIn[V core.Float](g *graph.Graph) *core.Program[V] {
 }
 
 // CC is the float64 instantiation of CCIn.
-func CC(g *graph.Graph) *core.Program[float64] { return CCIn[float64](g) }
+func CC(g graph.View) *core.Program[float64] { return CCIn[float64](g) }
 
 // CCF32 is the float32 instantiation of CCIn (labels exact below 2^24
 // vertices).
-func CCF32(g *graph.Graph) *core.Program[float32] { return CCIn[float32](g) }
+func CCF32(g graph.View) *core.Program[float32] { return CCIn[float32](g) }
 
 // CCU32 propagates exact uint32 component labels — the natural integer
 // domain for CC: no rounding at any graph scale and varint-friendly wire
 // words.
-func CCU32(g *graph.Graph) *core.Program[uint32] {
+func CCU32(g graph.View) *core.Program[uint32] {
 	n := g.NumVertices()
 	roots := make([]graph.VertexID, n)
 	for v := range roots {
@@ -132,7 +132,7 @@ func CCU32(g *graph.Graph) *core.Program[uint32] {
 	return &core.Program[uint32]{
 		Name: "CC",
 		Agg:  core.MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) uint32 {
+		InitValue: func(_ graph.View, v graph.VertexID) uint32 {
 			return uint32(v)
 		},
 		Roots:  roots,
@@ -147,7 +147,7 @@ func WPIn[V core.Float](root graph.VertexID) *core.Program[V] {
 	return &core.Program[V]{
 		Name: "WP",
 		Agg:  core.MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) V {
+		InitValue: func(_ graph.View, v graph.VertexID) V {
 			if v == root {
 				return V(Inf)
 			}
@@ -200,7 +200,7 @@ func PageRankIn[V core.Float](iters int) *core.Program[V] {
 	return &core.Program[V]{
 		Name: "PR",
 		Agg:  core.Arith,
-		InitValue: func(g *graph.Graph, v graph.VertexID) V {
+		InitValue: func(g graph.View, v graph.VertexID) V {
 			if d := g.OutDegree(v); d > 0 {
 				return 1.0 / V(d)
 			}
@@ -210,7 +210,7 @@ func PageRankIn[V core.Float](iters int) *core.Program[V] {
 		Gather: func(acc V, src V, _ float32) V {
 			return acc + src
 		},
-		Apply: func(g *graph.Graph, v graph.VertexID, acc, _ V) V {
+		Apply: func(g graph.View, v graph.VertexID, acc, _ V) V {
 			rank := V(0.15) + V(0.85)*acc
 			if d := g.OutDegree(v); d > 0 {
 				return rank / V(d)
@@ -229,7 +229,7 @@ func PageRank(iters int) *core.Program[float64] { return PageRankIn[float64](ite
 func PageRankF32(iters int) *core.Program[float32] { return PageRankIn[float32](iters) }
 
 // PageRankScoresIn converts stored contributions back to ranks.
-func PageRankScoresIn[V core.Float](g *graph.Graph, contribs []V) []V {
+func PageRankScoresIn[V core.Float](g graph.View, contribs []V) []V {
 	ranks := make([]V, len(contribs))
 	for v := range contribs {
 		if d := g.OutDegree(graph.VertexID(v)); d > 0 {
@@ -242,7 +242,7 @@ func PageRankScoresIn[V core.Float](g *graph.Graph, contribs []V) []V {
 }
 
 // PageRankScores is the float64 instantiation of PageRankScoresIn.
-func PageRankScores(g *graph.Graph, contribs []float64) []float64 {
+func PageRankScores(g graph.View, contribs []float64) []float64 {
 	return PageRankScoresIn(g, contribs)
 }
 
@@ -257,7 +257,7 @@ func TunkRankIn[V core.Float](iters int) *core.Program[V] {
 	return &core.Program[V]{
 		Name: "TR",
 		Agg:  core.Arith,
-		InitValue: func(g *graph.Graph, v graph.VertexID) V {
+		InitValue: func(g graph.View, v graph.VertexID) V {
 			if d := g.OutDegree(v); d > 0 {
 				return 1.0 / V(d)
 			}
@@ -267,7 +267,7 @@ func TunkRankIn[V core.Float](iters int) *core.Program[V] {
 		Gather: func(acc V, src V, _ float32) V {
 			return acc + src
 		},
-		Apply: func(g *graph.Graph, v graph.VertexID, acc, _ V) V {
+		Apply: func(g graph.View, v graph.VertexID, acc, _ V) V {
 			contrib := 1 + V(TunkRankP)*acc
 			if d := g.OutDegree(v); d > 0 {
 				return contrib / V(d)
@@ -287,7 +287,7 @@ func TunkRankF32(iters int) *core.Program[float32] { return TunkRankIn[float32](
 
 // TunkRankScoresIn recovers influence values from stored contributions:
 // the influence of v is the gather over its in-edges.
-func TunkRankScoresIn[V core.Float](g *graph.Graph, contribs []V) []V {
+func TunkRankScoresIn[V core.Float](g graph.View, contribs []V) []V {
 	infl := make([]V, len(contribs))
 	for v := range infl {
 		var acc V
@@ -300,7 +300,7 @@ func TunkRankScoresIn[V core.Float](g *graph.Graph, contribs []V) []V {
 }
 
 // TunkRankScores is the float64 instantiation of TunkRankScoresIn.
-func TunkRankScores(g *graph.Graph, contribs []float64) []float64 {
+func TunkRankScores(g graph.View, contribs []float64) []float64 {
 	return TunkRankScoresIn(g, contribs)
 }
 
@@ -310,7 +310,7 @@ func NumPathsIn[V core.Float](root graph.VertexID, iters int) *core.Program[V] {
 	return &core.Program[V]{
 		Name: "NumPaths",
 		Agg:  core.Arith,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) V {
+		InitValue: func(_ graph.View, v graph.VertexID) V {
 			if v == root {
 				return 1
 			}
@@ -320,7 +320,7 @@ func NumPathsIn[V core.Float](root graph.VertexID, iters int) *core.Program[V] {
 		Gather: func(acc V, src V, _ float32) V {
 			return acc + src
 		},
-		Apply: func(_ *graph.Graph, v graph.VertexID, acc, _ V) V {
+		Apply: func(_ graph.View, v graph.VertexID, acc, _ V) V {
 			if v == root {
 				return 1
 			}
@@ -347,7 +347,7 @@ func NumPathsU32(root graph.VertexID, iters int) *core.Program[uint32] {
 	return &core.Program[uint32]{
 		Name: "NumPaths",
 		Agg:  core.Arith,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) uint32 {
+		InitValue: func(_ graph.View, v graph.VertexID) uint32 {
 			if v == root {
 				return 1
 			}
@@ -357,7 +357,7 @@ func NumPathsU32(root graph.VertexID, iters int) *core.Program[uint32] {
 		Gather: func(acc uint32, src uint32, _ float32) uint32 {
 			return acc + src
 		},
-		Apply: func(_ *graph.Graph, v graph.VertexID, acc, _ uint32) uint32 {
+		Apply: func(_ graph.View, v graph.VertexID, acc, _ uint32) uint32 {
 			if v == root {
 				return 1
 			}
@@ -373,14 +373,14 @@ func SpMVIn[V core.Float](iters int) *core.Program[V] {
 	return &core.Program[V]{
 		Name: "SpMV",
 		Agg:  core.Arith,
-		InitValue: func(_ *graph.Graph, _ graph.VertexID) V {
+		InitValue: func(_ graph.View, _ graph.VertexID) V {
 			return 1
 		},
 		GatherInit: 0,
 		Gather: func(acc V, src V, w float32) V {
 			return acc + src*V(w)
 		},
-		Apply: func(_ *graph.Graph, _ graph.VertexID, acc, _ V) V {
+		Apply: func(_ graph.View, _ graph.VertexID, acc, _ V) V {
 			return acc
 		},
 		MaxIters: iters,
@@ -403,7 +403,7 @@ func SSSPTree(root graph.VertexID) *core.Program[core.DistParent] {
 	return &core.Program[core.DistParent]{
 		Name: "SSSPTree",
 		Agg:  core.MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) core.DistParent {
+		InitValue: func(_ graph.View, v graph.VertexID) core.DistParent {
 			if v == root {
 				return core.DistParent{Dist: 0, Parent: core.NoParent}
 			}
@@ -449,7 +449,7 @@ func HeatSimulation(hot []graph.VertexID, iters int) *core.Program[float64] {
 	return &core.Program[float64]{
 		Name: "HeatSim",
 		Agg:  core.Arith,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) float64 {
+		InitValue: func(_ graph.View, v graph.VertexID) float64 {
 			if hotSet[v] {
 				return 100
 			}
@@ -459,7 +459,7 @@ func HeatSimulation(hot []graph.VertexID, iters int) *core.Program[float64] {
 		Gather: func(acc float64, src float64, _ float32) float64 {
 			return acc + src
 		},
-		Apply: func(g *graph.Graph, v graph.VertexID, acc, prev float64) float64 {
+		Apply: func(g graph.View, v graph.VertexID, acc, prev float64) float64 {
 			if hotSet[v] {
 				return prev // heat sources stay clamped
 			}
@@ -475,8 +475,8 @@ func HeatSimulation(hot []graph.VertexID, iters int) *core.Program[float64] {
 
 // Symmetrize returns a graph with every edge mirrored (needed by CC to find
 // weakly connected components on directed inputs).
-func Symmetrize(g *graph.Graph) *graph.Graph {
-	edges := g.Edges(nil)
+func Symmetrize(g graph.View) *graph.Graph {
+	edges := graph.CollectEdges(g, nil)
 	mirrored := make([]graph.Edge, 0, 2*len(edges))
 	for _, e := range edges {
 		mirrored = append(mirrored, e, graph.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
@@ -487,7 +487,7 @@ func Symmetrize(g *graph.Graph) *graph.Graph {
 // ApproxDiameter estimates the diameter by running BFS from sample roots
 // and taking the deepest level observed (a standard lower-bound estimator).
 // It exercises the engine's min/max path end to end.
-func ApproxDiameter(g *graph.Graph, samples []graph.VertexID, opt cluster.Options) (int, error) {
+func ApproxDiameter(g graph.View, samples []graph.VertexID, opt cluster.Options) (int, error) {
 	best := 0
 	for _, root := range samples {
 		res, err := cluster.Execute(g, BFS(root), opt)

@@ -116,9 +116,9 @@ func RefMSTWeight(g *graph.Graph) float64 {
 
 // RefBeliefPropagation iterates the mean-field update synchronously, the
 // direct transcription of the BeliefPropagation program semantics.
-func RefBeliefPropagation(g *graph.Graph, prior func(g *graph.Graph, v graph.VertexID) core.Value, coupling float64, iters int) []core.Value {
+func RefBeliefPropagation(g *graph.Graph, prior func(g graph.View, v graph.VertexID) core.Value, coupling float64, iters int) []core.Value {
 	if prior == nil {
-		prior = func(_ *graph.Graph, _ graph.VertexID) core.Value { return 0 }
+		prior = func(_ graph.View, _ graph.VertexID) core.Value { return 0 }
 	}
 	if coupling == 0 {
 		coupling = BeliefCoupling

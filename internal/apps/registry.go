@@ -82,7 +82,7 @@ type Runnable interface {
 	// ProgramName is the underlying program's name.
 	ProgramName() string
 	// Execute runs the program on an in-process cluster.
-	Execute(g *graph.Graph, opt cluster.Options) (*Outcome, error)
+	Execute(g graph.View, opt cluster.Options) (*Outcome, error)
 }
 
 // AsRunnable wraps a typed program as a Runnable.
@@ -92,7 +92,7 @@ type progRunner[V comparable] struct{ p *core.Program[V] }
 
 func (r progRunner[V]) ProgramName() string { return r.p.Name }
 
-func (r progRunner[V]) Execute(g *graph.Graph, opt cluster.Options) (*Outcome, error) {
+func (r progRunner[V]) Execute(g graph.View, opt cluster.Options) (*Outcome, error) {
 	res, err := cluster.Execute(g, r.p, opt)
 	if err != nil {
 		return nil, err
@@ -230,7 +230,7 @@ func init() {
 	})
 	reg("bp", "f64", core.Arith, false, func(r graph.VertexID, it int) Runnable {
 		// Demo priors: the root holds positive evidence.
-		prior := func(_ *graph.Graph, v graph.VertexID) float64 {
+		prior := func(_ graph.View, v graph.VertexID) float64 {
 			if v == r {
 				return 2
 			}
@@ -246,7 +246,7 @@ type ccRunner[V core.Float] struct{}
 
 func (ccRunner[V]) ProgramName() string { return "CC" }
 
-func (ccRunner[V]) Execute(g *graph.Graph, opt cluster.Options) (*Outcome, error) {
+func (ccRunner[V]) Execute(g graph.View, opt cluster.Options) (*Outcome, error) {
 	return AsRunnable(CCIn[V](g)).Execute(g, opt)
 }
 
@@ -254,6 +254,6 @@ type ccU32Runner struct{}
 
 func (ccU32Runner) ProgramName() string { return "CC" }
 
-func (ccU32Runner) Execute(g *graph.Graph, opt cluster.Options) (*Outcome, error) {
+func (ccU32Runner) Execute(g graph.View, opt cluster.Options) (*Outcome, error) {
 	return AsRunnable(CCU32(g)).Execute(g, opt)
 }

@@ -143,7 +143,7 @@ func warmMinMax[V comparable](s *cluster.Session, g *graph.Graph, build func(*gr
 	}
 
 	warm := *p // shallow copy: the original program is shared state
-	warm.InitValue = func(gg *graph.Graph, v graph.VertexID) V {
+	warm.InitValue = func(gg graph.View, v graph.VertexID) V {
 		if int(v) < len(prior) {
 			return prior[v]
 		}

@@ -28,7 +28,7 @@ type Engine struct {
 	n         int
 	shards    int
 	intervals []graph.VertexID // interval boundaries, len shards+1
-	g         *graph.Graph     // retained only for degrees in Apply
+	g         graph.View       // retained only for degrees in Apply
 }
 
 // shardRecord is one on-disk edge: u32 src, u32 dst, f32 weight.
@@ -36,7 +36,7 @@ const shardRecordSize = 12
 
 // Build shards g into dir (one file per interval of destination vertices)
 // and returns an Engine. shards <= 0 defaults to 8.
-func Build(g *graph.Graph, dir string, shards int) (*Engine, error) {
+func Build(g graph.View, dir string, shards int) (*Engine, error) {
 	if shards <= 0 {
 		shards = 8
 	}

@@ -310,12 +310,13 @@ var Experiments = map[string]func(Config) error{
 	"valuewidth":           ValueWidth,
 	"serve":                Serve,
 	"recovery":             Recovery,
+	"storage":              Storage,
 }
 
 // All runs every experiment in a stable order.
 func All(c Config) error {
 	order := []string{"table1", "table4", "table2", "fig2", "fig4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"ablation-dense", "ablation-partition", "ablation-guidance", "ablation-codec", "ablation-rebalance", "ablation-reorder", "ablation-async", "ablation-incremental", "analytics", "pipeline", "deltasync", "hotpath", "overlap", "valuewidth", "serve", "recovery"}
+		"ablation-dense", "ablation-partition", "ablation-guidance", "ablation-codec", "ablation-rebalance", "ablation-reorder", "ablation-async", "ablation-incremental", "analytics", "pipeline", "deltasync", "hotpath", "overlap", "valuewidth", "serve", "recovery", "storage"}
 	for _, name := range order {
 		if err := Experiments[name](c); err != nil {
 			return fmt.Errorf("bench: %s: %w", name, err)

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"slfe/internal/apps"
+	"slfe/internal/cluster"
+	"slfe/internal/graph"
+	"slfe/internal/loader"
+	"slfe/internal/store"
+)
+
+// Storage measures what the compressed on-disk CSR (SLFC) buys over the raw
+// edge formats, on the PK proxy:
+//
+//   - file size and bytes/edge against the 12 B/edge packed binary (SLFG);
+//   - open cost: mmap'ing the SLFC file (header + O(nBlocks) structural
+//     check) against parsing SLFG (O(m) decode + CSR build);
+//   - resident heap: the materialised CSR against the store's index-only
+//     footprint (mmap) and the out-of-core reader's;
+//   - superstep throughput: PageRank over the heap graph, the mmap'd view
+//     and the out-of-core view, verified bit-identical.
+//
+// With a trace exporter configured the table is exported as the "storage"
+// TSV series.
+func Storage(c Config) error {
+	c.defaults()
+	g, err := c.Graph("PK")
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "slfe-bench-storage-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rawPath := filepath.Join(dir, "pk.slfg")
+	cmpPath := filepath.Join(dir, "pk.slfc")
+	if err := loader.SaveFile(rawPath, g); err != nil {
+		return err
+	}
+	if err := store.Write(cmpPath, g); err != nil {
+		return err
+	}
+	rawSize, cmpSize, err := fileSizes(rawPath, cmpPath)
+	if err != nil {
+		return err
+	}
+	m := g.NumEdges()
+
+	// Open/parse cost, best of three to shed scheduler noise.
+	parseT, err := minTime(3, func() error {
+		hg, err := loader.LoadFile(rawPath)
+		runtime.KeepAlive(hg)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	openT, err := minTime(3, func() error {
+		sg, err := store.Open(cmpPath)
+		if err != nil {
+			return err
+		}
+		return sg.Close()
+	})
+	if err != nil {
+		return err
+	}
+
+	// Resident heap per access mode (coarse: GC-settled HeapAlloc deltas).
+	heapRes := retainedBytes(func() (any, error) { return loader.LoadFile(rawPath) })
+	mmapRes := retainedBytes(func() (any, error) { return store.Open(cmpPath) })
+	oocRes := retainedBytes(func() (any, error) { return store.OpenBudget(cmpPath, 1) })
+
+	// Superstep throughput: PageRank per access mode, bit-verified.
+	type mode struct {
+		name     string
+		view     func() (graph.View, func() error, error)
+		fileB    int64
+		openS    float64
+		resident int64
+	}
+	noClose := func() error { return nil }
+	modes := []mode{
+		{"heap", func() (graph.View, func() error, error) { return g, noClose, nil }, rawSize, parseT.Seconds(), heapRes},
+		{"mmap", func() (graph.View, func() error, error) {
+			sg, err := store.Open(cmpPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sg, sg.Close, nil
+		}, cmpSize, openT.Seconds(), mmapRes},
+		{"ooc", func() (graph.View, func() error, error) {
+			sg, err := store.OpenBudget(cmpPath, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sg, sg.Close, nil
+		}, cmpSize, openT.Seconds(), oocRes},
+	}
+
+	tw := tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Storage: compressed on-disk CSR vs raw formats (PK proxy, PageRank)")
+	fmt.Fprintf(tw, "raw %d B (%.2f B/edge) -> slfc %d B (%.2f B/edge, %.0f%%); parse %v vs mmap open %v (%.0fx)\n",
+		rawSize, bytesPerEdge(rawSize, m), cmpSize, bytesPerEdge(cmpSize, m),
+		100*float64(cmpSize)/float64(rawSize), parseT, openT, parseT.Seconds()/math.Max(openT.Seconds(), 1e-9))
+	fmt.Fprintln(tw, "mode\tfileB\tB/edge\topen_s\tresidentB\tpr_elapsed\tMedges/s\tmatch")
+
+	entry, ok := apps.LookupRunnable("pr", "f64")
+	if !ok {
+		return fmt.Errorf("storage: pr/f64 not registered")
+	}
+	var ref []float64
+	var rows [][]string
+	for _, md := range modes {
+		v, close, err := md.view()
+		if err != nil {
+			return fmt.Errorf("storage: open %s: %w", md.name, err)
+		}
+		out, err := entry.Build(0, c.PRIters).Execute(v, cluster.Options{
+			Nodes: 1, Threads: c.Threads, Stealing: true, RR: true,
+		})
+		if cerr := close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("storage: run %s: %w", md.name, err)
+		}
+		match := true
+		if ref == nil {
+			ref = out.Values
+		} else {
+			match = bitIdentical(out.Values, ref)
+			if !match {
+				return fmt.Errorf("storage: %s PageRank diverged from the heap reference", md.name)
+			}
+		}
+		medges := float64(m) * float64(out.Iterations) / out.Elapsed.Seconds() / 1e6
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.6f\t%d\t%v\t%.2f\t%v\n",
+			md.name, md.fileB, bytesPerEdge(md.fileB, m), md.openS, md.resident, out.Elapsed, medges, match)
+		rows = append(rows, []string{
+			md.name, fmt.Sprintf("%d", md.fileB),
+			fmt.Sprintf("%.3f", bytesPerEdge(md.fileB, m)),
+			fmt.Sprintf("%.6f", md.openS),
+			fmt.Sprintf("%d", md.resident),
+			fmt.Sprintf("%.6f", out.Elapsed.Seconds()),
+			fmt.Sprintf("%.3f", medges),
+			fmt.Sprintf("%v", match),
+		})
+	}
+	if err := c.Trace.Table("storage",
+		[]string{"mode", "file_bytes", "bytes_per_edge", "open_s", "resident_bytes", "pr_elapsed_s", "medges_per_s", "match"}, rows); err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+func fileSizes(paths ...string) (int64, int64, error) {
+	sizes := make([]int64, len(paths))
+	for i, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		sizes[i] = st.Size()
+	}
+	return sizes[0], sizes[1], nil
+}
+
+func bytesPerEdge(size, m int64) float64 {
+	if m == 0 {
+		return 0
+	}
+	return float64(size) / float64(m)
+}
+
+// minTime runs fn n times and returns the fastest wall-clock duration.
+func minTime(n int, fn func() error) (time.Duration, error) {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// retainedBytes reports the GC-settled heap growth attributable to the
+// object build returns — a coarse resident-set proxy for one access mode.
+func retainedBytes(build func() (any, error)) int64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	obj, err := build()
+	if err != nil {
+		return -1
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	d := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	if c, ok := obj.(interface{ Close() error }); ok {
+		c.Close()
+	}
+	runtime.KeepAlive(obj)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// bitIdentical compares projected float64 values exactly.
+func bitIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

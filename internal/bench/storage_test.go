@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"slfe/internal/apps"
+	"slfe/internal/cluster"
+	"slfe/internal/compress"
+	"slfe/internal/loader"
+	"slfe/internal/store"
+)
+
+// TestStorageGuards is the CI regression guard for the compressed storage
+// tentpole, on the PK proxy:
+//
+//  1. the SLFC file must cost at most 60% of the raw 12 B/edge binary
+//     format per edge (it carries BOTH directions plus both indexes, so
+//     this bound has real slack only because of delta+varint coding);
+//  2. mmap-opening the SLFC file must be at least 10x faster than parsing
+//     the binary edge file into a heap CSR (open is O(header + nBlocks),
+//     parse is O(m) plus the CSR build).
+func TestStorageGuards(t *testing.T) {
+	c := Config{Scale: 1000, Out: io.Discard}
+	g, err := c.Graph("PK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rawPath := filepath.Join(dir, "pk.slfg")
+	cmpPath := filepath.Join(dir, "pk.slfc")
+	if err := loader.SaveFile(rawPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Write(cmpPath, g); err != nil {
+		t.Fatal(err)
+	}
+	rawSt, err := os.Stat(rawPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpSt, err := os.Stat(cmpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.NumEdges()
+	rawBPE := bytesPerEdge(rawSt.Size(), m)
+	cmpBPE := bytesPerEdge(cmpSt.Size(), m)
+	t.Logf("raw %.2f B/edge, slfc %.2f B/edge (%.0f%%)", rawBPE, cmpBPE, 100*cmpBPE/rawBPE)
+	if cmpBPE > 0.60*rawBPE {
+		t.Errorf("compressed CSR costs %.2f B/edge, more than 60%% of the raw %.2f B/edge", cmpBPE, rawBPE)
+	}
+
+	parseT, err := minTime(5, func() error {
+		hg, err := loader.LoadFile(rawPath)
+		runtime.KeepAlive(hg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	openT, err := minTime(5, func() error {
+		sg, err := store.Open(cmpPath)
+		if err != nil {
+			return err
+		}
+		return sg.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("parse %v, mmap open %v (%.1fx)", parseT, openT, parseT.Seconds()/openT.Seconds())
+	if openT*10 > parseT {
+		t.Errorf("mmap open (%v) is not 10x faster than binary parse (%v)", openT, parseT)
+	}
+}
+
+// TestSteadyStateAllocBudgetStore extends the zero-allocation guard to the
+// disk-backed paths: a steady-state superstep over the mmap'd SLFC view and
+// over the out-of-core reader must stay inside the same budget as the heap
+// CSR — per-cursor block scratch is allocated on first touch and reused
+// thereafter.
+func TestSteadyStateAllocBudgetStore(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	const (
+		allocBudget = 256
+		byteBudget  = 256 << 10
+	)
+	c := Config{Scale: 4000, Nodes: 1, Threads: 2, PRIters: 20, Out: io.Discard}
+	g, err := c.Graph("PK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pk.slfc")
+	if err := store.Write(path, g); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := apps.LookupRunnable("pr", "f64")
+	if !ok {
+		t.Fatal("pr/f64 not registered")
+	}
+	for name, budget := range map[string]int64{"mmap": 0, "ooc": 1} {
+		sg, err := store.OpenBudget(path, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := entry.Build(0, c.PRIters).Execute(sg, cluster.Options{
+			Nodes: 1, Threads: 2, Stealing: true, RR: true,
+			MeasureAllocs: true, Codec: compress.Adaptive{},
+		})
+		if cerr := sg.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		allocs, bytes := steadyState(out.Run.Iters)
+		t.Logf("%s: %d iters, steady state %d allocs / %d bytes per superstep",
+			name, out.Iterations, allocs, bytes)
+		if allocs > allocBudget {
+			t.Errorf("%s: steady-state supersteps allocate %d objects, budget %d — the disk-backed hot path regressed",
+				name, allocs, allocBudget)
+		}
+		if bytes > byteBudget {
+			t.Errorf("%s: steady-state supersteps allocate %d bytes, budget %d — the disk-backed hot path regressed",
+				name, bytes, byteBudget)
+		}
+	}
+}

@@ -110,7 +110,7 @@ type RunResult[V comparable] struct {
 
 // Execute partitions g, optionally generates RR guidance, and runs the
 // program on an in-process cluster.
-func Execute[V comparable](g *graph.Graph, p *core.Program[V], opt Options) (*RunResult[V], error) {
+func Execute[V comparable](g graph.View, p *core.Program[V], opt Options) (*RunResult[V], error) {
 	if opt.FT != nil {
 		return ExecuteFT(g, p, opt)
 	}
@@ -130,7 +130,7 @@ func Execute[V comparable](g *graph.Graph, p *core.Program[V], opt Options) (*Ru
 // The transports are closed when every rank has finished, never earlier: a
 // premature close can reset connections still carrying a slower peer's
 // final collective results.
-func ExecuteOver[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transports []comm.Transport) (*RunResult[V], error) {
+func ExecuteOver[V comparable](g graph.View, p *core.Program[V], opt Options, transports []comm.Transport) (*RunResult[V], error) {
 	defer func() {
 		for _, t := range transports {
 			t.Close()
@@ -144,7 +144,7 @@ func ExecuteOver[V comparable](g *graph.Graph, p *core.Program[V], opt Options, 
 // comms/scheds, when non-nil, supply persistent per-rank communicators and
 // scheduler pools (session mode); when nil each run builds fresh ones and
 // the engines own their pools.
-func run[V comparable](g *graph.Graph, p *core.Program[V], opt Options, transports []comm.Transport, comms []*comm.Comm, scheds []*ws.Scheduler) (*RunResult[V], error) {
+func run[V comparable](g graph.View, p *core.Program[V], opt Options, transports []comm.Transport, comms []*comm.Comm, scheds []*ws.Scheduler) (*RunResult[V], error) {
 	opt.Nodes = len(transports)
 	if opt.Nodes == 0 {
 		return nil, fmt.Errorf("cluster: no transports")

@@ -14,7 +14,7 @@ func ssspProgram() *core.Program[float64] {
 	return &core.Program[float64]{
 		Name: "sssp",
 		Agg:  core.MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) core.Value {
+		InitValue: func(_ graph.View, v graph.VertexID) core.Value {
 			if v == 0 {
 				return 0
 			}
@@ -81,10 +81,10 @@ func TestCkptResumeThroughExecute(t *testing.T) {
 	p := &core.Program[float64]{
 		Name:       "pr",
 		Agg:        core.Arith,
-		InitValue:  func(_ *graph.Graph, _ graph.VertexID) core.Value { return 1 },
+		InitValue:  func(_ graph.View, _ graph.VertexID) core.Value { return 1 },
 		GatherInit: 0,
 		Gather:     func(acc, src core.Value, _ float32) core.Value { return acc + src },
-		Apply: func(g *graph.Graph, v graph.VertexID, acc, _ core.Value) core.Value {
+		Apply: func(g graph.View, v graph.VertexID, acc, _ core.Value) core.Value {
 			if d := g.OutDegree(v); d > 0 {
 				return (0.15 + 0.85*acc) / float64(d)
 			}

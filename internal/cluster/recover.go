@@ -143,7 +143,7 @@ type EpochStat struct {
 
 // ExecuteFT is Execute with rank-failure tolerance; Execute routes here
 // when Options.FT is set. The returned result carries a RecoveryReport.
-func ExecuteFT[V comparable](g *graph.Graph, p *core.Program[V], opt Options) (*RunResult[V], error) {
+func ExecuteFT[V comparable](g graph.View, p *core.Program[V], opt Options) (*RunResult[V], error) {
 	ft := opt.FT
 	if ft == nil {
 		return nil, errors.New("cluster: ExecuteFT requires Options.FT")

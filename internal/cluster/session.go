@@ -106,7 +106,7 @@ func (s *Session) Close() error {
 // the same orchestration as Execute, reusing the open transports,
 // communicators and scheduler pools. Nodes/Threads/Stealing in opt are
 // overridden by the session's fixed topology.
-func ExecuteSession[V comparable](s *Session, g *graph.Graph, p *core.Program[V], opt Options) (*RunResult[V], error) {
+func ExecuteSession[V comparable](s *Session, g graph.View, p *core.Program[V], opt Options) (*RunResult[V], error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed.Load() {

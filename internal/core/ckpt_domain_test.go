@@ -65,10 +65,10 @@ func f32Arith() *Program[float32] {
 	return &Program[float32]{
 		Name:       "pr32-test",
 		Agg:        Arith,
-		InitValue:  func(g *graph.Graph, v graph.VertexID) float32 { return 1 },
+		InitValue:  func(g graph.View, v graph.VertexID) float32 { return 1 },
 		GatherInit: 0,
 		Gather:     func(acc, src float32, _ float32) float32 { return acc + src },
-		Apply: func(g *graph.Graph, v graph.VertexID, acc, _ float32) float32 {
+		Apply: func(g graph.View, v graph.VertexID, acc, _ float32) float32 {
 			return 0.15 + 0.85*acc/float32(g.NumVertices())
 		},
 		MaxIters: 12,
@@ -80,7 +80,7 @@ func u32MinMax() *Program[uint32] {
 	return &Program[uint32]{
 		Name: "bfs32-test",
 		Agg:  MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) uint32 {
+		InitValue: func(_ graph.View, v graph.VertexID) uint32 {
 			return map[bool]uint32{true: 0, false: U32Unreached}[v == 0]
 		},
 		Roots: []graph.VertexID{0},

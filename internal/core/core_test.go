@@ -26,7 +26,7 @@ func testProgram() *Program[float64] {
 	return &Program[float64]{
 		Name: "test-sssp",
 		Agg:  MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
+		InitValue: func(_ graph.View, v graph.VertexID) Value {
 			if v == 0 {
 				return 0
 			}
@@ -145,7 +145,7 @@ func TestRootOutOfRangeIgnored(t *testing.T) {
 	eng, _ := New[float64](Config{Graph: g, Comm: singleComm(t), Part: part})
 	p := testProgram()
 	p.Roots = []graph.VertexID{99} // silently out of range: no activity
-	p.InitValue = func(_ *graph.Graph, _ graph.VertexID) Value { return math.Inf(1) }
+	p.InitValue = func(_ graph.View, _ graph.VertexID) Value { return math.Inf(1) }
 	res, err := eng.Run(p)
 	if err != nil {
 		t.Fatal(err)
@@ -297,7 +297,7 @@ func TestRRWidestPathReducesComputations(t *testing.T) {
 	prog := &Program[float64]{
 		Name: "wp",
 		Agg:  MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
+		InitValue: func(_ graph.View, v graph.VertexID) Value {
 			if v == 0 {
 				return math.Inf(1)
 			}
@@ -345,10 +345,10 @@ func TestMaxItersBoundsArith(t *testing.T) {
 	p := &Program[float64]{
 		Name:       "pr",
 		Agg:        Arith,
-		InitValue:  func(*graph.Graph, graph.VertexID) Value { return 1 },
+		InitValue:  func(graph.View, graph.VertexID) Value { return 1 },
 		GatherInit: 0,
 		Gather:     func(acc, src Value, _ float32) Value { return acc + src },
-		Apply:      func(_ *graph.Graph, _ graph.VertexID, acc, _ Value) Value { return 0.5 * acc },
+		Apply:      func(_ graph.View, _ graph.VertexID, acc, _ Value) Value { return 0.5 * acc },
 		MaxIters:   7,
 	}
 	res, err := eng.Run(p)
@@ -367,10 +367,10 @@ func TestEpsilonTerminatesArith(t *testing.T) {
 	p := &Program[float64]{
 		Name:       "decay",
 		Agg:        Arith,
-		InitValue:  func(*graph.Graph, graph.VertexID) Value { return 1 },
+		InitValue:  func(graph.View, graph.VertexID) Value { return 1 },
 		GatherInit: 0,
 		Gather:     func(acc, src Value, _ float32) Value { return acc },
-		Apply:      func(_ *graph.Graph, _ graph.VertexID, _, prev Value) Value { return prev / 2 },
+		Apply:      func(_ graph.View, _ graph.VertexID, _, prev Value) Value { return prev / 2 },
 		MaxIters:   1000,
 		Epsilon:    1e-3,
 	}

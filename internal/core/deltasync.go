@@ -403,8 +403,9 @@ func (e *Engine[V]) syncSparse(st *state[V], frontier *bitset.Atomic, iter int, 
 		vals []uint64
 	}
 	dests := make([]batch, size)
+	serial := e.curs[len(e.curs)-1]
 	for i, id := range ids {
-		for _, u := range e.g.OutNeighbors(id) {
+		for _, u := range serial.OutNeighbors(id) {
 			r := e.owner(u)
 			if r == me {
 				continue

@@ -25,7 +25,7 @@ import (
 // Config itself is domain-agnostic: the property type is fixed by the
 // Engine's type parameter and the Program's Domain.
 type Config struct {
-	Graph *graph.Graph
+	Graph graph.View
 	Comm  *comm.Comm         // communication group (required)
 	Part  *partition.Chunked // vertex ownership (required)
 
@@ -147,9 +147,15 @@ func (r *Result[V]) Float64s() []float64 { return r.Dom.Float64s(r.Values) }
 
 // Engine executes Programs over property type V on one worker.
 type Engine[V comparable] struct {
-	cfg      Config
-	g        *graph.Graph
-	comm     *comm.Comm
+	cfg  Config
+	g    graph.View
+	comm *comm.Comm
+	// curs[t] is thread t's adjacency cursor (free aliases for a heap
+	// graph, per-thread block-decode scratch for a disk-backed one);
+	// curs[threads] is the serial cursor used by the engine/dispatcher
+	// goroutine (sparse sync, overlap drain), which never runs
+	// concurrently with itself.
+	curs     []graph.Cursor
 	sched    *ws.Scheduler
 	ownSched bool           // Close tears the pool down only when the engine built it
 	lo       graph.VertexID // owned range
@@ -283,6 +289,10 @@ func New[V comparable](cfg Config) (*Engine[V], error) {
 	} else {
 		e.sched = ws.New(cfg.Threads, cfg.Stealing)
 		e.ownSched = true
+	}
+	e.curs = make([]graph.Cursor, e.sched.Threads()+1)
+	for i := range e.curs {
+		e.curs[i] = e.g.Cursor()
 	}
 	e.collect.body = e.collectChunk
 	e.bits.body = e.collectBitsChunk

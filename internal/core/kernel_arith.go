@@ -130,7 +130,7 @@ func (k *arithKernel[V]) computeChunk(clo, chi uint32, th int) {
 			continue
 		}
 		acc := p.GatherInit
-		ins, ws := e.g.InNeighbors(vid), e.g.InWeights(vid)
+		ins, ws := e.curs[th].InNeighbors(vid), e.curs[th].InWeights(vid)
 		for i, u := range ins {
 			acc = p.Gather(acc, st.values[u], ws[i])
 			k.comps[th]++

@@ -232,7 +232,7 @@ func (k *minmaxKernel[V]) computePullChunk(clo, chi uint32, th int) {
 	ruler := k.ruler
 	for v := clo; v < chi; v++ {
 		vid := graph.VertexID(v)
-		ins, iws := e.g.InNeighbors(vid), e.g.InWeights(vid)
+		ins, iws := e.curs[th].InNeighbors(vid), e.curs[th].InWeights(vid)
 		if e.cfg.RR && !k.caughtUp.Get(int(v)) {
 			// Algorithm 2, pullEdge_singleRuler: an O(1) Ruler
 			// test delays the vertex until iteration
@@ -328,7 +328,7 @@ func (k *minmaxKernel[V]) computePushChunk(clo, chi uint32, th int) {
 	for v := it.Next(); v >= 0; v = it.Next() {
 		vid := graph.VertexID(v)
 		srcVal := st.values[vid]
-		outs, ows := e.g.OutNeighbors(vid), e.g.OutWeights(vid)
+		outs, ows := e.curs[th].OutNeighbors(vid), e.curs[th].OutWeights(vid)
 		curR := -1
 		var curLo, curHi graph.VertexID
 		for i, u := range outs {
@@ -368,7 +368,7 @@ func (k *minmaxKernel[V]) computePushMap() {
 				continue
 			}
 			vid := graph.VertexID(v)
-			outs, ows := e.g.OutNeighbors(vid), e.g.OutWeights(vid)
+			outs, ows := e.curs[th].OutNeighbors(vid), e.curs[th].OutWeights(vid)
 			for i, u := range outs {
 				cand := k.relax(vid, st.values[vid], ows[i])
 				k.comps[th]++

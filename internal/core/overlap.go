@@ -195,7 +195,7 @@ func (e *Engine[V]) streamDrainSparse(clo, chi uint32) {
 	for i := it.Next(); i >= 0; i = it.Next() {
 		id := graph.VertexID(i)
 		val := e.dom.Bits(s.staged[i])
-		for _, u := range e.g.OutNeighbors(id) {
+		for _, u := range e.curs[len(e.curs)-1].OutNeighbors(id) {
 			r := e.owner(u)
 			if r == me {
 				continue

@@ -63,7 +63,7 @@ type Program[V comparable] struct {
 
 	// InitValue returns the initial property of v (e.g. 0 for roots, +Inf
 	// elsewhere in SSSP). Must be deterministic: every worker calls it.
-	InitValue func(g *graph.Graph, v graph.VertexID) V
+	InitValue func(g graph.View, v graph.VertexID) V
 
 	// Roots are the initially active vertices (MinMax programs).
 	Roots []graph.VertexID
@@ -91,7 +91,7 @@ type Program[V comparable] struct {
 	// Apply is the vertexUpdate vOp: combines the accumulator and the
 	// vertex's previous property into its next property
 	// (PR: (0.15+0.85*acc)/outdeg, ignoring prev).
-	Apply func(g *graph.Graph, v graph.VertexID, acc, prev V) V
+	Apply func(g graph.View, v graph.VertexID, acc, prev V) V
 	// MaxIters bounds arith iterations (0 means the engine default of 100).
 	MaxIters int
 	// Epsilon terminates when the largest property change (Dom.Delta) of

@@ -23,7 +23,7 @@ func TestFlatPushMatchesMapPush(t *testing.T) {
 	maxProg := &Program[float64]{
 		Name: "widest-test",
 		Agg:  MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
+		InitValue: func(_ graph.View, v graph.VertexID) Value {
 			if v == 0 {
 				return math.Inf(1)
 			}

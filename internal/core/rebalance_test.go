@@ -59,14 +59,14 @@ func testArith() *Program[float64] {
 	return &Program[float64]{
 		Name: "test-pr",
 		Agg:  Arith,
-		InitValue: func(g *graph.Graph, v graph.VertexID) Value {
+		InitValue: func(g graph.View, v graph.VertexID) Value {
 			if d := g.OutDegree(v); d > 0 {
 				return 1.0 / float64(d)
 			}
 			return 1.0
 		},
 		Gather: func(acc, src Value, _ float32) Value { return acc + src },
-		Apply: func(g *graph.Graph, v graph.VertexID, acc, _ Value) Value {
+		Apply: func(g graph.View, v graph.VertexID, acc, _ Value) Value {
 			rank := 0.15 + 0.85*acc
 			if d := g.OutDegree(v); d > 0 {
 				return rank / float64(d)

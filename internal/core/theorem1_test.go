@@ -26,7 +26,7 @@ func testWP(root graph.VertexID) *Program[float64] {
 	return &Program[float64]{
 		Name: "test-wp",
 		Agg:  MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
+		InitValue: func(_ graph.View, v graph.VertexID) Value {
 			if v == root {
 				return math.Inf(1)
 			}
@@ -46,7 +46,7 @@ func testCC(n int) *Program[float64] {
 	return &Program[float64]{
 		Name:      "test-cc",
 		Agg:       MinMax,
-		InitValue: func(_ *graph.Graph, v graph.VertexID) Value { return float64(v) },
+		InitValue: func(_ graph.View, v graph.VertexID) Value { return float64(v) },
 		Roots:     roots,
 		Relax:     func(src Value, _ float32) Value { return src },
 		Better:    func(a, b Value) bool { return a < b },
@@ -102,14 +102,14 @@ func TestFinishEarlyOnlySkipsRepeats(t *testing.T) {
 		p := &Program[float64]{
 			Name: "test-numpaths",
 			Agg:  Arith,
-			InitValue: func(_ *graph.Graph, v graph.VertexID) Value {
+			InitValue: func(_ graph.View, v graph.VertexID) Value {
 				if v == 0 {
 					return 1
 				}
 				return 0
 			},
 			Gather: func(acc, src Value, _ float32) Value { return acc + math.Min(src, 1) },
-			Apply: func(_ *graph.Graph, v graph.VertexID, acc, _ Value) Value {
+			Apply: func(_ graph.View, v graph.VertexID, acc, _ Value) Value {
 				if v == 0 {
 					return 1
 				}

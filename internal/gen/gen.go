@@ -24,21 +24,20 @@ type RMATParams struct {
 // DefaultRMAT matches the parameters used by the paper's RMAT generator.
 var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19}
 
-// RMAT generates an R-MAT graph with n vertices (rounded up to a power of
-// two internally, then mapped back into [0,n)) and m directed edges with
-// weights drawn uniformly from [1, maxWeight]. The output is deterministic
-// for a given seed.
-func RMAT(n int, m int64, p RMATParams, maxWeight int, seed int64) *graph.Graph {
+// RMATStream generates the same edge sequence as RMAT but hands each edge
+// to emit instead of materialising the slice, so billion-edge graphs can
+// stream straight into the store builder on a small-RAM box. Deterministic
+// for a given seed; bit-identical to RMAT's edges.
+func RMATStream(n int, m int64, p RMATParams, maxWeight int, seed int64, emit func(src, dst graph.VertexID, w float32) error) error {
 	if n <= 0 {
-		return graph.MustBuild(0, nil)
+		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	levels := 0
 	for 1<<levels < n {
 		levels++
 	}
-	edges := make([]graph.Edge, 0, m)
-	for int64(len(edges)) < m {
+	for done := int64(0); done < m; {
 		src, dst := 0, 0
 		for l := 0; l < levels; l++ {
 			r := rng.Float64()
@@ -61,27 +60,54 @@ func RMAT(n int, m int64, p RMATParams, maxWeight int, seed int64) *graph.Graph 
 		if maxWeight > 1 {
 			w = float32(rng.Intn(maxWeight) + 1)
 		}
-		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Weight: w})
+		if err := emit(graph.VertexID(src), graph.VertexID(dst), w); err != nil {
+			return err
+		}
+		done++
 	}
+	return nil
+}
+
+// RMAT generates an R-MAT graph with n vertices (rounded up to a power of
+// two internally, then mapped back into [0,n)) and m directed edges with
+// weights drawn uniformly from [1, maxWeight]. The output is deterministic
+// for a given seed.
+func RMAT(n int, m int64, p RMATParams, maxWeight int, seed int64) *graph.Graph {
+	if n <= 0 {
+		return graph.MustBuild(0, nil)
+	}
+	edges := make([]graph.Edge, 0, m)
+	_ = RMATStream(n, m, p, maxWeight, seed, func(src, dst graph.VertexID, w float32) error {
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, Weight: w})
+		return nil
+	})
 	return graph.MustBuild(n, edges)
+}
+
+// UniformStream is the streaming counterpart of Uniform, bit-identical to
+// its edge sequence for a given seed.
+func UniformStream(n int, m int64, maxWeight int, seed int64, emit func(src, dst graph.VertexID, w float32) error) error {
+	rng := rand.New(rand.NewSource(seed))
+	for i := int64(0); i < m; i++ {
+		w := float32(1)
+		if maxWeight > 1 {
+			w = float32(rng.Intn(maxWeight) + 1)
+		}
+		if err := emit(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Uniform generates an Erdős–Rényi style graph: m directed edges with
 // endpoints chosen uniformly at random.
 func Uniform(n int, m int64, maxWeight int, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
-	edges := make([]graph.Edge, m)
-	for i := range edges {
-		w := float32(1)
-		if maxWeight > 1 {
-			w = float32(rng.Intn(maxWeight) + 1)
-		}
-		edges[i] = graph.Edge{
-			Src:    graph.VertexID(rng.Intn(n)),
-			Dst:    graph.VertexID(rng.Intn(n)),
-			Weight: w,
-		}
-	}
+	edges := make([]graph.Edge, 0, m)
+	_ = UniformStream(n, m, maxWeight, seed, func(src, dst graph.VertexID, w float32) error {
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, Weight: w})
+		return nil
+	})
 	return graph.MustBuild(n, edges)
 }
 
@@ -233,6 +259,12 @@ func ByName(name string) (Dataset, error) {
 // same average degree, weights in [1,64], deterministic per dataset name.
 // scale <= 0 defaults to 100.
 func (d Dataset) Proxy(scale int) *graph.Graph {
+	n, m := d.ProxySize(scale)
+	return RMAT(n, m, DefaultRMAT, 64, d.proxySeed())
+}
+
+// ProxySize returns the vertex and edge counts Proxy would use for scale.
+func (d Dataset) ProxySize(scale int) (int, int64) {
 	if scale <= 0 {
 		scale = 100
 	}
@@ -244,7 +276,17 @@ func (d Dataset) Proxy(scale int) *graph.Graph {
 	if min := int64(4 * n); m < min {
 		m = min
 	}
+	return n, m
+}
+
+// ProxyStream streams the exact edge sequence Proxy materialises.
+func (d Dataset) ProxyStream(scale int, emit func(src, dst graph.VertexID, w float32) error) error {
+	n, m := d.ProxySize(scale)
+	return RMATStream(n, m, DefaultRMAT, 64, d.proxySeed(), emit)
+}
+
+func (d Dataset) proxySeed() int64 {
 	h := fnv.New64a()
 	h.Write([]byte(d.FullName))
-	return RMAT(n, m, DefaultRMAT, 64, int64(h.Sum64()&0x7fffffffffffffff))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
 }

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"slfe/internal/graph"
+	"slfe/internal/store"
 )
 
 // Magic identifies the binary graph format.
@@ -176,45 +177,108 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 		capHint = 1 << 16
 	}
 	edges := make([]graph.Edge, 0, capHint)
-	rec := make([]byte, 12)
-	for i := uint64(0); i < m; i++ {
-		if _, err := io.ReadFull(br, rec); err != nil {
-			return nil, fmt.Errorf("%w: truncated at edge %d: %v", ErrBadFormat, i, err)
+	// Batched block reads: one ReadFull per 4096 records instead of one
+	// per edge. The tail block reads short; a truncation mid-record is
+	// reported with the index of the first edge it corrupts.
+	buf := make([]byte, 12*4096)
+	for i := uint64(0); i < m; {
+		want := (m - i) * 12
+		if want > uint64(len(buf)) {
+			want = uint64(len(buf))
 		}
-		edges = append(edges, graph.Edge{
-			Src:    graph.VertexID(binary.LittleEndian.Uint32(rec[0:])),
-			Dst:    graph.VertexID(binary.LittleEndian.Uint32(rec[4:])),
-			Weight: math.Float32frombits(binary.LittleEndian.Uint32(rec[8:])),
-		})
+		nr, err := io.ReadFull(br, buf[:want])
+		if nr%12 != 0 || (err != nil && uint64(nr) < want) {
+			return nil, fmt.Errorf("%w: truncated at edge %d: %v", ErrBadFormat, i+uint64(nr)/12, io.ErrUnexpectedEOF)
+		}
+		for o := 0; o < nr; o += 12 {
+			edges = append(edges, graph.Edge{
+				Src:    graph.VertexID(binary.LittleEndian.Uint32(buf[o:])),
+				Dst:    graph.VertexID(binary.LittleEndian.Uint32(buf[o+4:])),
+				Weight: math.Float32frombits(binary.LittleEndian.Uint32(buf[o+8:])),
+			})
+		}
+		i += uint64(nr) / 12
 	}
 	return graph.Build(int(n), edges)
 }
 
-// LoadFile loads a graph from path, selecting the format by sniffing the
-// magic bytes.
-func LoadFile(path string) (*graph.Graph, error) {
+// sniff returns the first four bytes of path ("" on short files).
+func sniff(path string) (string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	defer f.Close()
 	head := make([]byte, 4)
 	n, err := io.ReadFull(f, head)
 	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return "", err
+	}
+	if n < 4 {
+		return "", nil
+	}
+	return string(head), nil
+}
+
+// LoadFile loads a graph from path into the heap, selecting the format by
+// sniffing the magic bytes: SLFC compressed CSR (materialised — use
+// OpenView to serve it from disk instead), SLFG packed edges, or a text
+// edge list.
+func LoadFile(path string) (*graph.Graph, error) {
+	head, err := sniff(path)
+	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
+	if head == store.Magic {
+		sg, err := store.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer sg.Close()
+		return graph.Materialize(sg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
 		return nil, err
 	}
-	if n == 4 && string(head) == Magic {
+	defer f.Close()
+	if head == Magic {
 		return ReadBinary(f)
 	}
 	return ReadEdgeList(f)
 }
 
-// SaveFile writes the graph to path; binary if the extension is ".slfg",
-// text otherwise.
+// OpenView opens path as a graph.View with the cheapest access mode the
+// format allows: SLFC files are served straight from disk (mmap'd, or
+// streamed out-of-core when 0 < budget < file size) without materialising
+// the edge list; other formats are parsed into a heap graph. The returned
+// close function releases any mapping (a no-op for heap graphs) and must
+// be called after the last access.
+func OpenView(path string, budget int64) (graph.View, func() error, error) {
+	head, err := sniff(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if head == store.Magic {
+		sg, err := store.OpenBudget(path, budget)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sg, sg.Close, nil
+	}
+	g, err := LoadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, func() error { return nil }, nil
+}
+
+// SaveFile writes the graph to path, picking the format by extension:
+// ".slfc" compressed CSR, ".slfg" packed binary edges, text otherwise.
 func SaveFile(path string, g *graph.Graph) error {
+	if strings.HasSuffix(path, ".slfc") {
+		return store.Write(path, g)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

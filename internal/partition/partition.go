@@ -41,7 +41,7 @@ const alpha = 8
 // NewChunked builds a degree-balanced contiguous partition of g over nodes
 // ranges, mirroring Gemini's chunking. It never produces empty heads: if
 // there are fewer vertices than nodes the trailing nodes own empty ranges.
-func NewChunked(g *graph.Graph, nodes int) (*Chunked, error) {
+func NewChunked(g graph.View, nodes int) (*Chunked, error) {
 	if nodes <= 0 {
 		return nil, errors.New("partition: nodes must be positive")
 	}
@@ -184,7 +184,7 @@ type Balance struct {
 }
 
 // Measure computes balance metrics of p over g.
-func Measure(g *graph.Graph, p Partition) Balance {
+func Measure(g graph.View, p Partition) Balance {
 	nodes := p.Nodes()
 	verts := make([]int64, nodes)
 	edges := make([]int64, nodes)

@@ -54,7 +54,7 @@ type Guidance struct {
 
 // Generate runs Algorithm 1 from the given roots. A nil scheduler uses a
 // fresh default scheduler.
-func Generate(g *graph.Graph, roots []graph.VertexID, sched *ws.Scheduler) *Guidance {
+func Generate(g graph.View, roots []graph.VertexID, sched *ws.Scheduler) *Guidance {
 	if sched == nil {
 		sched = ws.New(0, true)
 		defer sched.Close()
@@ -73,6 +73,14 @@ func Generate(g *graph.Graph, roots []graph.VertexID, sched *ws.Scheduler) *Guid
 		return gd
 	}
 
+	// One adjacency cursor per scheduler thread: chunk bodies must not
+	// share the View's own decoder (disk-backed graphs decode blocks
+	// into per-cursor scratch).
+	curs := make([]graph.Cursor, sched.Threads())
+	for i := range curs {
+		curs[i] = g.Cursor()
+	}
+
 	visited := bitset.NewAtomic(n)
 	frontier := bitset.NewAtomic(n)
 	next := bitset.NewAtomic(n)
@@ -85,12 +93,12 @@ func Generate(g *graph.Graph, roots []graph.VertexID, sched *ws.Scheduler) *Guid
 
 	// Phase 1: parallel BFS levels ("fill_source" + propagation loop).
 	for iter := uint32(1); frontier.Any(); iter++ {
-		sched.Run(0, uint32(n), func(lo, hi uint32, _ int) {
+		sched.Run(0, uint32(n), func(lo, hi uint32, th int) {
 			for v := lo; v < hi; v++ {
 				if !frontier.Get(int(v)) {
 					continue
 				}
-				for _, u := range g.OutNeighbors(v) {
+				for _, u := range curs[th].OutNeighbors(v) {
 					if visited.TestAndSet(int(u)) {
 						gd.Level[u] = iter
 						next.Set(int(u))
@@ -110,10 +118,10 @@ func Generate(g *graph.Graph, roots []graph.VertexID, sched *ws.Scheduler) *Guid
 	}
 
 	// Phase 2: LastIter(v) = max level(u)+1 over reachable in-neighbours.
-	sched.Run(0, uint32(n), func(lo, hi uint32, _ int) {
+	sched.Run(0, uint32(n), func(lo, hi uint32, th int) {
 		for v := lo; v < hi; v++ {
 			var last uint32
-			for _, u := range g.InNeighbors(v) {
+			for _, u := range curs[th].InNeighbors(v) {
 				if l := gd.Level[u]; l != Unreached && l+1 > last {
 					last = l + 1
 				}
@@ -133,7 +141,7 @@ func Generate(g *graph.Graph, roots []graph.VertexID, sched *ws.Scheduler) *Guid
 // DefaultRoots returns the canonical reusable root set for a graph: vertex
 // 0 plus every vertex with no incoming edges (sources can never be reached
 // by propagation, so they must seed it).
-func DefaultRoots(g *graph.Graph) []graph.VertexID {
+func DefaultRoots(g graph.View) []graph.VertexID {
 	roots := []graph.VertexID{}
 	n := g.NumVertices()
 	if n == 0 {

@@ -1,0 +1,343 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+
+	"slfe/internal/graph"
+)
+
+// Cursor decodes adjacency blocks into its own reusable scratch, caching
+// the most recent block per direction. The engine's chunk size (256
+// vertices) spans four 64-vertex blocks, so sequential chunk scans decode
+// each block exactly once; steady state performs zero allocations.
+// Cursors are single-goroutine; take one per thread via (*Graph).Cursor.
+type Cursor struct {
+	g       *Graph
+	out, in dirCur
+}
+
+type dirCur struct {
+	block int64 // decoded block index, -1 when empty
+	base  int64 // edge offset of the block's first edge
+	cnt   int64 // edges decoded in the block
+	ids   []graph.VertexID
+	ws    []float32
+	buf   []byte // pread scratch for adjacency bytes (reader mode)
+	wb    []byte // pread scratch for weight bytes (reader mode)
+}
+
+// Cursor returns an independent adjacency reader (graph.View).
+func (g *Graph) Cursor() graph.Cursor { return g.newCursor() }
+
+func (g *Graph) newCursor() *Cursor {
+	c := &Cursor{g: g}
+	c.out.block, c.in.block = -1, -1
+	return c
+}
+
+// OutNeighbors returns v's out-neighbours; the slice aliases cursor
+// scratch and is valid until the next out-adjacency call on this cursor.
+func (c *Cursor) OutNeighbors(v graph.VertexID) []graph.VertexID {
+	lo, hi := c.span(&c.g.out, &c.out, v)
+	return c.out.ids[lo:hi]
+}
+
+// OutWeights returns the weights parallel to OutNeighbors.
+func (c *Cursor) OutWeights(v graph.VertexID) []float32 {
+	lo, hi := c.span(&c.g.out, &c.out, v)
+	return c.out.ws[lo:hi]
+}
+
+// InNeighbors returns v's in-neighbours (CSC direction).
+func (c *Cursor) InNeighbors(v graph.VertexID) []graph.VertexID {
+	lo, hi := c.span(&c.g.in, &c.in, v)
+	return c.in.ids[lo:hi]
+}
+
+// InWeights returns the weights parallel to InNeighbors.
+func (c *Cursor) InWeights(v graph.VertexID) []float32 {
+	lo, hi := c.span(&c.g.in, &c.in, v)
+	return c.in.ws[lo:hi]
+}
+
+// span ensures v's block is decoded and returns v's scratch-relative edge
+// range, clamped so corrupt indexes degrade to empty/garbage adjacency
+// rather than a panic (Open/Validate report corruption; the cursor only
+// has to stay memory-safe).
+func (c *Cursor) span(d *dirRef, dc *dirCur, v graph.VertexID) (int64, int64) {
+	g := c.g
+	if int(v) >= g.n {
+		return 0, 0
+	}
+	b := int64(v) >> g.shift
+	if dc.block != b {
+		c.load(d, dc, b)
+	}
+	lo := g.edgeOff(d, int64(v)) - dc.base
+	hi := g.edgeOff(d, int64(v)+1) - dc.base
+	if lo < 0 {
+		lo = 0
+	} else if lo > dc.cnt {
+		lo = dc.cnt
+	}
+	if hi < 0 {
+		hi = 0
+	} else if hi > dc.cnt {
+		hi = dc.cnt
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// load decodes block b of direction d into dc's scratch.
+func (c *Cursor) load(d *dirRef, dc *dirCur, b int64) {
+	g := c.g
+	start := b << g.shift
+	end := start + int64(1)<<g.shift
+	if end > int64(g.n) {
+		end = int64(g.n)
+	}
+	e0, e1 := g.edgeOff(d, start), g.edgeOff(d, end)
+	cnt := e1 - e0
+	if cnt < 0 {
+		cnt = 0
+	}
+
+	o0, o1 := g.blockOff(d, b), g.blockOff(d, b+1)
+	var raw []byte
+	if g.data != nil {
+		raw = d.adj[o0:o1]
+	} else {
+		dc.buf = growBytes(dc.buf, o1-o0)
+		raw = dc.buf[:o1-o0]
+		if _, err := g.r.ReadAt(raw, d.adjPos+o0); err != nil {
+			raw = raw[:0]
+		}
+	}
+	// Every edge costs at least one varint byte, so a block claiming more
+	// edges than it has bytes is corrupt; clamping here bounds scratch by
+	// the (already size-checked) section length.
+	if cnt > int64(len(raw)) {
+		cnt = int64(len(raw))
+	}
+	dc.block, dc.base, dc.cnt = b, e0, cnt
+	dc.ids = growIDs(dc.ids, cnt)
+	dc.ws = growF32(dc.ws, cnt)
+	ids := dc.ids[:cnt]
+
+	pos := 0
+	idx := int64(0)
+decode:
+	for v := start; v < end && idx < cnt; v++ {
+		deg := g.edgeOff(d, v+1) - g.edgeOff(d, v)
+		var prev uint64
+		for j := int64(0); j < deg; j++ {
+			x, k := binary.Uvarint(raw[pos:])
+			if k <= 0 {
+				break decode
+			}
+			pos += k
+			if j == 0 {
+				prev = x
+			} else {
+				prev += x
+			}
+			id := prev
+			if id >= uint64(g.n) {
+				id = 0 // corrupt gap: stay in-range, Validate() reports it
+			}
+			if idx >= cnt {
+				break decode
+			}
+			ids[idx] = graph.VertexID(id)
+			idx++
+		}
+	}
+	for ; idx < cnt; idx++ {
+		ids[idx] = 0
+	}
+
+	c.loadWeights(d, dc, b, e0, cnt)
+}
+
+func (c *Cursor) loadWeights(d *dirRef, dc *dirCur, b, e0, cnt int64) {
+	g := c.g
+	ws := dc.ws[:cnt]
+	switch d.wmode {
+	case WConst1:
+		for i := range ws {
+			ws[i] = 1
+		}
+	case WRaw:
+		o0 := 4 * e0
+		o1 := o0 + 4*cnt
+		if o1 > d.wLen {
+			o1 = d.wLen
+		}
+		var raw []byte
+		if g.data != nil {
+			raw = d.w[o0:o1]
+		} else {
+			dc.wb = growBytes(dc.wb, o1-o0)
+			raw = dc.wb[:o1-o0]
+			if _, err := g.r.ReadAt(raw, d.wPos+o0); err != nil {
+				raw = raw[:0]
+			}
+		}
+		for i := range ws {
+			if 4*i+4 <= len(raw) {
+				ws[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+			} else {
+				ws[i] = 1
+			}
+		}
+	case WVarint:
+		o0, o1 := g.wBlockOff(d, b), g.wBlockOff(d, b+1)
+		var raw []byte
+		if g.data != nil {
+			raw = d.w[o0:o1]
+		} else {
+			dc.wb = growBytes(dc.wb, o1-o0)
+			raw = dc.wb[:o1-o0]
+			if _, err := g.r.ReadAt(raw, d.wPos+o0); err != nil {
+				raw = raw[:0]
+			}
+		}
+		pos := 0
+		for i := range ws {
+			x, k := binary.Uvarint(raw[pos:])
+			if k <= 0 || x > (1<<32)-1 {
+				ws[i] = 1
+				continue
+			}
+			pos += k
+			ws[i] = float32(uint32(x))
+		}
+	}
+}
+
+func growBytes(b []byte, n int64) []byte {
+	if int64(cap(b)) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+func growIDs(b []graph.VertexID, n int64) []graph.VertexID {
+	if int64(cap(b)) < n {
+		return make([]graph.VertexID, n)
+	}
+	return b[:n]
+}
+
+func growF32(b []float32, n int64) []float32 {
+	if int64(cap(b)) < n {
+		return make([]float32, n)
+	}
+	return b[:n]
+}
+
+// Validate decodes every block of both directions and re-checks the whole
+// offset index, returning an ErrBadFormat-wrapped error on the first
+// defect: non-monotone edge offsets, varint decode running past its block,
+// or neighbour ids out of range. Open only checks
+// structure (O(nBlocks)); Validate is the deep O(m) check used by the
+// fuzzer, corruption tests and `slfe-convert -check`.
+func (g *Graph) Validate() error {
+	for _, s := range []struct {
+		name string
+		d    *dirRef
+	}{{"out", &g.out}, {"in", &g.in}} {
+		prev := int64(0)
+		for v := int64(0); v <= int64(g.n); v++ {
+			o := g.edgeOff(s.d, v)
+			if o < prev {
+				return badf("%s edge-offset index not monotone at vertex %d (%d < %d)", s.name, v, o, prev)
+			}
+			prev = o
+		}
+		if err := g.validateDir(s.name, s.d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Graph) validateDir(name string, d *dirRef) error {
+	nb := g.numBlocks()
+	var buf, wb []byte
+	for b := int64(0); b < nb; b++ {
+		start := b << g.shift
+		end := start + int64(1)<<g.shift
+		if end > int64(g.n) {
+			end = int64(g.n)
+		}
+		o0, o1 := g.blockOff(d, b), g.blockOff(d, b+1)
+		var raw []byte
+		if g.data != nil {
+			raw = d.adj[o0:o1]
+		} else {
+			buf = growBytes(buf, o1-o0)
+			raw = buf[:o1-o0]
+			if _, err := g.r.ReadAt(raw, d.adjPos+o0); err != nil {
+				return badf("%s block %d: read: %v", name, b, err)
+			}
+		}
+		pos := 0
+		edges := int64(0)
+		for v := start; v < end; v++ {
+			deg := g.edgeOff(d, v+1) - g.edgeOff(d, v)
+			var prev uint64
+			for j := int64(0); j < deg; j++ {
+				x, k := binary.Uvarint(raw[pos:])
+				if k <= 0 {
+					return badf("%s block %d: varint truncated at vertex %d edge %d", name, b, v, j)
+				}
+				pos += k
+				if j == 0 {
+					prev = x
+				} else {
+					prev += x
+				}
+				if prev >= uint64(g.n) {
+					return badf("%s block %d: vertex %d has neighbour %d out of range [0,%d)", name, b, v, prev, g.n)
+				}
+				edges++
+			}
+		}
+		if int64(pos) != o1-o0 {
+			return badf("%s block %d: %d trailing bytes after %d edges", name, b, o1-o0-int64(pos), edges)
+		}
+		if d.wmode == WVarint {
+			w0, w1 := g.wBlockOff(d, b), g.wBlockOff(d, b+1)
+			var wraw []byte
+			if g.data != nil {
+				wraw = d.w[w0:w1]
+			} else {
+				wb = growBytes(wb, w1-w0)
+				wraw = wb[:w1-w0]
+				if _, err := g.r.ReadAt(wraw, d.wPos+w0); err != nil {
+					return badf("%s weight block %d: read: %v", name, b, err)
+				}
+			}
+			pos := 0
+			for e := int64(0); e < edges; e++ {
+				x, k := binary.Uvarint(wraw[pos:])
+				if k <= 0 {
+					return badf("%s weight block %d: varint truncated at edge %d", name, b, e)
+				}
+				if x > (1<<32)-1 {
+					return badf("%s weight block %d: weight %d exceeds u32", name, b, x)
+				}
+				pos += k
+			}
+			if int64(pos) != w1-w0 {
+				return badf("%s weight block %d: %d trailing bytes", name, b, w1-w0-int64(pos))
+			}
+		}
+	}
+	return nil
+}

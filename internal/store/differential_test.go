@@ -1,0 +1,116 @@
+// Storage differential oracle: every registered application, in every one
+// of its value domains, must produce bit-identical results whether the
+// engine reads the graph from the heap CSR, from the mmap'd SLFC file, or
+// through the out-of-core pread path under a memory budget. The engine is
+// storage-oblivious by construction (graph.View), so any divergence here is
+// a decode bug in the store, not an algorithm bug.
+package store
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"slfe/internal/apps"
+	"slfe/internal/cluster"
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+)
+
+// viewModes writes g to a temp SLFC file and opens it in every disk access
+// mode: "mmap" (default open; pread fallback off Linux) and "ooc" (budget
+// of one byte forces out-of-core block streaming).
+func viewModes(t *testing.T, g *graph.Graph) map[string]*Graph {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "g.slfc")
+	if err := Write(p, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	mm, err := Open(p)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	oc, err := OpenBudget(p, 1)
+	if err != nil {
+		t.Fatalf("OpenBudget: %v", err)
+	}
+	if !oc.OutOfCore() {
+		t.Fatal("budget of 1 byte did not force out-of-core mode")
+	}
+	t.Cleanup(func() { mm.Close(); oc.Close() })
+	return map[string]*Graph{"mmap": mm, "ooc": oc}
+}
+
+// execOn runs one registered application over a view exactly as slfe-run
+// does (symmetrising first when the app needs it) and returns the projected
+// values.
+func execOn(t *testing.T, entry apps.RunnableApp, v graph.View, root graph.VertexID, iters int) []float64 {
+	t.Helper()
+	runG := v
+	if entry.NeedsSym {
+		runG = apps.Symmetrize(v)
+	}
+	out, err := entry.Build(root, iters).Execute(runG, cluster.Options{Nodes: 2, RR: true})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", entry.Key, entry.Domain, err)
+	}
+	return out.Values
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialStorageModes runs the full application × domain registry
+// against heap, mmap'd and out-of-core views of the same graph.
+func TestDifferentialStorageModes(t *testing.T) {
+	heap := gen.RMAT(400, 3200, gen.DefaultRMAT, 8, 17) // varint weights
+	views := viewModes(t, heap)
+	const root, iters = 0, 6
+	for _, entry := range apps.Runnables() {
+		entry := entry
+		t.Run(entry.Key+"/"+entry.Domain, func(t *testing.T) {
+			ref := execOn(t, entry, heap, root, iters)
+			for mode, sg := range views {
+				if got := execOn(t, entry, sg, root, iters); !bitsEqual(got, ref) {
+					t.Fatalf("%s view diverged from heap reference", mode)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialWeightModes repeats the PageRank and SSSP oracles on
+// graphs exercising the other two weight encodings: const-1 (no weight
+// section) and fractional (raw f32 section).
+func TestDifferentialWeightModes(t *testing.T) {
+	for name, heap := range map[string]*graph.Graph{
+		"const1": gen.RMAT(300, 2400, gen.DefaultRMAT, 1, 19),
+		"rawf32": fracWeights(gen.RMAT(300, 2400, gen.DefaultRMAT, 16, 23)),
+	} {
+		heap := heap
+		t.Run(name, func(t *testing.T) {
+			views := viewModes(t, heap)
+			for _, key := range []string{"pr", "sssp"} {
+				entry, ok := apps.LookupRunnable(key, "f64")
+				if !ok {
+					t.Fatalf("app %s/f64 not registered", key)
+				}
+				ref := execOn(t, entry, heap, 0, 6)
+				for mode, sg := range views {
+					if got := execOn(t, entry, sg, 0, 6); !bitsEqual(got, ref) {
+						t.Fatalf("%s: %s view diverged from heap reference", key, mode)
+					}
+				}
+			}
+		})
+	}
+}

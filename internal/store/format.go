@@ -1,0 +1,550 @@
+// Package store implements SLFC, the compressed on-disk CSR+CSC graph
+// format, and a reader that serves the graph straight from the file —
+// mmap'd on Linux, pread-streamed everywhere else or when a memory budget
+// forces out-of-core operation. store.Graph satisfies graph.View, so the
+// superstep engine, guidance generator and partitioner run over a mapped
+// file exactly as they do over a heap graph.
+//
+// File layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "SLFC"
+//	4       4     u32 version (currently 1)
+//	8       8     u64 vertex count n
+//	16      8     u64 edge count m
+//	24      4     u32 flags (bit 0: edge-offset entries are u64, not u32)
+//	28      1     u8 blockShift (vertices per adjacency block = 1<<shift)
+//	29      1     u8 out-weight mode   (0 const-1, 1 varint u32, 2 raw f32)
+//	30      1     u8 in-weight mode    (same encoding)
+//	31      1     u8 reserved (0)
+//	32      80    10 × u64 section byte lengths (see below)
+//	112     …     sections, in order, each aligned to 8 bytes
+//
+// Sections, per direction (out first, then in):
+//
+//	edge-offset index   (n+1) cumulative edge counts, u32 (u64 if flagged)
+//	block-offset table  (nBlocks+1) u64 byte offsets into adjacency data
+//	adjacency data      per block: per vertex, uvarint(first id) then
+//	                    uvarint gaps (ids ascending; 0 gaps allowed)
+//	weight block table  (nBlocks+1) u64, present only for mode 1
+//	weight data         mode 1: uvarint u32 per edge; mode 2: raw f32 LE
+//
+// Degrees come from the edge-offset index, so the adjacency stream needs
+// no per-vertex length prefixes; a block is the unit of decode (and of
+// pread in out-of-core mode).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"slfe/internal/graph"
+)
+
+// Magic identifies an SLFC file (first four bytes).
+const Magic = "SLFC"
+
+// Version is the current format version.
+const Version = 1
+
+const (
+	headerSize  = 112
+	sectionLens = 10
+
+	// BlockShift is the writer's block granularity: 64 vertices per
+	// adjacency block keeps blocks around a cache page for typical
+	// degrees while amortising the block-offset table to ~0.13 bytes
+	// per vertex.
+	BlockShift = 6
+
+	flagWideOff = 1 << 0
+)
+
+// Weight encoding modes.
+const (
+	WConst1 byte = 0 // every weight is 1.0; no weight section
+	WVarint byte = 1 // integer-valued weights stored as uvarint u32
+	WRaw    byte = 2 // raw little-endian float32 per edge
+)
+
+// Section indexes into the header's length table.
+const (
+	secOutOff = iota
+	secOutBlk
+	secOutAdj
+	secOutWBlk
+	secOutW
+	secInOff
+	secInBlk
+	secInAdj
+	secInWBlk
+	secInW
+)
+
+// ErrBadFormat is wrapped by every corruption/validation error so callers
+// can errors.Is a malformed file regardless of the specific defect.
+var ErrBadFormat = errors.New("store: malformed SLFC file")
+
+// MaxVertices bounds vertex counts accepted by the reader, mirroring
+// loader.MaxVertices: it caps index allocations in out-of-core mode so a
+// corrupt header cannot drive a huge allocation.
+const MaxVertices = 1 << 27
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadFormat, fmt.Sprintf(format, args...))
+}
+
+func align8(x int64) int64 { return (x + 7) &^ 7 }
+
+// dirRef holds one direction's section references. In mapped mode the
+// byte-slice fields alias the mapping; in reader (out-of-core) mode the
+// offset index and block tables are decoded into heap arrays at open and
+// adjacency/weight bytes are pread on demand.
+type dirRef struct {
+	// Mapped mode.
+	off []byte // edge-offset index (u32 or u64 entries)
+	blk []byte // adjacency block-offset table (u64 entries)
+	adj []byte // adjacency varint data
+	wbk []byte // weight block-offset table (WVarint only)
+	w   []byte // weight data
+
+	// Reader mode.
+	off32 []uint32
+	off64 []uint64
+	blkT  []uint64
+	wbkT  []uint64
+
+	adjPos int64 // file offset of adjacency data (reader mode)
+	adjLen int64
+	wPos   int64 // file offset of weight data (reader mode)
+	wLen   int64
+
+	wmode byte
+}
+
+// Graph is a disk-backed graph satisfying graph.View. Index reads
+// (NumVertices/NumEdges/degrees) are safe for concurrent use; adjacency
+// reads on the Graph itself go through one internal cursor and are
+// single-goroutine — concurrent scans must take one Cursor per thread.
+type Graph struct {
+	n     int
+	m     int64
+	shift uint
+	wide  bool
+
+	data   []byte // whole file when mapped (or opened from bytes); nil in reader mode
+	mapped []byte // the mmap region to release on Close (nil for OpenBytes)
+	f      *os.File
+	r      io.ReaderAt // reader mode
+	size   int64
+	ooc    bool // reader mode: adjacency is pread per block, not resident
+
+	out, in dirRef
+
+	def *Cursor // serves the View's own adjacency methods
+}
+
+var (
+	_ graph.View   = (*Graph)(nil)
+	_ graph.Cursor = (*Cursor)(nil)
+)
+
+// Open maps path and returns a disk-backed graph. On Linux the file is
+// mmap'd (open cost is header parse plus an O(nBlocks) structural check,
+// independent of edge count); elsewhere it falls back to the pread reader.
+func Open(path string) (*Graph, error) {
+	return OpenBudget(path, 0)
+}
+
+// OpenBudget opens path honouring a memory budget in bytes. A budget of 0
+// means "fits in memory": mmap where supported. A positive budget smaller
+// than the file size forces out-of-core mode — only the offset index and
+// block tables are heap-resident, and every adjacency block is pread into
+// cursor-owned scratch on demand, so supersteps stream the edge file
+// instead of faulting it wholesale into RAM.
+func OpenBudget(path string, budget int64) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if budget > 0 && size > budget {
+		g, err := openReader(f, size)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		g.ooc = true
+		return g, nil
+	}
+	data, err := mmapFile(f, size)
+	if err != nil {
+		// No mmap on this platform (or mapping failed): pread fallback.
+		g, rerr := openReader(f, size)
+		if rerr != nil {
+			f.Close()
+			return nil, rerr
+		}
+		return g, nil
+	}
+	g, err := parse(data, nil, size)
+	if err != nil {
+		munmapFile(data)
+		f.Close()
+		return nil, err
+	}
+	g.mapped = data
+	g.f = f
+	return g, nil
+}
+
+// OpenBytes parses an in-memory SLFC image (fuzzing, tests, embedding).
+func OpenBytes(data []byte) (*Graph, error) {
+	return parse(data, nil, int64(len(data)))
+}
+
+func openReader(f *os.File, size int64) (*Graph, error) {
+	g, err := parse(nil, f, size)
+	if err != nil {
+		return nil, err
+	}
+	g.f = f
+	return g, nil
+}
+
+// Close releases the mapping and file handle. The Graph (and any Cursor)
+// must not be used after Close.
+func (g *Graph) Close() error {
+	var err error
+	if g.mapped != nil {
+		err = munmapFile(g.mapped)
+		g.mapped = nil
+		g.data = nil
+	}
+	if g.f != nil {
+		if cerr := g.f.Close(); err == nil {
+			err = cerr
+		}
+		g.f = nil
+	}
+	return err
+}
+
+// OutOfCore reports whether adjacency blocks are streamed from disk per
+// access (true) rather than served from a mapping or resident bytes.
+func (g *Graph) OutOfCore() bool { return g.ooc }
+
+// parse validates structure and builds the Graph. Exactly one of data
+// (resident/mapped bytes) and r (pread source) is non-nil.
+func parse(data []byte, r io.ReaderAt, size int64) (*Graph, error) {
+	var hdr [headerSize]byte
+	if size < headerSize {
+		return nil, badf("file is %d bytes, smaller than the %d-byte header", size, headerSize)
+	}
+	if data != nil {
+		copy(hdr[:], data)
+	} else if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, badf("reading header: %v", err)
+	}
+	if string(hdr[0:4]) != Magic {
+		return nil, badf("bad magic %q (want %q)", hdr[0:4], Magic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
+		return nil, badf("unsupported version %d (want %d)", v, Version)
+	}
+	n64 := binary.LittleEndian.Uint64(hdr[8:])
+	m64 := binary.LittleEndian.Uint64(hdr[16:])
+	flags := binary.LittleEndian.Uint32(hdr[24:])
+	shift := uint(hdr[28])
+	owm, iwm := hdr[29], hdr[30]
+	if n64 > MaxVertices {
+		return nil, badf("vertex count %d exceeds limit %d", n64, MaxVertices)
+	}
+	if shift < 1 || shift > 20 {
+		return nil, badf("block shift %d out of range [1,20]", shift)
+	}
+	if owm > WRaw || iwm > WRaw {
+		return nil, badf("unknown weight mode out=%d in=%d", owm, iwm)
+	}
+	wide := flags&flagWideOff != 0
+	if !wide && m64 > (1<<32)-1 {
+		return nil, badf("edge count %d requires wide offsets but flag is clear", m64)
+	}
+	g := &Graph{
+		n:     int(n64),
+		m:     int64(m64),
+		shift: shift,
+		wide:  wide,
+		data:  data,
+		r:     r,
+		size:  size,
+	}
+	g.out.wmode = owm
+	g.in.wmode = iwm
+
+	var lens [sectionLens]int64
+	total := int64(headerSize)
+	for i := range lens {
+		l := binary.LittleEndian.Uint64(hdr[32+8*i:])
+		if l > uint64(size) {
+			return nil, badf("section %d length %d exceeds file size %d", i, l, size)
+		}
+		lens[i] = int64(l)
+		total = align8(total) + int64(l)
+	}
+	if align8(total) != size && total != size {
+		return nil, badf("section lengths sum to %d, file size is %d", total, size)
+	}
+
+	offW := int64(4)
+	if wide {
+		offW = 8
+	}
+	nb := g.numBlocks()
+	wantOff := (n64 + 1) * uint64(offW)
+	wantBlk := uint64(nb+1) * 8
+	check := func(name string, got int64, want uint64) error {
+		if uint64(got) != want {
+			return badf("%s section is %d bytes, want %d", name, got, want)
+		}
+		return nil
+	}
+	if err := check("out edge-offset", lens[secOutOff], wantOff); err != nil {
+		return nil, err
+	}
+	if err := check("in edge-offset", lens[secInOff], wantOff); err != nil {
+		return nil, err
+	}
+	if err := check("out block-offset", lens[secOutBlk], wantBlk); err != nil {
+		return nil, err
+	}
+	if err := check("in block-offset", lens[secInBlk], wantBlk); err != nil {
+		return nil, err
+	}
+	for _, s := range []struct {
+		name  string
+		mode  byte
+		wblk  int64
+		wdata int64
+	}{
+		{"out", owm, lens[secOutWBlk], lens[secOutW]},
+		{"in", iwm, lens[secInWBlk], lens[secInW]},
+	} {
+		switch s.mode {
+		case WConst1:
+			if s.wblk != 0 || s.wdata != 0 {
+				return nil, badf("%s weight mode const-1 but weight sections are non-empty", s.name)
+			}
+		case WVarint:
+			if uint64(s.wblk) != wantBlk {
+				return nil, badf("%s weight block-offset section is %d bytes, want %d", s.name, s.wblk, wantBlk)
+			}
+			if uint64(s.wdata) < m64 {
+				return nil, badf("%s varint weight section is %d bytes for %d edges", s.name, s.wdata, m64)
+			}
+		case WRaw:
+			if s.wblk != 0 {
+				return nil, badf("%s raw weight mode has a block table", s.name)
+			}
+			if uint64(s.wdata) != 4*m64 {
+				return nil, badf("%s raw weight section is %d bytes, want %d", s.name, s.wdata, 4*m64)
+			}
+		}
+	}
+	// A varint edge is at least one byte, so m bounds every adjacency
+	// section — this caps per-block decode scratch before any content
+	// is trusted.
+	if uint64(lens[secOutAdj]) < m64 || uint64(lens[secInAdj]) < m64 {
+		return nil, badf("adjacency sections (%d/%d bytes) cannot hold %d edges",
+			lens[secOutAdj], lens[secInAdj], m64)
+	}
+
+	pos := int64(headerSize)
+	starts := [sectionLens]int64{}
+	for i := range lens {
+		pos = align8(pos)
+		starts[i] = pos
+		pos += lens[i]
+	}
+
+	load := func(d *dirRef, off, blk, adj, wbk, w int) error {
+		d.adjPos, d.adjLen = starts[adj], lens[adj]
+		d.wPos, d.wLen = starts[w], lens[w]
+		if data != nil {
+			d.off = data[starts[off] : starts[off]+lens[off]]
+			d.blk = data[starts[blk] : starts[blk]+lens[blk]]
+			d.adj = data[starts[adj] : starts[adj]+lens[adj]]
+			d.wbk = data[starts[wbk] : starts[wbk]+lens[wbk]]
+			d.w = data[starts[w] : starts[w]+lens[w]]
+			return nil
+		}
+		// Reader mode: index + block tables become heap-resident (the
+		// "semi-external" model — O(n) index RAM, zero edge RAM).
+		raw := make([]byte, lens[off])
+		if _, err := r.ReadAt(raw, starts[off]); err != nil {
+			return badf("reading edge-offset index: %v", err)
+		}
+		if wide {
+			d.off64 = make([]uint64, n64+1)
+			for i := range d.off64 {
+				d.off64[i] = binary.LittleEndian.Uint64(raw[8*i:])
+			}
+		} else {
+			d.off32 = make([]uint32, n64+1)
+			for i := range d.off32 {
+				d.off32[i] = binary.LittleEndian.Uint32(raw[4*i:])
+			}
+		}
+		raw = make([]byte, lens[blk])
+		if _, err := r.ReadAt(raw, starts[blk]); err != nil {
+			return badf("reading block-offset table: %v", err)
+		}
+		d.blkT = make([]uint64, nb+1)
+		for i := range d.blkT {
+			d.blkT[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		}
+		if lens[wbk] > 0 {
+			raw = make([]byte, lens[wbk])
+			if _, err := r.ReadAt(raw, starts[wbk]); err != nil {
+				return badf("reading weight block-offset table: %v", err)
+			}
+			d.wbkT = make([]uint64, nb+1)
+			for i := range d.wbkT {
+				d.wbkT[i] = binary.LittleEndian.Uint64(raw[8*i:])
+			}
+		}
+		return nil
+	}
+	if err := load(&g.out, secOutOff, secOutBlk, secOutAdj, secOutWBlk, secOutW); err != nil {
+		return nil, err
+	}
+	if err := load(&g.in, secInOff, secInBlk, secInAdj, secInWBlk, secInW); err != nil {
+		return nil, err
+	}
+
+	// Structural checks that make cursor decode panic-free: the offset
+	// index must start at 0 and end at m, and block tables must be
+	// monotone within their data section. The index interior is checked
+	// lazily (decode clamps); Validate() checks it exhaustively.
+	for name, d := range map[string]*dirRef{"out": &g.out, "in": &g.in} {
+		if first, last := g.edgeOff(d, 0), g.edgeOff(d, int64(g.n)); first != 0 || last != g.m {
+			return nil, badf("%s edge-offset index spans [%d,%d], want [0,%d]", name, first, last, g.m)
+		}
+		prev := int64(0)
+		for b := int64(0); b <= nb; b++ {
+			o := g.blockOff(d, b)
+			if o < prev || o > d.adjLen {
+				return nil, badf("%s block-offset table not monotone in [0,%d] at block %d (%d)", name, d.adjLen, b, o)
+			}
+			prev = o
+		}
+		if d.wmode == WVarint {
+			prev = 0
+			for b := int64(0); b <= nb; b++ {
+				o := g.wBlockOff(d, b)
+				if o < prev || o > d.wLen {
+					return nil, badf("%s weight block-offset table not monotone in [0,%d] at block %d (%d)", name, d.wLen, b, o)
+				}
+				prev = o
+			}
+		}
+	}
+
+	g.def = g.newCursor()
+	return g, nil
+}
+
+func (g *Graph) numBlocks() int64 {
+	if g.n == 0 {
+		return 0
+	}
+	return (int64(g.n) + int64(1)<<g.shift - 1) >> g.shift
+}
+
+// edgeOff returns the cumulative edge count before vertex v (0 ≤ v ≤ n).
+// Safe for concurrent use.
+func (g *Graph) edgeOff(d *dirRef, v int64) int64 {
+	switch {
+	case d.off != nil:
+		if g.wide {
+			return int64(binary.LittleEndian.Uint64(d.off[8*v:]))
+		}
+		return int64(binary.LittleEndian.Uint32(d.off[4*v:]))
+	case d.off64 != nil:
+		return int64(d.off64[v])
+	default:
+		return int64(d.off32[v])
+	}
+}
+
+func (g *Graph) blockOff(d *dirRef, b int64) int64 {
+	if d.blk != nil {
+		return int64(binary.LittleEndian.Uint64(d.blk[8*b:]))
+	}
+	return int64(d.blkT[b])
+}
+
+func (g *Graph) wBlockOff(d *dirRef, b int64) int64 {
+	if d.wbk != nil {
+		return int64(binary.LittleEndian.Uint64(d.wbk[8*b:]))
+	}
+	return int64(d.wbkT[b])
+}
+
+// NumVertices is safe for concurrent use.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges is safe for concurrent use.
+func (g *Graph) NumEdges() int64 { return g.m }
+
+// OutDegree is safe for concurrent use (index read only).
+func (g *Graph) OutDegree(v graph.VertexID) int64 {
+	d := g.edgeOff(&g.out, int64(v)+1) - g.edgeOff(&g.out, int64(v))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// InDegree is safe for concurrent use (index read only).
+func (g *Graph) InDegree(v graph.VertexID) int64 {
+	d := g.edgeOff(&g.in, int64(v)+1) - g.edgeOff(&g.in, int64(v))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// OutNeighbors serves adjacency through the graph's internal cursor;
+// single-goroutine (see graph.View's contract).
+func (g *Graph) OutNeighbors(v graph.VertexID) []graph.VertexID { return g.def.OutNeighbors(v) }
+
+// OutWeights serves weights through the graph's internal cursor.
+func (g *Graph) OutWeights(v graph.VertexID) []float32 { return g.def.OutWeights(v) }
+
+// InNeighbors serves adjacency through the graph's internal cursor.
+func (g *Graph) InNeighbors(v graph.VertexID) []graph.VertexID { return g.def.InNeighbors(v) }
+
+// InWeights serves weights through the graph's internal cursor.
+func (g *Graph) InWeights(v graph.VertexID) []float32 { return g.def.InWeights(v) }
+
+func (g *Graph) String() string {
+	mode := "mmap"
+	if g.data == nil {
+		mode = "pread"
+		if g.ooc {
+			mode = "out-of-core"
+		}
+	} else if g.mapped == nil {
+		mode = "bytes"
+	}
+	return fmt.Sprintf("store.Graph{n=%d m=%d %s}", g.n, g.m, mode)
+}

@@ -1,0 +1,240 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slfe/internal/gen"
+	"slfe/internal/graph"
+)
+
+// imageOf writes g through the production writer and returns the file bytes.
+func imageOf(tb testing.TB, g *graph.Graph) []byte {
+	tb.Helper()
+	p := filepath.Join(tb.TempDir(), "g.slfc")
+	if err := Write(p, g); err != nil {
+		tb.Fatalf("Write: %v", err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		tb.Fatalf("ReadFile: %v", err)
+	}
+	return b
+}
+
+// walkAll scans every vertex in both directions through one cursor. On a
+// structurally-valid but content-corrupt image this must terminate without
+// panicking; decoded ids are clamped into [0,n).
+func walkAll(t *testing.T, g *Graph) {
+	t.Helper()
+	limit := g.NumVertices()
+	if limit > 1<<12 {
+		limit = 1 << 12
+	}
+	cur := g.Cursor()
+	for v := 0; v < limit; v++ {
+		id := graph.VertexID(v)
+		if d := g.OutDegree(id); d < 0 {
+			t.Fatalf("vertex %d: negative OutDegree %d", v, d)
+		}
+		if d := g.InDegree(id); d < 0 {
+			t.Fatalf("vertex %d: negative InDegree %d", v, d)
+		}
+		for dir, pair := range [][2]int{
+			{len(cur.OutNeighbors(id)), len(cur.OutWeights(id))},
+			{len(cur.InNeighbors(id)), len(cur.InWeights(id))},
+		} {
+			if pair[0] != pair[1] {
+				t.Fatalf("vertex %d dir %d: %d ids but %d weights", v, dir, pair[0], pair[1])
+			}
+		}
+		for _, u := range cur.OutNeighbors(id) {
+			if int(u) >= g.NumVertices() {
+				t.Fatalf("vertex %d: out-neighbour %d out of range [0,%d)", v, u, g.NumVertices())
+			}
+		}
+		for _, u := range cur.InNeighbors(id) {
+			if int(u) >= g.NumVertices() {
+				t.Fatalf("vertex %d: in-neighbour %d out of range [0,%d)", v, u, g.NumVertices())
+			}
+		}
+	}
+}
+
+// FuzzSLFC throws arbitrary bytes at the decoder: OpenBytes must either
+// reject with an ErrBadFormat-wrapped error or produce a graph whose full
+// cursor walk terminates in range — never a panic, never an id >= n.
+func FuzzSLFC(f *testing.F) {
+	for _, g := range []*graph.Graph{
+		graph.MustBuild(0, nil),
+		graph.MustBuild(70, nil),
+		gen.RMAT(130, 900, gen.DefaultRMAT, 1, 7),                // const-1 weights
+		gen.RMAT(130, 900, gen.DefaultRMAT, 16, 11),              // varint weights
+		fracWeights(gen.RMAT(100, 600, gen.DefaultRMAT, 16, 13)), // raw f32
+	} {
+		f.Add(imageOf(f, g))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := OpenBytes(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("open error does not wrap ErrBadFormat: %v", err)
+			}
+			return
+		}
+		if verr := g.Validate(); verr != nil && !errors.Is(verr, ErrBadFormat) {
+			t.Fatalf("Validate error does not wrap ErrBadFormat: %v", verr)
+		}
+		walkAll(t, g)
+	})
+}
+
+// secStart mirrors parse's section placement: the byte offset of section
+// idx given the header's length table.
+func secStart(img []byte, idx int) int64 {
+	pos := int64(headerSize)
+	for i := 0; i < idx; i++ {
+		pos = align8(pos) + int64(binary.LittleEndian.Uint64(img[32+8*i:]))
+	}
+	return align8(pos)
+}
+
+// TestCorruptionRejected drives targeted defects through the decoder. Each
+// mutation must surface as an ErrBadFormat-wrapped error — at open for
+// structural damage, at Validate for content damage — and must never panic
+// or demand allocations the file size cannot justify.
+func TestCorruptionRejected(t *testing.T) {
+	base := imageOf(t, gen.RMAT(300, 2500, gen.DefaultRMAT, 64, 11))
+	n := int64(binary.LittleEndian.Uint64(base[8:]))
+	m := int64(binary.LittleEndian.Uint64(base[16:]))
+	if binary.LittleEndian.Uint32(base[24:])&flagWideOff != 0 {
+		t.Fatal("test graph unexpectedly uses wide offsets")
+	}
+
+	cases := []struct {
+		name string
+		mut  func(img []byte) []byte
+		// lateOK: the defect is content-level, allowed to pass open and
+		// be caught by Validate instead.
+		lateOK bool
+	}{
+		{name: "empty file", mut: func(img []byte) []byte { return nil }},
+		{name: "truncated header", mut: func(img []byte) []byte { return img[:headerSize-1] }},
+		{name: "truncated tail", mut: func(img []byte) []byte { return img[:len(img)-5] }},
+		{name: "bad magic", mut: func(img []byte) []byte { img[0] ^= 0xff; return img }},
+		{name: "bad version", mut: func(img []byte) []byte {
+			binary.LittleEndian.PutUint32(img[4:], Version+1)
+			return img
+		}},
+		{name: "vertex count over limit", mut: func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[8:], MaxVertices+1)
+			return img
+		}},
+		{name: "edge count without wide flag", mut: func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[16:], 1<<40)
+			return img
+		}},
+		{name: "edge count beyond adjacency bytes", mut: func(img []byte) []byte {
+			// Fits u32 and keeps section sums intact, but no adjacency
+			// section can hold it at one byte per edge minimum — the
+			// check that caps decode scratch.
+			binary.LittleEndian.PutUint64(img[16:], uint64(len(img)))
+			return img
+		}},
+		{name: "block shift zero", mut: func(img []byte) []byte { img[28] = 0; return img }},
+		{name: "block shift over limit", mut: func(img []byte) []byte { img[28] = 21; return img }},
+		{name: "unknown weight mode", mut: func(img []byte) []byte { img[29] = 3; return img }},
+		{name: "section length past eof", mut: func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[32+8*secOutAdj:], uint64(len(img))*2)
+			return img
+		}},
+		{name: "section sum mismatch", mut: func(img []byte) []byte {
+			l := binary.LittleEndian.Uint64(img[32+8*secOutAdj:])
+			binary.LittleEndian.PutUint64(img[32+8*secOutAdj:], l+8)
+			return img
+		}},
+		{name: "edge-offset index starts past zero", mut: func(img []byte) []byte {
+			binary.LittleEndian.PutUint32(img[secStart(img, secOutOff):], 1)
+			return img
+		}},
+		{name: "edge-offset index ends short of m", mut: func(img []byte) []byte {
+			binary.LittleEndian.PutUint32(img[secStart(img, secOutOff)+4*n:], uint32(m-1))
+			return img
+		}},
+		{name: "block offset past section end", mut: func(img []byte) []byte {
+			adjLen := binary.LittleEndian.Uint64(img[32+8*secOutAdj:])
+			binary.LittleEndian.PutUint64(img[secStart(img, secOutBlk)+8:], adjLen+1000)
+			return img
+		}},
+		{name: "block table not monotone", mut: func(img []byte) []byte {
+			blk := secStart(img, secOutBlk)
+			second := binary.LittleEndian.Uint64(img[blk+16:])
+			binary.LittleEndian.PutUint64(img[blk+8:], second+1)
+			binary.LittleEndian.PutUint64(img[blk+16:], second)
+			return img
+		}},
+		{name: "non-monotone edge offsets", lateOK: true, mut: func(img []byte) []byte {
+			// Interior spike: first==0 and last==m still hold, so open
+			// passes; Validate's monotonicity sweep must object.
+			off := secStart(img, secOutOff)
+			binary.LittleEndian.PutUint32(img[off+4*(n/2):], uint32(m))
+			binary.LittleEndian.PutUint32(img[off+4*(n/2)+4:], 0)
+			return img
+		}},
+		{name: "adjacency garbage", lateOK: true, mut: func(img []byte) []byte {
+			adj := secStart(img, secOutAdj)
+			for i := int64(0); i < 64; i++ {
+				img[adj+i] = 0xff // unterminated varints, huge deltas
+			}
+			return img
+		}},
+		{name: "weight varint garbage", lateOK: true, mut: func(img []byte) []byte {
+			w := secStart(img, secOutW)
+			for i := int64(0); i < 32; i++ {
+				img[w+i] = 0xff
+			}
+			return img
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := tc.mut(append([]byte(nil), base...))
+			g, err := OpenBytes(img)
+			if err != nil {
+				if !errors.Is(err, ErrBadFormat) {
+					t.Fatalf("open error does not wrap ErrBadFormat: %v", err)
+				}
+				return
+			}
+			if !tc.lateOK {
+				t.Fatalf("open accepted structurally corrupt image: %v", g)
+			}
+			verr := g.Validate()
+			if verr == nil {
+				t.Fatal("Validate accepted corrupt content")
+			}
+			if !errors.Is(verr, ErrBadFormat) {
+				t.Fatalf("Validate error does not wrap ErrBadFormat: %v", verr)
+			}
+			walkAll(t, g) // clamped decode: garbage in, bounded ids out
+		})
+	}
+}
+
+// TestCorruptHeaderAllocationBound: a header claiming huge counts against a
+// tiny file must be rejected before any count-sized allocation happens (the
+// reader path would otherwise make (n+1)-entry index slices).
+func TestCorruptHeaderAllocationBound(t *testing.T) {
+	img := imageOf(t, graph.MustBuild(10, nil))
+	binary.LittleEndian.PutUint64(img[8:], MaxVertices) // n within limit, but sections can't match
+	if _, err := OpenBytes(img); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat for oversized vertex count, got %v", err)
+	}
+	binary.LittleEndian.PutUint64(img[8:], uint64(len(img))) // plausible-looking n, tiny file
+	if _, err := OpenBytes(img); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat for mismatched index section, got %v", err)
+	}
+}

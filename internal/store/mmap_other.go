@@ -1,0 +1,16 @@
+//go:build !linux
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("store: mmap not supported on this platform")
+
+// mmapFile is unavailable off Linux; OpenBudget falls back to the
+// portable pread reader (heap-resident index, streamed adjacency).
+func mmapFile(_ *os.File, _ int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(_ []byte) error { return nil }
